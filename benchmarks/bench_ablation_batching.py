@@ -1,0 +1,11 @@
+"""Ablation: vectorized batched executor vs the literal per-round loop."""
+
+from repro.experiments import ablation_batching
+
+
+def test_ablation_batching(run_figure):
+    fig = run_figure(ablation_batching)
+    # Outputs must be identical; the batched executor should win clearly.
+    assert all(row[-1] for row in fig.rows)  # identical column
+    speedups = [row[4] for row in fig.rows]
+    assert max(speedups) > 2.0

@@ -1,0 +1,16 @@
+"""Ablation: constant-per-tuple vs block-cache cost model."""
+
+from repro.experiments import ablation_cost_model
+
+
+def test_ablation_cost_model(run_figure):
+    fig = run_figure(ablation_cost_model)
+    io = {(row[0], row[1]): row[3] for row in fig.rows}
+    # Sparse regime: the block-cache model charges far more than the
+    # constant-per-tuple model (every fresh page is a random read).
+    assert io[("(unit) sparse-10k", "block-cache")] > 5 * io[("(unit) sparse-10k", "constant")]
+    # SCAN is priced identically under both models.
+    assert abs(io[("scan", "block-cache")] - io[("scan", "constant")]) < 1e-9
+    # Dense sampling saturates the cache: block-cache I/O is finite and
+    # bounded by pages x read_time, so it stays below the per-sample total.
+    assert io[("roundrobin", "block-cache")] <= io[("roundrobin", "constant")] * 10

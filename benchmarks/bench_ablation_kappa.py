@@ -1,0 +1,13 @@
+"""Ablation: kappa grid parameter (paper footnote: kappa ~ 1 is immaterial)."""
+
+from repro.experiments import ablation_kappa
+
+
+def test_ablation_kappa(run_figure):
+    fig = run_figure(ablation_kappa)
+    by_kappa = {row[0]: (row[1], row[2]) for row in fig.rows}
+    base_samples, base_acc = by_kappa[1.0]
+    near_samples, near_acc = by_kappa[1.01]
+    # kappa = 1.01 must behave like kappa = 1 (accuracy and cost).
+    assert base_acc == 1.0 and near_acc == 1.0
+    assert 0.8 <= near_samples / base_samples <= 1.25

@@ -1,0 +1,13 @@
+"""Ablation: active-set removal policy (a) never-reactivate vs (b) reactivate."""
+
+from repro.experiments import ablation_removal_policy
+
+
+def test_ablation_removal_policy(run_figure):
+    fig = run_figure(ablation_removal_policy)
+    by_policy = {row[0]: (row[1], row[2]) for row in fig.rows}
+    samples_a, acc_a = by_policy["a: never-reactivate"]
+    samples_b, acc_b = by_policy["b: reactivate"]
+    # Both are accurate in practice; (b) can only take at least as many samples.
+    assert acc_a >= 0.95 and acc_b >= 0.95
+    assert samples_b >= samples_a * 0.99

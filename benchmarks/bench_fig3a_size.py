@@ -1,0 +1,18 @@
+"""Fig 3(a): percentage of the dataset sampled vs dataset size."""
+
+from repro.experiments import fig3a_percentage_vs_size
+
+
+def test_fig3a_percentage_vs_size(run_figure):
+    fig = run_figure(fig3a_percentage_vs_size)
+    series = fig.raw["series"]
+    sizes = sorted(series["ifocus"])
+    # Percentage sampled falls with dataset size for every algorithm.
+    for alg, by_size in series.items():
+        assert by_size[sizes[0]] >= by_size[sizes[-1]], alg
+    # IFOCUS beats ROUNDROBIN at every size; the R variants beat their bases
+    # at the largest size.
+    for size in sizes:
+        assert series["ifocus"][size] < series["roundrobin"][size]
+    assert series["ifocusr"][sizes[-1]] <= series["ifocus"][sizes[-1]]
+    assert series["roundrobinr"][sizes[-1]] <= series["roundrobin"][sizes[-1]]

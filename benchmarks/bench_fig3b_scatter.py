@@ -1,0 +1,10 @@
+"""Fig 3(b): total runtime is proportional to the number of samples."""
+
+from repro.experiments import fig3b_samples_vs_time
+
+
+def test_fig3b_samples_vs_time(run_figure):
+    fig = run_figure(fig3b_samples_vs_time)
+    # The paper's scatter is a straight line: samples and simulated runtime
+    # must be strongly correlated.
+    assert fig.raw["correlation"] > 0.95

@@ -1,0 +1,15 @@
+"""Fig 3(c): percentage sampled vs the failure probability delta."""
+
+from repro.experiments import fig3c_percentage_vs_delta
+
+
+def test_fig3c_percentage_vs_delta(run_figure):
+    fig = run_figure(fig3c_percentage_vs_delta)
+    series = fig.raw["series"]
+    deltas = sorted(series["ifocus"])
+    # Sampling decreases with delta but does not collapse to zero: even at
+    # delta ~ 1, at least a tenth of the delta-0.01 effort remains.
+    for alg in ("ifocus", "roundrobin"):
+        lo, hi = series[alg][deltas[-1]], series[alg][deltas[0]]
+        assert lo <= hi
+        assert lo > 0.02 * hi

@@ -1,0 +1,13 @@
+"""Fig 5(a): accuracy vs heuristic shrinking factor (mixture workload)."""
+
+from repro.experiments import fig5a_heuristic_accuracy
+
+
+def test_fig5a_heuristic_accuracy(run_figure):
+    fig = run_figure(fig5a_heuristic_accuracy)
+    factors = fig.column("factor")
+    accuracy = fig.column("accuracy")
+    by_factor = dict(zip(factors, accuracy))
+    # The sound schedule (factor 1) must be perfect; large factors must not be.
+    assert by_factor[1.0] == 1.0
+    assert min(accuracy) < 1.0

@@ -1,0 +1,13 @@
+"""Fig 5(b): heuristic shrinking on the hard instance breaks fast."""
+
+from repro.experiments import fig5b_heuristic_accuracy_hard
+
+
+def test_fig5b_heuristic_accuracy_hard(run_figure):
+    fig = run_figure(fig5b_heuristic_accuracy_hard)
+    factors = fig.column("factor")
+    accuracy = fig.column("accuracy")
+    by_factor = dict(zip(factors, accuracy))
+    assert by_factor[1.0] == 1.0
+    # On the hard instance, shrinking intervals ~20% faster costs accuracy.
+    assert by_factor[max(factors)] < 1.0

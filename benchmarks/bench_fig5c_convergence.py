@@ -1,0 +1,11 @@
+"""Fig 5(c): number of active groups as sampling proceeds."""
+
+from repro.experiments import fig5c_active_groups_convergence
+
+
+def test_fig5c_active_groups(run_figure):
+    fig = run_figure(fig5c_active_groups_convergence)
+    active = fig.column("active_all")
+    # Converges from k active groups down to (near) zero, monotonically-ish.
+    assert active[0] >= active[-1]
+    assert active[-1] <= 2.0  # a handful of contentious groups at the end

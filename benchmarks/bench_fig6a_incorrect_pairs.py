@@ -1,0 +1,13 @@
+"""Fig 6(a): incorrectly ordered pairs in the running estimates."""
+
+from repro.experiments import fig6a_incorrect_pairs
+
+
+def test_fig6a_incorrect_pairs(run_figure):
+    fig = run_figure(fig6a_incorrect_pairs)
+    wrong = fig.column("incorrect_all")
+    # Incorrect pairs end at ~zero once sampling completes, and past the
+    # earliest rounds (the very first snapshots are single-sample estimates)
+    # they stay down at a few of the 45 pairs.
+    assert wrong[-1] <= 0.5
+    assert max(wrong[len(wrong) // 5 :]) <= 4.0

@@ -1,0 +1,13 @@
+"""Fig 6(b): percentage sampled vs number of groups."""
+
+from repro.experiments import fig6b_percentage_vs_groups
+
+
+def test_fig6b_percentage_vs_groups(run_figure):
+    fig = run_figure(fig6b_percentage_vs_groups)
+    ks = fig.column("k")
+    ifocus = dict(zip(ks, fig.column("ifocus")))
+    rr = dict(zip(ks, fig.column("roundrobin")))
+    # IFOCUS keeps a clear advantage at every group count.
+    for k in ks:
+        assert ifocus[k] < rr[k]

@@ -1,0 +1,11 @@
+"""Fig 6(c): instance difficulty c^2/eta^2 grows with the number of groups."""
+
+from repro.experiments import fig6c_difficulty_vs_groups
+
+
+def test_fig6c_difficulty_vs_groups(run_figure):
+    fig = run_figure(fig6c_difficulty_vs_groups)
+    ks = fig.column("k")
+    medians = dict(zip(ks, fig.column("median")))
+    # More random means pack closer: median difficulty increases with k.
+    assert medians[max(ks)] > medians[min(ks)]

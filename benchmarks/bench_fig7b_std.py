@@ -1,0 +1,16 @@
+"""Fig 7(b): percentage sampled vs delta across truncnorm std values."""
+
+import numpy as np
+
+from repro.experiments import fig7b_percentage_vs_std
+
+
+def test_fig7b_percentage_vs_std(run_figure):
+    fig = run_figure(fig7b_percentage_vs_std)
+    series = fig.raw["series"]
+    stds = sorted(series)
+    deltas = sorted(series[stds[0]])
+    # Larger standard deviation needs (weakly) more sampling on average.
+    small = np.mean([series[stds[0]][d] for d in deltas])
+    large = np.mean([series[stds[-1]][d] for d in deltas])
+    assert large >= 0.8 * small

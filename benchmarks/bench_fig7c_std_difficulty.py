@@ -1,0 +1,11 @@
+"""Fig 7(c): difficulty c^2/eta^2 vs truncnorm standard deviation."""
+
+from repro.experiments import fig7c_difficulty_vs_std
+
+
+def test_fig7c_difficulty_vs_std(run_figure):
+    fig = run_figure(fig7c_difficulty_vs_std)
+    stds = fig.column("std")
+    medians = dict(zip(stds, fig.column("median")))
+    # Wider truncated normals push means together - difficulty rises.
+    assert medians[max(stds)] >= medians[min(stds)]

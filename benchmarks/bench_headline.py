@@ -1,0 +1,14 @@
+"""Section 8 headline: sample fraction and speedups at the largest size."""
+
+from repro.experiments.headline import headline_claims
+
+
+def test_headline_claims(run_figure):
+    fig = run_figure(headline_claims)
+    # The qualitative claims must hold at any scale: IFOCUS-R far ahead of
+    # both baselines.  (Absolute factors grow with dataset size; the paper's
+    # 60x/1000x are at 1e10 rows.)
+    assert fig.raw["speedup_rr"] > 2.0
+    assert fig.raw["speedup_scan"] > 2.0
+    ifocusr_pct = fig.raw["measured"]["ifocusr"]["pct"]
+    assert ifocusr_pct < 5.0

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the NEEDLETAIL bitmap substrate."""
+
+import numpy as np
+
+from repro.needletail.bitvector import BitVector
+from repro.needletail.hierarchical import HierarchicalBitmap
+from repro.needletail.rle import RunLengthBitmap
+
+_N = 1_000_000
+
+
+def _bits(density: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random(_N) < density
+
+
+def test_bench_bitvector_build(benchmark):
+    bits = _bits(0.1)
+    bv = benchmark(lambda: BitVector.from_bools(bits))
+    assert bv.count() == bits.sum()
+
+
+def test_bench_bitvector_select_many(benchmark):
+    bv = BitVector.from_bools(_bits(0.1))
+    rng = np.random.default_rng(1)
+    ranks = rng.integers(0, bv.count(), size=10_000)
+    out = benchmark(lambda: bv.select_many(ranks))
+    assert out.shape == (10_000,)
+
+
+def test_bench_bitvector_and(benchmark):
+    a = BitVector.from_bools(_bits(0.3, 0))
+    b = BitVector.from_bools(_bits(0.3, 1))
+    out = benchmark(lambda: a & b)
+    assert len(out) == _N
+
+
+def test_bench_hierarchical_select(benchmark):
+    hb = HierarchicalBitmap.from_bools(_bits(0.1), fanout=64)
+    total = hb.count()
+
+    def run():
+        return [hb.select(r) for r in range(0, total, total // 100)]
+
+    out = benchmark(run)
+    assert len(out) >= 100
+
+
+def test_bench_rle_compress_clustered(benchmark):
+    # Clustered bitmap (sorted column): RLE's sweet spot.
+    bits = np.zeros(_N, dtype=bool)
+    bits[100_000:300_000] = True
+    rl = benchmark(lambda: RunLengthBitmap.from_bools(bits))
+    assert rl.num_runs == 3
+    assert rl.compression_ratio() > 1000

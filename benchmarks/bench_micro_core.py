@@ -1,0 +1,39 @@
+"""Micro-benchmarks of the core algorithm paths (statistical timings)."""
+
+import numpy as np
+
+from repro.core.confidence import EpsilonSchedule, ifocus_epsilon
+from repro.core.ifocus import run_ifocus
+from repro.core.intervals import separated_equal_width_batch
+from repro.data.synthetic import make_mixture_dataset
+from repro.engines.memory import InMemoryEngine
+
+
+def test_bench_ifocus_run(benchmark):
+    """One IFOCUS run over a fixed 100k-row mixture dataset."""
+    population = make_mixture_dataset(k=10, total_size=100_000, seed=7)
+    engine = InMemoryEngine(population)
+    result = benchmark(lambda: run_ifocus(engine, delta=0.05, seed=7))
+    assert result.k == 10
+
+
+def test_bench_epsilon_schedule(benchmark):
+    """Vectorized epsilon over a 1e5-round batch."""
+    schedule = EpsilonSchedule(k=10, delta=0.05, c=100.0)
+    rounds = np.arange(2, 100_002, dtype=np.float64)
+    out = benchmark(lambda: schedule(rounds, 1e6))
+    assert np.all(np.asarray(out) > 0)
+
+
+def test_bench_epsilon_scalar(benchmark):
+    out = benchmark(lambda: ifocus_epsilon(5000, k=10, delta=0.05, c=100.0, n=1e6))
+    assert out > 0
+
+
+def test_bench_separation_batch(benchmark):
+    """Batched sorted-gap separation test on a 4096 x 10 estimate block."""
+    rng = np.random.default_rng(0)
+    estimates = rng.uniform(0, 100, size=(4096, 10))
+    eps = rng.uniform(0.5, 5.0, size=4096)
+    out = benchmark(lambda: separated_equal_width_batch(estimates, eps))
+    assert out.shape == (4096, 10)

@@ -1,0 +1,9 @@
+"""Table 1: IFOCUS execution trace with per-round confidence intervals."""
+
+from repro.experiments import table1_execution_trace
+
+
+def test_table1_trace(run_figure):
+    fig = run_figure(table1_execution_trace)
+    # The trace must show the staged exits the paper's Table 1 illustrates.
+    assert len(fig.rows) >= 3

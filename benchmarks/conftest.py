@@ -1,0 +1,39 @@
+"""Benchmark-suite configuration.
+
+Every figure/table benchmark runs the corresponding experiment exactly once
+(``benchmark.pedantic(rounds=1)``) - the experiments are themselves repeated
+trials internally - and prints the paper-style table so the suite's output
+doubles as the reproduction report.  Set ``REPRO_SCALE=paper`` for the
+full-scale run (hours); the default ``smoke`` scale finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import current_scale
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    scale = current_scale()
+    print(
+        f"\n[repro] benchmark scale = {scale.name!r} "
+        f"(sizes={list(scale.dataset_sizes)}, trials={scale.trials}); "
+        "set REPRO_SCALE=paper for full-scale runs\n"
+    )
+    yield
+
+
+@pytest.fixture()
+def run_figure(benchmark, capsys):
+    """Run a figure function once under the benchmark clock and print it."""
+
+    def _run(fig_fn, *args, **kwargs):
+        result = benchmark.pedantic(fig_fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+        with capsys.disabled():
+            print()
+            print(result.format())
+        return result
+
+    return _run

@@ -1,0 +1,68 @@
+"""Partial results: watch the bar chart fill in as groups are finalized.
+
+Problem 7 of the paper: IFOCUS resolves easy groups long before contentious
+ones, so an interactive tool can show bars the moment they are trustworthy.
+This demo streams finalizations and re-renders the chart after each one;
+groups still being sampled are shown as pending.
+
+Run:  python examples/partial_results_stream.py
+"""
+
+import numpy as np
+
+from repro.data.population import MaterializedGroup, Population
+from repro.engines.memory import InMemoryEngine
+from repro.extensions import stream_partial_results
+from repro.viz import BarChart
+
+# Two contentious pairs (31 vs 32.5 and 58 vs 59) among easy groups.
+MEANS = {"east": 31.0, "west": 32.5, "north": 58.0, "south": 59.0, "hub": 12.0, "intl": 86.0}
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    population = Population(
+        groups=[
+            MaterializedGroup(name, np.clip(rng.normal(mu, 12.0, 200_000), 0, 100))
+            for name, mu in MEANS.items()
+        ],
+        c=100.0,
+    )
+    engine = InMemoryEngine(population)
+
+    finalized: dict[str, tuple[float, float]] = {}
+    for update in stream_partial_results(engine, delta=0.05, seed=9):
+        outcome = update.outcome
+        finalized[outcome.name] = (outcome.estimate, outcome.half_width)
+        print(
+            f"\n== {update.emitted_so_far}/{update.total_groups} finalized: "
+            f"{outcome.name} = {outcome.estimate:.2f} "
+            f"(+/- {outcome.half_width:.2f}, {outcome.samples:,} samples, "
+            f"round {outcome.finalized_round:,})"
+        )
+        labels, values, widths = [], [], []
+        for name in MEANS:
+            if name in finalized:
+                labels.append(name)
+                values.append(finalized[name][0])
+                widths.append(finalized[name][1])
+            else:
+                labels.append(f"{name} (sampling...)")
+                values.append(0.0)
+                widths.append(0.0)
+        chart = BarChart(
+            labels=labels,
+            values=np.array(values),
+            half_widths=np.array(widths),
+            value_max=100.0,
+            title="partial ordering-guaranteed results",
+        )
+        print(chart.render())
+    print(
+        "\nAll emitted groups were correctly ordered among themselves at every "
+        "step with probability >= 0.95 (Problem 7 guarantee)."
+    )
+
+
+if __name__ == "__main__":
+    main()

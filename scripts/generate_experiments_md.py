@@ -1,0 +1,217 @@
+"""Generate EXPERIMENTS.md: paper-reported vs measured, for every experiment.
+
+Runs the whole experiment harness at the current REPRO_SCALE (smoke by
+default) and writes EXPERIMENTS.md with the measured tables inlined next to
+the paper's reported shapes.  Re-run after changing algorithms or scales:
+
+    python scripts/generate_experiments_md.py [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ablation_batching,
+    ablation_cost_model,
+    ablation_kappa,
+    ablation_removal_policy,
+    current_scale,
+    fig3a_percentage_vs_size,
+    fig3b_samples_vs_time,
+    fig3c_percentage_vs_delta,
+    fig4_runtime_vs_size,
+    fig5a_heuristic_accuracy,
+    fig5b_heuristic_accuracy_hard,
+    fig5c_active_groups_convergence,
+    fig6a_incorrect_pairs,
+    fig6b_percentage_vs_groups,
+    fig6c_difficulty_vs_groups,
+    fig7a_percentage_vs_skew,
+    fig7b_percentage_vs_std,
+    fig7c_difficulty_vs_std,
+    table1_execution_trace,
+    table3_flights_runtimes,
+)
+from repro.experiments.headline import headline_claims
+
+# (function, paper-reported shape, what must hold in our reproduction)
+CATALOG = [
+    (
+        table1_execution_trace,
+        "Table 1: four groups; group intervals shrink per round; groups leave "
+        "the active set one by one; total cost decomposes as "
+        "C = 21x4 + (58-21)x3 + (71-58)x2 in the paper's instance.",
+        "Same staged-exit structure and cost decomposition (our instance has "
+        "its own round numbers).",
+    ),
+    (
+        fig3a_percentage_vs_size,
+        "Fig 3(a): percentage sampled falls roughly linearly (log-log) with "
+        "dataset size; IFOCUS < IREFINE < ROUNDROBIN; at 1e7 roughly "
+        "15%/25%/50%; R-variants take a constant number of raw samples for "
+        "sizes >= 1e8. All runs respect the ordering property.",
+        "Same ordering of algorithms at every size, falling percentages, "
+        "near-constant raw samples for the R-variants at the largest sizes, "
+        "100% measured accuracy.",
+    ),
+    (
+        fig3b_samples_vs_time,
+        "Fig 3(b): total runtime is directly proportional to the number of "
+        "samples across algorithms and sizes.",
+        "Pearson correlation of samples vs simulated seconds > 0.95.",
+    ),
+    (
+        fig3c_percentage_vs_delta,
+        "Fig 3(c): sampling decreases as delta grows but stays well above "
+        "zero even at delta ~ 1 (log k and log log(1/eta) terms are "
+        "delta-independent).",
+        "Monotone-decreasing trend with a large positive floor.",
+    ),
+    (
+        fig4_runtime_vs_size,
+        "Fig 4(a,b,c): SCAN grows linearly and is CPU-bound; sampling "
+        "algorithms grow sublinearly; IFOCUS 23x faster than SCAN at 1e9; "
+        "IFOCUS-R ~241x; R-variants nearly flat above 1e8.",
+        "SCAN linear and CPU-bound; IFOCUS < ROUNDROBIN everywhere; "
+        "IFOCUS-R beats SCAN with a widening factor as size grows (the "
+        "paper-scale run reproduces the crossover of plain variants too).",
+    ),
+    (
+        fig5a_heuristic_accuracy,
+        "Fig 5(a): accuracy is 100% at factor 1 and drops immediately "
+        "(roughly monotonically) once intervals shrink faster than the "
+        "theory allows; factor 2 already makes 2-3% mistakes.",
+        "Accuracy 1.0 at factor 1; below 1.0 at larger factors.",
+    ),
+    (
+        fig5b_heuristic_accuracy_hard,
+        "Fig 5(b): on the hard instance even a 1% faster shrink (factor "
+        "1.01) drops accuracy below 95%; factor 1.2 below 70%. (That regime "
+        "needs ~1e6 rounds per group - paper scale.)",
+        "Accuracy 1.0 at factor 1; degradation at aggressive factors. At "
+        "smoke scale the small groups exhaust (exact answers), so the "
+        "factor range is extended until the guarantee visibly breaks; at "
+        "REPRO_SCALE=paper the paper's 1.0-1.2 range is used.",
+    ),
+    (
+        fig5c_active_groups_convergence,
+        "Fig 5(c): active groups drop quickly to ~2 of 10 after ~10% of the "
+        "data and decay slowly after; the hard-dataset series stays higher "
+        "longer.",
+        "Monotone-ish decay from k to a handful; hard series >= all series.",
+    ),
+    (
+        fig6a_incorrect_pairs,
+        "Fig 6(a): the number of incorrectly ordered pairs in the current "
+        "estimates is near 0 with small jumps, nonzero up to ~3M samples; "
+        "small enough to justify partial results.",
+        "Low counts (a few of the 45 pairs) that reach ~0 by termination.",
+    ),
+    (
+        fig6b_percentage_vs_groups,
+        "Fig 6(b): percentage sampled rises with the number of groups (an "
+        "artifact of random mean generation), IFOCUS stays far below "
+        "ROUNDROBIN at every k.",
+        "Same relative ordering at every k.",
+    ),
+    (
+        fig6c_difficulty_vs_groups,
+        "Fig 6(c): median difficulty c^2/eta^2 grows ~4 orders of magnitude "
+        "from k=5 to k=50 (random means pack closer).",
+        "Median difficulty strictly increasing with k.",
+    ),
+    (
+        fig7a_percentage_vs_skew,
+        "Fig 7(a): IFOCUS keeps its advantage under skew; total sampling "
+        "falls as the first group's share grows (generation artifact).",
+        "IFOCUS < ROUNDROBIN at every skew level.",
+    ),
+    (
+        fig7b_percentage_vs_std,
+        "Fig 7(b): larger truncnorm std samples slightly more at every "
+        "delta (1-2% differences).",
+        "Weakly higher sampling for larger std on average.",
+    ),
+    (
+        fig7c_difficulty_vs_std,
+        "Fig 7(c): difficulty rises with std.",
+        "Median difficulty non-decreasing in std.",
+    ),
+    (
+        table3_flights_runtimes,
+        "Table 3: on flight data, IFOCUS ~3x and IFOCUS-R ~6x faster than "
+        "ROUNDROBIN; runtimes roughly double across a 100x scale-up, driven "
+        "by conflicting carrier pairs; all orderings correct.",
+        "IFOCUS-R <= IFOCUS <= ROUNDROBIN per attribute and size; sublinear "
+        "IFOCUS-R growth across the largest size step; all orderings "
+        "correct.",
+    ),
+    (
+        headline_claims,
+        "Section 8: < 0.02% of the data sampled at 1e10 rows; > 60x faster "
+        "than ROUNDROBIN; ~1000x faster than SCAN.",
+        "Small sampled fraction at the largest campaign size with clear "
+        "speedups over both baselines (absolute factors grow with size; "
+        "paper numbers are at 1e10).",
+    ),
+    (
+        ablation_batching,
+        "(ours) batched executor vs reference loop.",
+        "Identical outputs; order(s)-of-magnitude wall-clock speedup.",
+    ),
+    (
+        ablation_removal_policy,
+        "(ours) Section 3.1 alternative (a) vs (b).",
+        "Both accurate; (b) samples at least as much.",
+    ),
+    (
+        ablation_cost_model,
+        "(ours) constant-per-tuple vs block-cache pricing.",
+        "Sparse sampling priced higher by the block-cache model; SCAN "
+        "priced identically.",
+    ),
+    (
+        ablation_kappa,
+        "(paper footnote) kappa close to 1 gives very similar results.",
+        "kappa=1.01 within a few percent of kappa=1 in samples, same "
+        "accuracy.",
+    ),
+]
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    scale = current_scale()
+    parts: list[str] = []
+    parts.append("# EXPERIMENTS — paper-reported vs measured\n")
+    parts.append(
+        "Generated by `python scripts/generate_experiments_md.py` at scale "
+        f"`{scale.name}` (sizes={list(scale.dataset_sizes)}, trials="
+        f"{scale.trials}). Absolute numbers are simulator outputs; the "
+        "*shapes* (who wins, by what factor, where crossovers fall) are the "
+        "reproduction target. Set `REPRO_SCALE=paper` and re-run for "
+        "paper-scale parameters.\n"
+    )
+    for fn, paper, ours in CATALOG:
+        t0 = time.time()
+        fig = fn(scale)
+        elapsed = time.time() - t0
+        parts.append(f"\n## {fig.figure}: {fig.title}\n")
+        parts.append(f"**Paper reports:** {paper}\n")
+        parts.append(f"**Reproduction criteria:** {ours}\n")
+        parts.append(f"**Measured** ({elapsed:.1f}s wall):\n")
+        parts.append("```")
+        parts.append(fig.format())
+        parts.append("```")
+        print(f"[done] {fig.figure} in {elapsed:.1f}s")
+    text = "\n".join(parts) + "\n"
+    with open(out_path, "w") as handle:
+        handle.write(text)
+    print(f"wrote {out_path} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

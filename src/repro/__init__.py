@@ -1,0 +1,52 @@
+"""repro - rapid sampling for visualizations with ordering guarantees.
+
+A complete Python reproduction of "Rapid Sampling for Visualizations with
+Ordering Guarantees" (Kim, Blais, Parameswaran, Indyk, Madden, Rubinfeld;
+VLDB 2015): the IFOCUS family of sampling algorithms, the IREFINE and
+ROUNDROBIN comparison points, the NEEDLETAIL bitmap-index sampling substrate,
+the Section 6 extensions, and an experiment harness regenerating every figure
+and table in the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import InMemoryEngine, run_ifocus
+
+    rng = np.random.default_rng(0)
+    engine = InMemoryEngine.from_arrays(
+        names=["AA", "JB", "UA"],
+        arrays=[rng.normal(mu, 10, 100_000).clip(0, 100) for mu in (30, 15, 85)],
+        c=100.0,
+    )
+    result = run_ifocus(engine, delta=0.05, seed=42)
+    print(result.order(), result.total_samples)
+"""
+
+from repro.core import (
+    OrderingResult,
+    algorithm_names,
+    run_algorithm,
+    run_ifocus,
+    run_ifocus_reference,
+    run_irefine,
+    run_roundrobin,
+    run_scan,
+)
+from repro.data import Population
+from repro.engines import InMemoryEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OrderingResult",
+    "algorithm_names",
+    "run_algorithm",
+    "run_ifocus",
+    "run_ifocus_reference",
+    "run_irefine",
+    "run_roundrobin",
+    "run_scan",
+    "Population",
+    "InMemoryEngine",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Shared small utilities: RNG stream management and argument validation.
+
+The algorithms in :mod:`repro.core` are batched/vectorized but must remain
+bit-for-bit equivalent to the paper's sample-at-a-time loops.  We get this by
+giving every group its *own* independent random stream (spawned from one seed
+sequence), so that the order in which groups are sampled never changes the
+values any single group observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spawn_group_rngs",
+    "as_rng",
+    "check_probability",
+    "check_positive",
+    "check_nonnegative",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_group_rngs(seed: int | np.random.Generator | None, k: int) -> list[np.random.Generator]:
+    """Create ``k`` independent random streams, one per group.
+
+    Streams are spawned from a single root so the whole experiment is
+    reproducible from one integer seed, yet each group's draw sequence is
+    independent of how draws to other groups are interleaved.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    root = as_rng(seed)
+    seeds = root.bit_generator.seed_seq.spawn(k)  # type: ignore[union-attr]
+    return [np.random.Generator(np.random.PCG64(s)) for s in seeds]
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in the open interval (0, 1)."""
+    value = float(value)
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive."""
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0."""
+    value = float(value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value

@@ -1,0 +1,171 @@
+"""Command-line interface: demos, experiments, and ad-hoc queries.
+
+Usage::
+
+    python -m repro demo
+    python -m repro list
+    python -m repro experiment fig3a [--scale smoke|paper]
+    python -m repro query "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier" \
+        [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0]
+
+``query`` runs against a freshly synthesized flights table (the offline
+stand-in for the paper's dataset); any table name in the SQL is accepted and
+bound to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablation_batching,
+    ablation_cost_model,
+    ablation_kappa,
+    ablation_removal_policy,
+    PAPER,
+    SMOKE,
+    fig3a_percentage_vs_size,
+    fig3b_samples_vs_time,
+    fig3c_percentage_vs_delta,
+    fig4_runtime_vs_size,
+    fig5a_heuristic_accuracy,
+    fig5b_heuristic_accuracy_hard,
+    fig5c_active_groups_convergence,
+    fig6a_incorrect_pairs,
+    fig6b_percentage_vs_groups,
+    fig6c_difficulty_vs_groups,
+    fig7a_percentage_vs_skew,
+    fig7b_percentage_vs_std,
+    fig7c_difficulty_vs_std,
+    table1_execution_trace,
+    table3_flights_runtimes,
+)
+from repro.experiments.headline import headline_claims
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": table1_execution_trace,
+    "fig3a": fig3a_percentage_vs_size,
+    "fig3b": fig3b_samples_vs_time,
+    "fig3c": fig3c_percentage_vs_delta,
+    "fig4": fig4_runtime_vs_size,
+    "fig5a": fig5a_heuristic_accuracy,
+    "fig5b": fig5b_heuristic_accuracy_hard,
+    "fig5c": fig5c_active_groups_convergence,
+    "fig6a": fig6a_incorrect_pairs,
+    "fig6b": fig6b_percentage_vs_groups,
+    "fig6c": fig6c_difficulty_vs_groups,
+    "fig7a": fig7a_percentage_vs_skew,
+    "fig7b": fig7b_percentage_vs_std,
+    "fig7c": fig7c_difficulty_vs_std,
+    "table3": table3_flights_runtimes,
+    "headline": headline_claims,
+    "ablation-batching": ablation_batching,
+    "ablation-costmodel": ablation_cost_model,
+    "ablation-kappa": ablation_kappa,
+    "ablation-removal": ablation_removal_policy,
+}
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import InMemoryEngine, run_ifocus
+    from repro.viz import render_barchart
+
+    airlines = {"AA": 30, "JB": 15, "UA": 85, "DL": 45, "US": 60, "AL": 20, "SW": 23}
+    rng = np.random.default_rng(7)
+    engine = InMemoryEngine.from_arrays(
+        names=list(airlines),
+        arrays=[np.clip(rng.normal(m, 15.0, 200_000), 0, 100) for m in airlines.values()],
+        c=100.0,
+    )
+    result = run_ifocus(engine, delta=0.05, seed=42)
+    print(render_barchart(result, title="Average delay by airline (IFOCUS, delta=0.05)"))
+    total = engine.population.total_size
+    print(
+        f"\nsampled {result.total_samples:,} of {total:,} rows "
+        f"({100 * result.total_samples / total:.2f}%); "
+        "bar order is correct with probability >= 0.95"
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; try: python -m repro list", file=sys.stderr)
+        return 2
+    scale = PAPER if args.scale == "paper" else SMOKE
+    fig = EXPERIMENTS[args.name](scale)
+    print(fig.format())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.data.flights import make_flights_table
+    from repro.query import execute_query, parse_query
+
+    query = parse_query(args.sql)
+    table = make_flights_table(num_rows=args.rows, seed=args.seed)
+    out = execute_query(
+        query,
+        {query.table: table},
+        algorithm=args.algorithm,
+        delta=args.delta,
+        resolution=args.resolution,
+        seed=args.seed,
+    )
+    for agg, result in out.results.items():
+        print(f"{agg} (algorithm={result.algorithm}, samples={result.total_samples:,}):")
+        pairs = sorted(zip(out.labels, result.estimates), key=lambda p: -p[1])
+        for label, value in pairs:
+            print(f"  {label:>12}  {value:12.3f}")
+    if out.dropped_by_having:
+        print(f"HAVING dropped: {out.dropped_by_having}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rapid sampling for visualizations with ordering guarantees (VLDB 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="render the Figure-1 bar chart approximately")
+    demo.set_defaults(fn=_cmd_demo)
+
+    lst = sub.add_parser("list", help="list reproducible experiments")
+    lst.set_defaults(fn=_cmd_list)
+
+    exp = sub.add_parser("experiment", help="run one figure/table reproduction")
+    exp.add_argument("name", help="experiment id, e.g. fig3a, table3, headline")
+    exp.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    exp.set_defaults(fn=_cmd_experiment)
+
+    qry = sub.add_parser("query", help="run a SQL query over a synthetic flights table")
+    qry.add_argument("sql")
+    qry.add_argument("--rows", type=int, default=100_000)
+    qry.add_argument("--algorithm", default="ifocus")
+    qry.add_argument("--delta", type=float, default=0.05)
+    qry.add_argument("--resolution", type=float, default=0.0)
+    qry.add_argument("--seed", type=int, default=0)
+    qry.set_defaults(fn=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

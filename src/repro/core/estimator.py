@@ -1,0 +1,96 @@
+"""Incremental mean estimators.
+
+The algorithms maintain running means nu_i <- ((m-1)/m) nu_i + x/m (Alg. 1
+line 9).  :class:`RunningMean` implements this numerically stably and supports
+batched extension, which the vectorized executor relies on: extending by a
+block of samples and then asking for the mean *after j of them* must agree
+exactly with feeding them one at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RunningMean", "prefix_means"]
+
+
+def prefix_means(prior_sum: float, prior_count: int, block: np.ndarray) -> np.ndarray:
+    """Running means after each element of ``block`` given prior state.
+
+    Returns an array r where r[j] is the mean of the first
+    ``prior_count + j + 1`` samples ((prior_sum + cumsum(block)[j]) / count).
+    """
+    block = np.asarray(block, dtype=np.float64)
+    csum = np.cumsum(block) + prior_sum
+    counts = prior_count + np.arange(1, block.shape[0] + 1, dtype=np.float64)
+    return csum / counts
+
+
+class RunningMean:
+    """A running mean over a stream of bounded values.
+
+    Keeps (sum, count); exact for the bounded-value, modest-count regime of
+    the paper (values in [0, c], counts <= 1e10), where float64 accumulation
+    error is negligible relative to the confidence-interval widths.
+    """
+
+    __slots__ = ("_sum", "_count")
+
+    def __init__(self, total: float = 0.0, count: int = 0) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0 and total != 0.0:
+            raise ValueError("cannot have a nonzero sum with zero samples")
+        self._sum = float(total)
+        self._count = int(count)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of an empty RunningMean is undefined")
+        return self._sum / self._count
+
+    def add(self, x: float) -> float:
+        """Add one observation; return the updated mean."""
+        self._sum += float(x)
+        self._count += 1
+        return self.mean
+
+    def extend(self, block: np.ndarray) -> float:
+        """Add a block of observations; return the updated mean."""
+        block = np.asarray(block, dtype=np.float64)
+        self._sum += float(block.sum())
+        self._count += int(block.shape[0])
+        return self.mean
+
+    def extend_prefix(self, block: np.ndarray) -> np.ndarray:
+        """Add a block and return the running mean after *each* element.
+
+        Equivalent to calling :meth:`add` per element and recording the mean
+        each time, but vectorized.
+        """
+        out = prefix_means(self._sum, self._count, block)
+        self.extend(block)
+        return out
+
+    def rewind_to(self, count: int, total: float) -> None:
+        """Reset to an earlier (count, sum) state (used on batch rollback)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._sum = float(total)
+        self._count = int(count)
+
+    def copy(self) -> "RunningMean":
+        return RunningMean(self._sum, self._count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mean = self._sum / self._count if self._count else float("nan")
+        return f"RunningMean(count={self._count}, mean={mean:.6g})"

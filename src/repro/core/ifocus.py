@@ -1,0 +1,449 @@
+"""IFOCUS (Algorithm 1) - the paper's core contribution.
+
+IFOCUS maintains, for every group, an anytime confidence interval
+[nu_i - eps_m, nu_i + eps_m] around the running mean of the samples drawn so
+far.  Each round it draws one extra sample from every *active* group (a group
+whose interval still intersects another active group's interval) and removes
+groups whose intervals have become disjoint from all other active intervals.
+With the Hoeffding-Serfling epsilon schedule of Theorem 3.2 the returned
+estimates are ordered like the true means with probability >= 1 - delta, at
+near-optimal sample cost (Theorems 3.5/3.6/3.8).
+
+This module contains the *production* executor: it is batched over rounds and
+fully vectorized with numpy, yet produces exactly the same samples, removal
+rounds, and estimates as the one-sample-at-a-time loop in
+:mod:`repro.core.reference` (the equivalence is asserted in the test suite).
+Exactness comes from two facts:
+
+* every group has its own independent random stream (see
+  :func:`repro._util.spawn_group_rngs`), so pre-drawing a block for a group
+  and discarding an unused suffix never perturbs any other group's draws.
+  Bit-exact equivalence additionally requires the group sampler to be
+  *stream-stable* (drawing a block of B samples consumes the stream exactly
+  like B single draws) - true for materialized groups (the without-
+  replacement permutation trivially so); distribution-backed virtual groups
+  use rejection sampling internally and match the reference loop in
+  distribution rather than bit-for-bit;
+* within one batch the running means after every round are recoverable from a
+  cumulative sum, and with a shared per-round epsilon the "is this interval
+  disjoint from all others" test reduces to an exact sorted adjacent-gap test
+  (:func:`repro.core.intervals.separated_equal_width_batch`).
+
+Supported configuration (all of Section 3 and 5 of the paper):
+
+* ``resolution`` r > 0 - the IFOCUS-R variant for Problem 2: terminate every
+  remaining group once eps_m < r/4 (Section 3.6, "Visual Resolution").
+* ``without_replacement`` - Hoeffding-Serfling epsilon with the
+  finite-population factor, plus exhaustion (a group sampled m = n_i times is
+  finalized at its exact mean); with replacement drops the factor and needs
+  no group sizes (Section 3.6, "Sampling with Replacement").
+* ``heuristic_factor`` h - divides epsilon by h to emulate the (unsound)
+  aggressive shrinking studied in Fig. 5(a)/(b).
+* ``trace_every`` - record strided per-round snapshots for the convergence
+  experiments (Fig. 5(c), Fig. 6(a)) and the Table 1 execution trace.
+
+Groups removed from the active set are never re-activated (alternative (a) in
+Section 3.1, the optimality-preserving choice; alternative (b) is available in
+the reference implementation for the ablation benchmark).
+
+One deliberate strengthening beyond the paper's pseudocode: a group sampled
+to exhaustion freezes at its *exact* mean, and that frozen value remains an
+obstacle - no active group may leave the active set while its interval still
+covers a frozen exact mean.  Algorithm 1 never considers exhaustion; without
+this rule a group could finalize on the wrong side of a fully-read
+neighbor's exact average, silently breaking strict ordering on hard
+instances (this is why the paper's real-data runs read *both* sides of every
+conflicting pair in full).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_nonnegative, check_probability
+from repro.core.confidence import EpsilonSchedule
+from repro.core.intervals import separated_equal_width_batch
+from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
+from repro.engines.base import EngineRun, SamplingEngine
+
+__all__ = ["run_ifocus"]
+
+_DEFAULT_INITIAL_BATCH = 64
+_DEFAULT_MAX_BATCH = 1 << 18
+
+
+class _IFocusState:
+    """Mutable per-run state for the batched executor."""
+
+    def __init__(self, run: EngineRun, trace_every: int) -> None:
+        k = run.k
+        self.run = run
+        self.k = k
+        self.sizes = run.sizes()
+        self.sums = np.zeros(k, dtype=np.float64)
+        self.estimates = np.zeros(k, dtype=np.float64)
+        self.samples = np.zeros(k, dtype=np.int64)
+        self.half_widths = np.zeros(k, dtype=np.float64)
+        self.finalized_round = np.zeros(k, dtype=np.int64)
+        self.exhausted = np.zeros(k, dtype=bool)
+        self.active = np.ones(k, dtype=bool)
+        self.inactive_order: list[int] = []
+        self.trace = Trace(every=trace_every) if trace_every > 0 else None
+
+    def finalize(
+        self,
+        gid: int,
+        estimate: float,
+        round_m: int,
+        half_width: float,
+        exhausted: bool,
+        batch_rounds_consumed: int,
+    ) -> None:
+        """Remove group ``gid`` from the active set at round ``round_m``."""
+        self.active[gid] = False
+        self.estimates[gid] = estimate
+        self.samples[gid] += batch_rounds_consumed
+        self.half_widths[gid] = half_width
+        self.finalized_round[gid] = round_m
+        self.exhausted[gid] = exhausted
+        self.inactive_order.append(gid)
+        self.run.charge(gid, batch_rounds_consumed)
+
+
+def run_ifocus(
+    engine: SamplingEngine,
+    *,
+    delta: float = 0.05,
+    resolution: float = 0.0,
+    kappa: float = 1.0,
+    heuristic_factor: float = 1.0,
+    without_replacement: bool = True,
+    seed: int | np.random.Generator | None = None,
+    trace_every: int = 0,
+    initial_batch: int = _DEFAULT_INITIAL_BATCH,
+    max_batch: int = _DEFAULT_MAX_BATCH,
+    max_rounds: int | None = None,
+) -> OrderingResult:
+    """Run IFOCUS (or IFOCUS-R when ``resolution`` > 0) over an engine.
+
+    Args:
+        engine: a :class:`~repro.engines.base.SamplingEngine` over the target
+            population.
+        delta: failure probability; the output ordering is correct with
+            probability >= 1 - delta (Theorem 3.5).
+        resolution: minimal resolution r of Problem 2; groups whose true means
+            are within r of each other need not be ordered, and the algorithm
+            stops refining once eps < r/4.  0 disables the relaxation.
+        kappa: geometric grid parameter of the epsilon schedule (paper uses 1).
+        heuristic_factor: divide epsilon by this factor (Fig. 5 experiments;
+            values > 1 void the guarantee).
+        without_replacement: sample each group without replacement (requires
+            group sizes; tighter epsilon; exhaustion finalizes a fully-read
+            group at its exact mean).
+        seed: RNG seed for the run's sampling streams.
+        trace_every: record a snapshot every this many rounds (0 = no trace).
+        initial_batch / max_batch: internal batching knobs; results are
+            independent of them (asserted in tests).
+        max_rounds: optional safety cap on the number of rounds; if reached,
+            remaining active groups are finalized at their current estimates
+            and ``params["truncated"]`` is set.
+
+    Returns:
+        An :class:`~repro.core.types.OrderingResult`.
+    """
+    check_probability(delta, "delta")
+    check_nonnegative(resolution, "resolution")
+    if initial_batch < 1 or max_batch < initial_batch:
+        raise ValueError("need 1 <= initial_batch <= max_batch")
+    variant = "ifocusr" if resolution > 0 else "ifocus"
+    run = engine.open_run(seed, without_replacement=without_replacement)
+    k = run.k
+    schedule = EpsilonSchedule(
+        k, delta, c=run.c, kappa=kappa, heuristic_factor=heuristic_factor
+    )
+    state = _IFocusState(run, trace_every)
+
+    # Round m = 1: one sample per group to seed the estimates (Alg. 1 line 2).
+    for gid in range(k):
+        value = float(run.draw(gid, 1)[0])
+        state.sums[gid] = value
+        state.estimates[gid] = value
+        run.charge(gid, 1)
+    state.samples[:] = 1
+    m = 1
+    _maybe_trace_initial(state, schedule, without_replacement)
+
+    batch = int(initial_batch)
+    truncated = False
+    while state.active.any():
+        if max_rounds is not None and m >= max_rounds:
+            truncated = True
+            _truncate_active(state, schedule, m, without_replacement)
+            break
+
+        # Exhaustion pre-check: an active group with n_i == m has been read in
+        # full; its running mean is the exact group mean.
+        if without_replacement:
+            for gid in np.flatnonzero(state.active & (state.sizes <= m)):
+                state.finalize(
+                    int(gid),
+                    estimate=run.exact_mean(int(gid)),
+                    round_m=m,
+                    half_width=0.0,
+                    exhausted=True,
+                    batch_rounds_consumed=0,
+                )
+            if not state.active.any():
+                break
+
+        active_idx = np.flatnonzero(state.active)
+        b_eff = batch
+        if without_replacement:
+            b_eff = min(b_eff, int(state.sizes[active_idx].min()) - m)
+        if max_rounds is not None:
+            b_eff = min(b_eff, max_rounds - m)
+        b_eff = max(b_eff, 1)
+
+        rounds = np.arange(m + 1, m + b_eff + 1, dtype=np.float64)
+        blocks = np.stack([run.draw(int(g), b_eff) for g in active_idx], axis=1)
+        csums = np.cumsum(blocks, axis=0) + state.sums[active_idx][None, :]
+        prefix = csums / rounds[:, None]  # (b_eff, k_active): estimates per round
+
+        consumed = _walk_batch(
+            state,
+            schedule,
+            active_idx,
+            rounds,
+            prefix,
+            resolution,
+            without_replacement,
+        )
+        # Survivors consumed the whole batch; update their running state.
+        survivors = np.flatnonzero(state.active)
+        if survivors.size:
+            # Map global gid -> column in this batch.
+            col_of = {int(g): i for i, g in enumerate(active_idx)}
+            cols = np.array([col_of[int(g)] for g in survivors], dtype=np.int64)
+            state.sums[survivors] = csums[-1, cols]
+            state.estimates[survivors] = prefix[-1, cols]
+            state.samples[survivors] += b_eff
+            for g in survivors:
+                run.charge(int(g), b_eff)
+        m += b_eff
+        del consumed
+        batch = min(batch * 2, max_batch)
+
+    groups = [
+        GroupOutcome(
+            index=i,
+            name=run.group_names()[i],
+            estimate=float(state.estimates[i]),
+            samples=int(state.samples[i]),
+            half_width=float(state.half_widths[i]),
+            exhausted=bool(state.exhausted[i]),
+            finalized_round=int(state.finalized_round[i]),
+        )
+        for i in range(k)
+    ]
+    params = {
+        "delta": delta,
+        "resolution": resolution,
+        "kappa": kappa,
+        "heuristic_factor": heuristic_factor,
+        "without_replacement": without_replacement,
+        "c": run.c,
+        "truncated": truncated,
+    }
+    # ``m`` may overshoot to the batch end when the last group finalizes
+    # mid-batch; the number of rounds actually executed is the last
+    # finalization round.
+    rounds_executed = int(state.finalized_round.max())
+    return OrderingResult(
+        algorithm=variant,
+        estimates=state.estimates.copy(),
+        samples_per_group=state.samples.copy(),
+        rounds=rounds_executed,
+        groups=groups,
+        inactive_order=state.inactive_order,
+        trace=state.trace,
+        params=params,
+        stats=run.stats,
+    )
+
+
+def _n_max(state: _IFocusState, active_idx: np.ndarray, without_replacement: bool):
+    if not without_replacement:
+        return None
+    return float(state.sizes[active_idx].max())
+
+
+def _maybe_trace_initial(
+    state: _IFocusState, schedule: EpsilonSchedule, without_replacement: bool
+) -> None:
+    if state.trace is None:
+        return
+    active_idx = np.flatnonzero(state.active)
+    eps = float(schedule(1.0, _n_max(state, active_idx, without_replacement)))
+    state.trace.append(
+        RoundSnapshot(
+            round_index=1,
+            cumulative_samples=int(state.samples.sum()),
+            active=tuple(int(g) for g in active_idx),
+            estimates=state.estimates.copy(),
+            epsilon=eps,
+        )
+    )
+
+
+def _record_trace_rows(
+    state: _IFocusState,
+    rounds: np.ndarray,
+    prefix: np.ndarray,
+    live_cols: np.ndarray,
+    active_gids: np.ndarray,
+    row_from: int,
+    row_to: int,
+    eps_rows: np.ndarray,
+) -> None:
+    """Append snapshots for strided rounds in [row_from, row_to)."""
+    trace = state.trace
+    if trace is None:
+        return
+    every = trace.every
+    for row in range(row_from, row_to):
+        round_m = int(rounds[row])
+        if round_m % every != 0:
+            continue
+        est = state.estimates.copy()
+        est[active_gids] = prefix[row, live_cols]
+        # ``state.samples`` for still-active groups holds the pre-batch count
+        # (groups finalized earlier in this batch are already updated), so
+        # adding (row+1) per live group gives the true cumulative count.
+        cumulative = int(state.samples.sum()) + int((row + 1) * active_gids.size)
+        trace.append(
+            RoundSnapshot(
+                round_index=round_m,
+                cumulative_samples=cumulative,
+                active=tuple(int(g) for g in active_gids),
+                estimates=est,
+                epsilon=float(eps_rows[row]),
+            )
+        )
+
+
+def _walk_batch(
+    state: _IFocusState,
+    schedule: EpsilonSchedule,
+    active_idx: np.ndarray,
+    rounds: np.ndarray,
+    prefix: np.ndarray,
+    resolution: float,
+    without_replacement: bool,
+) -> int:
+    """Process one pre-drawn batch; finalize groups at separation events.
+
+    Returns the number of rows consumed (always the full batch; the return
+    value exists for symmetry/debugging).
+    """
+    b_eff = rounds.shape[0]
+    live = np.arange(active_idx.shape[0])  # columns still active
+    # Exhausted groups are zero-width obstacles: an active group may not
+    # leave while its interval still covers a frozen exact mean (otherwise
+    # its final estimate could land on the wrong side of that exact value).
+    frozen = state.estimates[state.exhausted]
+    row = 0
+    while row < b_eff and live.size > 0:
+        gids = active_idx[live]
+        n_max = _n_max(state, gids, without_replacement)
+        eps_seg = np.asarray(schedule(rounds[row:], n_max), dtype=np.float64)
+
+        res_row = None
+        if resolution > 0.0:
+            hits = np.flatnonzero(eps_seg < resolution / 4.0)
+            if hits.size:
+                res_row = int(hits[0])
+
+        sep = separated_equal_width_batch(prefix[row:, live], eps_seg)
+        if frozen.size:
+            seg = prefix[row:, live]
+            for value in frozen:  # few frozen values; avoids a 3-D temp
+                sep &= np.abs(seg - value) > eps_seg[:, None]
+        sep_rows = np.flatnonzero(sep.any(axis=1))
+        sep_row = int(sep_rows[0]) if sep_rows.size else None
+
+        if sep_row is None and res_row is None:
+            _record_trace_rows(
+                state, rounds, prefix, live, gids, row, b_eff,
+                _full_eps(eps_seg, row, b_eff),
+            )
+            row = b_eff
+            break
+
+        event = min(r for r in (sep_row, res_row) if r is not None)
+        abs_row = row + event
+        _record_trace_rows(
+            state, rounds, prefix, live, gids, row, abs_row + 1,
+            _full_eps(eps_seg, row, b_eff),
+        )
+        round_m = int(rounds[abs_row])
+        eps_here = float(eps_seg[event])
+
+        if res_row is not None and res_row <= (sep_row if sep_row is not None else res_row):
+            # Resolution termination: finalize every remaining active group.
+            for pos in live:
+                gid = int(active_idx[pos])
+                state.finalize(
+                    gid,
+                    estimate=float(prefix[abs_row, pos]),
+                    round_m=round_m,
+                    half_width=eps_here,
+                    exhausted=False,
+                    batch_rounds_consumed=abs_row + 1,
+                )
+            live = np.empty(0, dtype=np.int64)
+        else:
+            newly = np.flatnonzero(sep[event])
+            for j in newly:
+                pos = int(live[j])
+                gid = int(active_idx[pos])
+                state.finalize(
+                    gid,
+                    estimate=float(prefix[abs_row, pos]),
+                    round_m=round_m,
+                    half_width=eps_here,
+                    exhausted=False,
+                    batch_rounds_consumed=abs_row + 1,
+                )
+            live = np.delete(live, newly)
+        row = abs_row + 1
+    return row
+
+
+def _full_eps(eps_seg: np.ndarray, row: int, b_eff: int) -> np.ndarray:
+    """Re-expand a segment epsilon array to batch-row indexing for tracing."""
+    out = np.empty(b_eff, dtype=np.float64)
+    out[row:] = eps_seg
+    if row > 0:
+        out[:row] = np.nan
+    return out
+
+
+def _truncate_active(
+    state: _IFocusState,
+    schedule: EpsilonSchedule,
+    m: int,
+    without_replacement: bool,
+) -> None:
+    """Finalize all remaining active groups at round ``m`` (max_rounds cap)."""
+    active_idx = np.flatnonzero(state.active)
+    n_max = _n_max(state, active_idx, without_replacement)
+    eps = float(schedule(float(max(m, 1)), n_max))
+    for gid in active_idx:
+        state.finalize(
+            int(gid),
+            estimate=float(state.estimates[gid]) if m > 1 else float(state.sums[gid]),
+            round_m=m,
+            half_width=eps,
+            exhausted=False,
+            batch_rounds_consumed=0,
+        )

@@ -1,0 +1,227 @@
+"""ROUNDROBIN - the conventional stratified-sampling baseline (Section 5.1).
+
+Round-robin stratified sampling is what online aggregation systems use: one
+extra sample from *every* group per round.  The paper's baseline adds the
+same termination test IFOCUS uses, so it carries the identical 1 - delta
+ordering guarantee - it just keeps sampling groups whose intervals are
+already separated, which is exactly the work IFOCUS avoids.
+
+ROUNDROBIN-R (``resolution`` > 0) additionally stops once eps < r/4, matching
+IFOCUS-R's relaxation.
+
+Implementation notes: the executor is batched like
+:mod:`repro.core.ifocus`; the only structural difference is that nothing
+leaves the sampling set before global termination, so a batch ends at the
+first round where *all* intervals are pairwise disjoint.  Groups sampled to
+exhaustion (m = n_i under without-replacement sampling) freeze at their exact
+mean with a zero-width interval; remaining groups must clear those frozen
+points by more than eps before the algorithm can stop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_nonnegative, check_probability
+from repro.core.confidence import EpsilonSchedule
+from repro.core.intervals import separated_equal_width_batch
+from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
+from repro.engines.base import SamplingEngine
+
+__all__ = ["run_roundrobin"]
+
+
+def run_roundrobin(
+    engine: SamplingEngine,
+    *,
+    delta: float = 0.05,
+    resolution: float = 0.0,
+    kappa: float = 1.0,
+    heuristic_factor: float = 1.0,
+    without_replacement: bool = True,
+    seed: int | np.random.Generator | None = None,
+    trace_every: int = 0,
+    initial_batch: int = 64,
+    max_batch: int = 1 << 18,
+    max_rounds: int | None = None,
+) -> OrderingResult:
+    """Run ROUNDROBIN (or ROUNDROBIN-R when ``resolution`` > 0).
+
+    Parameters mirror :func:`repro.core.ifocus.run_ifocus`.
+    """
+    check_probability(delta, "delta")
+    check_nonnegative(resolution, "resolution")
+    variant = "roundrobinr" if resolution > 0 else "roundrobin"
+    run = engine.open_run(seed, without_replacement=without_replacement)
+    k = run.k
+    sizes = run.sizes()
+    names = run.group_names()
+    schedule = EpsilonSchedule(k, delta, c=run.c, kappa=kappa, heuristic_factor=heuristic_factor)
+
+    sums = np.zeros(k, dtype=np.float64)
+    estimates = np.zeros(k, dtype=np.float64)
+    samples = np.zeros(k, dtype=np.int64)
+    exhausted = np.zeros(k, dtype=bool)
+    live = np.ones(k, dtype=bool)  # still being sampled (not exhausted)
+    trace = Trace(every=trace_every) if trace_every > 0 else None
+
+    for gid in range(k):
+        value = float(run.draw(gid, 1)[0])
+        sums[gid] = value
+        estimates[gid] = value
+        run.charge(gid, 1)
+    samples[:] = 1
+    m = 1
+    final_eps = float(schedule(1.0, float(sizes.max()) if without_replacement else None))
+    _trace_round(trace, 1, samples, estimates, final_eps, live)
+
+    done = k <= 1
+    truncated = False
+    batch = int(initial_batch)
+    while not done:
+        if max_rounds is not None and m >= max_rounds:
+            truncated = True
+            break
+        if without_replacement:
+            for gid in np.flatnonzero(live & (sizes <= m)):
+                live[gid] = False
+                exhausted[gid] = True
+                estimates[gid] = run.exact_mean(int(gid))
+            if not live.any():
+                break
+
+        live_idx = np.flatnonzero(live)
+        b_eff = batch
+        if without_replacement:
+            b_eff = min(b_eff, int(sizes[live_idx].min()) - m)
+        if max_rounds is not None:
+            b_eff = min(b_eff, max_rounds - m)
+        b_eff = max(b_eff, 1)
+
+        rounds = np.arange(m + 1, m + b_eff + 1, dtype=np.float64)
+        blocks = np.stack([run.draw(int(g), b_eff) for g in live_idx], axis=1)
+        csums = np.cumsum(blocks, axis=0) + sums[live_idx][None, :]
+        prefix = csums / rounds[:, None]
+
+        n_max = float(sizes[live_idx].max()) if without_replacement else None
+        eps = np.asarray(schedule(rounds, n_max), dtype=np.float64)
+
+        # Termination: the first round where every live interval is disjoint
+        # from every other live interval and clears all frozen exact points.
+        sep = separated_equal_width_batch(prefix, eps)
+        all_sep = sep.all(axis=1)
+        frozen_vals = estimates[exhausted]
+        if frozen_vals.size:
+            dist = np.abs(prefix[:, :, None] - frozen_vals[None, None, :])
+            clears = (dist.min(axis=2) > eps[:, None]).all(axis=1)
+            all_sep &= clears
+        stop_rows = np.flatnonzero(all_sep)
+        stop_row = int(stop_rows[0]) if stop_rows.size else None
+
+        res_row = None
+        if resolution > 0.0:
+            hits = np.flatnonzero(eps < resolution / 4.0)
+            if hits.size:
+                res_row = int(hits[0])
+
+        event = None
+        if stop_row is not None or res_row is not None:
+            event = min(r for r in (stop_row, res_row) if r is not None)
+
+        consume = b_eff if event is None else event + 1
+        _trace_batch(trace, rounds, prefix, eps, live_idx, estimates, samples, live, consume)
+        sums[live_idx] = csums[consume - 1, :]
+        estimates[live_idx] = prefix[consume - 1, :]
+        samples[live_idx] += consume
+        for g in live_idx:
+            run.charge(int(g), consume)
+        m += consume
+        final_eps = float(eps[consume - 1])
+        if event is not None:
+            done = True
+        batch = min(batch * 2, max_batch)
+
+    groups = [
+        GroupOutcome(
+            index=i,
+            name=names[i],
+            estimate=float(estimates[i]),
+            samples=int(samples[i]),
+            half_width=0.0 if exhausted[i] else final_eps,
+            exhausted=bool(exhausted[i]),
+            finalized_round=m,
+        )
+        for i in range(k)
+    ]
+    order = list(np.argsort(samples, kind="stable"))
+    return OrderingResult(
+        algorithm=variant,
+        estimates=estimates.copy(),
+        samples_per_group=samples.copy(),
+        rounds=m,
+        groups=groups,
+        inactive_order=[int(i) for i in order],
+        trace=trace,
+        params={
+            "delta": delta,
+            "resolution": resolution,
+            "kappa": kappa,
+            "heuristic_factor": heuristic_factor,
+            "without_replacement": without_replacement,
+            "c": run.c,
+            "truncated": truncated,
+        },
+        stats=run.stats,
+    )
+
+
+def _trace_round(
+    trace: Trace | None,
+    m: int,
+    samples: np.ndarray,
+    estimates: np.ndarray,
+    eps: float,
+    live: np.ndarray,
+) -> None:
+    if trace is None or m % trace.every != 0:
+        return
+    trace.append(
+        RoundSnapshot(
+            round_index=m,
+            cumulative_samples=int(samples.sum()),
+            active=tuple(int(g) for g in np.flatnonzero(live)),
+            estimates=estimates.copy(),
+            epsilon=eps,
+        )
+    )
+
+
+def _trace_batch(
+    trace: Trace | None,
+    rounds: np.ndarray,
+    prefix: np.ndarray,
+    eps: np.ndarray,
+    live_idx: np.ndarray,
+    estimates: np.ndarray,
+    samples: np.ndarray,
+    live: np.ndarray,
+    consume: int,
+) -> None:
+    if trace is None:
+        return
+    base = int(samples.sum())
+    for row in range(consume):
+        round_m = int(rounds[row])
+        if round_m % trace.every != 0:
+            continue
+        est = estimates.copy()
+        est[live_idx] = prefix[row]
+        trace.append(
+            RoundSnapshot(
+                round_index=round_m,
+                cumulative_samples=base + (row + 1) * live_idx.size,
+                active=tuple(int(g) for g in live_idx),
+                estimates=est,
+                epsilon=float(eps[row]),
+            )
+        )

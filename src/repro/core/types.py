@@ -1,0 +1,149 @@
+"""Result and trace types shared by all ordering-guarantee sampling algorithms.
+
+Every algorithm in :mod:`repro.core` (IFOCUS, IREFINE, ROUNDROBIN, SCAN) returns
+an :class:`OrderingResult`; experiment harnesses and the visualization layer
+consume only this type, so algorithms are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "GroupOutcome",
+    "RoundSnapshot",
+    "Trace",
+    "OrderingResult",
+]
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """Final per-group state when the algorithm terminated.
+
+    Attributes:
+        index: position of the group in the input (0-based).
+        name: group label (e.g. airline code).
+        estimate: the returned estimate nu_i of the group average mu_i.
+        samples: m_i, the number of samples drawn from this group.
+        half_width: the half-width of the group's confidence interval when it
+            was finalized (0.0 if the group was exhausted).
+        exhausted: True if every element of the group was read (m_i == n_i),
+            in which case ``estimate`` is the exact group average.
+        finalized_round: the round m at which the group left the active set.
+    """
+
+    index: int
+    name: str
+    estimate: float
+    samples: int
+    half_width: float
+    exhausted: bool
+    finalized_round: int
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """State of the algorithm at the end of one round (used for traces).
+
+    Snapshots power the convergence experiments (Fig. 5(c), Fig. 6(a)) and the
+    Table 1 execution trace.
+    """
+
+    round_index: int
+    cumulative_samples: int
+    active: tuple[int, ...]
+    estimates: np.ndarray
+    epsilon: float
+
+    def intervals(self) -> list[tuple[float, float]]:
+        """Confidence intervals [nu - eps, nu + eps] for every group."""
+        return [(float(v - self.epsilon), float(v + self.epsilon)) for v in self.estimates]
+
+
+@dataclass
+class Trace:
+    """A (possibly strided) sequence of per-round snapshots."""
+
+    every: int = 1
+    snapshots: list[RoundSnapshot] = field(default_factory=list)
+
+    def append(self, snap: RoundSnapshot) -> None:
+        self.snapshots.append(snap)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self):
+        return iter(self.snapshots)
+
+    def samples_series(self) -> np.ndarray:
+        """Cumulative sample counts for each recorded snapshot."""
+        return np.array([s.cumulative_samples for s in self.snapshots], dtype=np.int64)
+
+    def active_counts(self) -> np.ndarray:
+        """Number of active groups at each recorded snapshot."""
+        return np.array([len(s.active) for s in self.snapshots], dtype=np.int64)
+
+    def estimate_matrix(self) -> np.ndarray:
+        """Stacked estimates, shape (num_snapshots, k)."""
+        return np.stack([s.estimates for s in self.snapshots])
+
+
+@dataclass
+class OrderingResult:
+    """Output of an ordering-guarantee sampling algorithm.
+
+    Attributes:
+        algorithm: canonical algorithm name ("ifocus", "irefine", ...).
+        estimates: array of nu_1..nu_k in input group order.
+        samples_per_group: array of m_1..m_k.
+        rounds: number of rounds executed (the final value of m).
+        groups: rich per-group outcomes, in input order.
+        inactive_order: group indices in the order they left the active set
+            (this is the partial-result emission order of Problem 7).
+        trace: optional per-round trace.
+        params: algorithm parameters for provenance (delta, c, resolution ...).
+        stats: engine accounting for the run (charged samples, simulated
+            I/O and CPU seconds); ``None`` only for hand-built results.
+    """
+
+    algorithm: str
+    estimates: np.ndarray
+    samples_per_group: np.ndarray
+    rounds: int
+    groups: list[GroupOutcome]
+    inactive_order: list[int]
+    trace: Trace | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    stats: Any = None
+
+    @property
+    def k(self) -> int:
+        """Number of groups."""
+        return len(self.estimates)
+
+    @property
+    def total_samples(self) -> int:
+        """Total sample complexity C = sum_i m_i."""
+        return int(self.samples_per_group.sum())
+
+    def order(self) -> np.ndarray:
+        """Indices of groups sorted by ascending estimate."""
+        return np.argsort(self.estimates, kind="stable")
+
+    def ranking(self) -> np.ndarray:
+        """Rank (0 = smallest estimate) of each group in input order."""
+        ranks = np.empty(self.k, dtype=np.int64)
+        ranks[self.order()] = np.arange(self.k)
+        return ranks
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm}: k={self.k} rounds={self.rounds} "
+            f"samples={self.total_samples}"
+        )

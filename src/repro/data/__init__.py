@@ -1,0 +1,31 @@
+"""Dataset construction: distributions, populations, synthetic workloads."""
+
+from repro.data.distributions import (
+    Distribution,
+    Mixture,
+    PointMass,
+    TruncatedNormal,
+    TwoPoint,
+    UniformValues,
+)
+from repro.data.population import (
+    Group,
+    GroupSampler,
+    MaterializedGroup,
+    Population,
+    VirtualGroup,
+)
+
+__all__ = [
+    "Distribution",
+    "Mixture",
+    "PointMass",
+    "TruncatedNormal",
+    "TwoPoint",
+    "UniformValues",
+    "Group",
+    "GroupSampler",
+    "MaterializedGroup",
+    "Population",
+    "VirtualGroup",
+]

@@ -1,0 +1,253 @@
+"""Value distributions used to build synthetic populations (paper Section 5.2).
+
+Every distribution exposes an *analytic* population mean, which serves two
+purposes: it is the ground truth mu_i for virtual (non-materialized) groups,
+and it lets the experiment harness compute the difficulty proxy c^2/eta^2
+(Fig. 6(c), Fig. 7(c)) without sampling.
+
+All distributions here have bounded support [lo, hi] - the paper's algorithms
+require values in [0, c].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "PointMass",
+    "UniformValues",
+    "TwoPoint",
+    "TruncatedNormal",
+    "Mixture",
+]
+
+
+def _phi(x: float) -> float:
+    """Standard normal pdf."""
+    return math.exp(-0.5 * x * x) / math.sqrt(2.0 * math.pi)
+
+
+def _big_phi(x: float) -> float:
+    """Standard normal cdf via erf."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class Distribution:
+    """Base class: a bounded distribution with an analytic mean."""
+
+    lo: float
+    hi: float
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` i.i.d. values as a float64 array."""
+        raise NotImplementedError
+
+    def _validate_bounds(self) -> None:
+        if not self.lo < self.hi:
+            raise ValueError(f"need lo < hi, got [{self.lo}, {self.hi}]")
+
+
+@dataclass(frozen=True)
+class PointMass(Distribution):
+    """All mass at a single value (useful in tests and degenerate groups)."""
+
+    value: float
+
+    @property
+    def lo(self) -> float:  # type: ignore[override]
+        return self.value
+
+    @property
+    def hi(self) -> float:  # type: ignore[override]
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class UniformValues(Distribution):
+    """Uniform on [lo, hi]."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        self._validate_bounds()
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def variance(self) -> float:
+        return (self.hi - self.lo) ** 2 / 12.0
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.lo, self.hi, size=n)
+
+
+@dataclass(frozen=True)
+class TwoPoint(Distribution):
+    """Scaled Bernoulli: value ``hi`` with probability p, else ``lo``.
+
+    This is the paper's "bernoulli" and "hard" group family with
+    lo=0, hi=100: mean = 100*p, the highest-variance bounded distribution
+    for a given mean.
+    """
+
+    p: float
+    lo: float = 0.0
+    hi: float = 100.0
+
+    def __post_init__(self) -> None:
+        self._validate_bounds()
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+
+    @property
+    def mean(self) -> float:
+        return self.lo + self.p * (self.hi - self.lo)
+
+    @property
+    def variance(self) -> float:
+        return self.p * (1.0 - self.p) * (self.hi - self.lo) ** 2
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.where(rng.random(n) < self.p, self.hi, self.lo).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class TruncatedNormal(Distribution):
+    """Normal(mu, sigma^2) truncated to [lo, hi] (paper's "truncnorm").
+
+    The analytic mean uses the standard truncated-normal formula
+    mu + sigma * (phi(alpha) - phi(beta)) / (Phi(beta) - Phi(alpha)).
+    Sampling is vectorized rejection from the parent normal, which is
+    efficient whenever the untruncated mean lies inside (or near) the
+    truncation interval - true for every workload in the paper.
+    """
+
+    mu: float
+    sigma: float
+    lo: float = 0.0
+    hi: float = 100.0
+
+    def __post_init__(self) -> None:
+        self._validate_bounds()
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+
+    def _alpha_beta(self) -> tuple[float, float]:
+        return (self.lo - self.mu) / self.sigma, (self.hi - self.mu) / self.sigma
+
+    def _mass(self) -> float:
+        alpha, beta = self._alpha_beta()
+        z = _big_phi(beta) - _big_phi(alpha)
+        if z <= 0.0:
+            raise ValueError(
+                f"truncation interval [{self.lo}, {self.hi}] carries no mass for "
+                f"N({self.mu}, {self.sigma}^2)"
+            )
+        return z
+
+    @property
+    def mean(self) -> float:
+        alpha, beta = self._alpha_beta()
+        z = self._mass()
+        return self.mu + self.sigma * (_phi(alpha) - _phi(beta)) / z
+
+    @property
+    def variance(self) -> float:
+        alpha, beta = self._alpha_beta()
+        z = self._mass()
+        a_term = alpha * _phi(alpha) - beta * _phi(beta)
+        b_term = (_phi(alpha) - _phi(beta)) / z
+        return self.sigma**2 * (1.0 + a_term / z - b_term**2)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.float64)
+        filled = 0
+        # Expected acceptance = truncation mass; draw with head-room.
+        accept = max(self._mass(), 1e-3)
+        while filled < n:
+            want = n - filled
+            draw = rng.normal(self.mu, self.sigma, size=int(want / accept) + 16)
+            good = draw[(draw >= self.lo) & (draw <= self.hi)]
+            take = min(good.shape[0], want)
+            out[filled : filled + take] = good[:take]
+            filled += take
+        return out
+
+
+class Mixture(Distribution):
+    """Finite mixture of bounded distributions (paper's "mixture" family)."""
+
+    def __init__(
+        self,
+        components: Sequence[Distribution],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not components:
+            raise ValueError("a mixture needs at least one component")
+        self.components = list(components)
+        n = len(self.components)
+        if weights is None:
+            self.weights = np.full(n, 1.0 / n)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (n,) or np.any(w < 0):
+                raise ValueError("weights must be nonnegative, one per component")
+            total = w.sum()
+            if total <= 0:
+                raise ValueError("weights must not all be zero")
+            self.weights = w / total
+        self.lo = min(comp.lo for comp in self.components)
+        self.hi = max(comp.hi for comp in self.components)
+
+    @property
+    def mean(self) -> float:
+        return float(sum(w * comp.mean for w, comp in zip(self.weights, self.components)))
+
+    @property
+    def variance(self) -> float:
+        m = self.mean
+        second = sum(
+            w * (comp.variance + comp.mean**2)
+            for w, comp in zip(self.weights, self.components)
+        )
+        return float(second - m * m)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        choice = rng.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n, dtype=np.float64)
+        for idx, comp in enumerate(self.components):
+            mask = choice == idx
+            cnt = int(mask.sum())
+            if cnt:
+                out[mask] = comp.sample(rng, cnt)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mixture({len(self.components)} components, mean={self.mean:.4g})"

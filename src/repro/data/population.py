@@ -1,0 +1,254 @@
+"""Group and population abstractions.
+
+A *population* is the full dataset the analyst's query runs over: k groups
+(one per distinct value of the group-by attribute X), each a multiset S_i of
+n_i values of the aggregated attribute Y, all within [0, c].
+
+Two group representations:
+
+* :class:`MaterializedGroup` - the n_i values exist as a numpy array.  This is
+  the faithful representation; sampling without replacement is a true random
+  permutation of the array, and the group's true mean is the empirical mean of
+  the array.  Used for populations up to ~1e7 values.
+* :class:`VirtualGroup` - the group is *defined* by a generating distribution
+  and a nominal size n_i; draws come from the distribution.  This is the
+  documented substitution for the paper's 1e8-1e10-row on-disk tables (see
+  DESIGN.md section 4): for m << n_i, with/without-replacement draws are
+  statistically indistinguishable, and a group that is sampled to exhaustion
+  (m = n_i) is finalized at its analytic mean, exactly as a full scan of the
+  group would be.
+
+Both kinds expose a per-run :class:`GroupSampler` so repeated algorithm runs
+over one population draw independent samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.distributions import Distribution
+
+__all__ = [
+    "GroupSampler",
+    "Group",
+    "MaterializedGroup",
+    "VirtualGroup",
+    "Population",
+]
+
+
+class GroupSampler:
+    """A per-run sampling stream for one group.
+
+    ``draw(count)`` returns the next ``count`` samples of the stream.  For
+    without-replacement materialized groups the stream is a fixed uniform
+    random permutation of the group's values, so "the first m draws" is
+    exactly "a uniform m-subset in random order" - and pre-drawing samples
+    that a batched executor later discards does not disturb the semantics.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = int(size)
+        self._consumed = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed
+
+    def draw(self, count: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _MaterializedWithReplacement(GroupSampler):
+    def __init__(self, values: np.ndarray, rng: np.random.Generator) -> None:
+        super().__init__(values.shape[0])
+        self._values = values
+        self._rng = rng
+
+    def draw(self, count: int) -> np.ndarray:
+        idx = self._rng.integers(0, self._values.shape[0], size=count)
+        self._consumed += count
+        return self._values[idx]
+
+
+class _MaterializedWithoutReplacement(GroupSampler):
+    def __init__(self, values: np.ndarray, rng: np.random.Generator) -> None:
+        super().__init__(values.shape[0])
+        self._perm = rng.permutation(values)
+
+    def draw(self, count: int) -> np.ndarray:
+        end = self._consumed + count
+        if end > self._perm.shape[0]:
+            raise ValueError(
+                f"group exhausted: requested {count} more samples after "
+                f"{self._consumed} of {self._perm.shape[0]}"
+            )
+        out = self._perm[self._consumed : end]
+        self._consumed = end
+        return out
+
+
+class _VirtualSampler(GroupSampler):
+    def __init__(self, dist: Distribution, size: int, rng: np.random.Generator) -> None:
+        super().__init__(size)
+        self._dist = dist
+        self._rng = rng
+
+    def draw(self, count: int) -> np.ndarray:
+        self._consumed += count
+        return self._dist.sample(self._rng, count)
+
+
+class Group:
+    """Abstract group S_i: a named multiset of n_i bounded values."""
+
+    name: str
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def true_mean(self) -> float:
+        """The population average mu_i (ground truth for evaluation)."""
+        raise NotImplementedError
+
+    def sampler(self, rng: np.random.Generator, without_replacement: bool) -> GroupSampler:
+        """Open a fresh sampling stream over this group."""
+        raise NotImplementedError
+
+
+class MaterializedGroup(Group):
+    """A group whose values are held in memory as a numpy array."""
+
+    def __init__(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1 or values.shape[0] == 0:
+            raise ValueError(f"group {name!r} needs a non-empty 1-D value array")
+        self.name = str(name)
+        self.values = values
+        self._mean = float(values.mean())
+
+    @property
+    def size(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def true_mean(self) -> float:
+        return self._mean
+
+    def sampler(self, rng: np.random.Generator, without_replacement: bool) -> GroupSampler:
+        if without_replacement:
+            return _MaterializedWithoutReplacement(self.values, rng)
+        return _MaterializedWithReplacement(self.values, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaterializedGroup({self.name!r}, n={self.size}, mean={self._mean:.4g})"
+
+
+class VirtualGroup(Group):
+    """A distribution-backed group with a nominal size.
+
+    Draws are with replacement from the generating distribution regardless of
+    the requested mode; the nominal size still drives the finite-population
+    epsilon and the exhaustion rule.  See DESIGN.md section 4 for why this
+    substitution preserves the paper's behaviour.
+    """
+
+    def __init__(self, name: str, dist: Distribution, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"group {name!r} needs size >= 1, got {size}")
+        self.name = str(name)
+        self.dist = dist
+        self._size = int(size)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def true_mean(self) -> float:
+        return self.dist.mean
+
+    def sampler(self, rng: np.random.Generator, without_replacement: bool) -> GroupSampler:
+        return _VirtualSampler(self.dist, self._size, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualGroup({self.name!r}, n={self._size}, mean={self.true_mean:.4g})"
+
+
+@dataclass
+class Population:
+    """A named collection of groups plus the value bound c.
+
+    This is the dataset object every engine wraps.  ``c`` is the upper bound
+    of the value domain [0, c] that the confidence intervals scale with
+    (paper Section 2.1: e.g. flight delays bounded by 24 hours).
+    """
+
+    groups: list[Group]
+    c: float
+    name: str = "population"
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a population needs at least one group")
+        if self.c <= 0:
+            raise ValueError(f"value bound c must be > 0, got {self.c}")
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError("group names must be unique")
+
+    @property
+    def k(self) -> int:
+        return len(self.groups)
+
+    @property
+    def group_names(self) -> list[str]:
+        return [g.name for g in self.groups]
+
+    def sizes(self) -> np.ndarray:
+        return np.array([g.size for g in self.groups], dtype=np.int64)
+
+    @property
+    def total_size(self) -> int:
+        return int(self.sizes().sum())
+
+    def true_means(self) -> np.ndarray:
+        return np.array([g.true_mean for g in self.groups], dtype=np.float64)
+
+    def eta(self) -> np.ndarray:
+        """Minimal distances eta_i = min_{j != i} |mu_i - mu_j| (Table 2)."""
+        mu = self.true_means()
+        if self.k == 1:
+            return np.array([np.inf])
+        dist = np.abs(mu[:, None] - mu[None, :])
+        np.fill_diagonal(dist, np.inf)
+        return dist.min(axis=1)
+
+    def difficulty(self) -> float:
+        """The paper's difficulty proxy c^2 / eta^2 with eta = min_i eta_i."""
+        eta = float(self.eta().min())
+        if eta == 0.0:
+            return float("inf")
+        return (self.c / eta) ** 2
+
+    @classmethod
+    def from_arrays(
+        cls, names: Sequence[str], arrays: Sequence[np.ndarray], c: float, name: str = "population"
+    ) -> "Population":
+        """Build a fully materialized population from parallel name/array lists."""
+        if len(names) != len(arrays):
+            raise ValueError("names and arrays must have the same length")
+        groups: list[Group] = [MaterializedGroup(n, a) for n, a in zip(names, arrays)]
+        return cls(groups=groups, c=c, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Population({self.name!r}, k={self.k}, N={self.total_size}, c={self.c})"

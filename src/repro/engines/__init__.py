@@ -1,0 +1,19 @@
+"""Sampling engines: the substrate the ordering algorithms draw samples from."""
+
+from repro.engines.base import (
+    CostModel,
+    EngineRun,
+    NullCostModel,
+    RunStats,
+    SamplingEngine,
+)
+from repro.engines.memory import InMemoryEngine
+
+__all__ = [
+    "CostModel",
+    "EngineRun",
+    "NullCostModel",
+    "RunStats",
+    "SamplingEngine",
+    "InMemoryEngine",
+]

@@ -1,0 +1,185 @@
+"""Sampling-engine protocol shared by the in-memory and NEEDLETAIL engines.
+
+An *engine* wraps a :class:`~repro.data.population.Population` and provides
+per-run sampling streams plus cost accounting.  The paper's setting (Section
+2.1) assumes "an engine that allows us to efficiently retrieve random samples
+from R corresponding to different values of X" at uniform cost per sample;
+:class:`repro.engines.memory.InMemoryEngine` is the pure version of that, and
+:class:`repro.needletail.engine.NeedletailEngine` adds bitmap-index rowid
+selection and a simulated-disk cost model.
+
+Cost accounting is *explicit*: algorithms call ``run.draw(gid, count)`` to
+obtain sample values (uncharged - batched executors may discard a pre-drawn
+suffix) and then ``run.charge(gid, count)`` for the samples actually consumed
+by the algorithm.  Only charged samples appear in :class:`RunStats` and incur
+simulated I/O and CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import spawn_group_rngs
+from repro.data.population import GroupSampler, Population
+
+__all__ = ["CostModel", "NullCostModel", "RunStats", "EngineRun", "SamplingEngine"]
+
+
+class CostModel:
+    """Maps physical operations to simulated (io_seconds, cpu_seconds)."""
+
+    def sample_cost(self, count: int) -> tuple[float, float]:
+        """Cost of retrieving ``count`` random tuples through the engine."""
+        raise NotImplementedError
+
+    def scan_cost(self, rows: int, row_bytes: int) -> tuple[float, float]:
+        """Cost of a full sequential scan over ``rows`` rows."""
+        raise NotImplementedError
+
+
+class NullCostModel(CostModel):
+    """Zero-cost model: sample counting only (algorithm-level experiments)."""
+
+    def sample_cost(self, count: int) -> tuple[float, float]:
+        return 0.0, 0.0
+
+    def scan_cost(self, rows: int, row_bytes: int) -> tuple[float, float]:
+        return 0.0, 0.0
+
+
+@dataclass
+class RunStats:
+    """Charged work for one algorithm run."""
+
+    samples_per_group: np.ndarray
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    scanned_rows: int = 0
+
+    @property
+    def total_samples(self) -> int:
+        return int(self.samples_per_group.sum())
+
+    @property
+    def total_seconds(self) -> float:
+        return self.io_seconds + self.cpu_seconds
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Combine two runs' accounting (used by multi-phase algorithms)."""
+        return RunStats(
+            samples_per_group=self.samples_per_group + other.samples_per_group,
+            io_seconds=self.io_seconds + other.io_seconds,
+            cpu_seconds=self.cpu_seconds + other.cpu_seconds,
+            scanned_rows=self.scanned_rows + other.scanned_rows,
+        )
+
+
+class EngineRun:
+    """One algorithm run's view of the engine: streams + accounting."""
+
+    def __init__(
+        self,
+        population: Population,
+        samplers: list[GroupSampler],
+        cost_model: CostModel,
+        row_bytes: int,
+    ) -> None:
+        self._population = population
+        self._samplers = samplers
+        self._cost = cost_model
+        self._row_bytes = row_bytes
+        self.stats = RunStats(samples_per_group=np.zeros(population.k, dtype=np.int64))
+
+    @property
+    def k(self) -> int:
+        return self._population.k
+
+    @property
+    def c(self) -> float:
+        return self._population.c
+
+    def sizes(self) -> np.ndarray:
+        return self._population.sizes()
+
+    def group_names(self) -> list[str]:
+        return self._population.group_names
+
+    def draw(self, gid: int, count: int) -> np.ndarray:
+        """Next ``count`` samples of group ``gid``'s stream (uncharged)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._samplers[gid].draw(count)
+
+    def charge(self, gid: int, count: int) -> None:
+        """Account for ``count`` samples of group ``gid`` actually consumed."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.stats.samples_per_group[gid] += count
+        io, cpu = self._cost.sample_cost(count)
+        self.stats.io_seconds += io
+        self.stats.cpu_seconds += cpu
+
+    def exact_mean(self, gid: int) -> float:
+        """The exact group mean, used when a group is sampled to exhaustion.
+
+        No extra cost is charged: the n_i samples that were drawn to reach
+        exhaustion have already been charged.
+        """
+        return self._population.groups[gid].true_mean
+
+    def charge_scan(self) -> None:
+        """Account for a full sequential scan of the dataset (SCAN baseline)."""
+        rows = int(self._population.sizes().sum())
+        io, cpu = self._cost.scan_cost(rows, self._row_bytes)
+        self.stats.io_seconds += io
+        self.stats.cpu_seconds += cpu
+        self.stats.scanned_rows += rows
+
+
+class SamplingEngine:
+    """Base engine: open per-run streams over a population."""
+
+    def __init__(
+        self,
+        population: Population,
+        cost_model: CostModel | None = None,
+        row_bytes: int = 8,
+    ) -> None:
+        if row_bytes <= 0:
+            raise ValueError(f"row_bytes must be > 0, got {row_bytes}")
+        self.population = population
+        self.cost_model = cost_model if cost_model is not None else NullCostModel()
+        self.row_bytes = int(row_bytes)
+
+    @property
+    def k(self) -> int:
+        return self.population.k
+
+    @property
+    def c(self) -> float:
+        return self.population.c
+
+    def open_run(
+        self,
+        seed: int | np.random.Generator | None = None,
+        without_replacement: bool = True,
+    ) -> EngineRun:
+        """Open a fresh run: one independent sampling stream per group."""
+        rngs = spawn_group_rngs(seed, self.population.k)
+        samplers = [
+            group.sampler(rng, without_replacement)
+            for group, rng in zip(self.population.groups, rngs)
+        ]
+        return EngineRun(self.population, samplers, self.cost_model, self.row_bytes)
+
+    def scan_means(self) -> tuple[np.ndarray, RunStats]:
+        """Exact group means via a full sequential scan, with accounting."""
+        run = EngineRun(self.population, [], self.cost_model, self.row_bytes)
+        run.charge_scan()
+        return self.population.true_means(), run.stats

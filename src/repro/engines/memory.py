@@ -1,0 +1,40 @@
+"""The plain in-memory sampling engine.
+
+This is the paper's idealized setting (Section 2.2): the relation is in main
+memory with an index on the group-by attribute, so retrieving one random tuple
+from any group costs the same regardless of group.  No simulated I/O is
+accrued unless a cost model is supplied; sample counting always works, which
+is all the sample-complexity experiments (Fig. 3(a)/(c), Fig. 5-7) need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.population import Population
+from repro.engines.base import CostModel, SamplingEngine
+
+__all__ = ["InMemoryEngine"]
+
+
+class InMemoryEngine(SamplingEngine):
+    """Sampling engine over an in-memory (or virtual) population."""
+
+    def __init__(
+        self,
+        population: Population,
+        cost_model: CostModel | None = None,
+        row_bytes: int = 8,
+    ) -> None:
+        super().__init__(population, cost_model=cost_model, row_bytes=row_bytes)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        names: list[str],
+        arrays: list[np.ndarray],
+        c: float,
+        cost_model: CostModel | None = None,
+    ) -> "InMemoryEngine":
+        """Convenience constructor from parallel name/value-array lists."""
+        return cls(Population.from_arrays(names, arrays, c), cost_model=cost_model)

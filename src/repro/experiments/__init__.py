@@ -1,0 +1,71 @@
+"""Experiment harness: one function per paper figure/table, plus ablations."""
+
+from repro.experiments.ablations import (
+    ablation_batching,
+    ablation_cost_model,
+    ablation_kappa,
+    ablation_removal_policy,
+)
+from repro.experiments.config import PAPER, SMOKE, Scale, current_scale
+from repro.experiments.fig3 import (
+    fig3a_percentage_vs_size,
+    fig3b_samples_vs_time,
+    fig3c_percentage_vs_delta,
+)
+from repro.experiments.fig4 import fig4_runtime_vs_size
+from repro.experiments.fig5 import (
+    fig5a_heuristic_accuracy,
+    fig5b_heuristic_accuracy_hard,
+    fig5c_active_groups_convergence,
+)
+from repro.experiments.fig6 import (
+    fig6a_incorrect_pairs,
+    fig6b_percentage_vs_groups,
+    fig6c_difficulty_vs_groups,
+)
+from repro.experiments.fig7 import (
+    fig7a_percentage_vs_skew,
+    fig7b_percentage_vs_std,
+    fig7c_difficulty_vs_std,
+)
+from repro.experiments.export import figure_to_csv, figure_to_json, write_figure
+from repro.experiments.headline import headline_claims
+from repro.experiments.report import FigureResult, format_table
+from repro.experiments.runner import TrialResult, run_trial, run_trials
+from repro.experiments.table1 import table1_execution_trace
+from repro.experiments.table3 import table3_flights_runtimes
+
+__all__ = [
+    "PAPER",
+    "SMOKE",
+    "Scale",
+    "current_scale",
+    "FigureResult",
+    "format_table",
+    "TrialResult",
+    "run_trial",
+    "run_trials",
+    "fig3a_percentage_vs_size",
+    "fig3b_samples_vs_time",
+    "fig3c_percentage_vs_delta",
+    "fig4_runtime_vs_size",
+    "fig5a_heuristic_accuracy",
+    "fig5b_heuristic_accuracy_hard",
+    "fig5c_active_groups_convergence",
+    "fig6a_incorrect_pairs",
+    "fig6b_percentage_vs_groups",
+    "fig6c_difficulty_vs_groups",
+    "fig7a_percentage_vs_skew",
+    "fig7b_percentage_vs_std",
+    "fig7c_difficulty_vs_std",
+    "figure_to_csv",
+    "figure_to_json",
+    "write_figure",
+    "headline_claims",
+    "table1_execution_trace",
+    "table3_flights_runtimes",
+    "ablation_batching",
+    "ablation_cost_model",
+    "ablation_kappa",
+    "ablation_removal_policy",
+]

@@ -1,0 +1,69 @@
+"""Export reproduced figures to CSV/JSON for external plotting.
+
+The text tables are the primary artifact, but downstream users typically
+re-plot with their own tooling; these helpers serialize any
+:class:`~repro.experiments.report.FigureResult` losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.experiments.report import FigureResult
+
+__all__ = ["figure_to_csv", "figure_to_json", "write_figure"]
+
+
+def figure_to_csv(fig: FigureResult) -> str:
+    """CSV text: header row then data rows (notes are not representable)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(fig.headers)
+    for row in fig.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def figure_to_json(fig: FigureResult) -> str:
+    """JSON object with figure id, title, headers, rows and notes."""
+    payload = {
+        "figure": fig.figure,
+        "title": fig.title,
+        "headers": fig.headers,
+        "rows": [[_jsonable(v) for v in row] for row in fig.rows],
+        "notes": fig.notes,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _jsonable(value):
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+def write_figure(fig: FigureResult, directory: str | Path, formats: tuple[str, ...] = ("csv", "json")) -> list[Path]:
+    """Write the figure under ``directory`` as ``<figure>.<ext>`` files.
+
+    Returns the written paths.  Unknown formats raise ValueError.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for fmt in formats:
+        if fmt == "csv":
+            path = directory / f"{fig.figure}.csv"
+            path.write_text(figure_to_csv(fig))
+        elif fmt == "json":
+            path = directory / f"{fig.figure}.json"
+            path.write_text(figure_to_json(fig))
+        elif fmt == "txt":
+            path = directory / f"{fig.figure}.txt"
+            path.write_text(fig.format() + "\n")
+        else:
+            raise ValueError(f"unknown export format {fmt!r}")
+        written.append(path)
+    return written

@@ -1,0 +1,145 @@
+"""Figure 3 reproductions: sampling vs dataset size, samples-vs-time, delta.
+
+* Fig 3(a): percentage of the dataset sampled as a function of dataset size
+  for the six algorithms (mixture workload, k = 10, delta = 0.05, r = 1).
+* Fig 3(b): scatter of total samples vs simulated total runtime across all
+  (algorithm, size) runs - the paper's evidence that runtime tracks samples.
+* Fig 3(c): percentage sampled as a function of delta at the default size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.registry import algorithm_names
+from repro.data.synthetic import make_mixture_dataset
+from repro.experiments.config import Scale, current_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import (
+    mean_percentage_sampled,
+    run_trials,
+    should_materialize,
+)
+
+__all__ = ["fig3a_percentage_vs_size", "fig3b_samples_vs_time", "fig3c_percentage_vs_delta"]
+
+
+def _mixture_factory(size: int, scale: Scale):
+    def factory(seed: int):
+        return make_mixture_dataset(
+            k=scale.k, total_size=size, seed=seed,
+            materialize=should_materialize(size),
+        )
+
+    return factory
+
+
+def fig3a_percentage_vs_size(scale: Scale | None = None) -> FigureResult:
+    """Percentage sampled vs dataset size for all six algorithms."""
+    scale = scale or current_scale()
+    algorithms = algorithm_names()
+    rows = []
+    series: dict[str, dict[int, float]] = {a: {} for a in algorithms}
+    accuracy: dict[str, list[bool]] = {a: [] for a in algorithms}
+    for size in scale.dataset_sizes:
+        row: list[object] = [size]
+        for alg in algorithms:
+            results = run_trials(
+                _mixture_factory(size, scale),
+                alg,
+                scale.trials,
+                delta=scale.delta,
+                resolution=scale.resolution,
+                seed=scale.seed,
+            )
+            pct = mean_percentage_sampled(results)
+            series[alg][size] = pct
+            accuracy[alg].extend(r.correct for r in results)
+            row.append(pct)
+        rows.append(row)
+    notes = [
+        f"workload=mixture k={scale.k} delta={scale.delta} r={scale.resolution} "
+        f"trials={scale.trials}",
+        "accuracy: "
+        + ", ".join(
+            f"{a}={100.0 * np.mean(accuracy[a]):.0f}%" for a in algorithms
+        ),
+    ]
+    return FigureResult(
+        figure="fig3a",
+        title="Percentage sampled vs dataset size",
+        headers=["size"] + algorithms,
+        rows=rows,
+        notes=notes,
+        raw={"series": series, "accuracy": accuracy},
+    )
+
+
+def fig3b_samples_vs_time(scale: Scale | None = None) -> FigureResult:
+    """Samples vs simulated runtime scatter (one point per algorithm x size)."""
+    scale = scale or current_scale()
+    algorithms = algorithm_names()
+    rows = []
+    points = []
+    for size in scale.dataset_sizes:
+        for alg in algorithms:
+            results = run_trials(
+                _mixture_factory(size, scale),
+                alg,
+                max(scale.trials // 2, 2),
+                delta=scale.delta,
+                resolution=scale.resolution,
+                seed=scale.seed + 1,
+            )
+            samples = float(np.mean([r.total_samples for r in results]))
+            seconds = float(np.mean([r.total_seconds for r in results]))
+            points.append((alg, size, samples, seconds))
+            rows.append([alg, size, samples, seconds, samples / max(seconds, 1e-12)])
+    # Runtime-proportionality check: correlation of samples and time.
+    s = np.array([p[2] for p in points])
+    t = np.array([p[3] for p in points])
+    corr = float(np.corrcoef(s, t)[0, 1]) if len(points) > 2 else 1.0
+    return FigureResult(
+        figure="fig3b",
+        title="Samples vs total simulated time (runtime tracks samples)",
+        headers=["algorithm", "size", "samples", "seconds", "samples_per_sec"],
+        rows=rows,
+        notes=[f"pearson corr(samples, time) = {corr:.4f} (paper: linear scatter)"],
+        raw={"points": points, "correlation": corr},
+    )
+
+
+def fig3c_percentage_vs_delta(scale: Scale | None = None) -> FigureResult:
+    """Percentage sampled vs delta for all six algorithms (default size)."""
+    scale = scale or current_scale()
+    algorithms = algorithm_names()
+    rows = []
+    series: dict[str, dict[float, float]] = {a: {} for a in algorithms}
+    factory = _mixture_factory(scale.default_size, scale)
+    for delta in scale.deltas:
+        row: list[object] = [delta]
+        for alg in algorithms:
+            results = run_trials(
+                factory,
+                alg,
+                scale.trials,
+                delta=delta,
+                resolution=scale.resolution,
+                seed=scale.seed + 2,
+            )
+            pct = mean_percentage_sampled(results)
+            series[alg][delta] = pct
+            row.append(pct)
+        rows.append(row)
+    notes = [
+        "percentage decreases with delta but does not approach 0 "
+        "(the log k and log log(1/eta) terms are delta-independent)",
+    ]
+    return FigureResult(
+        figure="fig3c",
+        title="Percentage sampled vs delta",
+        headers=["delta"] + algorithms,
+        rows=rows,
+        notes=notes,
+        raw={"series": series},
+    )

@@ -1,0 +1,64 @@
+"""Section 8 headline claims: tiny sample fractions and large speedups.
+
+The paper's conclusion quantifies the win at its largest scale (1e10 rows):
+visualizations with correct visual properties after sampling **< 0.02%** of
+the data, **> 60x** faster than ROUNDROBIN-with-guarantees and **~1000x**
+faster than SCAN.  This experiment measures the same three quantities at the
+campaign's largest dataset size (1e10 at paper scale; proportionally smaller
+at smoke scale, where the sampled *fraction* is necessarily larger because
+the absolute sample count is roughly size-independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import make_mixture_dataset
+from repro.experiments.config import Scale, current_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_trials
+
+__all__ = ["headline_claims"]
+
+
+def headline_claims(scale: Scale | None = None) -> FigureResult:
+    """Percent sampled and speedups vs ROUNDROBIN/SCAN at the largest size."""
+    scale = scale or current_scale()
+    size = max(scale.dataset_sizes)
+
+    def factory(seed: int):
+        return make_mixture_dataset(k=scale.k, total_size=size, seed=seed)
+
+    rows = []
+    measured: dict[str, dict[str, float]] = {}
+    for alg in ("ifocusr", "roundrobin", "scan"):
+        trials = 1 if alg == "scan" else max(scale.trials // 2, 2)
+        results = run_trials(
+            factory,
+            alg,
+            trials,
+            delta=scale.delta,
+            resolution=scale.resolution,
+            seed=scale.seed + 7,
+        )
+        pct = float(np.mean([r.percent_sampled for r in results]))
+        secs = float(np.mean([r.total_seconds for r in results]))
+        measured[alg] = {"pct": pct, "seconds": secs}
+        rows.append([alg, size, pct, secs])
+
+    speedup_rr = measured["roundrobin"]["seconds"] / max(measured["ifocusr"]["seconds"], 1e-12)
+    speedup_scan = measured["scan"]["seconds"] / max(measured["ifocusr"]["seconds"], 1e-12)
+    notes = [
+        f"IFOCUS-R sampled {measured['ifocusr']['pct']:.4g}% of {size:.0e} rows "
+        "(paper at 1e10: < 0.02%)",
+        f"speedup vs ROUNDROBIN: {speedup_rr:.1f}x (paper: > 60x at 1e10)",
+        f"speedup vs SCAN: {speedup_scan:.1f}x (paper: ~1000x at 1e10)",
+    ]
+    return FigureResult(
+        figure="headline",
+        title="Section 8 headline claims at the largest dataset size",
+        headers=["algorithm", "size", "percent_sampled", "sim_seconds"],
+        rows=rows,
+        notes=notes,
+        raw={"speedup_rr": speedup_rr, "speedup_scan": speedup_scan, "measured": measured},
+    )

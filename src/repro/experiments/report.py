@@ -1,0 +1,67 @@
+"""Paper-style tabular reports for the figure/table reproductions.
+
+Every experiment function returns a :class:`FigureResult`; its ``format()``
+renders the same rows/series the paper plots, as a fixed-width text table the
+benchmark harness prints.  EXPERIMENTS.md records these outputs against the
+paper's reported shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FigureResult", "format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list[Any]], title: str = "") -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure or table."""
+
+    figure: str  # e.g. "fig3a"
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: list[str] = field(default_factory=list)
+    raw: Any = None  # experiment-specific payload (series dicts, traces, ...)
+
+    def format(self) -> str:
+        out = format_table(self.headers, self.rows, title=f"{self.figure}: {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def column(self, header: str) -> list[Any]:
+        """One column of the table by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]

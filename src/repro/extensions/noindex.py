@@ -1,0 +1,112 @@
+"""No-index querying (Problem 9, §6.3.6).
+
+Without an index on the group-by attribute, the engine cannot sample a
+*chosen* group - only a uniformly random tuple from the whole relation, which
+then lands in whatever group it belongs to.  The per-group sample counts are
+therefore proportional to group sizes rather than to need, so contentious
+small groups starve; the paper notes this behaves like round-robin at best
+(and strictly worse under skew), yet still beats a full scan.
+
+The anytime Hoeffding intervals still apply per group (counts just arrive
+unevenly), and the run stops when all pairwise intervals are disjoint or the
+resolution kicks in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_nonnegative, check_probability
+from repro.core.confidence import EpsilonSchedule
+from repro.core.intervals import separated_general
+from repro.core.types import GroupOutcome, OrderingResult
+from repro.engines.base import SamplingEngine
+
+__all__ = ["run_noindex"]
+
+
+def run_noindex(
+    engine: SamplingEngine,
+    *,
+    delta: float = 0.05,
+    resolution: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+    batch: int = 256,
+    max_samples: int | None = None,
+) -> OrderingResult:
+    """Order group averages using only whole-table uniform sampling.
+
+    Args:
+        engine: sampling engine (its per-group streams emulate "this uniform
+            tuple happened to belong to group i").
+        batch: tuples drawn between termination checks.
+        max_samples: optional cap on total tuples; hitting it finalizes the
+            remaining groups at their current estimates
+            (``params["truncated"]`` is set).
+    """
+    check_probability(delta, "delta")
+    check_nonnegative(resolution, "resolution")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    run = engine.open_run(seed, without_replacement=False)
+    k = run.k
+    sizes = run.sizes().astype(np.float64)
+    weights = sizes / sizes.sum()
+    schedule = EpsilonSchedule(k, delta, c=run.c)
+    chooser = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed if isinstance(seed, int) else None, spawn_key=(0xF00D,))
+    )
+
+    sums = np.zeros(k)
+    counts = np.zeros(k, dtype=np.int64)
+    total = 0
+    truncated = False
+
+    while True:
+        gids = chooser.choice(k, size=batch, p=weights)
+        for gid in range(k):
+            hit = int((gids == gid).sum())
+            if hit:
+                block = run.draw(gid, hit)
+                sums[gid] += float(block.sum())
+                counts[gid] += hit
+                run.charge(gid, hit)
+        total += batch
+        if np.all(counts >= 1):
+            est = sums / counts
+            widths = np.asarray(schedule(counts.astype(np.float64), None), dtype=np.float64)
+            if resolution > 0.0 and float(widths.max()) < resolution / 4.0:
+                break
+            if separated_general(est, widths).all():
+                break
+        if max_samples is not None and total >= max_samples:
+            truncated = True
+            break
+
+    est = sums / np.maximum(counts, 1)
+    widths = np.asarray(
+        schedule(np.maximum(counts, 1).astype(np.float64), None), dtype=np.float64
+    )
+    groups = [
+        GroupOutcome(
+            index=i,
+            name=run.group_names()[i],
+            estimate=float(est[i]),
+            samples=int(counts[i]),
+            half_width=float(widths[i]),
+            exhausted=False,
+            finalized_round=int(counts[i]),
+        )
+        for i in range(k)
+    ]
+    return OrderingResult(
+        algorithm="noindex",
+        estimates=est,
+        samples_per_group=counts.copy(),
+        rounds=total,
+        groups=groups,
+        inactive_order=list(np.argsort(counts, kind="stable")),
+        trace=None,
+        params={"delta": delta, "resolution": resolution, "truncated": truncated},
+        stats=run.stats,
+    )

@@ -1,0 +1,105 @@
+"""Partial results (Problem 7, §6.2.2).
+
+IFOCUS naturally finalizes easy groups long before hard ones; the
+partial-results variant surfaces each group's estimate *the moment it leaves
+the active set*, so the analyst can start reading the visualization while
+contentious groups keep sampling.  The guarantee: at any point, all groups
+emitted so far are correctly ordered among themselves with probability
+>= 1 - delta.
+
+Two interfaces:
+
+* :func:`run_ifocus_partial` - callback style: ``on_result(outcome)`` fires
+  on every finalization (same thread, zero overhead);
+* :func:`stream_partial_results` - iterator style: yields
+  :class:`PartialUpdate` objects as they happen, running the algorithm on a
+  background thread (the pattern an interactive UI would use).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.reference import run_ifocus_reference
+from repro.core.types import GroupOutcome, OrderingResult
+from repro.engines.base import SamplingEngine
+
+__all__ = ["PartialUpdate", "run_ifocus_partial", "stream_partial_results"]
+
+
+@dataclass(frozen=True)
+class PartialUpdate:
+    """One emission of the partial-results stream."""
+
+    outcome: GroupOutcome
+    emitted_so_far: int
+    total_groups: int
+
+    @property
+    def done(self) -> bool:
+        return self.emitted_so_far == self.total_groups
+
+
+def run_ifocus_partial(
+    engine: SamplingEngine,
+    on_result: Callable[[GroupOutcome], None],
+    *,
+    delta: float = 0.05,
+    resolution: float = 0.0,
+    **kwargs,
+) -> OrderingResult:
+    """Run IFOCUS, invoking ``on_result`` the moment each group finalizes."""
+    return run_ifocus_reference(
+        engine,
+        delta=delta,
+        resolution=resolution,
+        on_finalize=lambda gid, outcome: on_result(outcome),
+        algorithm_name="ifocus-partial",
+        **kwargs,
+    )
+
+
+def stream_partial_results(
+    engine: SamplingEngine,
+    *,
+    delta: float = 0.05,
+    resolution: float = 0.0,
+    **kwargs,
+) -> Iterator[PartialUpdate]:
+    """Iterate over partial results as the algorithm produces them.
+
+    The algorithm runs on a daemon thread; the iterator yields one
+    :class:`PartialUpdate` per finalized group, in finalization order, and
+    terminates after the last group.  Any exception in the algorithm is
+    re-raised in the consumer.
+    """
+    k = engine.k
+    out: "queue.Queue[object]" = queue.Queue()
+    emitted = {"n": 0}
+
+    def on_result(outcome: GroupOutcome) -> None:
+        emitted["n"] += 1
+        out.put(PartialUpdate(outcome=outcome, emitted_so_far=emitted["n"], total_groups=k))
+
+    def worker() -> None:
+        try:
+            run_ifocus_partial(
+                engine, on_result, delta=delta, resolution=resolution, **kwargs
+            )
+            out.put(None)  # sentinel: finished
+        except BaseException as exc:  # pragma: no cover - surfaced to consumer
+            out.put(exc)
+
+    thread = threading.Thread(target=worker, daemon=True, name="ifocus-partial")
+    thread.start()
+    while True:
+        item = out.get()
+        if item is None:
+            break
+        if isinstance(item, BaseException):
+            raise item
+        yield item
+    thread.join()

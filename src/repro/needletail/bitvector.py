@@ -1,0 +1,193 @@
+"""Uncompressed bitmap with rank/select support.
+
+NEEDLETAIL (paper Section 4) keeps one bitmap per value of every indexed
+attribute: bit i is set iff tuple i matches that value.  Random sampling from
+a group is then *select*: pick a uniform rank r in [0, popcount) and find the
+position of the r-th set bit, which is the rowid to fetch.  This module
+implements the flat, word-packed bitmap with vectorized rank/select; the
+hierarchical layering the paper uses for constant-time retrieval is in
+:mod:`repro.needletail.hierarchical`, and the WAH-style compressed form is in
+:mod:`repro.needletail.rle`.
+
+Bits are packed little-endian into uint64 words; numpy's ``bitwise_count``
+provides hardware popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitVector"]
+
+_WORD_BITS = 64
+
+
+class BitVector:
+    """A fixed-length bitmap over positions [0, length)."""
+
+    def __init__(self, words: np.ndarray, length: int) -> None:
+        expected = (length + _WORD_BITS - 1) // _WORD_BITS
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape != (expected,):
+            raise ValueError(f"need {expected} words for length {length}, got {words.shape}")
+        self._words = words
+        self._length = int(length)
+        self._mask_tail()
+        self._cum: np.ndarray | None = None  # cumulative popcount cache
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        nwords = (length + _WORD_BITS - 1) // _WORD_BITS
+        return cls(np.zeros(nwords, dtype=np.uint64), length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        nwords = (length + _WORD_BITS - 1) // _WORD_BITS
+        return cls(np.full(nwords, np.uint64(0xFFFFFFFFFFFFFFFF)), length)
+
+    @classmethod
+    def from_bools(cls, bits: np.ndarray) -> "BitVector":
+        # Little-endian packing: position w*64 + j is bit j of word w.  Word
+        # views assume a little-endian host (x86/ARM), like the rest of numpy.
+        bits = np.asarray(bits, dtype=bool)
+        length = bits.shape[0]
+        nwords = (length + _WORD_BITS - 1) // _WORD_BITS
+        padded = np.zeros(nwords * _WORD_BITS, dtype=bool)
+        padded[:length] = bits
+        packed = np.packbits(padded, bitorder="little")
+        words = packed.view(np.uint64).copy()
+        return cls(words, length)
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray, length: int) -> "BitVector":
+        bits = np.zeros(length, dtype=bool)
+        bits[np.asarray(indices, dtype=np.int64)] = True
+        return cls.from_bools(bits)
+
+    # -- internals ---------------------------------------------------------
+    def _mask_tail(self) -> None:
+        extra = self._words.shape[0] * _WORD_BITS - self._length
+        if extra and self._words.shape[0]:
+            keep = _WORD_BITS - extra
+            mask = np.uint64((1 << keep) - 1) if keep < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+            self._words[-1] &= mask
+
+    def _cumulative(self) -> np.ndarray:
+        if self._cum is None:
+            pops = np.bitwise_count(self._words).astype(np.int64)
+            self._cum = np.cumsum(pops)
+        return self._cum
+
+    def _invalidate(self) -> None:
+        self._cum = None
+
+    # -- basics --------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying uint64 words (read-only view)."""
+        view = self._words.view()
+        view.flags.writeable = False
+        return view
+
+    def count(self) -> int:
+        """Number of set bits (popcount)."""
+        if self._length == 0:
+            return 0
+        return int(self._cumulative()[-1])
+
+    def get(self, i: int) -> bool:
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit {i} out of range [0, {self._length})")
+        word, off = divmod(i, _WORD_BITS)
+        return bool((self._words[word] >> np.uint64(off)) & np.uint64(1))
+
+    def set(self, i: int, value: bool = True) -> None:
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit {i} out of range [0, {self._length})")
+        word, off = divmod(i, _WORD_BITS)
+        bit = np.uint64(1) << np.uint64(off)
+        if value:
+            self._words[word] |= bit
+        else:
+            self._words[word] &= ~bit
+        self._invalidate()
+
+    def to_bools(self) -> np.ndarray:
+        if self._length == 0:
+            return np.zeros(0, dtype=bool)
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return bits[: self._length].astype(bool)
+
+    def set_positions(self) -> np.ndarray:
+        """Positions of all set bits, ascending."""
+        return np.flatnonzero(self.to_bools())
+
+    # -- rank / select ------------------------------------------------------
+    def rank(self, i: int) -> int:
+        """Number of set bits strictly before position ``i``."""
+        if not 0 <= i <= self._length:
+            raise IndexError(f"rank position {i} out of range [0, {self._length}]")
+        if i == 0:
+            return 0
+        word, off = divmod(i, _WORD_BITS)
+        cum = self._cumulative()
+        total = int(cum[word - 1]) if word > 0 else 0
+        if off and word < self._words.shape[0]:
+            mask = np.uint64((1 << off) - 1)
+            total += int(np.bitwise_count(self._words[word] & mask))
+        return total
+
+    def select(self, r: int) -> int:
+        """Position of the r-th (0-based) set bit."""
+        return int(self.select_many(np.array([r], dtype=np.int64))[0])
+
+    def select_many(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorized select: positions of the given 0-based ranks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        total = self.count()
+        if ranks.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any((ranks < 0) | (ranks >= total)):
+            raise IndexError(f"select rank out of range [0, {total})")
+        cum = self._cumulative()
+        widx = np.searchsorted(cum, ranks, side="right")
+        before = np.where(widx > 0, cum[np.maximum(widx - 1, 0)], 0)
+        before = np.where(widx > 0, before, 0)
+        local = ranks - before  # rank within the target word
+        words = np.ascontiguousarray(self._words[widx])
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little").reshape(-1, _WORD_BITS)
+        cs = np.cumsum(bits, axis=1)
+        offsets = np.argmax(cs == (local + 1)[:, None], axis=1)
+        return widx * _WORD_BITS + offsets
+
+    # -- logical ops ----------------------------------------------------------
+    def _check_compatible(self, other: "BitVector") -> None:
+        if self._length != other._length:
+            raise ValueError(f"length mismatch: {self._length} vs {other._length}")
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self._words & other._words, self._length)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self._words | other._words, self._length)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self._words ^ other._words, self._length)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(~self._words, self._length)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and bool(np.all(self._words == other._words))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitVector(length={self._length}, count={self.count()})"

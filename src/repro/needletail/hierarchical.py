@@ -1,0 +1,139 @@
+"""Hierarchical bitmap: the NEEDLETAIL structure for logarithmic select.
+
+Section 4 of the paper: "even if the bitmap is dense or sparse, the guarantee
+of constant time continues to hold because the bitmaps are organized in a
+hierarchical manner (hence the time taken is logarithmic in the total number
+of records or equivalently the depth of the tree)."
+
+This module implements that structure: a fanout-F tree whose leaves are the
+word popcounts of a :class:`~repro.needletail.bitvector.BitVector` and whose
+internal nodes are sums of F children.  ``select(r)`` descends from the root,
+narrowing to the word containing the r-th set bit in O(F * log_F n) time, and
+finishes inside the word.  Unlike the flat cumulative-sum select, the tree
+supports point updates in O(log_F n) (tuple inserts in NEEDLETAIL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.needletail.bitvector import BitVector
+
+__all__ = ["HierarchicalBitmap"]
+
+_WORD_BITS = 64
+
+
+class HierarchicalBitmap:
+    """A rank/select index layered over a BitVector."""
+
+    def __init__(self, bits: BitVector, fanout: int = 64) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self._bits = bits
+        self._fanout = int(fanout)
+        self._levels: list[np.ndarray] = []
+        self._build()
+
+    @classmethod
+    def from_bools(cls, bools: np.ndarray, fanout: int = 64) -> "HierarchicalBitmap":
+        return cls(BitVector.from_bools(bools), fanout)
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray, length: int, fanout: int = 64) -> "HierarchicalBitmap":
+        return cls(BitVector.from_indices(indices, length), fanout)
+
+    def _build(self) -> None:
+        level = np.bitwise_count(np.asarray(self._bits.words)).astype(np.int64)
+        self._levels = [level]
+        f = self._fanout
+        while level.shape[0] > 1:
+            pad = (-level.shape[0]) % f
+            padded = np.concatenate([level, np.zeros(pad, dtype=np.int64)])
+            level = padded.reshape(-1, f).sum(axis=1)
+            self._levels.append(level)
+
+    # -- basics ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    @property
+    def bits(self) -> BitVector:
+        return self._bits
+
+    @property
+    def depth(self) -> int:
+        """Number of levels in the tree (1 for a single-word bitmap)."""
+        return len(self._levels)
+
+    def count(self) -> int:
+        if not self._levels or self._levels[-1].shape[0] == 0:
+            return 0
+        return int(self._levels[-1].sum())
+
+    def get(self, i: int) -> bool:
+        return self._bits.get(i)
+
+    def update(self, i: int, value: bool) -> None:
+        """Point update: set bit i, repairing tree counts in O(depth)."""
+        old = self._bits.get(i)
+        if old == value:
+            return
+        self._bits.set(i, value)
+        delta = 1 if value else -1
+        node = i // _WORD_BITS
+        for level in self._levels:
+            level[node] += delta
+            node //= self._fanout
+
+    # -- select ------------------------------------------------------------------
+    def select(self, r: int) -> int:
+        """Position of the r-th (0-based) set bit via tree descent."""
+        total = self.count()
+        if not 0 <= r < total:
+            raise IndexError(f"select rank out of range [0, {total})")
+        node = 0
+        rank = r
+        # Descend from the root level to the word level.
+        for depth in range(len(self._levels) - 1, 0, -1):
+            level = self._levels[depth - 1]
+            first_child = node * self._fanout
+            children = level[first_child : first_child + self._fanout]
+            cum = np.cumsum(children)
+            child = int(np.searchsorted(cum, rank, side="right"))
+            if child > 0:
+                rank -= int(cum[child - 1])
+            node = first_child + child
+        # ``node`` is now a word index; finish inside the word.
+        word = int(np.asarray(self._bits.words)[node])
+        pos = node * _WORD_BITS
+        while True:
+            if word & 1:
+                if rank == 0:
+                    return pos
+                rank -= 1
+            word >>= 1
+            pos += 1
+
+    def select_many(self, ranks: np.ndarray) -> np.ndarray:
+        """Batched select.
+
+        The per-query tree descent is pure Python; for large batches the flat
+        vectorized select on the underlying BitVector is faster, so batches
+        above a small threshold delegate to it (identical results - asserted
+        in tests).
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size > 32:
+            return self._bits.select_many(ranks)
+        return np.array([self.select(int(r)) for r in ranks], dtype=np.int64)
+
+    def rank(self, i: int) -> int:
+        """Number of set bits strictly before position ``i``."""
+        return self._bits.rank(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HierarchicalBitmap(length={len(self)}, count={self.count()}, "
+            f"depth={self.depth}, fanout={self._fanout})"
+        )

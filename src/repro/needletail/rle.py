@@ -1,0 +1,204 @@
+"""Run-length-compressed bitmap (WAH-style).
+
+Bitmap indexes over low-cardinality attributes compress extremely well
+because each value's bitmap is mostly zeros with clustered ones; word-aligned
+hybrid (WAH) codes and friends exploit exactly this (the paper cites Wu et
+al., Koudas).  This module implements the run-length layer NEEDLETAIL relies
+on for storing per-value bitmaps compactly in memory, with:
+
+* lossless compress/decompress to and from :class:`~repro.needletail.bitvector.BitVector`;
+* AND / OR / NOT directly on the run representation (two-pointer merge);
+* rank/select on the compressed form via cumulative run lengths - no
+  decompression needed for sampling;
+* a ``storage_bytes`` estimate used by the storage-footprint accounting.
+
+Runs are kept as two parallel arrays (start positions and a first-run-value
+flag); this is the classic sorted-boundaries representation, equivalent to
+WAH fills with unbounded run length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.needletail.bitvector import BitVector
+
+__all__ = ["RunLengthBitmap"]
+
+
+class RunLengthBitmap:
+    """A bitmap stored as alternating runs of equal bits.
+
+    ``boundaries`` holds the start position of every run after the first;
+    ``first_value`` is the bit value of run 0.  Run i spans
+    [starts[i], starts[i+1]) with value first_value XOR (i odd).
+    """
+
+    def __init__(self, boundaries: np.ndarray, first_value: bool, length: int) -> None:
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if boundaries.ndim != 1:
+            raise ValueError("boundaries must be 1-D")
+        if boundaries.size:
+            if boundaries[0] <= 0 or boundaries[-1] >= length:
+                raise ValueError("boundaries must lie strictly inside (0, length)")
+            if np.any(np.diff(boundaries) <= 0):
+                raise ValueError("boundaries must be strictly increasing")
+        self._b = boundaries
+        self._first = bool(first_value)
+        self._length = int(length)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_bools(cls, bits: np.ndarray) -> "RunLengthBitmap":
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape[0] == 0:
+            return cls(np.zeros(0, dtype=np.int64), False, 0)
+        boundaries = np.flatnonzero(np.diff(bits)) + 1
+        return cls(boundaries, bool(bits[0]), bits.shape[0])
+
+    @classmethod
+    def from_bitvector(cls, bv: BitVector) -> "RunLengthBitmap":
+        return cls.from_bools(bv.to_bools())
+
+    @classmethod
+    def zeros(cls, length: int) -> "RunLengthBitmap":
+        return cls(np.zeros(0, dtype=np.int64), False, length)
+
+    @classmethod
+    def ones(cls, length: int) -> "RunLengthBitmap":
+        return cls(np.zeros(0, dtype=np.int64), length > 0, length)
+
+    # -- basics --------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_runs(self) -> int:
+        if self._length == 0:
+            return 0
+        return int(self._b.size) + 1
+
+    def _starts(self) -> np.ndarray:
+        return np.concatenate([[0], self._b])
+
+    def _run_values(self) -> np.ndarray:
+        vals = np.zeros(self.num_runs, dtype=bool)
+        vals[0::2] = self._first
+        vals[1::2] = not self._first
+        return vals
+
+    def _run_lengths(self) -> np.ndarray:
+        edges = np.concatenate([[0], self._b, [self._length]])
+        return np.diff(edges)
+
+    def to_bools(self) -> np.ndarray:
+        if self._length == 0:
+            return np.zeros(0, dtype=bool)
+        return np.repeat(self._run_values(), self._run_lengths())
+
+    def to_bitvector(self) -> BitVector:
+        return BitVector.from_bools(self.to_bools())
+
+    def get(self, i: int) -> bool:
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit {i} out of range [0, {self._length})")
+        run = int(np.searchsorted(self._b, i, side="right"))
+        return self._first ^ bool(run % 2)
+
+    def count(self) -> int:
+        lengths = self._run_lengths()
+        vals = self._run_values()
+        return int(lengths[vals].sum()) if self._length else 0
+
+    def storage_bytes(self) -> int:
+        """In-memory footprint of the compressed form (8 bytes per boundary)."""
+        return 8 * int(self._b.size) + 16  # boundaries + header
+
+    def compression_ratio(self) -> float:
+        """Uncompressed bitmap bytes / compressed bytes (>1 = wins)."""
+        raw = max(self._length / 8.0, 1.0)
+        return raw / self.storage_bytes()
+
+    # -- rank / select -------------------------------------------------------
+    def _set_run_cumlengths(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(starts, lengths, cumulative set counts) of the *set* runs."""
+        starts = self._starts()
+        lengths = self._run_lengths()
+        vals = self._run_values()
+        s, l = starts[vals], lengths[vals]
+        return s, l, np.cumsum(l)
+
+    def rank(self, i: int) -> int:
+        """Number of set bits strictly before position ``i``."""
+        if not 0 <= i <= self._length:
+            raise IndexError(f"rank position {i} out of range [0, {self._length}]")
+        s, l, cum = self._set_run_cumlengths()
+        if s.size == 0 or i == 0:
+            return 0
+        run = int(np.searchsorted(s, i, side="right")) - 1
+        if run < 0:
+            return 0
+        before = int(cum[run - 1]) if run > 0 else 0
+        return before + min(int(l[run]), i - int(s[run]))
+
+    def select(self, r: int) -> int:
+        """Position of the r-th (0-based) set bit, without decompressing."""
+        return int(self.select_many(np.array([r]))[0])
+
+    def select_many(self, ranks: np.ndarray) -> np.ndarray:
+        ranks = np.asarray(ranks, dtype=np.int64)
+        s, _, cum = self._set_run_cumlengths()
+        total = int(cum[-1]) if cum.size else 0
+        if ranks.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any((ranks < 0) | (ranks >= total)):
+            raise IndexError(f"select rank out of range [0, {total})")
+        run = np.searchsorted(cum, ranks, side="right")
+        before = np.where(run > 0, cum[np.maximum(run - 1, 0)], 0)
+        before = np.where(run > 0, before, 0)
+        return s[run] + (ranks - before)
+
+    # -- logical ops -----------------------------------------------------------
+    def _check_compatible(self, other: "RunLengthBitmap") -> None:
+        if self._length != other._length:
+            raise ValueError(f"length mismatch: {self._length} vs {other._length}")
+
+    def _combine(self, other: "RunLengthBitmap", op) -> "RunLengthBitmap":
+        self._check_compatible(other)
+        if self._length == 0:
+            return RunLengthBitmap.zeros(0)
+        # Merge run boundaries; evaluate op per merged run; re-coalesce.
+        cuts = np.union1d(self._b, other._b)
+        starts = np.concatenate([[0], cuts])
+        a_run = np.searchsorted(self._b, starts, side="right")
+        b_run = np.searchsorted(other._b, starts, side="right")
+        a_vals = np.logical_xor(self._first, a_run % 2 == 1)
+        b_vals = np.logical_xor(other._first, b_run % 2 == 1)
+        vals = op(a_vals, b_vals)
+        change = np.flatnonzero(np.diff(vals.astype(np.int8))) + 1
+        boundaries = starts[change]
+        return RunLengthBitmap(boundaries, bool(vals[0]), self._length)
+
+    def __and__(self, other: "RunLengthBitmap") -> "RunLengthBitmap":
+        return self._combine(other, np.logical_and)
+
+    def __or__(self, other: "RunLengthBitmap") -> "RunLengthBitmap":
+        return self._combine(other, np.logical_or)
+
+    def __xor__(self, other: "RunLengthBitmap") -> "RunLengthBitmap":
+        return self._combine(other, np.logical_xor)
+
+    def __invert__(self) -> "RunLengthBitmap":
+        return RunLengthBitmap(self._b.copy(), not self._first, self._length)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunLengthBitmap):
+            return NotImplemented
+        return (
+            self._length == other._length
+            and self._first == other._first
+            and np.array_equal(self._b, other._b)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunLengthBitmap(length={self._length}, runs={self.num_runs})"

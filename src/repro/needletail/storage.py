@@ -1,0 +1,121 @@
+"""Simulated disk subsystem for runtime experiments.
+
+The paper's wall-clock numbers (Fig. 4, Table 3) come from a physical testbed
+(64-core Xeon, Direct I/O, ~800 MB/s sequential reads).  We replace the
+hardware with a deterministic cost simulator so the runtime experiments are
+reproducible anywhere; DESIGN.md section 4 records the substitution and the
+calibration.
+
+Two layers:
+
+* :class:`DiskParams` / :class:`SimulatedDisk` - a disk with a sequential
+  bandwidth, a per-random-read latency, and an optional page cache; every
+  read advances a simulated I/O clock.
+* :class:`PageAccessModel` - the expected-unique-pages analysis used by the
+  block-cache cost model: after s uniform random samples over a table of P
+  pages, the expected number of distinct pages read is P*(1-(1-1/P)^s).
+  Using the expectation keeps simulated runtimes deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskParams", "SimulatedDisk", "PageAccessModel"]
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Physical parameters of the simulated disk.
+
+    Defaults follow the paper's testbed where quoted: 800 MB/s sequential
+    bandwidth and 1 MB read blocks (Section 5.1).  ``random_read_seconds`` is
+    the full cost of one random page read (seek + transfer).
+    """
+
+    sequential_bandwidth: float = 800e6  # bytes / second
+    block_bytes: int = 1 << 20  # 1 MB scan blocks
+    page_bytes: int = 4096  # random-read granularity
+    random_read_seconds: float = 1e-4  # one uncached random page read
+
+    def __post_init__(self) -> None:
+        if self.sequential_bandwidth <= 0:
+            raise ValueError("sequential_bandwidth must be > 0")
+        if self.block_bytes <= 0 or self.page_bytes <= 0:
+            raise ValueError("block and page sizes must be > 0")
+        if self.random_read_seconds < 0:
+            raise ValueError("random_read_seconds must be >= 0")
+
+
+class SimulatedDisk:
+    """A disk that charges simulated seconds for reads.
+
+    Tracks total I/O seconds, bytes moved and read counts.  The page cache is
+    modelled by the caller (see :class:`PageAccessModel`) or by passing
+    ``cached=True`` for reads known to hit memory.
+    """
+
+    def __init__(self, params: DiskParams | None = None) -> None:
+        self.params = params or DiskParams()
+        self.io_seconds = 0.0
+        self.bytes_read = 0
+        self.sequential_reads = 0
+        self.random_reads = 0
+
+    def sequential_read(self, nbytes: int) -> float:
+        """Stream ``nbytes`` sequentially; returns the seconds charged."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        cost = nbytes / self.params.sequential_bandwidth
+        self.io_seconds += cost
+        self.bytes_read += nbytes
+        self.sequential_reads += 1
+        return cost
+
+    def random_page_reads(self, pages: float) -> float:
+        """Read ``pages`` random pages (fractional = expected counts)."""
+        if pages < 0:
+            raise ValueError("pages must be >= 0")
+        cost = pages * self.params.random_read_seconds
+        self.io_seconds += cost
+        self.bytes_read += int(pages * self.params.page_bytes)
+        self.random_reads += int(pages)
+        return cost
+
+    def reset(self) -> None:
+        self.io_seconds = 0.0
+        self.bytes_read = 0
+        self.sequential_reads = 0
+        self.random_reads = 0
+
+
+class PageAccessModel:
+    """Expected distinct pages touched by uniform random row reads.
+
+    Incremental: ``new_unique(extra_samples)`` returns the expected number of
+    *previously untouched* pages hit by the next ``extra_samples`` uniform
+    row samples, so a cost model can charge only cache misses.
+    """
+
+    def __init__(self, total_rows: int, row_bytes: int, page_bytes: int) -> None:
+        if total_rows <= 0 or row_bytes <= 0 or page_bytes <= 0:
+            raise ValueError("total_rows, row_bytes and page_bytes must be > 0")
+        rows_per_page = max(page_bytes // row_bytes, 1)
+        self.total_pages = max((total_rows + rows_per_page - 1) // rows_per_page, 1)
+        self._samples = 0
+
+    def expected_unique(self, samples: int) -> float:
+        """E[# distinct pages] after ``samples`` uniform page hits."""
+        p = self.total_pages
+        if samples <= 0:
+            return 0.0
+        return p * (1.0 - (1.0 - 1.0 / p) ** samples)
+
+    def new_unique(self, extra_samples: int) -> float:
+        """Expected newly-touched pages for the next ``extra_samples`` reads."""
+        if extra_samples < 0:
+            raise ValueError("extra_samples must be >= 0")
+        before = self.expected_unique(self._samples)
+        self._samples += extra_samples
+        after = self.expected_unique(self._samples)
+        return after - before

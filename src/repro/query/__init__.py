@@ -1,0 +1,40 @@
+"""SQL-subset query layer: parse, plan, and execute visualization queries."""
+
+from repro.query.ast import (
+    Aggregate,
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    Query,
+)
+from repro.query.parser import ParseError, parse_predicate, parse_query
+from repro.query.plan import QueryResult, execute_query
+from repro.query.predicates import (
+    predicate_bitvector,
+    predicate_columns,
+    predicate_mask,
+)
+
+__all__ = [
+    "Aggregate",
+    "And",
+    "Between",
+    "Comparison",
+    "InList",
+    "Not",
+    "Or",
+    "Predicate",
+    "Query",
+    "ParseError",
+    "parse_predicate",
+    "parse_query",
+    "QueryResult",
+    "execute_query",
+    "predicate_bitvector",
+    "predicate_columns",
+    "predicate_mask",
+]

@@ -1,0 +1,130 @@
+"""AST for the paper's query class.
+
+The supported grammar is the paper's visualization query (Section 2.1) plus
+the Section 6.3 generalizations:
+
+    SELECT X [, Z], AGG(Y) [, AGG(W)] FROM R
+        [WHERE predicate]
+        GROUP BY X [, Z]
+        [HAVING AGG(Y) op literal]
+
+with AGG in {AVG, SUM, COUNT} and predicates built from comparisons,
+BETWEEN, IN, AND/OR/NOT and parentheses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Comparison",
+    "Between",
+    "InList",
+    "Not",
+    "And",
+    "Or",
+    "Predicate",
+    "Aggregate",
+    "Query",
+    "COMPARISON_OPS",
+]
+
+COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+Literal = Union[float, int, str]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """column op literal, e.g. ``delay > 30``."""
+
+    column: str
+    op: str
+    value: Literal
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Between:
+    """column BETWEEN lo AND hi (inclusive both ends, SQL semantics)."""
+
+    column: str
+    lo: Literal
+    hi: Literal
+
+
+@dataclass(frozen=True)
+class InList:
+    """column IN (v1, v2, ...)."""
+
+    column: str
+    values: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("IN list must not be empty")
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: tuple["Predicate", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ValueError("AND needs at least two operands")
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: tuple["Predicate", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ValueError("OR needs at least two operands")
+
+
+Predicate = Union[Comparison, Between, InList, Not, And, Or]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """AGG(column); COUNT may aggregate '*'."""
+
+    func: str
+    column: str
+
+    def __post_init__(self) -> None:
+        if self.func not in ("AVG", "SUM", "COUNT"):
+            raise ValueError(f"unsupported aggregate {self.func!r}")
+        if self.column == "*" and self.func != "COUNT":
+            raise ValueError("only COUNT may aggregate '*'")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed visualization query."""
+
+    table: str
+    group_by: tuple[str, ...]
+    aggregates: tuple[Aggregate, ...]
+    where: Predicate | None = None
+    having: tuple[Aggregate, str, float] | None = None
+    select_groups: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.group_by:
+            raise ValueError("the paper's queries require at least one GROUP BY")
+        if not self.aggregates:
+            raise ValueError("need at least one aggregate in SELECT")
+        missing = [g for g in self.select_groups if g not in self.group_by]
+        if missing:
+            raise ValueError(f"selected non-aggregated columns not in GROUP BY: {missing}")

@@ -1,0 +1,71 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "LexError"]
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AND",
+    "OR",
+    "NOT",
+    "BETWEEN",
+    "IN",
+    "AVG",
+    "SUM",
+    "COUNT",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),*])
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class LexError(ValueError):
+    """Raised on unrecognized input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | punct | eof
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; keywords are case-insensitive, idents keep case."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise LexError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "ws":
+            if kind == "ident" and value.upper() in KEYWORDS:
+                tokens.append(Token("keyword", value.upper(), pos))
+            elif kind == "string":
+                inner = value[1:-1].replace("\\'", "'")
+                tokens.append(Token("string", inner, pos))
+            else:
+                tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", len(text)))
+    return tokens

@@ -1,0 +1,200 @@
+"""Recursive-descent parser for the visualization-query SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT select_item (',' select_item)* FROM ident
+                  (WHERE pred)? GROUP BY ident (',' ident)*
+                  (HAVING agg op number)?
+    select_item:= ident | agg
+    agg        := (AVG|SUM|COUNT) '(' (ident|'*') ')'
+    pred       := and_expr (OR and_expr)*
+    and_expr   := unary (AND unary)*
+    unary      := NOT unary | '(' pred ')' | comparison
+    comparison := ident op literal
+                | ident BETWEEN literal AND literal
+                | ident IN '(' literal (',' literal)* ')'
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    Aggregate,
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    Query,
+)
+from repro.query.lexer import Token, tokenize
+
+__all__ = ["parse_query", "parse_predicate", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when the input does not conform to the grammar."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self) -> Token:
+        return self._tokens[self._i]
+
+    def advance(self) -> Token:
+        tok = self._tokens[self._i]
+        self._i += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = f"{kind} {value}" if value else kind
+            raise ParseError(f"expected {want}, got {tok.kind} {tok.value!r} at {tok.pos}")
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        if tok.kind == "keyword" and tok.value == word:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+    def parse_query(self) -> Query:
+        self.expect("keyword", "SELECT")
+        group_cols: list[str] = []
+        aggregates: list[Aggregate] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "keyword" and tok.value in ("AVG", "SUM", "COUNT"):
+                aggregates.append(self._parse_aggregate())
+            elif tok.kind == "ident":
+                group_cols.append(self.advance().value)
+            else:
+                raise ParseError(f"expected column or aggregate at {tok.pos}")
+            if self.peek().kind == "punct" and self.peek().value == ",":
+                self.advance()
+                continue
+            break
+        self.expect("keyword", "FROM")
+        table = self.expect("ident").value
+
+        where: Predicate | None = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_predicate()
+
+        self.expect("keyword", "GROUP")
+        self.expect("keyword", "BY")
+        group_by = [self.expect("ident").value]
+        while self.peek().kind == "punct" and self.peek().value == ",":
+            self.advance()
+            group_by.append(self.expect("ident").value)
+
+        having = None
+        if self.accept_keyword("HAVING"):
+            agg = self._parse_aggregate()
+            op = self.expect("op").value
+            value = self._parse_number()
+            having = (agg, op, value)
+
+        self.expect("eof")
+        return Query(
+            table=table,
+            group_by=tuple(group_by),
+            aggregates=tuple(aggregates),
+            where=where,
+            having=having,
+            select_groups=tuple(group_cols),
+        )
+
+    def _parse_aggregate(self) -> Aggregate:
+        func = self.expect("keyword").value
+        if func not in ("AVG", "SUM", "COUNT"):
+            raise ParseError(f"{func} is not an aggregate")
+        self.expect("punct", "(")
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value == "*":
+            self.advance()
+            column = "*"
+        else:
+            column = self.expect("ident").value
+        self.expect("punct", ")")
+        return Aggregate(func, column)
+
+    def _parse_number(self) -> float:
+        tok = self.expect("number")
+        return float(tok.value)
+
+    def _parse_literal(self):
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            return float(tok.value) if "." in tok.value else int(tok.value)
+        if tok.kind == "string":
+            self.advance()
+            return tok.value
+        raise ParseError(f"expected literal at {tok.pos}, got {tok.kind}")
+
+    def parse_predicate(self) -> Predicate:
+        operands = [self._parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def _parse_and(self) -> Predicate:
+        operands = [self._parse_unary()]
+        while self.accept_keyword("AND"):
+            operands.append(self._parse_unary())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def _parse_unary(self) -> Predicate:
+        if self.accept_keyword("NOT"):
+            return Not(self._parse_unary())
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value == "(":
+            self.advance()
+            inner = self.parse_predicate()
+            self.expect("punct", ")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Predicate:
+        column = self.expect("ident").value
+        tok = self.peek()
+        if tok.kind == "keyword" and tok.value == "BETWEEN":
+            self.advance()
+            lo = self._parse_literal()
+            self.expect("keyword", "AND")
+            hi = self._parse_literal()
+            return Between(column, lo, hi)
+        if tok.kind == "keyword" and tok.value == "IN":
+            self.advance()
+            self.expect("punct", "(")
+            values = [self._parse_literal()]
+            while self.peek().kind == "punct" and self.peek().value == ",":
+                self.advance()
+                values.append(self._parse_literal())
+            self.expect("punct", ")")
+            return InList(column, tuple(values))
+        op = self.expect("op").value
+        value = self._parse_literal()
+        return Comparison(column, op, value)
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a visualization query; raises :class:`ParseError` on bad input."""
+    return _Parser(tokenize(sql)).parse_query()
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a bare predicate expression (used in tests and tooling)."""
+    parser = _Parser(tokenize(text))
+    pred = parser.parse_predicate()
+    parser.expect("eof")
+    return pred

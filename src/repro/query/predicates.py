@@ -1,0 +1,92 @@
+"""Predicate evaluation: AST -> row masks -> bitmap form.
+
+Selection predicates restrict which rows a group sampler may return (paper
+Section 6.3.3).  NEEDLETAIL evaluates them as bitmaps: each comparison
+becomes a row bitmap, combined with AND/OR/NOT, and the result is ANDed with
+every group's value bitmap.  Here the comparison bitmaps are computed from
+the in-memory columns (equivalent to having bitmap indexes on the predicate
+attributes, which is NEEDLETAIL's design: "for every value of every attribute
+in the relation that is indexed").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.needletail.bitvector import BitVector
+from repro.needletail.table import Table
+from repro.query.ast import And, Between, Comparison, InList, Not, Or, Predicate
+
+__all__ = ["predicate_mask", "predicate_bitvector", "predicate_columns"]
+
+_OP_FUNCS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _coerce(column_values: np.ndarray, literal):
+    """Coerce a literal to the column's dtype family for fair comparison."""
+    if np.issubdtype(column_values.dtype, np.number):
+        if isinstance(literal, str):
+            raise TypeError(
+                f"cannot compare numeric column to string literal {literal!r}"
+            )
+        return float(literal)
+    return str(literal)
+
+
+def predicate_mask(pred: Predicate, table: Table) -> np.ndarray:
+    """Evaluate a predicate to a boolean row mask over the table."""
+    if isinstance(pred, Comparison):
+        col = table.column(pred.column)
+        value = _coerce(col, pred.value)
+        return _OP_FUNCS[pred.op](col, value)
+    if isinstance(pred, Between):
+        col = table.column(pred.column)
+        lo = _coerce(col, pred.lo)
+        hi = _coerce(col, pred.hi)
+        return (col >= lo) & (col <= hi)
+    if isinstance(pred, InList):
+        col = table.column(pred.column)
+        out = np.zeros(table.num_rows, dtype=bool)
+        for v in pred.values:
+            out |= col == _coerce(col, v)
+        return out
+    if isinstance(pred, Not):
+        return ~predicate_mask(pred.operand, table)
+    if isinstance(pred, And):
+        out = np.ones(table.num_rows, dtype=bool)
+        for p in pred.operands:
+            out &= predicate_mask(p, table)
+        return out
+    if isinstance(pred, Or):
+        out = np.zeros(table.num_rows, dtype=bool)
+        for p in pred.operands:
+            out |= predicate_mask(p, table)
+        return out
+    raise TypeError(f"unknown predicate node {type(pred).__name__}")
+
+
+def predicate_bitvector(pred: Predicate, table: Table) -> BitVector:
+    """Evaluate a predicate to the bitmap form the engine ANDs with groups."""
+    return BitVector.from_bools(predicate_mask(pred, table))
+
+
+def predicate_columns(pred: Predicate) -> set[str]:
+    """Column names a predicate touches (for validation and planning)."""
+    if isinstance(pred, (Comparison, Between, InList)):
+        return {pred.column}
+    if isinstance(pred, Not):
+        return predicate_columns(pred.operand)
+    if isinstance(pred, (And, Or)):
+        out: set[str] = set()
+        for p in pred.operands:
+            out |= predicate_columns(p)
+        return out
+    raise TypeError(f"unknown predicate node {type(pred).__name__}")

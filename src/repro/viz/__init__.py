@@ -1,0 +1,33 @@
+"""Visualization layer: property checkers and text renderers."""
+
+from repro.viz.barchart import BarChart, render_barchart
+from repro.viz.histogram import (
+    Histogram,
+    approximate_histogram,
+    bin_labels,
+    exact_histogram,
+)
+from repro.viz.properties import (
+    check_neighbor_ordering,
+    check_ordering,
+    check_top_t,
+    incorrect_pairs,
+    pair_accuracy,
+)
+from repro.viz.trendline import render_trendline, step_directions
+
+__all__ = [
+    "BarChart",
+    "render_barchart",
+    "Histogram",
+    "approximate_histogram",
+    "bin_labels",
+    "exact_histogram",
+    "check_neighbor_ordering",
+    "check_ordering",
+    "check_top_t",
+    "incorrect_pairs",
+    "pair_accuracy",
+    "render_trendline",
+    "step_directions",
+]

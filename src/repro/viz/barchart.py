@@ -1,0 +1,80 @@
+"""Text bar-chart rendering with confidence-interval whiskers.
+
+The paper's output artifact is a bar chart (Fig. 1).  This renderer produces
+the terminal equivalent: one row per group with a proportional bar, the
+estimate, and (for unfinished or approximate groups) the +/- half-width.  It
+is used by the examples and by the partial-results demo, where the chart
+re-renders as groups are finalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import OrderingResult
+
+__all__ = ["BarChart", "render_barchart"]
+
+
+@dataclass
+class BarChart:
+    """A renderable bar chart: labels, values, optional half-widths."""
+
+    labels: list[str]
+    values: np.ndarray
+    half_widths: np.ndarray | None = None
+    title: str = ""
+    value_max: float | None = None
+    width: int = 48
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if len(self.labels) != self.values.shape[0]:
+            raise ValueError("labels and values must have equal length")
+        if self.half_widths is not None:
+            self.half_widths = np.asarray(self.half_widths, dtype=np.float64)
+            if self.half_widths.shape != self.values.shape:
+                raise ValueError("half_widths must match values shape")
+        if self.width < 8:
+            raise ValueError("chart width must be at least 8 columns")
+
+    def render(self, sort: bool = False) -> str:
+        """Render to a multi-line string; ``sort`` orders bars by value."""
+        idx = np.argsort(self.values, kind="stable")[::-1] if sort else np.arange(len(self.labels))
+        vmax = self.value_max if self.value_max is not None else float(self.values.max())
+        vmax = max(vmax, 1e-12)
+        label_w = max(len(self.labels[i]) for i in idx)
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("-" * max(len(self.title), 8))
+        for i in idx:
+            frac = min(max(self.values[i] / vmax, 0.0), 1.0)
+            bar = "#" * max(int(round(frac * self.width)), 1 if self.values[i] > 0 else 0)
+            suffix = f" {self.values[i]:.2f}"
+            if self.half_widths is not None and self.half_widths[i] > 0:
+                suffix += f" (+/-{self.half_widths[i]:.2f})"
+            lines.append(f"{self.labels[i]:>{label_w}} |{bar:<{self.width}}|{suffix}")
+        return "\n".join(lines)
+
+
+def render_barchart(result: OrderingResult, labels: list[str] | None = None, **kwargs) -> str:
+    """Render an :class:`OrderingResult` as a text bar chart.
+
+    Half-widths come from the per-group outcomes, so unfinished/approximate
+    groups show their residual uncertainty like the error bars the
+    incremental-visualization user studies recommend (Section 7).
+    """
+    if labels is None:
+        labels = [g.name for g in result.groups]
+    widths = np.array([g.half_width for g in result.groups])
+    chart = BarChart(
+        labels=labels,
+        values=result.estimates,
+        half_widths=widths,
+        title=kwargs.pop("title", f"{result.algorithm} ({result.total_samples} samples)"),
+        **kwargs,
+    )
+    return chart.render(sort=kwargs.pop("sort", False))

@@ -1,0 +1,131 @@
+"""Visual-property checkers: the correctness criteria of Problems 1-5.
+
+These functions compare an algorithm's estimates against the true group
+means and decide whether the *visual* property the paper cares about holds:
+
+* :func:`check_ordering` - the correct ordering property (Problem 1), with
+  the optional resolution relaxation of Problem 2 (pairs of true means within
+  r of each other may appear in either order);
+* :func:`incorrect_pairs` - the number of violating pairs, the quantity
+  plotted in Fig. 6(a);
+* :func:`check_neighbor_ordering` - the trend-line property (Problem 3):
+  only consecutive groups must be ordered correctly;
+* :func:`check_top_t` - the top-t property (Problem 4);
+* :func:`pair_accuracy` - the fraction of correctly ordered pairs, used by
+  the allowing-mistakes variant (Problem 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_ordering",
+    "incorrect_pairs",
+    "pair_accuracy",
+    "check_neighbor_ordering",
+    "check_top_t",
+]
+
+
+def _as_arrays(estimates, true_means) -> tuple[np.ndarray, np.ndarray]:
+    est = np.asarray(estimates, dtype=np.float64)
+    true = np.asarray(true_means, dtype=np.float64)
+    if est.shape != true.shape or est.ndim != 1:
+        raise ValueError(f"shape mismatch: estimates {est.shape} vs true {true.shape}")
+    return est, true
+
+
+def incorrect_pairs(estimates, true_means, resolution: float = 0.0) -> int:
+    """Number of pairs (i, j) ordered differently by estimates and truth.
+
+    A pair counts as incorrect when |mu_i - mu_j| > resolution but the
+    estimates do not reproduce the strict order (ties among estimates count
+    as incorrect, since the drawn bars would not show the true relation).
+    """
+    est, true = _as_arrays(estimates, true_means)
+    k = est.shape[0]
+    if k < 2:
+        return 0
+    dt = true[:, None] - true[None, :]
+    de = est[:, None] - est[None, :]
+    matters = np.triu(np.abs(dt) > resolution, k=1)
+    wrong = np.sign(de) != np.sign(dt)
+    return int((matters & wrong).sum())
+
+
+def check_ordering(estimates, true_means, resolution: float = 0.0) -> bool:
+    """True iff the correct ordering property holds (Problem 1 / Problem 2).
+
+    For every pair with |mu_i - mu_j| > resolution, mu_i > mu_j must imply
+    nu_i > nu_j.  Pairs of true means within ``resolution`` are
+    unconstrained.
+    """
+    return incorrect_pairs(estimates, true_means, resolution=resolution) == 0
+
+
+def pair_accuracy(estimates, true_means, resolution: float = 0.0) -> float:
+    """Fraction of constrained pairs ordered correctly (1.0 if none apply)."""
+    est, true = _as_arrays(estimates, true_means)
+    k = est.shape[0]
+    if k < 2:
+        return 1.0
+    dt = true[:, None] - true[None, :]
+    matters = np.triu(np.abs(dt) > resolution, k=1)
+    total = int(matters.sum())
+    if total == 0:
+        return 1.0
+    wrong = incorrect_pairs(est, true, resolution=resolution)
+    return 1.0 - wrong / total
+
+
+def check_neighbor_ordering(estimates, true_means, resolution: float = 0.0) -> bool:
+    """Trend-line correctness (Problem 3): adjacent x-axis groups only.
+
+    Groups are taken in input order (the ordinal x axis); for every
+    consecutive pair with |mu_i - mu_{i+1}| > resolution the estimates must
+    reproduce the strict order.
+    """
+    est, true = _as_arrays(estimates, true_means)
+    for i in range(est.shape[0] - 1):
+        dt = true[i + 1] - true[i]
+        if abs(dt) <= resolution:
+            continue
+        if np.sign(est[i + 1] - est[i]) != np.sign(dt):
+            return False
+    return True
+
+
+def check_top_t(
+    estimates,
+    true_means,
+    t: int,
+    resolution: float = 0.0,
+    largest: bool = True,
+) -> bool:
+    """Top-t correctness (Problem 4).
+
+    The t groups with the largest (or smallest) estimates must be the true
+    top-t, and their relative order must be correct - except that groups
+    whose true means are within ``resolution`` of each other (including of
+    the t-th boundary) may swap.
+    """
+    est, true = _as_arrays(estimates, true_means)
+    k = est.shape[0]
+    if not 1 <= t <= k:
+        raise ValueError(f"t must be in [1, {k}], got {t}")
+    sign = -1.0 if largest else 1.0
+    est_order = np.argsort(sign * est, kind="stable")[:t]
+    true_sorted = np.argsort(sign * true, kind="stable")
+    true_top = set(int(i) for i in true_sorted[:t])
+    boundary = true[true_sorted[t - 1]]
+    for gid in est_order:
+        if int(gid) in true_top:
+            continue
+        # A swap across the boundary is allowed only within resolution.
+        if abs(true[gid] - boundary) > resolution:
+            return False
+    # Relative order within the reported top-t.
+    top_est = est[est_order]
+    top_true = true[est_order]
+    return check_ordering(top_est, top_true, resolution=resolution)

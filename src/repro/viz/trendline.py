@@ -1,0 +1,69 @@
+"""Text trend-line rendering for ordinal (e.g. time) group-by attributes.
+
+Trend lines are the second visualization type the paper targets (Problem 3):
+the x axis is ordinal, and only comparisons between *adjacent* groups matter.
+This module renders a compact ASCII line chart and annotates the direction of
+each consecutive step, which is exactly the visual property the trends
+variant guarantees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_trendline", "step_directions"]
+
+
+def step_directions(values: np.ndarray, resolution: float = 0.0) -> list[str]:
+    """Direction of each consecutive step: 'up', 'down', or 'flat'.
+
+    Steps smaller than ``resolution`` in magnitude are reported as 'flat' -
+    these are the pairs the resolution relaxation leaves unconstrained.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = []
+    for i in range(values.shape[0] - 1):
+        d = values[i + 1] - values[i]
+        if abs(d) <= resolution:
+            out.append("flat")
+        elif d > 0:
+            out.append("up")
+        else:
+            out.append("down")
+    return out
+
+
+def render_trendline(
+    labels: list[str],
+    values: np.ndarray,
+    height: int = 10,
+    title: str = "",
+    resolution: float = 0.0,
+) -> str:
+    """Render values as an ASCII trend line with step-direction annotations."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != values.shape[0]:
+        raise ValueError("labels and values must have equal length")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    k = values.shape[0]
+    lo, hi = float(values.min()), float(values.max())
+    span = max(hi - lo, 1e-12)
+    rows = [[" "] * k for _ in range(height)]
+    levels = ((values - lo) / span * (height - 1)).round().astype(int)
+    for x, level in enumerate(levels):
+        rows[height - 1 - level][x] = "*"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(rows):
+        axis_val = hi - span * r / (height - 1)
+        lines.append(f"{axis_val:8.2f} | " + "  ".join(row))
+    lines.append(" " * 10 + "-" * (3 * k - 2))
+    label_row = " " * 11 + "  ".join(lbl[:1] for lbl in labels)
+    lines.append(label_row)
+    arrows = {"up": "/", "down": "\\", "flat": "-"}
+    dirs = step_directions(values, resolution)
+    lines.append(" " * 11 + " " + "  ".join(arrows[d] for d in dirs))
+    lines.append("legend: " + ", ".join(f"{lbl[:1]}={lbl}" for lbl in labels))
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Tests for the confidence-interval schedules (Theorem 3.2 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import (
+    EpsilonSchedule,
+    anytime_epsilon,
+    chernoff_sample_size,
+    hoeffding_epsilon,
+    ifocus_epsilon,
+    iterated_log,
+)
+
+
+class TestIteratedLog:
+    def test_small_m_clamped_to_zero(self):
+        assert iterated_log(1) == 0.0
+        assert iterated_log(2) == 0.0  # ln(2) < 1 -> clamp
+
+    def test_large_m_positive(self):
+        assert iterated_log(100) == pytest.approx(math.log(math.log(100)))
+
+    def test_monotone_nondecreasing(self):
+        ms = np.arange(1, 10_000)
+        vals = iterated_log(ms)
+        assert np.all(np.diff(vals) >= 0)
+
+    def test_kappa_scales_inner_log(self):
+        # log_kappa(m) = ln m / ln kappa, so a larger kappa shrinks the term.
+        assert iterated_log(1000, kappa=4.0) < iterated_log(1000, kappa=2.0)
+
+    def test_kappa_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_log(10, kappa=0.5)
+
+    def test_vector_input(self):
+        out = iterated_log(np.array([1, 10, 100]))
+        assert out.shape == (3,)
+
+
+class TestAnytimeEpsilon:
+    def test_decreasing_in_m(self):
+        eps = anytime_epsilon(np.arange(3, 100_000), delta=0.05)
+        assert np.all(np.diff(eps) < 0)
+
+    def test_scales_with_c(self):
+        e1 = anytime_epsilon(50, delta=0.05, c=1.0)
+        e100 = anytime_epsilon(50, delta=0.05, c=100.0)
+        assert e100 == pytest.approx(100.0 * e1)
+
+    def test_without_replacement_tighter(self):
+        # The finite-population factor only shrinks epsilon.
+        m = np.arange(2, 1000)
+        wr = anytime_epsilon(m, delta=0.05)
+        wor = anytime_epsilon(m, delta=0.05, n=1000)
+        assert np.all(wor <= wr)
+
+    def test_wor_epsilon_near_exhaustion_small(self):
+        # At m = n the factor is 1/n: epsilon collapses.
+        full = anytime_epsilon(1000, delta=0.05, n=1000)
+        free = anytime_epsilon(1000, delta=0.05)
+        assert full < free / 10
+
+    def test_smaller_delta_wider(self):
+        assert anytime_epsilon(100, delta=0.01) > anytime_epsilon(100, delta=0.2)
+
+    def test_m_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            anytime_epsilon(0, delta=0.05)
+
+    def test_invalid_delta_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                anytime_epsilon(10, delta=bad)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            anytime_epsilon(10, delta=0.05, n=0)
+
+    @given(
+        m=st.integers(min_value=1, max_value=10**6),
+        delta=st.floats(min_value=1e-4, max_value=0.5),
+        c=st.floats(min_value=0.1, max_value=1000),
+    )
+    @settings(max_examples=100)
+    def test_always_positive_and_finite(self, m, delta, c):
+        eps = anytime_epsilon(m, delta=delta, c=c)
+        assert eps > 0
+        assert math.isfinite(eps)
+
+    @pytest.mark.slow
+    def test_empirical_anytime_coverage(self):
+        """The bound must hold for ALL m simultaneously w.p. >= 1 - delta.
+
+        Empirical check on the adversarial two-point distribution: count runs
+        where |running mean - mu| ever exceeds eps_m.
+        """
+        delta = 0.1
+        rng = np.random.default_rng(1234)
+        n_runs, horizon = 400, 2000
+        failures = 0
+        ms = np.arange(1, horizon + 1)
+        eps = anytime_epsilon(ms, delta=delta, c=1.0)
+        for _ in range(n_runs):
+            x = (rng.random(horizon) < 0.5).astype(np.float64)
+            means = np.cumsum(x) / ms
+            if np.any(np.abs(means - 0.5) > eps):
+                failures += 1
+        assert failures / n_runs <= delta
+
+
+class TestIFocusEpsilon:
+    def test_matches_anytime_with_delta_over_k(self):
+        e1 = ifocus_epsilon(100, k=10, delta=0.05, c=100.0)
+        e2 = anytime_epsilon(100, delta=0.005, c=100.0)
+        assert e1 == pytest.approx(e2)
+
+    def test_heuristic_factor_divides(self):
+        base = ifocus_epsilon(100, k=5, delta=0.05)
+        shrunk = ifocus_epsilon(100, k=5, delta=0.05, heuristic_factor=4.0)
+        assert shrunk == pytest.approx(base / 4.0)
+
+    def test_more_groups_wider(self):
+        assert ifocus_epsilon(100, k=50, delta=0.05) > ifocus_epsilon(100, k=5, delta=0.05)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            ifocus_epsilon(10, k=0, delta=0.05)
+
+
+class TestHoeffdingEpsilon:
+    def test_formula(self):
+        m, delta, c = 200, 0.05, 10.0
+        expected = c * math.sqrt(math.log(2 / delta) / (2 * m))
+        assert hoeffding_epsilon(m, delta, c) == pytest.approx(expected)
+
+    def test_vector(self):
+        out = hoeffding_epsilon(np.array([10, 100]), 0.05)
+        assert out[0] > out[1]
+
+
+class TestChernoffSampleSize:
+    def test_formula(self):
+        eps, delta, c = 0.1, 0.05, 1.0
+        expected = math.ceil(1.0 / (2 * eps**2) * math.log(2 / delta))
+        assert chernoff_sample_size(eps, delta, c) == expected
+
+    def test_quadruples_when_eps_halves(self):
+        m1 = chernoff_sample_size(0.2, 0.05)
+        m2 = chernoff_sample_size(0.1, 0.05)
+        assert 3.5 <= m2 / m1 <= 4.5
+
+    def test_sufficiency_empirical(self):
+        """Lemma 4: the Chernoff size must deliver |nu - mu| <= eps w.h.p."""
+        eps, delta = 0.05, 0.1
+        m = chernoff_sample_size(eps, delta)
+        rng = np.random.default_rng(7)
+        fails = 0
+        runs = 300
+        for _ in range(runs):
+            x = (rng.random(m) < 0.5).astype(np.float64)
+            if abs(x.mean() - 0.5) > eps:
+                fails += 1
+        assert fails / runs <= delta
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chernoff_sample_size(0.0, 0.05)
+        with pytest.raises(ValueError):
+            chernoff_sample_size(0.1, 1.5)
+
+
+class TestEpsilonSchedule:
+    def test_call_matches_function(self):
+        sched = EpsilonSchedule(k=10, delta=0.05, c=100.0)
+        m = np.arange(2, 50)
+        direct = ifocus_epsilon(m, k=10, delta=0.05, c=100.0, n=5000)
+        assert np.allclose(np.asarray(sched(m, 5000.0)), np.asarray(direct))
+
+    def test_rounds_until(self):
+        sched = EpsilonSchedule(k=10, delta=0.05, c=100.0)
+        target = 1.0
+        m_star = sched.rounds_until(target)
+        assert float(sched(m_star)) < target
+        assert float(sched(m_star - 1)) >= target
+
+    def test_rounds_until_unreachable(self):
+        sched = EpsilonSchedule(k=2, delta=0.05, c=1.0)
+        with pytest.raises(ValueError):
+            sched.rounds_until(1e-12, m_hi=10_000)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EpsilonSchedule(k=0, delta=0.05)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(k=5, delta=0.05, kappa=0.9)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(k=5, delta=0.05, heuristic_factor=0.0)

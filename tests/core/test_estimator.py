@@ -1,0 +1,87 @@
+"""Tests for the incremental mean estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import RunningMean, prefix_means
+
+
+class TestRunningMean:
+    def test_empty_mean_undefined(self):
+        with pytest.raises(ValueError):
+            RunningMean().mean
+
+    def test_add_sequence(self):
+        rm = RunningMean()
+        assert rm.add(2.0) == 2.0
+        assert rm.add(4.0) == 3.0
+        assert rm.count == 2
+
+    def test_extend_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        block = rng.uniform(0, 100, 1000)
+        rm = RunningMean()
+        rm.extend(block)
+        assert rm.mean == pytest.approx(block.mean())
+
+    def test_extend_prefix_matches_one_at_a_time(self):
+        rng = np.random.default_rng(1)
+        block = rng.uniform(0, 100, 257)
+        rm1 = RunningMean()
+        rm1.add(50.0)
+        prefix = rm1.extend_prefix(block)
+        rm2 = RunningMean()
+        rm2.add(50.0)
+        singles = np.array([rm2.add(x) for x in block])
+        assert np.allclose(prefix, singles)
+        assert rm1.mean == pytest.approx(rm2.mean)
+
+    def test_rewind(self):
+        rm = RunningMean()
+        rm.extend(np.array([1.0, 2.0, 3.0]))
+        snapshot = (rm.count, rm.total)
+        rm.extend(np.array([100.0]))
+        rm.rewind_to(*snapshot)
+        assert rm.count == 3
+        assert rm.mean == pytest.approx(2.0)
+
+    def test_copy_independent(self):
+        rm = RunningMean()
+        rm.add(1.0)
+        cp = rm.copy()
+        cp.add(3.0)
+        assert rm.count == 1 and cp.count == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RunningMean(count=-1)
+        with pytest.raises(ValueError):
+            RunningMean(total=5.0, count=0)
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50)
+    )
+    @settings(max_examples=100)
+    def test_mean_invariant(self, values):
+        rm = RunningMean()
+        for v in values:
+            rm.add(v)
+        assert rm.mean == pytest.approx(np.mean(values))
+
+
+class TestPrefixMeans:
+    def test_no_prior(self):
+        out = prefix_means(0.0, 0, np.array([2.0, 4.0, 6.0]))
+        assert np.allclose(out, [2.0, 3.0, 4.0])
+
+    def test_with_prior(self):
+        # prior: two samples summing to 10 (mean 5).
+        out = prefix_means(10.0, 2, np.array([4.0]))
+        assert out[0] == pytest.approx(14.0 / 3.0)
+
+    def test_empty_block(self):
+        assert prefix_means(1.0, 1, np.array([])).shape == (0,)

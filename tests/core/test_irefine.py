@@ -1,0 +1,87 @@
+"""Tests for IREFINE (Algorithms 2/3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ifocus import run_ifocus
+from repro.core.irefine import run_irefine
+from repro.engines.memory import InMemoryEngine
+from repro.viz.properties import check_ordering
+from tests.conftest import make_materialized_population, make_virtual_population
+
+
+class TestBasics:
+    def test_orders_correctly(self, small_engine):
+        res = run_irefine(small_engine, delta=0.05, seed=1)
+        assert check_ordering(res.estimates, small_engine.population.true_means())
+        assert res.algorithm == "irefine"
+
+    def test_costs_more_than_ifocus_on_virtual(self):
+        # The aggressive halving wastes samples vs IFOCUS (Theorem 3.10's
+        # extra log(1/eta) factor); compare on an instance with room to halve.
+        pop = make_virtual_population([20.0, 45.0, 47.0, 80.0], sizes=10**7)
+        engine = InMemoryEngine(pop)
+        ifocus = run_ifocus(engine, delta=0.05, seed=2)
+        irefine = run_irefine(engine, delta=0.05, seed=2)
+        assert irefine.total_samples > ifocus.total_samples
+
+    def test_rounds_are_iterations(self, small_engine):
+        res = run_irefine(small_engine, delta=0.05, seed=3)
+        # eps halves from c/2 each iteration; a handful suffice here.
+        assert 1 <= res.rounds <= 20
+
+    def test_sample_count_quadruples_per_iteration(self, small_engine):
+        res = run_irefine(small_engine, delta=0.05, seed=4)
+        # Final per-group count is dominated by the last ESTIMATEMEAN call.
+        assert res.total_samples > 0
+        assert res.stats.total_samples == res.total_samples
+
+    def test_resolution_variant(self):
+        pop = make_virtual_population([40.0, 40.3, 80.0], sizes=10**7)
+        engine = InMemoryEngine(pop)
+        relaxed = run_irefine(engine, delta=0.05, resolution=4.0, seed=5)
+        plain = run_irefine(engine, delta=0.05, seed=5, max_iterations=24)
+        assert relaxed.total_samples < plain.total_samples
+        assert relaxed.algorithm == "irefiner"
+
+    def test_exhaustion_scans_small_groups(self):
+        pop = make_materialized_population([50.0, 50.2], sizes=100, spread=8.0, seed=6)
+        engine = InMemoryEngine(pop)
+        res = run_irefine(engine, delta=0.05, seed=7)
+        assert all(g.exhausted for g in res.groups)
+        assert np.allclose(res.estimates, pop.true_means())
+        # Earlier refinement draws accrue on top of the final full scan.
+        assert np.all(res.samples_per_group >= pop.sizes())
+
+    def test_max_iterations_truncates(self):
+        pop = make_virtual_population([50.0, 50.0001], sizes=10**9)
+        res = run_irefine(InMemoryEngine(pop), delta=0.05, seed=8, max_iterations=6)
+        assert res.params["truncated"]
+
+    def test_invalid_args(self, small_engine):
+        with pytest.raises(ValueError):
+            run_irefine(small_engine, delta=0.0)
+        with pytest.raises(ValueError):
+            run_irefine(small_engine, resolution=-1.0)
+
+    def test_deterministic_given_seed(self, small_engine):
+        a = run_irefine(small_engine, delta=0.05, seed=9)
+        b = run_irefine(small_engine, delta=0.05, seed=9)
+        assert np.array_equal(a.estimates, b.estimates)
+        assert np.array_equal(a.samples_per_group, b.samples_per_group)
+
+    @pytest.mark.slow
+    def test_statistical_correctness(self):
+        delta = 0.2
+        fails = 0
+        trials = 25
+        for t in range(trials):
+            pop = make_materialized_population(
+                [30.0, 36.0, 60.0], sizes=50_000, spread=15.0, seed=100 + t
+            )
+            engine = InMemoryEngine(pop)
+            res = run_irefine(engine, delta=delta, seed=t)
+            fails += not check_ordering(res.estimates, pop.true_means())
+        assert fails / trials <= delta

@@ -1,0 +1,91 @@
+"""Tests for the ROUNDROBIN baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ifocus import run_ifocus
+from repro.core.roundrobin import run_roundrobin
+from repro.engines.memory import InMemoryEngine
+from repro.viz.properties import check_ordering
+from tests.conftest import make_materialized_population
+
+
+class TestBasics:
+    def test_orders_correctly(self, small_engine):
+        res = run_roundrobin(small_engine, delta=0.05, seed=1)
+        assert check_ordering(res.estimates, small_engine.population.true_means())
+        assert res.algorithm == "roundrobin"
+
+    def test_all_groups_sampled_equally(self, close_engine):
+        res = run_roundrobin(close_engine, delta=0.05, seed=2)
+        # Every non-exhausted group gets exactly m samples.
+        assert len(set(res.samples_per_group.tolist())) == 1
+
+    def test_costs_at_least_ifocus(self, close_engine):
+        rr = run_roundrobin(close_engine, delta=0.05, seed=3)
+        ifocus = run_ifocus(close_engine, delta=0.05, seed=3)
+        # Round-robin keeps sampling resolved groups - it can't beat IFOCUS.
+        assert rr.total_samples >= ifocus.total_samples
+
+    def test_resolution_variant_cheaper_on_close_pair(self):
+        pop = make_materialized_population([40.0, 40.5, 80.0], sizes=200_000, seed=4)
+        engine = InMemoryEngine(pop)
+        plain = run_roundrobin(engine, delta=0.05, seed=5)
+        relaxed = run_roundrobin(engine, delta=0.05, resolution=4.0, seed=5)
+        assert relaxed.total_samples < plain.total_samples
+        assert relaxed.algorithm == "roundrobinr"
+
+    def test_single_group_stops_fast(self):
+        pop = make_materialized_population([50.0], sizes=500)
+        res = run_roundrobin(InMemoryEngine(pop), delta=0.05, seed=6)
+        assert res.total_samples <= 3
+
+    def test_batch_size_invariance(self, close_engine):
+        a = run_roundrobin(close_engine, delta=0.05, seed=7, initial_batch=1, max_batch=1)
+        b = run_roundrobin(close_engine, delta=0.05, seed=7, initial_batch=512, max_batch=2048)
+        assert np.allclose(a.estimates, b.estimates)
+        assert np.array_equal(a.samples_per_group, b.samples_per_group)
+        assert a.rounds == b.rounds
+
+    def test_max_rounds_truncation(self, close_engine):
+        res = run_roundrobin(close_engine, delta=0.05, seed=8, max_rounds=5)
+        assert res.params["truncated"]
+        assert np.all(res.samples_per_group <= 5)
+
+    def test_invalid_delta(self, small_engine):
+        with pytest.raises(ValueError):
+            run_roundrobin(small_engine, delta=2.0)
+
+
+class TestExhaustion:
+    def test_exhausted_groups_frozen_exact(self):
+        # One tiny group with a mean close to a big group's: the tiny one
+        # exhausts; the big one must still clear its frozen exact value.
+        pop = make_materialized_population(
+            [50.0, 50.8, 90.0], sizes=[80, 50_000, 50_000], spread=6.0, seed=9
+        )
+        engine = InMemoryEngine(pop)
+        res = run_roundrobin(engine, delta=0.05, seed=10)
+        assert res.groups[0].exhausted
+        assert res.groups[0].estimate == pytest.approx(pop.groups[0].true_mean)
+        assert check_ordering(res.estimates, pop.true_means())
+
+    def test_all_exhausted_when_identical(self):
+        pop = make_materialized_population([50.0, 50.0], sizes=60, spread=5.0, seed=11)
+        res = run_roundrobin(InMemoryEngine(pop), delta=0.05, seed=12)
+        assert all(g.exhausted for g in res.groups)
+        assert np.allclose(res.estimates, pop.true_means())
+
+
+class TestWithReplacement:
+    def test_runs_and_orders(self, small_engine):
+        res = run_roundrobin(small_engine, delta=0.05, seed=13, without_replacement=False)
+        assert check_ordering(res.estimates, small_engine.population.true_means())
+
+    def test_trace(self, small_engine):
+        res = run_roundrobin(small_engine, delta=0.05, seed=14, trace_every=5)
+        assert res.trace is not None and len(res.trace) > 0
+        # All groups stay live until global termination.
+        assert all(len(s.active) == small_engine.k for s in res.trace)

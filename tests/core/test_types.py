@@ -1,0 +1,77 @@
+"""Tests for result/trace types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
+
+
+def _result(estimates) -> OrderingResult:
+    est = np.asarray(estimates, dtype=np.float64)
+    k = est.shape[0]
+    groups = [
+        GroupOutcome(i, f"g{i}", float(est[i]), 10, 0.5, False, 10) for i in range(k)
+    ]
+    return OrderingResult(
+        algorithm="test",
+        estimates=est,
+        samples_per_group=np.full(k, 10, dtype=np.int64),
+        rounds=10,
+        groups=groups,
+        inactive_order=list(range(k)),
+    )
+
+
+class TestOrderingResult:
+    def test_order_and_ranking(self):
+        res = _result([30.0, 10.0, 20.0])
+        assert res.order().tolist() == [1, 2, 0]
+        assert res.ranking().tolist() == [2, 0, 1]
+
+    def test_total_samples(self):
+        assert _result([1.0, 2.0]).total_samples == 20
+
+    def test_summary_contains_key_facts(self):
+        s = _result([1.0, 2.0]).summary()
+        assert "test" in s and "k=2" in s
+
+    def test_k(self):
+        assert _result([1.0, 2.0, 3.0]).k == 3
+
+
+class TestTrace:
+    def _snap(self, m, estimates, active):
+        return RoundSnapshot(
+            round_index=m,
+            cumulative_samples=m * len(active),
+            active=tuple(active),
+            estimates=np.asarray(estimates, dtype=np.float64),
+            epsilon=1.0,
+        )
+
+    def test_series_accessors(self):
+        trace = Trace(every=1)
+        trace.append(self._snap(1, [1.0, 2.0], [0, 1]))
+        trace.append(self._snap(2, [1.5, 2.5], [0]))
+        assert trace.samples_series().tolist() == [2, 2]
+        assert trace.active_counts().tolist() == [2, 1]
+        assert trace.estimate_matrix().shape == (2, 2)
+        assert len(trace) == 2
+
+    def test_intervals(self):
+        snap = self._snap(1, [5.0], [0])
+        assert snap.intervals() == [(4.0, 6.0)]
+
+    def test_iteration(self):
+        trace = Trace(every=1)
+        trace.append(self._snap(1, [1.0], [0]))
+        assert [s.round_index for s in trace] == [1]
+
+
+class TestGroupOutcome:
+    def test_frozen(self):
+        g = GroupOutcome(0, "a", 1.0, 5, 0.1, False, 5)
+        with pytest.raises(AttributeError):
+            g.estimate = 2.0  # type: ignore[misc]

@@ -1,0 +1,149 @@
+"""Tests for the bounded distributions and their analytic moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    Mixture,
+    PointMass,
+    TruncatedNormal,
+    TwoPoint,
+    UniformValues,
+)
+
+
+def empirical_check(dist, n: int = 200_000, seed: int = 0, tol: float = 0.5):
+    """Sampled mean must match the analytic mean within tolerance."""
+    rng = np.random.default_rng(seed)
+    sample = dist.sample(rng, n)
+    assert sample.shape == (n,)
+    assert np.all(sample >= dist.lo - 1e-9) and np.all(sample <= dist.hi + 1e-9)
+    assert sample.mean() == pytest.approx(dist.mean, abs=tol)
+
+
+class TestPointMass:
+    def test_moments(self):
+        d = PointMass(42.0)
+        assert d.mean == 42.0 and d.variance == 0.0
+        assert np.all(d.sample(np.random.default_rng(0), 10) == 42.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        d = UniformValues(10.0, 30.0)
+        assert d.mean == 20.0
+        assert d.variance == pytest.approx(400 / 12)
+        empirical_check(d)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformValues(5.0, 5.0)
+
+
+class TestTwoPoint:
+    def test_moments(self):
+        d = TwoPoint(0.3, 0.0, 100.0)
+        assert d.mean == pytest.approx(30.0)
+        assert d.variance == pytest.approx(0.3 * 0.7 * 10_000)
+        empirical_check(d)
+
+    def test_values_are_two_points(self):
+        d = TwoPoint(0.5, 0.0, 100.0)
+        s = d.sample(np.random.default_rng(1), 1000)
+        assert set(np.unique(s)) <= {0.0, 100.0}
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            TwoPoint(1.5)
+
+    @given(p=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_mean_formula(self, p):
+        assert TwoPoint(p, 0.0, 100.0).mean == pytest.approx(100.0 * p)
+
+
+class TestTruncatedNormal:
+    def test_symmetric_case_mean_unchanged(self):
+        d = TruncatedNormal(50.0, 5.0, 0.0, 100.0)
+        assert d.mean == pytest.approx(50.0, abs=1e-9)
+        empirical_check(d)
+
+    def test_truncation_pulls_mean_inward(self):
+        # Parent mean at the lower bound: truncation pulls the mean up.
+        d = TruncatedNormal(0.0, 10.0, 0.0, 100.0)
+        assert d.mean > 0.0
+        empirical_check(d, tol=0.3)
+
+    def test_variance_shrinks_under_truncation(self):
+        wide = TruncatedNormal(50.0, 40.0, 0.0, 100.0)
+        assert wide.variance < 40.0**2
+
+    def test_analytic_mean_matches_reference_formula(self):
+        # Cross-check against the standard formula computed independently:
+        # alpha = -4/3, beta = 16/3; mean = 20 + 15*phi(alpha)/(1-Phi(alpha)).
+        import math
+
+        alpha = (0.0 - 20.0) / 15.0
+        phi = math.exp(-0.5 * alpha**2) / math.sqrt(2 * math.pi)
+        big_phi = 0.5 * (1 + math.erf(alpha / math.sqrt(2)))
+        expected = 20.0 + 15.0 * phi / (1.0 - big_phi)
+        d = TruncatedNormal(20.0, 15.0, 0.0, 100.0)
+        # The reference above ignores the (negligible) upper tail at beta=16/3.
+        assert d.mean == pytest.approx(expected, abs=1e-4)
+
+    def test_no_mass_raises(self):
+        d = TruncatedNormal(-1000.0, 1.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            _ = d.mean
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(50.0, 0.0)
+
+    @given(
+        mu=st.floats(min_value=5, max_value=95),
+        sigma=st.floats(min_value=0.5, max_value=20),
+    )
+    @settings(max_examples=40)
+    def test_mean_always_inside_bounds(self, mu, sigma):
+        d = TruncatedNormal(mu, sigma, 0.0, 100.0)
+        assert 0.0 < d.mean < 100.0
+
+
+class TestMixture:
+    def test_mean_is_weighted_average(self):
+        m = Mixture(
+            [PointMass(10.0), PointMass(30.0)],
+            weights=[0.25, 0.75],
+        )
+        assert m.mean == pytest.approx(25.0)
+        assert m.variance == pytest.approx(0.25 * 225 + 0.75 * 25)
+
+    def test_equal_weights_default(self):
+        m = Mixture([PointMass(0.0), PointMass(100.0)])
+        assert m.mean == pytest.approx(50.0)
+
+    def test_sampling_matches_mean(self):
+        m = Mixture(
+            [
+                TruncatedNormal(20.0, 3.0, 0.0, 100.0),
+                TruncatedNormal(70.0, 5.0, 0.0, 100.0),
+            ]
+        )
+        empirical_check(m)
+
+    def test_support_is_union(self):
+        m = Mixture([UniformValues(0, 10), UniformValues(50, 60)])
+        assert m.lo == 0 and m.hi == 60
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+        with pytest.raises(ValueError):
+            Mixture([PointMass(1.0)], weights=[0.0])
+        with pytest.raises(ValueError):
+            Mixture([PointMass(1.0), PointMass(2.0)], weights=[-1.0, 2.0])

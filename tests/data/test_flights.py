@@ -1,0 +1,76 @@
+"""Tests for the synthetic flight-records dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.flights import (
+    CARRIERS,
+    FLIGHT_ATTRIBUTES,
+    make_flights_population,
+    make_flights_table,
+)
+
+
+class TestPopulation:
+    def test_all_carriers_present(self):
+        pop = make_flights_population("arrival_delay", total_rows=10**6, seed=0)
+        assert sorted(pop.group_names) == sorted(code for code, _ in CARRIERS)
+
+    def test_sizes_follow_shares(self):
+        pop = make_flights_population("arrival_delay", total_rows=10**6, seed=0)
+        sizes = dict(zip(pop.group_names, pop.sizes()))
+        assert sizes["WN"] > sizes["HA"]  # big vs small carrier
+        assert abs(pop.total_size - 10**6) < len(CARRIERS) + 1
+
+    def test_density_estimation_scaleup_preserves_means(self):
+        # The paper scales by density estimation: distributions unchanged,
+        # sizes scaled.  Means must be identical across scales.
+        small = make_flights_population("arrival_delay", total_rows=10**5, seed=0)
+        big = make_flights_population("arrival_delay", total_rows=10**7, seed=0)
+        assert np.allclose(small.true_means(), big.true_means())
+        assert big.total_size == pytest.approx(100 * small.total_size, rel=0.01)
+
+    def test_conflicting_pairs_exist(self):
+        # The delay attributes must contain close pairs (the Table 3 driver).
+        pop = make_flights_population("arrival_delay", total_rows=10**6, seed=0)
+        assert float(pop.eta().min()) < 1.0
+
+    def test_elapsed_time_easier_than_delays(self):
+        elapsed = make_flights_population("elapsed_time", total_rows=10**6, seed=0)
+        arrival = make_flights_population("arrival_delay", total_rows=10**6, seed=0)
+        assert elapsed.difficulty() < arrival.difficulty()
+
+    @pytest.mark.parametrize("attribute", sorted(FLIGHT_ATTRIBUTES))
+    def test_bounds_respected(self, attribute):
+        pop = make_flights_population(attribute, total_rows=10**5, seed=1)
+        _, c, _ = FLIGHT_ATTRIBUTES[attribute]
+        assert pop.c == c
+        assert np.all(pop.true_means() > 0) and np.all(pop.true_means() < c)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            make_flights_population("bogus")
+
+
+class TestTable:
+    def test_schema(self):
+        t = make_flights_table(num_rows=5_000, seed=0)
+        for col in ("carrier", "elapsed_time", "arrival_delay", "departure_delay",
+                    "distance", "year"):
+            assert col in t
+        assert t.num_rows == 5_000
+
+    def test_values_bounded(self):
+        t = make_flights_table(num_rows=5_000, seed=0)
+        for attribute, (_, c, _) in FLIGHT_ATTRIBUTES.items():
+            vals = t.column(attribute)
+            assert vals.min() >= 0 and vals.max() <= c
+
+    def test_carrier_mix(self):
+        t = make_flights_table(num_rows=50_000, seed=0)
+        carriers, counts = np.unique(t.column("carrier"), return_counts=True)
+        assert len(carriers) == len(CARRIERS)
+        by = dict(zip(carriers, counts))
+        assert by["WN"] > by["AQ"]

@@ -1,0 +1,62 @@
+"""Tests for figure export (CSV/JSON/txt)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import figure_to_csv, figure_to_json, write_figure
+from repro.experiments.report import FigureResult
+
+
+@pytest.fixture()
+def fig() -> FigureResult:
+    return FigureResult(
+        figure="figX",
+        title="demo",
+        headers=["size", "pct"],
+        rows=[[10, np.float64(1.5)], [100, np.float64(0.25)]],
+        notes=["a note"],
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, fig):
+        text = figure_to_csv(fig)
+        rows = list(csv.reader(text.splitlines()))
+        assert rows[0] == ["size", "pct"]
+        assert rows[1] == ["10", "1.5"]
+        assert len(rows) == 3
+
+
+class TestJson:
+    def test_payload(self, fig):
+        payload = json.loads(figure_to_json(fig))
+        assert payload["figure"] == "figX"
+        assert payload["headers"] == ["size", "pct"]
+        assert payload["rows"][1] == [100, 0.25]
+        assert payload["notes"] == ["a note"]
+
+    def test_numpy_scalars_serialized(self, fig):
+        # Must not raise on numpy float64 cells.
+        json.loads(figure_to_json(fig))
+
+
+class TestWrite:
+    def test_writes_all_formats(self, fig, tmp_path):
+        paths = write_figure(fig, tmp_path, formats=("csv", "json", "txt"))
+        assert sorted(p.name for p in paths) == ["figX.csv", "figX.json", "figX.txt"]
+        for p in paths:
+            assert p.read_text()
+
+    def test_unknown_format(self, fig, tmp_path):
+        with pytest.raises(ValueError):
+            write_figure(fig, tmp_path, formats=("xml",))
+
+    def test_creates_directory(self, fig, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        write_figure(fig, target, formats=("csv",))
+        assert (target / "figX.csv").exists()

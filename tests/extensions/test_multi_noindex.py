@@ -1,0 +1,130 @@
+"""Tests for multi-group-by / multi-aggregate (§6.3.4-6.3.5) and no-index
+(§6.3.6) variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines.memory import InMemoryEngine
+from repro.extensions.multi import (
+    composite_group_column,
+    run_ifocus_multi_avg,
+    run_multi_groupby,
+)
+from repro.extensions.noindex import run_noindex
+from repro.needletail.table import Table
+from repro.viz.properties import check_ordering
+from tests.conftest import make_materialized_population
+
+
+def two_dim_table(n: int = 40_000, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    carrier = rng.choice(["AA", "DL"], size=n)
+    year = rng.choice([1995, 2005], size=n)
+    base = {("AA", 1995): 20.0, ("AA", 2005): 40.0, ("DL", 1995): 60.0, ("DL", 2005): 80.0}
+    mu = np.array([base[(c, y)] for c, y in zip(carrier, year)])
+    delay = np.clip(mu + rng.normal(0, 8, n), 0, 100)
+    dist = np.clip(500.0 + 300.0 * (carrier == "DL") + rng.normal(0, 100, n), 0, 2000)
+    return Table.from_dict(
+        "t", {"carrier": carrier, "year": year, "delay": delay, "dist": dist}
+    )
+
+
+class TestCompositeGroupBy:
+    def test_composite_column(self):
+        t = two_dim_table(100)
+        key = composite_group_column(t, ["carrier", "year"])
+        assert set(np.unique(key)) == {"AA|1995", "AA|2005", "DL|1995", "DL|2005"}
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            composite_group_column(two_dim_table(10), [])
+
+    def test_run_multi_groupby_orders_cross_product(self):
+        t = two_dim_table()
+        result, engine = run_multi_groupby(
+            t, ["carrier", "year"], "delay", delta=0.05, seed=1
+        )
+        true = engine.population.true_means()
+        assert check_ordering(result.estimates, true)
+        assert len(engine.population.group_names) == 4
+
+
+class TestMultiAvg:
+    def test_both_orderings_correct(self):
+        t = two_dim_table(seed=2)
+        res = run_ifocus_multi_avg(t, "carrier", "delay", "dist", delta=0.05, seed=3)
+        delay_true = [
+            t.column("delay")[t.column("carrier") == c].mean() for c in ("AA", "DL")
+        ]
+        dist_true = [
+            t.column("dist")[t.column("carrier") == c].mean() for c in ("AA", "DL")
+        ]
+        assert check_ordering(res.y.estimates, np.array(delay_true))
+        assert check_ordering(res.z.estimates, np.array(dist_true))
+
+    def test_shared_samples(self):
+        t = two_dim_table(seed=4)
+        res = run_ifocus_multi_avg(t, "carrier", "delay", "dist", delta=0.05, seed=5)
+        # Both aggregates report the same per-group sample counts (each
+        # sampled row contributes to both).
+        assert np.array_equal(res.y.samples_per_group, res.z.samples_per_group)
+        assert res.total_samples == res.y.samples_per_group.sum()
+
+    def test_estimates_close(self):
+        t = two_dim_table(seed=6)
+        res = run_ifocus_multi_avg(t, "carrier", "delay", "dist", delta=0.05, seed=7)
+        for gid, carrier in enumerate(sorted(set(t.column("carrier")))):
+            true_d = t.column("delay")[t.column("carrier") == carrier].mean()
+            assert res.y.estimates[gid] == pytest.approx(true_d, abs=5.0)
+
+
+class TestNoIndex:
+    def test_orders_correctly(self):
+        pop = make_materialized_population([20.0, 50.0, 80.0], sizes=30_000, seed=8)
+        engine = InMemoryEngine(pop)
+        res = run_noindex(engine, delta=0.05, seed=9)
+        assert check_ordering(res.estimates, pop.true_means())
+        assert res.algorithm == "noindex"
+
+    def test_samples_proportional_to_sizes(self):
+        pop = make_materialized_population(
+            [20.0, 80.0], sizes=[40_000, 10_000], spread=5.0, seed=10
+        )
+        engine = InMemoryEngine(pop)
+        res = run_noindex(engine, delta=0.05, seed=11)
+        ratio = res.samples_per_group[0] / res.samples_per_group[1]
+        assert 2.5 < ratio < 6.0  # ~4x expected from the 4:1 size skew
+
+    def test_max_samples_truncates(self):
+        pop = make_materialized_population([50.0, 50.05], sizes=10_000, seed=12)
+        engine = InMemoryEngine(pop)
+        res = run_noindex(engine, delta=0.05, seed=13, max_samples=5_000)
+        assert res.params["truncated"]
+        assert res.total_samples <= 5_000 + 256
+
+    def test_resolution_stop(self):
+        # Separating 50.0 from 50.2 needs eps < 0.1 (~6M draws per group
+        # with replacement); the r=4 relaxation stops at eps < 1 (~50k).
+        pop = make_materialized_population([50.0, 50.2, 90.0], sizes=50_000, seed=14)
+        engine = InMemoryEngine(pop)
+        relaxed = run_noindex(engine, delta=0.05, resolution=4.0, seed=15)
+        assert not relaxed.params["truncated"]
+        assert relaxed.total_samples < 400_000
+
+    def test_costs_more_than_indexed_under_skew(self):
+        from repro.core.ifocus import run_ifocus
+
+        # Small contentious group: no-index wastes draws on the big group.
+        pop = make_materialized_population(
+            [50.0, 52.0, 90.0], sizes=[80_000, 8_000, 8_000], spread=8.0, seed=16
+        )
+        engine = InMemoryEngine(pop)
+        indexed = run_ifocus(engine, delta=0.05, seed=17)
+        blind = run_noindex(engine, delta=0.05, seed=17)
+        assert blind.total_samples > indexed.total_samples
+
+    def test_validation(self, small_engine):
+        with pytest.raises(ValueError):
+            run_noindex(small_engine, batch=0)

@@ -1,0 +1,142 @@
+"""Tests for the word-packed bitmap with rank/select."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.needletail.bitvector import BitVector
+
+
+def random_bits(n: int, density: float, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).random(n) < density
+
+
+class TestConstruction:
+    def test_roundtrip_bools(self):
+        bits = random_bits(1000, 0.3)
+        assert np.array_equal(BitVector.from_bools(bits).to_bools(), bits)
+
+    def test_from_indices(self):
+        bv = BitVector.from_indices(np.array([0, 5, 63, 64, 999]), 1000)
+        assert bv.count() == 5
+        assert bv.get(63) and bv.get(64) and not bv.get(1)
+
+    def test_zeros_ones(self):
+        assert BitVector.zeros(130).count() == 0
+        assert BitVector.ones(130).count() == 130
+
+    def test_tail_masked(self):
+        # Length not a multiple of 64: bits beyond length must not count.
+        bv = BitVector.ones(70)
+        assert bv.count() == 70
+
+    def test_word_count_validation(self):
+        with pytest.raises(ValueError):
+            BitVector(np.zeros(3, dtype=np.uint64), 64)
+
+    def test_empty(self):
+        bv = BitVector.from_bools(np.zeros(0, dtype=bool))
+        assert len(bv) == 0 and bv.count() == 0
+
+
+class TestMutation:
+    def test_set_and_get(self):
+        bv = BitVector.zeros(100)
+        bv.set(42)
+        assert bv.get(42) and bv.count() == 1
+        bv.set(42, False)
+        assert not bv.get(42) and bv.count() == 0
+
+    def test_bounds_checked(self):
+        bv = BitVector.zeros(10)
+        with pytest.raises(IndexError):
+            bv.get(10)
+        with pytest.raises(IndexError):
+            bv.set(-1)
+
+
+class TestRankSelect:
+    def test_rank_matches_prefix_sums(self):
+        bits = random_bits(500, 0.4, seed=1)
+        bv = BitVector.from_bools(bits)
+        for i in (0, 1, 63, 64, 65, 250, 499, 500):
+            assert bv.rank(i) == int(bits[:i].sum())
+
+    def test_select_inverse_of_positions(self):
+        bits = random_bits(2000, 0.2, seed=2)
+        bv = BitVector.from_bools(bits)
+        positions = np.flatnonzero(bits)
+        for r in (0, 1, len(positions) // 2, len(positions) - 1):
+            assert bv.select(r) == positions[r]
+
+    def test_select_many_vectorized(self):
+        bits = random_bits(5000, 0.5, seed=3)
+        bv = BitVector.from_bools(bits)
+        positions = np.flatnonzero(bits)
+        ranks = np.random.default_rng(4).integers(0, len(positions), 300)
+        assert np.array_equal(bv.select_many(ranks), positions[ranks])
+
+    def test_select_out_of_range(self):
+        bv = BitVector.from_bools(np.array([True, False, True]))
+        with pytest.raises(IndexError):
+            bv.select(2)
+        with pytest.raises(IndexError):
+            bv.select_many(np.array([-1]))
+
+    def test_rank_select_duality(self):
+        bits = random_bits(800, 0.3, seed=5)
+        bv = BitVector.from_bools(bits)
+        for r in range(0, bv.count(), 37):
+            pos = bv.select(r)
+            assert bv.rank(pos) == r
+            assert bv.get(pos)
+
+    @given(
+        bits=st.lists(st.booleans(), min_size=1, max_size=300),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60)
+    def test_rank_select_property(self, bits, seed):
+        arr = np.array(bits, dtype=bool)
+        bv = BitVector.from_bools(arr)
+        positions = np.flatnonzero(arr)
+        assert bv.count() == len(positions)
+        if len(positions):
+            r = seed % len(positions)
+            assert bv.select(r) == positions[r]
+        i = seed % (len(bits) + 1)
+        assert bv.rank(i) == int(arr[:i].sum())
+
+
+class TestLogicalOps:
+    def test_ops_match_numpy(self):
+        a_bits = random_bits(777, 0.5, seed=6)
+        b_bits = random_bits(777, 0.5, seed=7)
+        a, b = BitVector.from_bools(a_bits), BitVector.from_bools(b_bits)
+        assert np.array_equal((a & b).to_bools(), a_bits & b_bits)
+        assert np.array_equal((a | b).to_bools(), a_bits | b_bits)
+        assert np.array_equal((a ^ b).to_bools(), a_bits ^ b_bits)
+        assert np.array_equal((~a).to_bools(), ~a_bits)
+
+    def test_invert_respects_tail(self):
+        bv = BitVector.zeros(70)
+        assert (~bv).count() == 70
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector.zeros(10) & BitVector.zeros(11)
+
+    def test_equality(self):
+        bits = random_bits(100, 0.3, seed=8)
+        assert BitVector.from_bools(bits) == BitVector.from_bools(bits)
+        assert BitVector.from_bools(bits) != BitVector.zeros(100)
+
+
+class TestSetPositions:
+    def test_matches_flatnonzero(self):
+        bits = random_bits(600, 0.25, seed=9)
+        bv = BitVector.from_bools(bits)
+        assert np.array_equal(bv.set_positions(), np.flatnonzero(bits))

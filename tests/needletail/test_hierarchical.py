@@ -1,0 +1,91 @@
+"""Tests for the hierarchical (tree-indexed) bitmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.needletail.bitvector import BitVector
+from repro.needletail.hierarchical import HierarchicalBitmap
+
+
+def random_bits(n: int, density: float = 0.3, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).random(n) < density
+
+
+class TestSelect:
+    @pytest.mark.parametrize("fanout", [2, 4, 64])
+    def test_select_matches_flat(self, fanout):
+        bits = random_bits(10_000, 0.3, seed=1)
+        hb = HierarchicalBitmap.from_bools(bits, fanout=fanout)
+        positions = np.flatnonzero(bits)
+        for r in range(0, len(positions), 517):
+            assert hb.select(r) == positions[r]
+
+    def test_select_many_matches_bitvector(self):
+        bits = random_bits(5_000, 0.4, seed=2)
+        hb = HierarchicalBitmap.from_bools(bits)
+        bv = BitVector.from_bools(bits)
+        ranks = np.random.default_rng(3).integers(0, bv.count(), 200)
+        assert np.array_equal(hb.select_many(ranks), bv.select_many(ranks))
+        # Small batches take the tree path; results must agree too.
+        small = ranks[:8]
+        assert np.array_equal(hb.select_many(small), bv.select_many(small))
+
+    def test_select_out_of_range(self):
+        hb = HierarchicalBitmap.from_bools(np.array([True, False]))
+        with pytest.raises(IndexError):
+            hb.select(1)
+
+    def test_dense_and_sparse(self):
+        for density in (0.01, 0.99):
+            bits = random_bits(4_096, density, seed=4)
+            hb = HierarchicalBitmap.from_bools(bits, fanout=8)
+            positions = np.flatnonzero(bits)
+            if len(positions):
+                assert hb.select(0) == positions[0]
+                assert hb.select(len(positions) - 1) == positions[-1]
+
+
+class TestStructure:
+    def test_depth_grows_with_size(self):
+        small = HierarchicalBitmap.from_bools(random_bits(64), fanout=4)
+        large = HierarchicalBitmap.from_bools(random_bits(1_000_000), fanout=4)
+        assert large.depth > small.depth
+
+    def test_count(self):
+        bits = random_bits(3_000, 0.2, seed=5)
+        assert HierarchicalBitmap.from_bools(bits).count() == int(bits.sum())
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalBitmap.from_bools(np.array([True]), fanout=1)
+
+    def test_from_indices(self):
+        hb = HierarchicalBitmap.from_indices(np.array([3, 900]), 1000)
+        assert hb.count() == 2
+        assert hb.select(1) == 900
+
+
+class TestUpdate:
+    def test_point_update_repairs_counts(self):
+        bits = random_bits(2_000, 0.3, seed=6)
+        hb = HierarchicalBitmap.from_bools(bits, fanout=4)
+        hb.update(150, not bits[150])
+        bits[150] = not bits[150]
+        assert hb.count() == int(bits.sum())
+        positions = np.flatnonzero(bits)
+        for r in (0, len(positions) // 2, len(positions) - 1):
+            assert hb.select(r) == positions[r]
+
+    def test_noop_update(self):
+        bits = random_bits(100, 0.5, seed=7)
+        hb = HierarchicalBitmap.from_bools(bits)
+        before = hb.count()
+        hb.update(3, bits[3])
+        assert hb.count() == before
+
+    def test_rank_delegates(self):
+        bits = random_bits(500, 0.3, seed=8)
+        hb = HierarchicalBitmap.from_bools(bits)
+        assert hb.rank(250) == int(bits[:250].sum())

@@ -1,0 +1,114 @@
+"""Tests for the run-length-compressed bitmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.needletail.bitvector import BitVector
+from repro.needletail.rle import RunLengthBitmap
+
+
+def clustered_bits(n: int = 1000) -> np.ndarray:
+    bits = np.zeros(n, dtype=bool)
+    bits[100:300] = True
+    bits[600:650] = True
+    return bits
+
+
+class TestRoundtrip:
+    def test_bools_roundtrip(self):
+        bits = clustered_bits()
+        rl = RunLengthBitmap.from_bools(bits)
+        assert np.array_equal(rl.to_bools(), bits)
+        assert rl.num_runs == 5
+
+    def test_bitvector_roundtrip(self):
+        bits = clustered_bits()
+        bv = BitVector.from_bools(bits)
+        rl = RunLengthBitmap.from_bitvector(bv)
+        assert rl.to_bitvector() == bv
+
+    def test_all_zero_all_one(self):
+        assert RunLengthBitmap.zeros(50).count() == 0
+        assert RunLengthBitmap.ones(50).count() == 50
+        assert RunLengthBitmap.ones(50).num_runs == 1
+
+    def test_empty(self):
+        rl = RunLengthBitmap.from_bools(np.zeros(0, dtype=bool))
+        assert len(rl) == 0 and rl.count() == 0
+
+    @given(bits=st.lists(st.booleans(), min_size=0, max_size=200))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, bits):
+        arr = np.array(bits, dtype=bool)
+        rl = RunLengthBitmap.from_bools(arr)
+        assert np.array_equal(rl.to_bools(), arr)
+        assert rl.count() == int(arr.sum())
+
+
+class TestAccessors:
+    def test_get(self):
+        bits = clustered_bits()
+        rl = RunLengthBitmap.from_bools(bits)
+        for i in (0, 99, 100, 299, 300, 599, 649, 999):
+            assert rl.get(i) == bits[i]
+        with pytest.raises(IndexError):
+            rl.get(1000)
+
+    def test_rank_matches_prefix(self):
+        bits = clustered_bits()
+        rl = RunLengthBitmap.from_bools(bits)
+        for i in (0, 50, 100, 250, 300, 625, 1000):
+            assert rl.rank(i) == int(bits[:i].sum())
+
+    def test_select_matches_positions(self):
+        bits = clustered_bits()
+        rl = RunLengthBitmap.from_bools(bits)
+        positions = np.flatnonzero(bits)
+        ranks = np.array([0, 10, 199, 200, 249])
+        assert np.array_equal(rl.select_many(ranks), positions[ranks])
+        with pytest.raises(IndexError):
+            rl.select(250)
+
+
+class TestLogicalOps:
+    @given(
+        a=st.lists(st.booleans(), min_size=1, max_size=120),
+        b_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=100)
+    def test_ops_match_numpy(self, a, b_seed):
+        a_arr = np.array(a, dtype=bool)
+        b_arr = np.random.default_rng(b_seed).random(len(a)) < 0.5
+        ra, rb = RunLengthBitmap.from_bools(a_arr), RunLengthBitmap.from_bools(b_arr)
+        assert np.array_equal((ra & rb).to_bools(), a_arr & b_arr)
+        assert np.array_equal((ra | rb).to_bools(), a_arr | b_arr)
+        assert np.array_equal((ra ^ rb).to_bools(), a_arr ^ b_arr)
+        assert np.array_equal((~ra).to_bools(), ~a_arr)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RunLengthBitmap.zeros(5) & RunLengthBitmap.zeros(6)
+
+
+class TestCompression:
+    def test_clustered_compresses(self):
+        bits = np.zeros(1_000_000, dtype=bool)
+        bits[:250_000] = True  # sorted low-cardinality column
+        rl = RunLengthBitmap.from_bools(bits)
+        assert rl.storage_bytes() < 100
+        assert rl.compression_ratio() > 1000
+
+    def test_random_does_not_compress(self):
+        bits = np.random.default_rng(0).random(10_000) < 0.5
+        rl = RunLengthBitmap.from_bools(bits)
+        assert rl.compression_ratio() < 1.0  # RLE loses on random data
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            RunLengthBitmap(np.array([0]), True, 10)  # boundary at 0 invalid
+        with pytest.raises(ValueError):
+            RunLengthBitmap(np.array([5, 5]), True, 10)  # not increasing

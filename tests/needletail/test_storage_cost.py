@@ -1,0 +1,128 @@
+"""Tests for the simulated disk and the calibrated cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.needletail.cost import BlockCacheCostModel, NeedletailCostModel
+from repro.needletail.storage import DiskParams, PageAccessModel, SimulatedDisk
+
+
+class TestDiskParams:
+    def test_defaults_match_paper(self):
+        p = DiskParams()
+        assert p.sequential_bandwidth == pytest.approx(800e6)
+        assert p.block_bytes == 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParams(sequential_bandwidth=0)
+        with pytest.raises(ValueError):
+            DiskParams(page_bytes=0)
+        with pytest.raises(ValueError):
+            DiskParams(random_read_seconds=-1)
+
+
+class TestSimulatedDisk:
+    def test_sequential_read_time(self):
+        disk = SimulatedDisk()
+        cost = disk.sequential_read(800_000_000)
+        assert cost == pytest.approx(1.0)
+        assert disk.io_seconds == pytest.approx(1.0)
+        assert disk.bytes_read == 800_000_000
+
+    def test_random_reads_accumulate(self):
+        disk = SimulatedDisk(DiskParams(random_read_seconds=1e-3))
+        disk.random_page_reads(10)
+        assert disk.io_seconds == pytest.approx(1e-2)
+        assert disk.random_reads == 10
+
+    def test_reset(self):
+        disk = SimulatedDisk()
+        disk.sequential_read(1000)
+        disk.reset()
+        assert disk.io_seconds == 0 and disk.bytes_read == 0
+
+    def test_negative_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            disk.sequential_read(-1)
+        with pytest.raises(ValueError):
+            disk.random_page_reads(-1)
+
+
+class TestPageAccessModel:
+    def test_expected_unique_bounds(self):
+        model = PageAccessModel(total_rows=1_000_000, row_bytes=8, page_bytes=4096)
+        assert model.expected_unique(0) == 0
+        assert model.expected_unique(10) <= 10
+        # Touching far more than P pages approaches P.
+        assert model.expected_unique(10**7) == pytest.approx(model.total_pages, rel=1e-3)
+
+    def test_new_unique_sums_to_expected(self):
+        model = PageAccessModel(total_rows=100_000, row_bytes=8, page_bytes=4096)
+        total = sum(model.new_unique(100) for _ in range(50))
+        fresh = PageAccessModel(total_rows=100_000, row_bytes=8, page_bytes=4096)
+        assert total == pytest.approx(fresh.expected_unique(5000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageAccessModel(0, 8, 4096)
+
+
+class TestNeedletailCostModel:
+    def test_sample_cost_linear(self):
+        cm = NeedletailCostModel(io_per_sample=2e-6, cpu_per_sample=1e-6)
+        io, cpu = cm.sample_cost(1_000_000)
+        assert io == pytest.approx(2.0)
+        assert cpu == pytest.approx(1.0)
+
+    def test_scan_cost_matches_paper_rates(self):
+        cm = NeedletailCostModel()
+        # 1e9 rows of 8 bytes: 8 GB / 800 MB/s = 10 s I/O, 1e9/1e7 = 100 s CPU.
+        io, cpu = cm.scan_cost(10**9, 8)
+        assert io == pytest.approx(10.0)
+        assert cpu == pytest.approx(100.0)
+        assert cpu > io  # the paper: SCAN is CPU-bound
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            NeedletailCostModel(io_per_sample=-1)
+
+
+class TestBlockCacheCostModel:
+    def test_first_touches_cost_more(self):
+        cm = BlockCacheCostModel(total_rows=100_000, row_bytes=8)
+        first_io, _ = cm.sample_cost(1000)
+        # Keep sampling: pages fill up, marginal I/O shrinks.
+        for _ in range(50):
+            cm.sample_cost(1000)
+        later_io, _ = cm.sample_cost(1000)
+        assert later_io < first_io
+
+    def test_io_bounded_by_all_pages(self):
+        cm = BlockCacheCostModel(total_rows=10_000, row_bytes=8)
+        total_io = sum(cm.sample_cost(10_000)[0] for _ in range(20))
+        max_io = cm._pages.total_pages * cm.params.random_read_seconds
+        assert total_io <= max_io + 1e-9
+
+    def test_scan_cost_stateless(self):
+        cm = BlockCacheCostModel(total_rows=10_000, row_bytes=8)
+        a = cm.scan_cost(10_000, 8)
+        b = cm.scan_cost(10_000, 8)
+        assert a[0] == pytest.approx(b[0])
+
+
+class TestCostModelIntegration:
+    def test_run_stats_accumulate(self):
+        from repro.core.ifocus import run_ifocus
+        from repro.engines.memory import InMemoryEngine
+        from tests.conftest import make_materialized_population
+
+        pop = make_materialized_population([20.0, 80.0], sizes=2000)
+        engine = InMemoryEngine(pop, cost_model=NeedletailCostModel())
+        res = run_ifocus(engine, delta=0.05, seed=1)
+        expected_io = res.total_samples * 1.5e-6
+        assert res.stats.io_seconds == pytest.approx(expected_io)
+        assert np.array_equal(res.stats.samples_per_group, res.samples_per_group)

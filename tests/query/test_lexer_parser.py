@@ -1,0 +1,121 @@
+"""Tests for the SQL-subset lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import Aggregate, And, Between, Comparison, InList, Not, Or
+from repro.query.lexer import LexError, Token, tokenize
+from repro.query.parser import ParseError, parse_predicate, parse_query
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select AVG from")
+        assert [t.kind for t in toks] == ["keyword", "keyword", "keyword", "eof"]
+        assert toks[0].value == "SELECT"
+
+    def test_identifiers_keep_case(self):
+        toks = tokenize("Delay")
+        assert toks[0] == Token("ident", "Delay", 0)
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 .75")
+        assert [t.value for t in toks[:-1]] == ["1", "2.5", ".75"]
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r"'it\'s'")
+        assert toks[0].kind == "string" and toks[0].value == "it's"
+
+    def test_operators(self):
+        toks = tokenize("<= >= != <> = < >")
+        assert [t.value for t in toks[:-1]] == ["<=", ">=", "!=", "<>", "=", "<", ">"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestParseQuery:
+    def test_canonical_query(self):
+        q = parse_query("SELECT name, AVG(delay) FROM flt GROUP BY name")
+        assert q.table == "flt"
+        assert q.group_by == ("name",)
+        assert q.aggregates == (Aggregate("AVG", "delay"),)
+        assert q.select_groups == ("name",)
+        assert q.where is None
+
+    def test_where_clause(self):
+        q = parse_query(
+            "SELECT x, AVG(y) FROM t WHERE a > 5 AND b = 'z' GROUP BY x"
+        )
+        assert isinstance(q.where, And)
+        assert q.where.operands[0] == Comparison("a", ">", 5)
+        assert q.where.operands[1] == Comparison("b", "=", "z")
+
+    def test_multi_group_by(self):
+        q = parse_query("SELECT x, z, AVG(y) FROM t GROUP BY x, z")
+        assert q.group_by == ("x", "z")
+
+    def test_count_star(self):
+        q = parse_query("SELECT x, COUNT(*) FROM t GROUP BY x")
+        assert q.aggregates == (Aggregate("COUNT", "*"),)
+
+    def test_two_aggregates(self):
+        q = parse_query("SELECT x, AVG(y), AVG(z) FROM t GROUP BY x")
+        assert len(q.aggregates) == 2
+
+    def test_having(self):
+        q = parse_query(
+            "SELECT x, AVG(y) FROM t GROUP BY x HAVING AVG(y) > 30"
+        )
+        agg, op, value = q.having
+        assert agg == Aggregate("AVG", "y") and op == ">" and value == 30.0
+
+    def test_missing_group_by_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x, AVG(y) FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x, AVG(y) FROM t GROUP BY x extra")
+
+    def test_selected_column_must_be_grouped(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT w, AVG(y) FROM t GROUP BY x")
+
+    def test_avg_star_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT x, AVG(*) FROM t GROUP BY x")
+
+
+class TestParsePredicate:
+    def test_precedence_and_over_or(self):
+        p = parse_predicate("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(p, Or)
+        assert isinstance(p.operands[1], And)
+
+    def test_parentheses(self):
+        p = parse_predicate("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(p, And)
+        assert isinstance(p.operands[0], Or)
+
+    def test_not(self):
+        p = parse_predicate("NOT a = 1")
+        assert isinstance(p, Not)
+
+    def test_between(self):
+        p = parse_predicate("x BETWEEN 10 AND 20")
+        assert p == Between("x", 10, 20)
+
+    def test_in_list(self):
+        p = parse_predicate("x IN (1, 2, 3)")
+        assert p == InList("x", (1, 2, 3))
+
+    def test_in_strings(self):
+        p = parse_predicate("name IN ('AA', 'DL')")
+        assert p == InList("name", ("AA", "DL"))
+
+    def test_bad_comparison(self):
+        with pytest.raises(ParseError):
+            parse_predicate("x ==")

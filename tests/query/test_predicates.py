@@ -1,0 +1,76 @@
+"""Tests for predicate evaluation (masks and bitmap form)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.needletail.table import Table
+from repro.query.parser import parse_predicate
+from repro.query.predicates import (
+    predicate_bitvector,
+    predicate_columns,
+    predicate_mask,
+)
+
+
+@pytest.fixture()
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_dict(
+        "t",
+        {
+            "x": rng.uniform(0, 100, 1000),
+            "year": rng.integers(1990, 2000, 1000),
+            "name": rng.choice(["AA", "DL", "UA"], 1000),
+        },
+    )
+
+
+class TestMask:
+    @pytest.mark.parametrize(
+        "text,numpy_expr",
+        [
+            ("x > 50", lambda t: t.column("x") > 50),
+            ("x <= 25", lambda t: t.column("x") <= 25),
+            ("year = 1995", lambda t: t.column("year") == 1995),
+            ("year != 1995", lambda t: t.column("year") != 1995),
+            ("name = 'AA'", lambda t: t.column("name") == "AA"),
+            ("x BETWEEN 20 AND 40", lambda t: (t.column("x") >= 20) & (t.column("x") <= 40)),
+            ("name IN ('AA', 'UA')", lambda t: np.isin(t.column("name"), ["AA", "UA"])),
+            ("NOT x > 50", lambda t: ~(t.column("x") > 50)),
+            (
+                "x > 50 AND year < 1995",
+                lambda t: (t.column("x") > 50) & (t.column("year") < 1995),
+            ),
+            (
+                "name = 'AA' OR name = 'DL'",
+                lambda t: (t.column("name") == "AA") | (t.column("name") == "DL"),
+            ),
+        ],
+    )
+    def test_matches_numpy(self, table, text, numpy_expr):
+        mask = predicate_mask(parse_predicate(text), table)
+        assert np.array_equal(mask, numpy_expr(table))
+
+    def test_string_vs_numeric_type_error(self, table):
+        with pytest.raises(TypeError):
+            predicate_mask(parse_predicate("x = 'abc'"), table)
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            predicate_mask(parse_predicate("bogus > 1"), table)
+
+
+class TestBitvector:
+    def test_matches_mask(self, table):
+        pred = parse_predicate("x > 30 AND year >= 1995")
+        mask = predicate_mask(pred, table)
+        bv = predicate_bitvector(pred, table)
+        assert np.array_equal(bv.to_bools(), mask)
+
+
+class TestColumns:
+    def test_collects_all(self):
+        pred = parse_predicate("x > 1 AND (year = 1995 OR NOT name = 'AA')")
+        assert predicate_columns(pred) == {"x", "year", "name"}

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_demo_parses(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig3a"])
+        assert args.name == "fig3a" and args.scale == "smoke"
+
+    def test_query_options(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT x, AVG(y) FROM t GROUP BY x", "--rows", "500",
+             "--algorithm", "roundrobin", "--delta", "0.1"]
+        )
+        assert args.rows == 500 and args.algorithm == "roundrobin"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3a", "table3", "headline"):
+            assert name in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "bogus"]) == 2
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "round" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out and "AA" in out
+
+    def test_query(self, capsys):
+        code = main(
+            ["query",
+             "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier",
+             "--rows", "20000", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVG(arrival_delay)" in out and "samples=" in out
+
+    def test_experiments_registry_complete(self):
+        # Every figure/table of the paper has a CLI entry.
+        for expected in (
+            "table1", "fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b",
+            "fig5c", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c",
+            "table3", "headline",
+        ):
+            assert expected in EXPERIMENTS

@@ -1,0 +1,60 @@
+"""Tests for shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    spawn_group_rngs,
+)
+
+
+class TestRngHelpers:
+    def test_as_rng_from_int(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_spawn_reproducible(self):
+        a = spawn_group_rngs(7, 3)
+        b = spawn_group_rngs(7, 3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.random(10), y.random(10))
+
+    def test_spawn_streams_independent(self):
+        rngs = spawn_group_rngs(7, 2)
+        assert not np.array_equal(rngs[0].random(10), rngs[1].random(10))
+
+    def test_spawn_zero_groups(self):
+        assert spawn_group_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_group_rngs(0, -1)
+
+
+class TestValidators:
+    def test_probability_bounds(self):
+        assert check_probability(0.5, "p") == 0.5
+        for bad in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+    def test_positive(self):
+        assert check_positive(1e-9, "x") == 1e-9
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-1e-9, "x")

@@ -1,0 +1,84 @@
+"""Tests for ordering-guaranteed histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz.histogram import (
+    Histogram,
+    approximate_histogram,
+    bin_labels,
+    exact_histogram,
+)
+from repro.viz.properties import check_ordering
+
+
+@pytest.fixture()
+def values() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [
+            rng.uniform(0, 25, 40_000),
+            rng.uniform(25, 50, 10_000),
+            rng.uniform(50, 75, 25_000),
+            rng.uniform(75, 100, 5_000),
+        ]
+    )
+
+
+EDGES = np.array([0.0, 25.0, 50.0, 75.0, 100.0])
+
+
+class TestBinLabels:
+    def test_labels(self):
+        labels = bin_labels(np.array([0.0, 1.0, 2.0]))
+        assert labels == ["[0, 1)", "[1, 2]"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_labels(np.array([1.0]))
+        with pytest.raises(ValueError):
+            bin_labels(np.array([0.0, 0.0, 1.0]))
+
+
+class TestExact:
+    def test_counts_match_numpy_histogram(self, values):
+        hist = exact_histogram(values, EDGES)
+        expected, _ = np.histogram(values, bins=EDGES)
+        assert np.array_equal(hist.counts, expected)
+        assert hist.exact
+        assert hist.total == values.shape[0]
+
+    def test_out_of_range_excluded(self):
+        hist = exact_histogram(np.array([-5.0, 0.5, 1.5, 99.0]), np.array([0.0, 1.0, 2.0]))
+        assert hist.counts.tolist() == [1, 1]
+
+    def test_render(self, values):
+        out = exact_histogram(values, EDGES).render()
+        assert "[0, 25)" in out and "exact" in out
+
+
+class TestApproximate:
+    def test_bin_order_correct(self, values):
+        hist = approximate_histogram(values, EDGES, delta=0.05, seed=1)
+        truth = exact_histogram(values, EDGES).counts.astype(float)
+        assert check_ordering(hist.counts, truth)
+        assert not hist.exact
+        assert hist.result is not None
+        assert hist.result.total_samples > 0
+
+    def test_counts_near_truth(self, values):
+        hist = approximate_histogram(values, EDGES, delta=0.05, seed=2)
+        truth = exact_histogram(values, EDGES).counts.astype(float)
+        # Magnitudes in the right ballpark (ordering is the guarantee).
+        assert np.all(np.abs(hist.counts - truth) < 0.5 * truth.max())
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_histogram(np.array([200.0]), EDGES)
+
+    def test_histogram_dataclass(self):
+        h = Histogram(edges=EDGES, counts=np.array([1, 2, 3, 4]), exact=True)
+        assert h.labels[0] == "[0, 25)"
+        assert h.total == 10

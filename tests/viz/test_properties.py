@@ -1,0 +1,131 @@
+"""Tests for the visual-property checkers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz.properties import (
+    check_neighbor_ordering,
+    check_ordering,
+    check_top_t,
+    incorrect_pairs,
+    pair_accuracy,
+)
+
+
+class TestCheckOrdering:
+    def test_identical_order(self):
+        assert check_ordering([1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+
+    def test_swap_detected(self):
+        assert not check_ordering([2.0, 1.0, 3.0], [10.0, 20.0, 30.0])
+
+    def test_resolution_allows_close_swaps(self):
+        true = [10.0, 10.5, 30.0]
+        est = [2.0, 1.0, 3.0]  # swaps the close pair only
+        assert not check_ordering(est, true)
+        assert check_ordering(est, true, resolution=1.0)
+
+    def test_estimate_ties_count_as_violation(self):
+        assert not check_ordering([1.0, 1.0], [10.0, 20.0])
+
+    def test_true_ties_unconstrained(self):
+        assert check_ordering([5.0, 1.0], [10.0, 10.0])
+
+    def test_single_group(self):
+        assert check_ordering([1.0], [99.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            check_ordering([1.0], [1.0, 2.0])
+
+    @given(
+        perm_seed=st.integers(0, 1000),
+        k=st.integers(2, 8),
+    )
+    @settings(max_examples=50)
+    def test_any_monotone_transform_is_correct(self, perm_seed, k):
+        rng = np.random.default_rng(perm_seed)
+        true = np.sort(rng.uniform(0, 100, k))
+        if len(np.unique(true)) < k:
+            return
+        est = true * 2 + 5  # monotone transform preserves order
+        assert check_ordering(est, true)
+
+
+class TestIncorrectPairs:
+    def test_counts_exact(self):
+        # est order: c < a < b; true order: a < b < c -> pairs (a,c), (b,c) wrong.
+        assert incorrect_pairs([2.0, 3.0, 1.0], [10.0, 20.0, 30.0]) == 2
+
+    def test_zero_when_correct(self):
+        assert incorrect_pairs([1.0, 2.0], [5.0, 6.0]) == 0
+
+    def test_reversed_order_counts_all_pairs(self):
+        k = 5
+        est = list(range(k))[::-1]
+        true = list(range(k))
+        assert incorrect_pairs(est, true) == k * (k - 1) // 2
+
+    def test_resolution_excludes_close_pairs(self):
+        assert incorrect_pairs([2.0, 1.0], [10.0, 10.4], resolution=0.5) == 0
+
+
+class TestPairAccuracy:
+    def test_perfect(self):
+        assert pair_accuracy([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_fraction(self):
+        assert pair_accuracy([2.0, 3.0, 1.0], [10.0, 20.0, 30.0]) == pytest.approx(1 / 3)
+
+    def test_no_constrained_pairs(self):
+        assert pair_accuracy([1.0, 2.0], [5.0, 5.0]) == 1.0
+
+
+class TestNeighborOrdering:
+    def test_only_adjacent_matter(self):
+        # Non-adjacent inversion (first vs last) is fine on a trend line.
+        true = [10.0, 30.0, 5.0]
+        est = [8.0, 20.0, 6.0]  # est[0] > est[2] matches nothing adjacent
+        assert check_neighbor_ordering(est, true)
+
+    def test_adjacent_violation(self):
+        assert not check_neighbor_ordering([2.0, 1.0], [10.0, 20.0])
+
+    def test_resolution(self):
+        assert check_neighbor_ordering([2.0, 1.0], [10.0, 10.4], resolution=0.5)
+
+
+class TestTopT:
+    def test_correct_top(self):
+        true = [10.0, 50.0, 30.0, 80.0]
+        est = [11.0, 52.0, 29.0, 85.0]
+        assert check_top_t(est, true, t=2)
+
+    def test_wrong_member(self):
+        true = [10.0, 50.0, 30.0, 80.0]
+        est = [11.0, 29.0, 52.0, 85.0]  # group 2 wrongly enters top-2
+        assert not check_top_t(est, true, t=2)
+
+    def test_wrong_internal_order(self):
+        true = [10.0, 50.0, 30.0, 80.0]
+        est = [1.0, 90.0, 2.0, 85.0]  # right members, wrong order
+        assert not check_top_t(est, true, t=2)
+
+    def test_resolution_allows_boundary_swap(self):
+        true = [10.0, 50.0, 49.8, 80.0]
+        est = [1.0, 40.0, 45.0, 85.0]  # group2 displaces group1 at boundary
+        assert not check_top_t(est, true, t=2)
+        assert check_top_t(est, true, t=2, resolution=0.5)
+
+    def test_smallest_mode(self):
+        true = [10.0, 50.0, 30.0, 80.0]
+        est = [9.0, 55.0, 31.0, 70.0]
+        assert check_top_t(est, true, t=2, largest=False)
+
+    def test_t_validation(self):
+        with pytest.raises(ValueError):
+            check_top_t([1.0], [1.0], t=2)

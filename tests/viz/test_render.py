@@ -1,0 +1,72 @@
+"""Tests for the text renderers (bar chart, trend line)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ifocus import run_ifocus
+from repro.viz.barchart import BarChart, render_barchart
+from repro.viz.trendline import render_trendline, step_directions
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self):
+        chart = BarChart(labels=["AA", "JB"], values=np.array([30.0, 15.0]))
+        out = chart.render()
+        assert "AA" in out and "JB" in out
+        assert "30.00" in out and "15.00" in out
+
+    def test_bar_lengths_proportional(self):
+        chart = BarChart(labels=["a", "b"], values=np.array([100.0, 50.0]), width=40)
+        lines = chart.render().splitlines()
+        bars = [line.split("|")[1].count("#") for line in lines]
+        assert bars[0] == 40 and bars[1] == 20
+
+    def test_half_widths_shown(self):
+        chart = BarChart(
+            labels=["a"], values=np.array([10.0]), half_widths=np.array([2.5])
+        )
+        assert "+/-2.50" in chart.render()
+
+    def test_sorted_render(self):
+        chart = BarChart(labels=["low", "high"], values=np.array([1.0, 9.0]))
+        lines = chart.render(sort=True).splitlines()
+        assert lines[0].strip().startswith("high")
+
+    def test_title(self):
+        chart = BarChart(labels=["a"], values=np.array([1.0]), title="T")
+        assert chart.render().splitlines()[0] == "T"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BarChart(labels=["a"], values=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            BarChart(labels=["a"], values=np.array([1.0]), half_widths=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            BarChart(labels=["a"], values=np.array([1.0]), width=4)
+
+    def test_render_from_result(self, small_engine):
+        result = run_ifocus(small_engine, delta=0.05, seed=1)
+        out = render_barchart(result)
+        for g in result.groups:
+            assert g.name in out
+
+
+class TestTrendline:
+    def test_step_directions(self):
+        assert step_directions(np.array([1.0, 2.0, 2.0, 1.0])) == ["up", "flat", "down"]
+
+    def test_resolution_flattens_small_steps(self):
+        assert step_directions(np.array([1.0, 1.3]), resolution=0.5) == ["flat"]
+
+    def test_render_contains_axis_and_markers(self):
+        out = render_trendline(["Jan", "Feb", "Mar"], np.array([10.0, 30.0, 20.0]))
+        assert out.count("*") == 3
+        assert "legend" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_trendline(["a"], np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            render_trendline(["a", "b"], np.array([1.0, 2.0]), height=1)

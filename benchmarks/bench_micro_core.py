@@ -1,6 +1,20 @@
-"""Micro-benchmarks of the core algorithm paths (statistical timings)."""
+"""Micro-benchmarks of the core algorithm paths (statistical timings).
+
+The ``bench``-marked cases track the fused-sampling perf trajectory at
+k=1000: ``draw_block`` vs the per-group Python loop it replaced, and a full
+IFOCUS run through the fused executor vs ``_legacy_run_ifocus`` - a faithful
+reproduction of the pre-fusion executor (per-group draw/charge loops, dict
+column mapping, full-segment separation recomputation after every
+finalization event) driven through the same public engine API, so the two
+runs draw identical samples and produce identical results.  Export with
+``python -m repro bench-export`` (writes BENCH_micro.json).
+"""
+
+from functools import lru_cache
+from types import SimpleNamespace
 
 import numpy as np
+import pytest
 
 from repro.core.confidence import EpsilonSchedule, ifocus_epsilon
 from repro.core.ifocus import run_ifocus
@@ -14,6 +28,7 @@ def test_bench_ifocus_run(benchmark):
     population = make_mixture_dataset(k=10, total_size=100_000, seed=7)
     engine = InMemoryEngine(population)
     result = benchmark(lambda: run_ifocus(engine, delta=0.05, seed=7))
+    benchmark.extra_info["k"] = 10
     assert result.k == 10
 
 
@@ -21,12 +36,14 @@ def test_bench_epsilon_schedule(benchmark):
     """Vectorized epsilon over a 1e5-round batch."""
     schedule = EpsilonSchedule(k=10, delta=0.05, c=100.0)
     rounds = np.arange(2, 100_002, dtype=np.float64)
-    out = benchmark(lambda: schedule(rounds, 1e6))
+    out = benchmark(lambda: schedule.segment(rounds, 1e6))
+    benchmark.extra_info["k"] = 10
     assert np.all(np.asarray(out) > 0)
 
 
 def test_bench_epsilon_scalar(benchmark):
     out = benchmark(lambda: ifocus_epsilon(5000, k=10, delta=0.05, c=100.0, n=1e6))
+    benchmark.extra_info["k"] = 10
     assert out > 0
 
 
@@ -36,4 +53,205 @@ def test_bench_separation_batch(benchmark):
     estimates = rng.uniform(0, 100, size=(4096, 10))
     eps = rng.uniform(0.5, 5.0, size=4096)
     out = benchmark(lambda: separated_equal_width_batch(estimates, eps))
+    benchmark.extra_info["k"] = 10
     assert out.shape == (4096, 10)
+
+
+# ---------------------------------------------------------------------------
+# Fused-sampling trajectory benchmarks (k = 1000; REPRO_RUN_BENCH=1 to run)
+# ---------------------------------------------------------------------------
+
+_K_LARGE = 1000
+
+
+@lru_cache(maxsize=1)
+def _k1000_engine() -> InMemoryEngine:
+    population = make_mixture_dataset(
+        k=_K_LARGE, total_size=1_000_000, seed=31, materialize=True
+    )
+    return InMemoryEngine(population)
+
+
+def _legacy_run_ifocus(engine, *, delta=0.05, seed=None, initial_batch=64, max_batch=1 << 18):
+    """The pre-fusion IFOCUS executor, reproduced via the public engine API.
+
+    One ``run.draw``/``run.charge`` Python call per group per batch, a dict
+    for the survivor column mapping, and a batch walk that recomputes the
+    epsilon segment and the full remaining separation matrix after every
+    finalization event - exactly the per-group-loop hot path this PR
+    replaced.  Draws the same samples as :func:`run_ifocus` (per-group
+    streams are shared through the engine), so results must match.
+    """
+    run = engine.open_run(seed, without_replacement=True)
+    k = run.k
+    sizes = run.sizes()
+    schedule = EpsilonSchedule(k, delta, c=run.c)
+    sums = np.zeros(k)
+    estimates = np.zeros(k)
+    samples = np.zeros(k, dtype=np.int64)
+    half_widths = np.zeros(k)
+    finalized_round = np.zeros(k, dtype=np.int64)
+    exhausted = np.zeros(k, dtype=bool)
+    active = np.ones(k, dtype=bool)
+
+    def finalize(gid, est, round_m, half_width, consumed, is_exhausted):
+        active[gid] = False
+        estimates[gid] = est
+        samples[gid] += consumed
+        half_widths[gid] = half_width
+        finalized_round[gid] = round_m
+        exhausted[gid] = is_exhausted
+        run.charge(gid, consumed)
+
+    for gid in range(k):
+        value = float(run.draw(gid, 1)[0])
+        sums[gid] = value
+        estimates[gid] = value
+        run.charge(gid, 1)
+    samples[:] = 1
+    m = 1
+    batch = int(initial_batch)
+    while active.any():
+        for gid in np.flatnonzero(active & (sizes <= m)):
+            finalize(int(gid), run.exact_mean(int(gid)), m, 0.0, 0, True)
+        if not active.any():
+            break
+        active_idx = np.flatnonzero(active)
+        b_eff = max(min(batch, int(sizes[active_idx].min()) - m), 1)
+        rounds = np.arange(m + 1, m + b_eff + 1, dtype=np.float64)
+        blocks = np.stack([run.draw(int(g), b_eff) for g in active_idx], axis=1)
+        csums = np.cumsum(blocks, axis=0) + sums[active_idx][None, :]
+        prefix = csums / rounds[:, None]
+
+        live = np.arange(active_idx.shape[0])
+        frozen = estimates[exhausted]
+        row = 0
+        while row < b_eff and live.size > 0:
+            gids = active_idx[live]
+            n_max = float(sizes[gids].max())
+            eps_seg = np.asarray(schedule(rounds[row:], n_max), dtype=np.float64)
+            sep = separated_equal_width_batch(prefix[row:, live], eps_seg)
+            if frozen.size:
+                seg = prefix[row:, live]
+                for value in frozen:
+                    sep &= np.abs(seg - value) > eps_seg[:, None]
+            sep_rows = np.flatnonzero(sep.any(axis=1))
+            if not sep_rows.size:
+                row = b_eff
+                break
+            event = int(sep_rows[0])
+            abs_row = row + event
+            eps_here = float(eps_seg[event])
+            round_m = int(rounds[abs_row])
+            newly = np.flatnonzero(sep[event])
+            for j in newly:
+                pos = int(live[j])
+                finalize(
+                    int(active_idx[pos]),
+                    float(prefix[abs_row, pos]),
+                    round_m,
+                    eps_here,
+                    abs_row + 1,
+                    False,
+                )
+            live = np.delete(live, newly)
+            row = abs_row + 1
+
+        survivors = np.flatnonzero(active)
+        if survivors.size:
+            col_of = {int(g): i for i, g in enumerate(active_idx)}
+            cols = np.array([col_of[int(g)] for g in survivors], dtype=np.int64)
+            sums[survivors] = csums[-1, cols]
+            estimates[survivors] = prefix[-1, cols]
+            samples[survivors] += b_eff
+            for g in survivors:
+                run.charge(int(g), b_eff)
+        m += b_eff
+        batch = min(batch * 2, max_batch)
+    # Result assembly exactly as the pre-fusion executor wrote it, including
+    # its per-group ``run.group_names()[i]`` call (O(k) names rebuilds).
+    groups = [
+        SimpleNamespace(
+            index=i,
+            name=run.group_names()[i],
+            estimate=float(estimates[i]),
+            samples=int(samples[i]),
+            half_width=float(half_widths[i]),
+            exhausted=bool(exhausted[i]),
+            finalized_round=int(finalized_round[i]),
+        )
+        for i in range(k)
+    ]
+    return SimpleNamespace(
+        estimates=estimates.copy(), samples_per_group=samples.copy(), groups=groups
+    )
+
+
+@pytest.mark.bench
+def test_bench_draw_block_k1000(benchmark):
+    """Fused block draw: 64 rounds x 1000 groups in one gather."""
+    engine = _k1000_engine()
+    gids = np.arange(_K_LARGE)
+
+    def setup():
+        run = engine.open_run(seed=1)
+        run.draw_block(gids, 1)  # materialize the permutations off the clock
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, 64), setup=setup, rounds=10, iterations=1
+    )
+    benchmark.extra_info["k"] = _K_LARGE
+    assert out.shape == (64, _K_LARGE)
+
+
+@pytest.mark.bench
+def test_bench_draw_block_pergroup_k1000(benchmark):
+    """The replaced path: one Python draw call per group plus np.stack."""
+    engine = _k1000_engine()
+    gids = np.arange(_K_LARGE)
+
+    def setup():
+        run = engine.open_run(seed=1)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: np.stack([run.draw(int(g), 64) for g in gids], axis=1),
+        setup=setup,
+        rounds=10,
+        iterations=1,
+    )
+    benchmark.extra_info["k"] = _K_LARGE
+    assert out.shape == (64, _K_LARGE)
+
+
+@pytest.mark.bench
+def test_bench_ifocus_k1000_fused(benchmark):
+    """Full IFOCUS run at k=1000 through the fused executor."""
+    engine = _k1000_engine()
+    result = benchmark.pedantic(
+        lambda: run_ifocus(engine, delta=0.05, seed=33),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["k"] = _K_LARGE
+    assert result.k == _K_LARGE
+
+
+@pytest.mark.bench
+def test_bench_ifocus_k1000_legacy(benchmark):
+    """Same run through the vendored pre-fusion executor (the baseline)."""
+    engine = _k1000_engine()
+    fused = run_ifocus(engine, delta=0.05, seed=33)
+    result = benchmark.pedantic(
+        lambda: _legacy_run_ifocus(engine, delta=0.05, seed=33),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["k"] = _K_LARGE
+    # Apples to apples: identical draws, identical results.
+    assert np.allclose(result.estimates, fused.estimates)
+    assert np.array_equal(result.samples_per_group, fused.samples_per_group)

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Run the micro benchmark suite and write the normalized BENCH_micro.json.
+
+Equivalent to ``python -m repro bench-export``; kept as a standalone script
+so CI can invoke it without installing the package (it adds ``src`` to the
+path itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import export_micro  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_micro.json")
+    args = parser.parse_args(argv)
+    path = export_micro(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""One-command micro-benchmark export for the perf trajectory.
+
+Runs the micro benchmark suites (``benchmarks/bench_micro_core.py`` and
+``benchmarks/bench_micro_bitmap.py``) under pytest-benchmark with the heavy
+``bench``-marked cases enabled, then normalizes the raw JSON into
+``BENCH_micro.json``: one entry per op with the group count and the median
+seconds.  The file is committed per PR so the fused-sampling trajectory is
+tracked release over release.
+
+Entry points: ``python -m repro bench-export`` or ``scripts/bench_export.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["export_micro", "MICRO_BENCH_FILES"]
+
+MICRO_BENCH_FILES = (
+    "benchmarks/bench_micro_core.py",
+    "benchmarks/bench_micro_bitmap.py",
+)
+
+
+def _repo_root() -> Path:
+    """The repository root: the directory holding the ``benchmarks`` suite."""
+    here = Path(__file__).resolve()
+    for candidate in (Path.cwd(), *here.parents):
+        if (candidate / "benchmarks" / "bench_micro_core.py").exists():
+            return candidate
+    raise FileNotFoundError("could not locate the benchmarks/ directory")
+
+
+def _normalize(raw: dict) -> dict:
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        name = str(bench.get("name", ""))
+        op = name[len("test_bench_") :] if name.startswith("test_bench_") else name
+        extra = bench.get("extra_info", {}) or {}
+        entries.append(
+            {
+                "op": op,
+                "k": extra.get("k"),
+                "median_seconds": bench["stats"]["median"],
+            }
+        )
+    entries.sort(key=lambda e: e["op"])
+    machine = raw.get("machine_info", {}) or {}
+    return {
+        "suite": "micro",
+        "machine": machine.get("machine"),
+        "python": machine.get("python_version"),
+        "entries": entries,
+    }
+
+
+def export_micro(output: str = "BENCH_micro.json", pytest_args: tuple[str, ...] = ()) -> Path:
+    """Run the micro suite and write the normalized trajectory JSON.
+
+    Returns the path of the written file.  Raises ``RuntimeError`` if the
+    benchmark run fails.
+    """
+    root = _repo_root()
+    env = dict(os.environ)
+    env["REPRO_RUN_BENCH"] = "1"
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench_raw.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *[str(root / f) for f in MICRO_BENCH_FILES],
+            "-q",
+            f"--benchmark-json={raw_path}",
+            *pytest_args,
+        ]
+        proc = subprocess.run(cmd, cwd=root, env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(f"benchmark run failed with exit code {proc.returncode}")
+        raw = json.loads(raw_path.read_text())
+    out_path = Path(output)
+    if not out_path.is_absolute():
+        out_path = root / out_path
+    out_path.write_text(json.dumps(_normalize(raw), indent=2) + "\n")
+    return out_path

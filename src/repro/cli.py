@@ -5,6 +5,7 @@ Usage::
     python -m repro demo
     python -m repro list
     python -m repro experiment fig3a [--scale smoke|paper]
+    python -m repro bench-export [--output BENCH_micro.json]
     python -m repro query "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier" \
         [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0]
 
@@ -109,6 +110,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_export(args: argparse.Namespace) -> int:
+    from repro.bench import export_micro
+
+    path = export_micro(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.data.flights import make_flights_table
     from repro.query import execute_query, parse_query
@@ -150,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", help="experiment id, e.g. fig3a, table3, headline")
     exp.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
     exp.set_defaults(fn=_cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench-export",
+        help="run the micro benchmark suite and write the normalized BENCH_micro.json",
+    )
+    bench.add_argument("--output", default="BENCH_micro.json")
+    bench.set_defaults(fn=_cmd_bench_export)
 
     qry = sub.add_parser("query", help="run a SQL query over a synthetic flights table")
     qry.add_argument("sql")

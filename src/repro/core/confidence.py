@@ -177,8 +177,11 @@ class EpsilonSchedule:
             raise ValueError(f"kappa must be >= 1, got {kappa}")
         self.kappa = float(kappa)
         self.heuristic_factor = check_positive(heuristic_factor, "heuristic_factor")
-        # Constant additive tail term log(pi^2 k / (3 delta)).
-        self._tail_const = math.log(math.pi**2 * self.k / (3.0 * self.delta))
+        # Constant additive tail term log(pi^2 k / (3 delta)), written exactly
+        # as anytime_epsilon evaluates it for a delta/k budget so ``segment``
+        # is bit-identical to ``__call__`` (the algebraically equal
+        # log(pi^2 * k / (3 delta)) can differ by one ulp).
+        self._tail_const = math.log(math.pi**2 / (3.0 * (self.delta / self.k)))
 
     def __call__(self, m: np.ndarray | float, n_max: float | None = None) -> np.ndarray | float:
         """Half-width(s) at round(s) m given the max active group size n_max.
@@ -194,6 +197,27 @@ class EpsilonSchedule:
             kappa=self.kappa,
             heuristic_factor=self.heuristic_factor,
         )
+
+    def segment(self, rounds: np.ndarray, n_max: float | None = None) -> np.ndarray:
+        """Validation-free vectorized epsilon over a batch of round indices.
+
+        Identical values to ``__call__`` (asserted in the test suite); this
+        is the batched executors' hot path - evaluated once per batch and
+        re-evaluated only when the finite-population factor's n_max changes -
+        so it skips the per-call argument checks and reuses the precomputed
+        additive tail constant log(pi^2 k / (3 delta)).
+        """
+        arr = np.asarray(rounds, dtype=np.float64)
+        m_eff = arr / self.kappa
+        tail = 2.0 * np.asarray(iterated_log(arr, self.kappa)) + self._tail_const
+        if n_max is None:
+            fpc = 1.0
+        else:
+            fpc = np.maximum(1.0 - (m_eff - 1.0) / float(n_max), 0.0)
+        out = self.c * np.sqrt(fpc * tail / (2.0 * m_eff))
+        if self.heuristic_factor != 1.0:
+            out = out / self.heuristic_factor
+        return out
 
     def rounds_until(self, target: float, n_max: float | None = None, m_hi: int = 1 << 48) -> int:
         """Smallest m with eps_m < target (binary search; used for planning).

@@ -29,6 +29,34 @@ Exactness comes from two facts:
   disjoint from all others" test reduces to an exact sorted adjacent-gap test
   (:func:`repro.core.intervals.separated_equal_width_batch`).
 
+Batched execution & fused sampling
+----------------------------------
+
+The executor's per-batch work is fused end to end so no step scales with a
+Python call per group:
+
+* **Drawing** goes through :meth:`repro.engines.base.EngineRun.draw_block`:
+  one call returns the whole ``(batch, k_active)`` sample matrix.  Engines
+  serve it natively - materialized groups via a columnar permutation store
+  (one fancy-index gather), virtual groups via one shared RNG call per batch
+  with a vectorized inverse-CDF per distribution family, NEEDLETAIL groups
+  via batched rank->select->fetch with a single fused value gather (see
+  DESIGN_PERF.md).  ``draw_block`` is bit-exact with the sequential
+  per-group ``draw`` loop it replaces, so reference equivalence is
+  unaffected.
+* **Charging** survivors is one :meth:`~repro.engines.base.EngineRun.charge_block`
+  call, and the survivor state update maps groups to batch columns with a
+  ``searchsorted`` instead of a per-group dict.
+* **Walking** the batch is incremental: the epsilon segment is computed once
+  per batch with the validation-free
+  :meth:`~repro.core.confidence.EpsilonSchedule.segment` and reused across
+  finalization events while ``n_max`` (the largest live group size, which
+  sets the finite-population factor) is unchanged; separation events are
+  located with the galloping-window
+  :func:`~repro.core.intervals.first_event_row`, so rows already cleared are
+  never re-tested and an event at row r costs O(r k log k) rather than
+  O(batch k log k).
+
 Supported configuration (all of Section 3 and 5 of the paper):
 
 * ``resolution`` r > 0 - the IFOCUS-R variant for Problem 2: terminate every
@@ -62,7 +90,7 @@ import numpy as np
 
 from repro._util import check_nonnegative, check_probability
 from repro.core.confidence import EpsilonSchedule
-from repro.core.intervals import separated_equal_width_batch
+from repro.core.intervals import first_event_row, first_resolution_row
 from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
 from repro.engines.base import EngineRun, SamplingEngine
 
@@ -108,6 +136,21 @@ class _IFocusState:
         self.exhausted[gid] = exhausted
         self.inactive_order.append(gid)
         self.run.charge(gid, batch_rounds_consumed)
+
+    def finalize_exhausted(self, gids: np.ndarray, round_m: int) -> None:
+        """Vectorized finalization of fully-read groups at their exact means.
+
+        Mass exhaustion (hundreds of equal-sized groups hitting n_i = m in
+        the same round) is the common endgame at large k; this replaces the
+        per-group ``finalize`` loop.  Nothing is charged: the n_i draws that
+        reached exhaustion were already charged.
+        """
+        self.active[gids] = False
+        self.estimates[gids] = [self.run.exact_mean(int(g)) for g in gids]
+        self.half_widths[gids] = 0.0
+        self.finalized_round[gids] = round_m
+        self.exhausted[gids] = True
+        self.inactive_order.extend(int(g) for g in gids)
 
 
 def run_ifocus(
@@ -164,11 +207,11 @@ def run_ifocus(
     state = _IFocusState(run, trace_every)
 
     # Round m = 1: one sample per group to seed the estimates (Alg. 1 line 2).
-    for gid in range(k):
-        value = float(run.draw(gid, 1)[0])
-        state.sums[gid] = value
-        state.estimates[gid] = value
-        run.charge(gid, 1)
+    all_gids = np.arange(k, dtype=np.int64)
+    first = run.draw_block(all_gids, 1)[0]
+    state.sums[:] = first
+    state.estimates[:] = first
+    run.charge_block(all_gids, 1)
     state.samples[:] = 1
     m = 1
     _maybe_trace_initial(state, schedule, without_replacement)
@@ -184,15 +227,9 @@ def run_ifocus(
         # Exhaustion pre-check: an active group with n_i == m has been read in
         # full; its running mean is the exact group mean.
         if without_replacement:
-            for gid in np.flatnonzero(state.active & (state.sizes <= m)):
-                state.finalize(
-                    int(gid),
-                    estimate=run.exact_mean(int(gid)),
-                    round_m=m,
-                    half_width=0.0,
-                    exhausted=True,
-                    batch_rounds_consumed=0,
-                )
+            exhaust = np.flatnonzero(state.active & (state.sizes <= m))
+            if exhaust.size:
+                state.finalize_exhausted(exhaust, m)
             if not state.active.any():
                 break
 
@@ -205,11 +242,17 @@ def run_ifocus(
         b_eff = max(b_eff, 1)
 
         rounds = np.arange(m + 1, m + b_eff + 1, dtype=np.float64)
-        blocks = np.stack([run.draw(int(g), b_eff) for g in active_idx], axis=1)
-        csums = np.cumsum(blocks, axis=0) + state.sums[active_idx][None, :]
-        prefix = csums / rounds[:, None]  # (b_eff, k_active): estimates per round
+        blocks = run.draw_block(active_idx, b_eff)
+        # The block is caller-owned, so the cumulative sum and the division
+        # by the round index run in place; only the final sums row (needed
+        # for the survivors' running state) is kept aside.
+        csums = np.cumsum(blocks, axis=0, out=blocks)
+        csums += state.sums[active_idx][None, :]
+        end_sums = csums[-1].copy()
+        prefix = csums  # (b_eff, k_active): estimates per round
+        prefix /= rounds[:, None]
 
-        consumed = _walk_batch(
+        _walk_batch(
             state,
             schedule,
             active_idx,
@@ -219,24 +262,22 @@ def run_ifocus(
             without_replacement,
         )
         # Survivors consumed the whole batch; update their running state.
+        # ``active_idx`` is sorted, so batch columns come from a searchsorted.
         survivors = np.flatnonzero(state.active)
         if survivors.size:
-            # Map global gid -> column in this batch.
-            col_of = {int(g): i for i, g in enumerate(active_idx)}
-            cols = np.array([col_of[int(g)] for g in survivors], dtype=np.int64)
-            state.sums[survivors] = csums[-1, cols]
+            cols = np.searchsorted(active_idx, survivors)
+            state.sums[survivors] = end_sums[cols]
             state.estimates[survivors] = prefix[-1, cols]
             state.samples[survivors] += b_eff
-            for g in survivors:
-                run.charge(int(g), b_eff)
+            run.charge_block(survivors, b_eff)
         m += b_eff
-        del consumed
         batch = min(batch * 2, max_batch)
 
+    names = run.group_names()
     groups = [
         GroupOutcome(
             index=i,
-            name=run.group_names()[i],
+            name=names[i],
             estimate=float(state.estimates[i]),
             samples=int(state.samples[i]),
             half_width=float(state.half_widths[i]),
@@ -342,6 +383,13 @@ def _walk_batch(
 ) -> int:
     """Process one pre-drawn batch; finalize groups at separation events.
 
+    Incremental: the epsilon segment is evaluated once for the whole batch
+    and reused across finalization events - it only changes when the largest
+    live group leaves (shrinking ``n_max``, the finite-population factor's
+    denominator).  Events are located with the galloping-window scan of
+    :func:`~repro.core.intervals.first_event_row`, resuming from the row
+    after the previous event, so rows already cleared are never re-tested.
+
     Returns the number of rows consumed (always the full batch; the return
     value exists for symmetry/debugging).
     """
@@ -352,44 +400,38 @@ def _walk_batch(
     # its final estimate could land on the wrong side of that exact value).
     frozen = state.estimates[state.exhausted]
     row = 0
+    n_max = _n_max(state, active_idx, without_replacement)
+    eps_full = np.asarray(schedule.segment(rounds, n_max), dtype=np.float64)
+    res_at = first_resolution_row(eps_full, resolution)
     while row < b_eff and live.size > 0:
         gids = active_idx[live]
-        n_max = _n_max(state, gids, without_replacement)
-        eps_seg = np.asarray(schedule(rounds[row:], n_max), dtype=np.float64)
+        new_n_max = _n_max(state, gids, without_replacement)
+        if new_n_max != n_max:
+            n_max = new_n_max
+            eps_full[row:] = schedule.segment(rounds[row:], n_max)
+            res_at = first_resolution_row(eps_full, resolution, row)
 
-        res_row = None
-        if resolution > 0.0:
-            hits = np.flatnonzero(eps_seg < resolution / 4.0)
-            if hits.size:
-                res_row = int(hits[0])
+        # A resolution stop at ``res_at`` makes later separation events moot,
+        # so the scan is capped there.
+        cap = b_eff if res_at is None else min(b_eff, res_at + 1)
+        sep_row, sep_mask = first_event_row(
+            prefix[row:cap, live], eps_full[row:cap], obstacles=frozen
+        )
+        sep_abs = row + sep_row if sep_row is not None else None
 
-        sep = separated_equal_width_batch(prefix[row:, live], eps_seg)
-        if frozen.size:
-            seg = prefix[row:, live]
-            for value in frozen:  # few frozen values; avoids a 3-D temp
-                sep &= np.abs(seg - value) > eps_seg[:, None]
-        sep_rows = np.flatnonzero(sep.any(axis=1))
-        sep_row = int(sep_rows[0]) if sep_rows.size else None
-
-        if sep_row is None and res_row is None:
-            _record_trace_rows(
-                state, rounds, prefix, live, gids, row, b_eff,
-                _full_eps(eps_seg, row, b_eff),
-            )
+        if sep_abs is None and res_at is None:
+            _record_trace_rows(state, rounds, prefix, live, gids, row, b_eff, eps_full)
             row = b_eff
             break
 
-        event = min(r for r in (sep_row, res_row) if r is not None)
-        abs_row = row + event
-        _record_trace_rows(
-            state, rounds, prefix, live, gids, row, abs_row + 1,
-            _full_eps(eps_seg, row, b_eff),
-        )
-        round_m = int(rounds[abs_row])
-        eps_here = float(eps_seg[event])
-
-        if res_row is not None and res_row <= (sep_row if sep_row is not None else res_row):
+        if res_at is not None and (sep_abs is None or res_at <= sep_abs):
             # Resolution termination: finalize every remaining active group.
+            abs_row = res_at
+            _record_trace_rows(
+                state, rounds, prefix, live, gids, row, abs_row + 1, eps_full
+            )
+            round_m = int(rounds[abs_row])
+            eps_here = float(eps_full[abs_row])
             for pos in live:
                 gid = int(active_idx[pos])
                 state.finalize(
@@ -402,7 +444,13 @@ def _walk_batch(
                 )
             live = np.empty(0, dtype=np.int64)
         else:
-            newly = np.flatnonzero(sep[event])
+            abs_row = sep_abs
+            _record_trace_rows(
+                state, rounds, prefix, live, gids, row, abs_row + 1, eps_full
+            )
+            round_m = int(rounds[abs_row])
+            eps_here = float(eps_full[abs_row])
+            newly = np.flatnonzero(sep_mask)
             for j in newly:
                 pos = int(live[j])
                 gid = int(active_idx[pos])
@@ -417,15 +465,6 @@ def _walk_batch(
             live = np.delete(live, newly)
         row = abs_row + 1
     return row
-
-
-def _full_eps(eps_seg: np.ndarray, row: int, b_eff: int) -> np.ndarray:
-    """Re-expand a segment epsilon array to batch-row indexing for tracing."""
-    out = np.empty(b_eff, dtype=np.float64)
-    out[row:] = eps_seg
-    if row > 0:
-        out[:row] = np.nan
-    return out
 
 
 def _truncate_active(

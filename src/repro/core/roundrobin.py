@@ -24,7 +24,7 @@ import numpy as np
 
 from repro._util import check_nonnegative, check_probability
 from repro.core.confidence import EpsilonSchedule
-from repro.core.intervals import separated_equal_width_batch
+from repro.core.intervals import first_event_row, first_resolution_row
 from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
 from repro.engines.base import SamplingEngine
 
@@ -65,11 +65,11 @@ def run_roundrobin(
     live = np.ones(k, dtype=bool)  # still being sampled (not exhausted)
     trace = Trace(every=trace_every) if trace_every > 0 else None
 
-    for gid in range(k):
-        value = float(run.draw(gid, 1)[0])
-        sums[gid] = value
-        estimates[gid] = value
-        run.charge(gid, 1)
+    all_gids = np.arange(k, dtype=np.int64)
+    first = run.draw_block(all_gids, 1)[0]
+    sums[:] = first
+    estimates[:] = first
+    run.charge_block(all_gids, 1)
     samples[:] = 1
     m = 1
     final_eps = float(schedule(1.0, float(sizes.max()) if without_replacement else None))
@@ -99,30 +99,24 @@ def run_roundrobin(
         b_eff = max(b_eff, 1)
 
         rounds = np.arange(m + 1, m + b_eff + 1, dtype=np.float64)
-        blocks = np.stack([run.draw(int(g), b_eff) for g in live_idx], axis=1)
+        blocks = run.draw_block(live_idx, b_eff)
         csums = np.cumsum(blocks, axis=0) + sums[live_idx][None, :]
         prefix = csums / rounds[:, None]
 
         n_max = float(sizes[live_idx].max()) if without_replacement else None
-        eps = np.asarray(schedule(rounds, n_max), dtype=np.float64)
+        eps = np.asarray(schedule.segment(rounds, n_max), dtype=np.float64)
+
+        res_row = first_resolution_row(eps, resolution)
 
         # Termination: the first round where every live interval is disjoint
         # from every other live interval and clears all frozen exact points.
-        sep = separated_equal_width_batch(prefix, eps)
-        all_sep = sep.all(axis=1)
+        # A resolution stop makes later rows moot, so the galloping scan is
+        # capped there.
+        cap = b_eff if res_row is None else res_row + 1
         frozen_vals = estimates[exhausted]
-        if frozen_vals.size:
-            dist = np.abs(prefix[:, :, None] - frozen_vals[None, None, :])
-            clears = (dist.min(axis=2) > eps[:, None]).all(axis=1)
-            all_sep &= clears
-        stop_rows = np.flatnonzero(all_sep)
-        stop_row = int(stop_rows[0]) if stop_rows.size else None
-
-        res_row = None
-        if resolution > 0.0:
-            hits = np.flatnonzero(eps < resolution / 4.0)
-            if hits.size:
-                res_row = int(hits[0])
+        stop_row, _ = first_event_row(
+            prefix[:cap], eps[:cap], obstacles=frozen_vals, require_all=True
+        )
 
         event = None
         if stop_row is not None or res_row is not None:
@@ -133,8 +127,7 @@ def run_roundrobin(
         sums[live_idx] = csums[consume - 1, :]
         estimates[live_idx] = prefix[consume - 1, :]
         samples[live_idx] += consume
-        for g in live_idx:
-            run.charge(int(g), consume)
+        run.charge_block(live_idx, consume)
         m += consume
         final_eps = float(eps[consume - 1])
         if event is not None:

@@ -7,6 +7,17 @@ and it lets the experiment harness compute the difficulty proxy c^2/eta^2
 
 All distributions here have bounded support [lo, hi] - the paper's algorithms
 require values in [0, c].
+
+Fused block sampling: distributions whose draws are an elementwise transform
+of standard uniforms (``fusable = True``) additionally expose
+``from_uniform(u)`` - the inverse-CDF map - plus a vectorized
+``block_transformer`` used by the multi-group fast path
+(:class:`repro.data.population._VirtualBlockKernel`): one
+``rng.random((groups, count))`` call feeds every group of the family, with
+the per-group parameter broadcast handled inside a single numpy expression
+instead of one RNG call per group.  Rejection-sampled distributions
+(:class:`TruncatedNormal`, and any :class:`Mixture` containing one) are not
+fusable and keep their per-group streams.
 """
 
 from __future__ import annotations
@@ -51,9 +62,40 @@ class Distribution:
     def variance(self) -> float:
         raise NotImplementedError
 
+    @property
+    def fusable(self) -> bool:
+        """True iff draws are an elementwise transform of standard uniforms.
+
+        Fusable distributions support :meth:`from_uniform` and can share one
+        RNG call across many groups in the block-sampling fast path.
+        """
+        return False
+
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw ``n`` i.i.d. values as a float64 array."""
         raise NotImplementedError
+
+    def from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Inverse-CDF transform of uniforms in [0, 1) to values (fusable only)."""
+        raise NotImplementedError(f"{type(self).__name__} is not uniform-fusable")
+
+    @classmethod
+    def block_transformer(cls, dists: Sequence["Distribution"]):
+        """Build ``f(u, idx)`` mapping a uniform matrix to values row-by-row.
+
+        ``u`` has shape (m, count); row ``j`` belongs to ``dists[idx[j]]``.
+        Subclasses with purely parametric transforms override this to hoist
+        the per-distribution parameters into vectors once, so one numpy
+        expression transforms the whole matrix.
+        """
+
+        def generic(u: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            out = np.empty_like(u)
+            for row, j in enumerate(idx):
+                out[row] = dists[int(j)].from_uniform(u[row])
+            return out
+
+        return generic
 
     def _validate_bounds(self) -> None:
         if not self.lo < self.hi:
@@ -82,8 +124,24 @@ class PointMass(Distribution):
     def variance(self) -> float:
         return 0.0
 
+    @property
+    def fusable(self) -> bool:
+        return True
+
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return np.full(n, self.value, dtype=np.float64)
+
+    def from_uniform(self, u: np.ndarray) -> np.ndarray:
+        return np.full(u.shape, self.value, dtype=np.float64)
+
+    @classmethod
+    def block_transformer(cls, dists: Sequence[Distribution]):
+        values = np.array([d.value for d in dists], dtype=np.float64)
+
+        def transform(u: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            return np.broadcast_to(values[idx][:, None], u.shape).copy()
+
+        return transform
 
 
 @dataclass(frozen=True)
@@ -104,8 +162,25 @@ class UniformValues(Distribution):
     def variance(self) -> float:
         return (self.hi - self.lo) ** 2 / 12.0
 
+    @property
+    def fusable(self) -> bool:
+        return True
+
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return rng.uniform(self.lo, self.hi, size=n)
+
+    def from_uniform(self, u: np.ndarray) -> np.ndarray:
+        return self.lo + u * (self.hi - self.lo)
+
+    @classmethod
+    def block_transformer(cls, dists: Sequence[Distribution]):
+        lo = np.array([d.lo for d in dists], dtype=np.float64)
+        span = np.array([d.hi - d.lo for d in dists], dtype=np.float64)
+
+        def transform(u: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            return lo[idx][:, None] + u * span[idx][:, None]
+
+        return transform
 
 
 @dataclass(frozen=True)
@@ -134,8 +209,26 @@ class TwoPoint(Distribution):
     def variance(self) -> float:
         return self.p * (1.0 - self.p) * (self.hi - self.lo) ** 2
 
+    @property
+    def fusable(self) -> bool:
+        return True
+
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return np.where(rng.random(n) < self.p, self.hi, self.lo).astype(np.float64)
+
+    def from_uniform(self, u: np.ndarray) -> np.ndarray:
+        return np.where(u < self.p, self.hi, self.lo).astype(np.float64)
+
+    @classmethod
+    def block_transformer(cls, dists: Sequence[Distribution]):
+        p = np.array([d.p for d in dists], dtype=np.float64)
+        lo = np.array([d.lo for d in dists], dtype=np.float64)
+        hi = np.array([d.hi for d in dists], dtype=np.float64)
+
+        def transform(u: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            return np.where(u < p[idx][:, None], hi[idx][:, None], lo[idx][:, None])
+
+        return transform
 
 
 @dataclass(frozen=True)
@@ -239,6 +332,10 @@ class Mixture(Distribution):
         )
         return float(second - m * m)
 
+    @property
+    def fusable(self) -> bool:
+        return all(comp.fusable for comp in self.components)
+
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         choice = rng.choice(len(self.components), size=n, p=self.weights)
         out = np.empty(n, dtype=np.float64)
@@ -247,6 +344,22 @@ class Mixture(Distribution):
             cnt = int(mask.sum())
             if cnt:
                 out[mask] = comp.sample(rng, cnt)
+        return out
+
+    def from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Inverse-CDF composition: the uniform picks the component via the
+        weight partition of [0, 1) and is rescaled for the component's own
+        inverse CDF - a single uniform per value, like :meth:`sample`."""
+        if not self.fusable:
+            raise NotImplementedError("mixture has a non-fusable component")
+        cum = np.concatenate([[0.0], np.cumsum(self.weights)])
+        cum[-1] = 1.0  # guard against round-off excluding u close to 1
+        out = np.empty_like(u)
+        for j, comp in enumerate(self.components):
+            mask = (u >= cum[j]) & (u < cum[j + 1])
+            if mask.any():
+                width = cum[j + 1] - cum[j]
+                out[mask] = comp.from_uniform((u[mask] - cum[j]) / width)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

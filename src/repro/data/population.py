@@ -20,6 +20,32 @@ Two group representations:
 
 Both kinds expose a per-run :class:`GroupSampler` so repeated algorithm runs
 over one population draw independent samples.
+
+Fused block sampling
+--------------------
+
+Batched executors ask the engine for a whole ``(count, k_active)`` matrix at
+once (:meth:`repro.engines.base.EngineRun.draw_block`).  To serve that without
+one Python call per group, sampler classes may provide a *block kernel* via
+:meth:`GroupSampler.make_block_kernel`:
+
+* :class:`_ColumnarPermutations` - materialized without-replacement groups
+  store their per-run permutations in one contiguous ``perm_flat`` array
+  (lazily materialized per group from the group's own stream), so a batch is
+  a single fancy-index gather across all active groups.  Bit-exact with the
+  sequential per-group path: the permutation of each group is produced by
+  exactly the same ``rng.permutation`` call.
+* :class:`_VirtualBlockKernel` - virtual groups whose distribution is
+  ``fusable`` (an elementwise inverse-CDF transform of uniforms) share one
+  stream: ``rng.random((groups, count))`` plus one vectorized transform per
+  distribution family.  Row ``j`` of the uniform matrix is exactly what the
+  ``j``-th sequential single-group draw would have consumed, so fused and
+  sequential draws are bit-identical.  Non-fusable distributions (rejection
+  samplers) keep their per-group streams and per-group draws.
+
+Materialized *with*-replacement samplers intentionally have no fused kernel:
+their draws must consume each group's own stream to stay bit-exact with the
+reference executor, so they use the engine's generic per-column fallback.
 """
 
 from __future__ import annotations
@@ -37,6 +63,7 @@ __all__ = [
     "MaterializedGroup",
     "VirtualGroup",
     "Population",
+    "BlockKernel",
 ]
 
 
@@ -65,6 +92,202 @@ class GroupSampler:
     def draw(self, count: int) -> np.ndarray:
         raise NotImplementedError
 
+    @classmethod
+    def make_block_kernel(
+        cls, samplers: list["GroupSampler"], gids: np.ndarray
+    ) -> "BlockKernel | None":
+        """Build a fused multi-group kernel for samplers of this class.
+
+        ``None`` (the default) means the engine falls back to drawing the
+        groups one column at a time through :meth:`draw`.
+        """
+        return None
+
+
+class BlockKernel:
+    """A fused drawing plan for a fixed set of same-kind group samplers.
+
+    ``draw_into(out, cols, gids, count)`` fills ``out[:, cols]`` with the next
+    ``count`` samples of each group in ``gids`` (parallel to ``cols``).
+    Kernels own whatever shared per-run state the fusion needs; samplers they
+    *bind* delegate their single-group ``draw`` to the same state so the
+    per-group and fused paths can be interleaved freely.
+    """
+
+    def __init__(self, gids: np.ndarray) -> None:
+        # Dense gid -> local-slot map; kernels are per-run and k-bounded.
+        self._slot_of = np.full(int(gids.max()) + 1, -1, dtype=np.int64)
+        self._slot_of[gids] = np.arange(gids.size)
+
+    def slots(self, gids: np.ndarray) -> np.ndarray:
+        return self._slot_of[gids]
+
+    def draw_into(
+        self, out: np.ndarray, cols: np.ndarray, gids: np.ndarray, count: int
+    ) -> None:
+        raise NotImplementedError
+
+    def draw_matrix(self, gids: np.ndarray, count: int) -> np.ndarray:
+        """Draw a fresh ``(count, len(gids))`` matrix for all of ``gids``.
+
+        Used when one kernel covers the whole request; kernels whose fused
+        draw already produces a fresh matrix override this to skip the copy
+        into a preallocated output.
+        """
+        out = np.empty((count, gids.size), dtype=np.float64)
+        self.draw_into(out, np.arange(gids.size, dtype=np.int64), gids, count)
+        return out
+
+
+class _ColumnarPermutations(BlockKernel):
+    """Per-run columnar store of without-replacement permutations.
+
+    One contiguous float64 buffer holds every group's permuted values at
+    ``offsets[slot] : offsets[slot] + size[slot]``; a fused draw of ``count``
+    rounds from m active groups is one fancy-index gather of shape
+    ``(count, m)``.  Permutations are materialized lazily, each from its
+    group's own independent stream, which keeps the values bit-identical to
+    the sequential per-group sampler.
+    """
+
+    def __init__(self, samplers: list["_MaterializedWithoutReplacement"], gids: np.ndarray) -> None:
+        super().__init__(gids)
+        self._samplers = samplers
+        self._sizes = np.array([s.size for s in samplers], dtype=np.int64)
+        self._offsets = np.zeros(len(samplers) + 1, dtype=np.int64)
+        np.cumsum(self._sizes, out=self._offsets[1:])
+        self._perm_flat = np.empty(int(self._offsets[-1]), dtype=np.float64)
+        self._filled = False
+        self._ready = np.zeros(len(samplers), dtype=bool)
+        self.consumed = np.zeros(len(samplers), dtype=np.int64)
+        for slot, sampler in enumerate(samplers):
+            sampler._bind(self, slot)
+
+    def _ensure(self, slots: np.ndarray) -> None:
+        missing = slots[~self._ready[slots]]
+        if missing.size == 0:
+            return
+        if not self._filled:
+            # One vectorized copy of the columnar values; the per-group
+            # in-place shuffle below then consumes each group's stream
+            # exactly like ``rng.permutation(values)`` (numpy's permutation
+            # is copy-then-shuffle, asserted in the test suite).
+            np.concatenate([s._values for s in self._samplers], out=self._perm_flat)
+            self._filled = True
+        for slot in missing:
+            slot = int(slot)
+            sampler = self._samplers[slot]
+            lo = int(self._offsets[slot])
+            sampler._rng.shuffle(self._perm_flat[lo : lo + sampler.size])
+            self._ready[slot] = True
+
+    def _check_capacity(self, slots: np.ndarray, count: int) -> None:
+        over = self.consumed[slots] + count > self._sizes[slots]
+        if np.any(over):
+            slot = int(slots[np.argmax(over)])
+            raise ValueError(
+                f"group exhausted: requested {count} more samples after "
+                f"{int(self.consumed[slot])} of {int(self._sizes[slot])}"
+            )
+
+    def draw_one(self, slot: int, count: int) -> np.ndarray:
+        """Sequential single-group draw (read-only view of the permutation)."""
+        slots = np.array([slot], dtype=np.int64)
+        self._ensure(slots)
+        self._check_capacity(slots, count)
+        start = int(self._offsets[slot] + self.consumed[slot])
+        out = self._perm_flat[start : start + count].view()
+        out.flags.writeable = False
+        self.consumed[slot] += count
+        return out
+
+    def _gather(self, slots: np.ndarray, count: int) -> np.ndarray:
+        self._ensure(slots)
+        self._check_capacity(slots, count)
+        starts = self._offsets[slots] + self.consumed[slots]
+        # One gather for the whole batch across all active groups.
+        block = self._perm_flat[
+            starts[None, :] + np.arange(count, dtype=np.int64)[:, None]
+        ]
+        self.consumed[slots] += count
+        return block
+
+    def draw_into(
+        self, out: np.ndarray, cols: np.ndarray, gids: np.ndarray, count: int
+    ) -> None:
+        out[:, cols] = self._gather(self.slots(gids), count)
+
+    def draw_matrix(self, gids: np.ndarray, count: int) -> np.ndarray:
+        return self._gather(self.slots(gids), count)
+
+
+class _VirtualBlockKernel(BlockKernel):
+    """Family-batched sampling for distribution-backed groups.
+
+    All fusable groups share one uniform stream (the stream of the first
+    fusable group): a fused draw of ``count`` samples from m groups consumes
+    ``rng.random((m, count))`` - row ``j`` is exactly the chunk the ``j``-th
+    sequential single-group draw would consume, so fused and sequential draws
+    are bit-identical.  Each distribution family transforms its rows with one
+    vectorized inverse-CDF expression.  Non-fusable samplers (rejection-based
+    distributions) keep their own streams and per-group ``draw``.
+    """
+
+    def __init__(self, samplers: list["_VirtualSampler"], gids: np.ndarray) -> None:
+        super().__init__(gids)
+        self._samplers = samplers
+        self._fused = np.array([s._dist.fusable for s in samplers], dtype=bool)
+        self.consumed = np.zeros(len(samplers), dtype=np.int64)
+        fused_slots = np.flatnonzero(self._fused)
+        self._rng = samplers[int(fused_slots[0])]._rng if fused_slots.size else None
+        # family type -> (transformer, family-local index per slot)
+        self._family_of = np.full(len(samplers), -1, dtype=np.int64)
+        self._fam_index = np.zeros(len(samplers), dtype=np.int64)
+        self._transformers: list = []
+        by_type: dict[type, list[int]] = {}
+        for slot in fused_slots:
+            by_type.setdefault(type(samplers[int(slot)]._dist), []).append(int(slot))
+        for dist_cls, slots in by_type.items():
+            fam = len(self._transformers)
+            dists = [samplers[s]._dist for s in slots]
+            self._transformers.append(dist_cls.block_transformer(dists))
+            for j, s in enumerate(slots):
+                self._family_of[s] = fam
+                self._fam_index[s] = j
+        for slot in fused_slots:
+            samplers[int(slot)]._bind(self, int(slot))
+
+    def draw_one(self, slot: int, count: int) -> np.ndarray:
+        """Sequential draw for one bound (fusable) group."""
+        u = self._rng.random((1, count))
+        fam = int(self._family_of[slot])
+        idx = self._fam_index[slot : slot + 1]
+        self.consumed[slot] += count
+        return self._transformers[fam](u, idx)[0]
+
+    def draw_into(
+        self, out: np.ndarray, cols: np.ndarray, gids: np.ndarray, count: int
+    ) -> None:
+        slots = self.slots(gids)
+        fused = self._fused[slots]
+        if fused.any():
+            fslots = slots[fused]
+            fcols = cols[fused]
+            # One RNG call serves every fusable group in this batch; rows are
+            # handed to each family's vectorized transform.
+            u = self._rng.random((fslots.size, count))
+            fams = self._family_of[fslots]
+            for fam in np.unique(fams):
+                rows = np.flatnonzero(fams == fam)
+                vals = self._transformers[int(fam)](
+                    u[rows], self._fam_index[fslots[rows]]
+                )
+                out[:, fcols[rows]] = vals.T
+            self.consumed[fslots] += count
+        if not fused.all():
+            for slot, col in zip(slots[~fused], cols[~fused]):
+                out[:, col] = self._samplers[int(slot)].draw(count)
+
 
 class _MaterializedWithReplacement(GroupSampler):
     def __init__(self, values: np.ndarray, rng: np.random.Generator) -> None:
@@ -79,20 +302,54 @@ class _MaterializedWithReplacement(GroupSampler):
 
 
 class _MaterializedWithoutReplacement(GroupSampler):
+    """Without-replacement stream: a lazily materialized random permutation.
+
+    Standalone (unbound) samplers keep a private permutation; samplers bound
+    to a :class:`_ColumnarPermutations` kernel delegate to its shared
+    columnar buffer so sequential and fused draws advance the same state.
+    ``draw`` returns a *read-only* view - a caller mutating the returned
+    block would otherwise silently corrupt every later draw of the run.
+    """
+
     def __init__(self, values: np.ndarray, rng: np.random.Generator) -> None:
         super().__init__(values.shape[0])
-        self._perm = rng.permutation(values)
+        self._values = values
+        self._rng = rng
+        self._perm: np.ndarray | None = None
+        self._store: _ColumnarPermutations | None = None
+        self._slot = -1
+
+    def _bind(self, store: _ColumnarPermutations, slot: int) -> None:
+        self._store = store
+        self._slot = slot
+
+    @property
+    def consumed(self) -> int:
+        if self._store is not None:
+            return int(self._store.consumed[self._slot])
+        return self._consumed
 
     def draw(self, count: int) -> np.ndarray:
+        if self._store is not None:
+            return self._store.draw_one(self._slot, count)
+        if self._perm is None:
+            self._perm = self._rng.permutation(self._values)
         end = self._consumed + count
         if end > self._perm.shape[0]:
             raise ValueError(
                 f"group exhausted: requested {count} more samples after "
                 f"{self._consumed} of {self._perm.shape[0]}"
             )
-        out = self._perm[self._consumed : end]
+        out = self._perm[self._consumed : end].view()
+        out.flags.writeable = False
         self._consumed = end
         return out
+
+    @classmethod
+    def make_block_kernel(
+        cls, samplers: list[GroupSampler], gids: np.ndarray
+    ) -> BlockKernel | None:
+        return _ColumnarPermutations(samplers, gids)  # type: ignore[arg-type]
 
 
 class _VirtualSampler(GroupSampler):
@@ -100,10 +357,30 @@ class _VirtualSampler(GroupSampler):
         super().__init__(size)
         self._dist = dist
         self._rng = rng
+        self._store: _VirtualBlockKernel | None = None
+        self._slot = -1
+
+    def _bind(self, store: _VirtualBlockKernel, slot: int) -> None:
+        self._store = store
+        self._slot = slot
+
+    @property
+    def consumed(self) -> int:
+        if self._store is not None:
+            return int(self._store.consumed[self._slot])
+        return self._consumed
 
     def draw(self, count: int) -> np.ndarray:
+        if self._store is not None:
+            return self._store.draw_one(self._slot, count)
         self._consumed += count
         return self._dist.sample(self._rng, count)
+
+    @classmethod
+    def make_block_kernel(
+        cls, samplers: list[GroupSampler], gids: np.ndarray
+    ) -> BlockKernel | None:
+        return _VirtualBlockKernel(samplers, gids)  # type: ignore[arg-type]
 
 
 class Group:

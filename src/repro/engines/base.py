@@ -13,6 +13,14 @@ obtain sample values (uncharged - batched executors may discard a pre-drawn
 suffix) and then ``run.charge(gid, count)`` for the samples actually consumed
 by the algorithm.  Only charged samples appear in :class:`RunStats` and incur
 simulated I/O and CPU time.
+
+The fused fast path: ``run.draw_block(active_idx, count)`` returns a
+``(count, k_active)`` matrix in one call, served by per-sampler-kind block
+kernels (see :mod:`repro.data.population`), and ``run.charge_block`` accounts
+for a whole batch of consumed samples at once.  Both are semantically
+identical to the per-group loops they replace - ``draw_block`` is bit-exact
+for every sampler kind - so executors can adopt them without changing
+results.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import spawn_group_rngs
-from repro.data.population import GroupSampler, Population
+from repro.data.population import BlockKernel, GroupSampler, Population
 
 __all__ = ["CostModel", "NullCostModel", "RunStats", "EngineRun", "SamplingEngine"]
 
@@ -38,6 +46,20 @@ class CostModel:
         """Cost of a full sequential scan over ``rows`` rows."""
         raise NotImplementedError
 
+    def block_sample_cost(self, count: int, groups: int) -> tuple[float, float]:
+        """Cost of retrieving ``count`` samples from each of ``groups`` groups.
+
+        The default preserves the exact semantics of ``groups`` successive
+        :meth:`sample_cost` calls (cost models may be stateful); linear
+        models override this with a closed form.
+        """
+        io = cpu = 0.0
+        for _ in range(groups):
+            step_io, step_cpu = self.sample_cost(count)
+            io += step_io
+            cpu += step_cpu
+        return io, cpu
+
 
 class NullCostModel(CostModel):
     """Zero-cost model: sample counting only (algorithm-level experiments)."""
@@ -46,6 +68,9 @@ class NullCostModel(CostModel):
         return 0.0, 0.0
 
     def scan_cost(self, rows: int, row_bytes: int) -> tuple[float, float]:
+        return 0.0, 0.0
+
+    def block_sample_cost(self, count: int, groups: int) -> tuple[float, float]:
         return 0.0, 0.0
 
 
@@ -76,6 +101,46 @@ class RunStats:
         )
 
 
+class _SequentialBlockKernel(BlockKernel):
+    """Fallback kernel: per-column draws, no ``np.stack`` temporaries.
+
+    Used for sampler kinds without a fused implementation (e.g. materialized
+    with-replacement streams, whose bit-exactness requires one RNG call per
+    group stream).
+    """
+
+    def __init__(self, samplers: list[GroupSampler], gids: np.ndarray) -> None:
+        super().__init__(gids)
+        self._samplers = samplers
+
+    def draw_into(
+        self, out: np.ndarray, cols: np.ndarray, gids: np.ndarray, count: int
+    ) -> None:
+        slots = self.slots(gids)
+        for slot, col in zip(slots, cols):
+            out[:, col] = self._samplers[int(slot)].draw(count)
+
+
+def _build_block_kernels(
+    samplers: list[GroupSampler],
+) -> tuple[list[BlockKernel], np.ndarray]:
+    """Partition samplers by class and build one block kernel per kind."""
+    kind_of = np.zeros(len(samplers), dtype=np.int64)
+    kernels: list[BlockKernel] = []
+    by_cls: dict[type, list[int]] = {}
+    for gid, sampler in enumerate(samplers):
+        by_cls.setdefault(type(sampler), []).append(gid)
+    for cls, gids in by_cls.items():
+        gid_arr = np.asarray(gids, dtype=np.int64)
+        subs = [samplers[g] for g in gids]
+        kernel = cls.make_block_kernel(subs, gid_arr)
+        if kernel is None:
+            kernel = _SequentialBlockKernel(subs, gid_arr)
+        kind_of[gid_arr] = len(kernels)
+        kernels.append(kernel)
+    return kernels, kind_of
+
+
 class EngineRun:
     """One algorithm run's view of the engine: streams + accounting."""
 
@@ -90,6 +155,7 @@ class EngineRun:
         self._samplers = samplers
         self._cost = cost_model
         self._row_bytes = row_bytes
+        self._kernels, self._kind_of = _build_block_kernels(samplers)
         self.stats = RunStats(samples_per_group=np.zeros(population.k, dtype=np.int64))
 
     @property
@@ -114,6 +180,30 @@ class EngineRun:
             return np.empty(0, dtype=np.float64)
         return self._samplers[gid].draw(count)
 
+    def draw_block(self, gids: np.ndarray, count: int) -> np.ndarray:
+        """Next ``count`` samples of every group in ``gids``, as one matrix.
+
+        Returns a float64 array of shape ``(count, len(gids))`` whose column
+        ``j`` holds exactly the values ``draw(gids[j], count)`` would have
+        returned - the fused kernels are bit-exact with the sequential
+        per-group path for every sampler kind.  Uncharged, like ``draw``.
+        ``gids`` must not contain duplicates (a duplicated group would
+        receive the same stream chunk twice and desync its consumed count).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        gids = np.asarray(gids, dtype=np.int64)
+        if count == 0 or gids.size == 0:
+            return np.empty((count, gids.size), dtype=np.float64)
+        if len(self._kernels) == 1:
+            return self._kernels[0].draw_matrix(gids, count)
+        out = np.empty((count, gids.size), dtype=np.float64)
+        kinds = self._kind_of[gids]
+        for kid in np.unique(kinds):
+            cols = np.flatnonzero(kinds == kid)
+            self._kernels[int(kid)].draw_into(out, cols, gids[cols], count)
+        return out
+
     def charge(self, gid: int, count: int) -> None:
         """Account for ``count`` samples of group ``gid`` actually consumed."""
         if count < 0:
@@ -122,6 +212,24 @@ class EngineRun:
             return
         self.stats.samples_per_group[gid] += count
         io, cpu = self._cost.sample_cost(count)
+        self.stats.io_seconds += io
+        self.stats.cpu_seconds += cpu
+
+    def charge_block(self, gids: np.ndarray, count: int) -> None:
+        """Vectorized ``charge``: ``count`` consumed samples per group in ``gids``.
+
+        Semantically identical to ``for g in gids: charge(g, count)`` (the
+        cost model's ``block_sample_cost`` default literally replays the
+        per-group calls, and linear models use a closed form).  ``gids``
+        must not contain duplicates.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        gids = np.asarray(gids, dtype=np.int64)
+        if count == 0 or gids.size == 0:
+            return
+        self.stats.samples_per_group[gids] += count
+        io, cpu = self._cost.block_sample_cost(count, gids.size)
         self.stats.io_seconds += io
         self.stats.cpu_seconds += cpu
 

@@ -5,6 +5,12 @@ memory with an index on the group-by attribute, so retrieving one random tuple
 from any group costs the same regardless of group.  No simulated I/O is
 accrued unless a cost model is supplied; sample counting always works, which
 is all the sample-complexity experiments (Fig. 3(a)/(c), Fig. 5-7) need.
+
+Fast path: runs opened over materialized populations sample through the
+columnar permutation store of :mod:`repro.data.population`, so a batched
+executor's ``draw_block`` is one fancy-index gather per batch regardless of
+the number of groups; virtual populations with uniform-transform
+distributions share one RNG call per batch.  See DESIGN_PERF.md.
 """
 
 from __future__ import annotations

@@ -21,6 +21,19 @@ __all__ = ["BitVector"]
 
 _WORD_BITS = 64
 
+# Byte-level select lookup table: _SELECT_IN_BYTE[b, r] is the bit position of
+# the r-th (0-based) set bit of byte value b, or 8 when b has fewer than r+1
+# set bits.  Lets batched select finish inside a word with two table gathers
+# instead of unpacking 64 bools per word and cumsumming them.
+_SELECT_IN_BYTE = np.full((256, 8), 8, dtype=np.uint8)
+for _byte in range(256):
+    _rank = 0
+    for _bit in range(8):
+        if (_byte >> _bit) & 1:
+            _SELECT_IN_BYTE[_byte, _rank] = _bit
+            _rank += 1
+del _byte, _rank, _bit
+
 
 class BitVector:
     """A fixed-length bitmap over positions [0, length)."""
@@ -146,7 +159,13 @@ class BitVector:
         return int(self.select_many(np.array([r], dtype=np.int64))[0])
 
     def select_many(self, ranks: np.ndarray) -> np.ndarray:
-        """Vectorized select: positions of the given 0-based ranks."""
+        """Vectorized select: positions of the given 0-based ranks.
+
+        Word location is a binary search over the cumulative popcounts; the
+        in-word finish uses byte popcounts plus the precomputed
+        ``_SELECT_IN_BYTE`` table (8 bytes per word instead of unpacking 64
+        bools and cumsumming them).
+        """
         ranks = np.asarray(ranks, dtype=np.int64)
         total = self.count()
         if ranks.size == 0:
@@ -156,13 +175,21 @@ class BitVector:
         cum = self._cumulative()
         widx = np.searchsorted(cum, ranks, side="right")
         before = np.where(widx > 0, cum[np.maximum(widx - 1, 0)], 0)
-        before = np.where(widx > 0, before, 0)
         local = ranks - before  # rank within the target word
-        words = np.ascontiguousarray(self._words[widx])
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little").reshape(-1, _WORD_BITS)
-        cs = np.cumsum(bits, axis=1)
-        offsets = np.argmax(cs == (local + 1)[:, None], axis=1)
-        return widx * _WORD_BITS + offsets
+        # Little-endian byte view: row i holds the 8 bytes of word widx[i].
+        wbytes = np.ascontiguousarray(self._words[widx]).view(np.uint8).reshape(-1, 8)
+        bcum = np.cumsum(np.bitwise_count(wbytes), axis=1, dtype=np.int64)
+        # Target byte: number of byte-prefixes whose popcount is <= local.
+        bidx = np.sum(bcum <= local[:, None], axis=1)
+        prev = np.where(
+            bidx > 0,
+            np.take_along_axis(bcum, np.maximum(bidx - 1, 0)[:, None], axis=1)[:, 0],
+            0,
+        )
+        within = local - prev
+        byte_vals = np.take_along_axis(wbytes, bidx[:, None].astype(np.int64), axis=1)[:, 0]
+        offsets = bidx * 8 + _SELECT_IN_BYTE[byte_vals, within]
+        return widx * _WORD_BITS + offsets.astype(np.int64)
 
     # -- logical ops ----------------------------------------------------------
     def _check_compatible(self, other: "BitVector") -> None:

@@ -49,6 +49,10 @@ class NeedletailCostModel(CostModel):
     def sample_cost(self, count: int) -> tuple[float, float]:
         return count * self.io_per_sample, count * self.cpu_per_sample
 
+    def block_sample_cost(self, count: int, groups: int) -> tuple[float, float]:
+        total = count * groups
+        return total * self.io_per_sample, total * self.cpu_per_sample
+
     def scan_cost(self, rows: int, row_bytes: int) -> tuple[float, float]:
         io = rows * row_bytes / self.disk.sequential_bandwidth
         cpu = rows * self.cpu_per_scan_row
@@ -82,6 +86,11 @@ class BlockCacheCostModel(CostModel):
         new_pages = self._pages.new_unique(count)
         io = self._disk.random_page_reads(new_pages)
         return io, count * self.cpu_per_sample
+
+    def block_sample_cost(self, count: int, groups: int) -> tuple[float, float]:
+        # The expected-unique-pages increment telescopes, so one call with
+        # the combined sample count prices exactly like ``groups`` calls.
+        return self.sample_cost(count * groups)
 
     def scan_cost(self, rows: int, row_bytes: int) -> tuple[float, float]:
         io = self._disk.sequential_read(rows * row_bytes)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.data.population import Group, GroupSampler, Population
+from repro.data.population import BlockKernel, Group, GroupSampler, Population
 from repro.engines.base import CostModel, SamplingEngine
 from repro.needletail.bitvector import BitVector
 from repro.needletail.cost import NeedletailCostModel
@@ -28,13 +28,48 @@ from repro.needletail.table import Table
 __all__ = ["IndexedGroup", "NeedletailEngine"]
 
 
+class _IndexedBlockKernel(BlockKernel):
+    """Fused rank -> select -> fetch for a batch of indexed groups.
+
+    Rank selection runs per group (each group has its own bitmap), but the
+    row-store fetch is one gather: every group of an engine shares the same
+    value column, so the ``(count, m)`` rowid matrix indexes it in one go.
+    Bit-exact with per-group draws - identical ranks, selects, and values.
+    """
+
+    def __init__(self, samplers: list[GroupSampler], gids: np.ndarray) -> None:
+        super().__init__(gids)
+        self._samplers = samplers
+        self._values = samplers[0]._group._values  # type: ignore[attr-defined]
+        self._shared_values = all(
+            s._group._values is self._values for s in samplers  # type: ignore[attr-defined]
+        )
+
+    def draw_into(
+        self, out: np.ndarray, cols: np.ndarray, gids: np.ndarray, count: int
+    ) -> None:
+        slots = self.slots(gids)
+        if not self._shared_values:
+            for slot, col in zip(slots, cols):
+                out[:, col] = self._samplers[int(slot)].draw(count)
+            return
+        rowids = np.empty((count, cols.size), dtype=np.int64)
+        for j, slot in enumerate(slots):
+            sampler = self._samplers[int(slot)]
+            ranks = sampler._next_ranks(count)  # type: ignore[attr-defined]
+            rowids[:, j] = sampler._group._selector.select_many(  # type: ignore[attr-defined]
+                np.asarray(ranks, dtype=np.int64)
+            )
+        out[:, cols] = self._values[rowids]
+
+
 class _IndexedWithoutReplacement(GroupSampler):
     def __init__(self, group: "IndexedGroup", rng: np.random.Generator) -> None:
         super().__init__(group.size)
         self._group = group
         self._perm = rng.permutation(group.size)
 
-    def draw(self, count: int) -> np.ndarray:
+    def _next_ranks(self, count: int) -> np.ndarray:
         end = self._consumed + count
         if end > self._perm.shape[0]:
             raise ValueError(
@@ -43,7 +78,16 @@ class _IndexedWithoutReplacement(GroupSampler):
             )
         ranks = self._perm[self._consumed : end]
         self._consumed = end
-        return self._group.fetch_by_rank(ranks)
+        return ranks
+
+    def draw(self, count: int) -> np.ndarray:
+        return self._group.fetch_by_rank(self._next_ranks(count))
+
+    @classmethod
+    def make_block_kernel(
+        cls, samplers: list[GroupSampler], gids: np.ndarray
+    ) -> BlockKernel | None:
+        return _IndexedBlockKernel(samplers, gids)
 
 
 class _IndexedWithReplacement(GroupSampler):
@@ -52,10 +96,18 @@ class _IndexedWithReplacement(GroupSampler):
         self._group = group
         self._rng = rng
 
-    def draw(self, count: int) -> np.ndarray:
-        ranks = self._rng.integers(0, self._group.size, size=count)
+    def _next_ranks(self, count: int) -> np.ndarray:
         self._consumed += count
-        return self._group.fetch_by_rank(ranks)
+        return self._rng.integers(0, self._group.size, size=count)
+
+    def draw(self, count: int) -> np.ndarray:
+        return self._group.fetch_by_rank(self._next_ranks(count))
+
+    @classmethod
+    def make_block_kernel(
+        cls, samplers: list[GroupSampler], gids: np.ndarray
+    ) -> BlockKernel | None:
+        return _IndexedBlockKernel(samplers, gids)
 
 
 class IndexedGroup(Group):

@@ -118,12 +118,16 @@ class HierarchicalBitmap:
     def select_many(self, ranks: np.ndarray) -> np.ndarray:
         """Batched select.
 
-        The per-query tree descent is pure Python; for large batches the flat
-        vectorized select on the underlying BitVector is faster, so batches
-        above a small threshold delegate to it (identical results - asserted
-        in tests).
+        The per-query tree descent is pure Python; for larger batches the
+        flat vectorized select on the underlying BitVector (binary search
+        over word popcounts + byte-level select lookup table) is faster, so
+        batches above a small threshold delegate to it (identical results -
+        asserted in tests).  This is the path the fused ``draw_block``
+        sampling kernel drives, one call per group per batch.
         """
         ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size == 0:
+            return np.zeros(0, dtype=np.int64)
         if ranks.size > 32:
             return self._bits.select_many(ranks)
         return np.array([self.select(int(r)) for r in ranks], dtype=np.int64)

@@ -35,6 +35,21 @@ class TestMaterializedGroup:
         freq = counts / counts.sum()
         assert np.all(np.abs(freq - 0.1) < 0.03)
 
+    def test_wor_draw_is_read_only(self):
+        """Regression: draw used to hand out a writable view of the run's
+        permutation, so a caller mutating the block corrupted later draws."""
+        values = np.arange(50, dtype=np.float64)
+        g = MaterializedGroup("g", values)
+        sampler = g.sampler(np.random.default_rng(3), without_replacement=True)
+        reference = g.sampler(np.random.default_rng(3), without_replacement=True)
+        block = sampler.draw(10)
+        with pytest.raises(ValueError):
+            block[0] = -1.0
+        # Even a copy-then-mutate must leave the stream untouched.
+        _ = block.copy()
+        reference.draw(10)
+        assert np.array_equal(sampler.draw(40), reference.draw(40))
+
     def test_wr_sampler_unbounded(self):
         g = MaterializedGroup("g", np.array([5.0, 7.0]))
         sampler = g.sampler(np.random.default_rng(1), without_replacement=False)

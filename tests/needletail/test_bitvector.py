@@ -86,6 +86,24 @@ class TestRankSelect:
         with pytest.raises(IndexError):
             bv.select_many(np.array([-1]))
 
+    def test_select_many_byte_lut_density_sweep(self):
+        """The byte-level select table must be exact across densities,
+        including all-ones words, sparse tails and word boundaries."""
+        for density in (0.02, 0.5, 0.98):
+            for length in (1, 7, 64, 65, 640, 1031):
+                bits = random_bits(length, density, seed=int(density * 100) + length)
+                positions = np.flatnonzero(bits)
+                if positions.size == 0:
+                    continue
+                bv = BitVector.from_bools(bits)
+                ranks = np.arange(positions.size)
+                assert np.array_equal(bv.select_many(ranks), positions)
+
+    def test_select_many_all_ones(self):
+        bv = BitVector.ones(200)
+        ranks = np.arange(200)
+        assert np.array_equal(bv.select_many(ranks), ranks)
+
     def test_rank_select_duality(self):
         bits = random_bits(800, 0.3, seed=5)
         bv = BitVector.from_bools(bits)

@@ -10,10 +10,8 @@ Run:  python examples/flight_delays.py
 
 import numpy as np
 
-from repro.core.registry import run_algorithm
+import repro
 from repro.data.flights import make_flights_table
-from repro.needletail.engine import NeedletailEngine
-from repro.query import execute_query
 from repro.viz import BarChart
 
 QUERY = """
@@ -28,8 +26,11 @@ def main() -> None:
     table = make_flights_table(num_rows=300_000, seed=11)
     print(f"flights table: {table.num_rows:,} rows, columns {table.column_names}")
 
+    session = repro.connect(delta=0.05)
+    session.register("flights", table)
+
     # --- the approximate visualization query ------------------------------
-    out = execute_query(QUERY, {"flights": table}, algorithm="ifocus", delta=0.05, seed=1)
+    out = session.sql(QUERY).run(seed=1)
     estimates = out.estimates()
     chart = BarChart(
         labels=list(estimates),
@@ -41,25 +42,19 @@ def main() -> None:
     print()
 
     # --- mini Table 3: algorithm comparison on the same engine -------------
+    base = session.sql(QUERY)
     print("algorithm comparison (same query, same guarantee):")
     print(f"{'algorithm':>12}  {'samples':>10}  {'sim seconds':>11}  top carrier")
-    for alg, res in (
-        ("roundrobin", None),
-        ("ifocus", None),
-        ("ifocusr", None),
-    ):
-        engine = NeedletailEngine(table, "carrier", "arrival_delay")
-        res = run_algorithm(
-            alg,
-            engine,
-            delta=0.05,
-            resolution=0.01 * engine.c if alg == "ifocusr" else 0.0,
-            seed=5,
-        )
-        best = res.groups[int(np.argmax(res.estimates))].name
+    for alg in ("roundrobin", "ifocus", "ifocusr"):
+        builder = base.using(alg)
+        if alg == "ifocusr":
+            builder = builder.guarantee(resolution=0.01 * 120.0)
+        res = builder.run(seed=5)
+        agg = res.first
+        best = agg.order(descending=True)[0]
         print(
-            f"{alg:>12}  {res.total_samples:>10,}  "
-            f"{res.stats.total_seconds:>11.4f}  {best}"
+            f"{alg:>12}  {agg.total_samples:>10,}  "
+            f"{res.total_seconds:>11.4f}  {best}"
         )
     print("\n(ifocusr uses the 1% visual-resolution relaxation of Problem 2)")
 

@@ -2,7 +2,8 @@
 
 Problem 7 of the paper: IFOCUS resolves easy groups long before contentious
 ones, so an interactive tool can show bars the moment they are trustworthy.
-This demo streams finalizations and re-renders the chart after each one;
+This demo uses the Session API's ``.stream()`` - the first-class incremental
+mode every workload supports - and re-renders the chart after each update;
 groups still being sampled are shown as pending.
 
 Run:  python examples/partial_results_stream.py
@@ -10,38 +11,49 @@ Run:  python examples/partial_results_stream.py
 
 import numpy as np
 
-from repro.data.population import MaterializedGroup, Population
-from repro.engines.memory import InMemoryEngine
-from repro.extensions import stream_partial_results
+import repro
 from repro.viz import BarChart
 
 # Two contentious pairs (31 vs 32.5 and 58 vs 59) among easy groups.
 MEANS = {"east": 31.0, "west": 32.5, "north": 58.0, "south": 59.0, "hub": 12.0, "intl": 86.0}
+ROWS_PER_REGION = 200_000
 
 
 def main() -> None:
     rng = np.random.default_rng(3)
-    population = Population(
-        groups=[
-            MaterializedGroup(name, np.clip(rng.normal(mu, 12.0, 200_000), 0, 100))
-            for name, mu in MEANS.items()
-        ],
-        c=100.0,
+    session = repro.connect(delta=0.05, engine="memory")
+    session.register(
+        "delays",
+        {
+            "region": np.repeat(list(MEANS), ROWS_PER_REGION),
+            "delay": np.concatenate(
+                [
+                    np.clip(rng.normal(mu, 12.0, ROWS_PER_REGION), 0, 100)
+                    for mu in MEANS.values()
+                ]
+            ),
+        },
     )
-    engine = InMemoryEngine(population)
 
     finalized: dict[str, tuple[float, float]] = {}
-    for update in stream_partial_results(engine, delta=0.05, seed=9):
-        outcome = update.outcome
-        finalized[outcome.name] = (outcome.estimate, outcome.half_width)
+    stream = (
+        session.table("delays")
+        .group_by("region")
+        .agg(repro.avg("delay"))
+        .bound(100.0)
+        .stream(seed=9)
+    )
+    for update in stream:
+        g = update.group
+        finalized[g.label] = (g.estimate, g.half_width)
         print(
             f"\n== {update.emitted_so_far}/{update.total_groups} finalized: "
-            f"{outcome.name} = {outcome.estimate:.2f} "
-            f"(+/- {outcome.half_width:.2f}, {outcome.samples:,} samples, "
-            f"round {outcome.finalized_round:,})"
+            f"{g.label} = {g.estimate:.2f} "
+            f"(+/- {g.half_width:.2f}, {g.samples:,} samples, "
+            f"round {g.finalized_round:,})"
         )
         labels, values, widths = [], [], []
-        for name in MEANS:
+        for name in sorted(MEANS):
             if name in finalized:
                 labels.append(name)
                 values.append(finalized[name][0])
@@ -62,6 +74,7 @@ def main() -> None:
         "\nAll emitted groups were correctly ordered among themselves at every "
         "step with probability >= 0.95 (Problem 7 guarantee)."
     )
+    print(f"final result: {stream.result.summary()}")
 
 
 if __name__ == "__main__":

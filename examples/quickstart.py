@@ -1,4 +1,4 @@
-"""Quickstart: an ordering-guaranteed bar chart in ~20 lines.
+"""Quickstart: an ordering-guaranteed bar chart through the Session API.
 
 Builds the paper's motivating example - average flight delay per airline
 (Figure 1) - and renders an approximate bar chart whose bar ORDER is correct
@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import InMemoryEngine, run_ifocus, run_scan
+import repro
 from repro.viz import render_barchart
 
 # The Figure 1 airlines and their true average delays (minutes).
@@ -19,28 +19,42 @@ ROWS_PER_AIRLINE = 500_000
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    engine = InMemoryEngine.from_arrays(
-        names=list(AIRLINES),
-        arrays=[
-            np.clip(rng.normal(mean, 15.0, ROWS_PER_AIRLINE), 0, 100)
-            for mean in AIRLINES.values()
-        ],
-        c=100.0,
+    session = repro.connect(delta=0.05, engine="memory")
+    session.register(
+        "delays",
+        {
+            "airline": np.repeat(list(AIRLINES), ROWS_PER_AIRLINE),
+            "delay": np.concatenate(
+                [
+                    np.clip(rng.normal(mean, 15.0, ROWS_PER_AIRLINE), 0, 100)
+                    for mean in AIRLINES.values()
+                ]
+            ),
+        },
     )
 
-    result = run_ifocus(engine, delta=0.05, seed=42)
-    print(render_barchart(result, title="Average delay by airline (IFOCUS)"))
+    result = (
+        session.table("delays")
+        .group_by("airline")
+        .agg(repro.avg("delay"))
+        .bound(100.0)
+        .run(seed=42)
+    )
+    print(render_barchart(result.first.raw, title="Average delay by airline (IFOCUS)"))
     print()
 
-    exact = run_scan(engine)
-    total = engine.population.total_size
+    total = result.engine.population.total_size
     print(f"dataset rows      : {total:,}")
     print(f"samples taken     : {result.total_samples:,} "
           f"({100 * result.total_samples / total:.3f}% of the data)")
-    print(f"estimated order   : {[result.groups[i].name for i in result.order()]}")
-    print(f"true order        : {[exact.groups[i].name for i in exact.order()]}")
-    ok = list(result.order()) == list(exact.order())
-    print(f"ordering correct  : {ok} (guaranteed w.p. >= 0.95)")
+    print(f"estimated order   : {result.first.order()}")
+    print(f"guarantee         : {result.guarantee.describe()}")
+
+    # The SQL front door lowers to the same QuerySpec and the same answer:
+    same = session.sql(
+        "SELECT airline, AVG(delay) FROM delays GROUP BY airline"
+    ).bound(100.0).run(seed=42)
+    print(f"SQL door agrees   : {same.estimates() == result.estimates()}")
 
 
 if __name__ == "__main__":

@@ -1,14 +1,14 @@
 """The SQL front door: every query shape the paper supports, in one script.
 
-Demonstrates the Section 6.3 generalizations through the query layer:
-selection predicates, SUM and COUNT aggregates, HAVING, and multiple
-group-by columns - all answered by sampling with the ordering guarantee.
+Demonstrates the Section 6.3 generalizations through the Session API's SQL
+door: selection predicates, SUM and COUNT aggregates, HAVING, and multiple
+group-by columns - all answered by sampling with the ordering guarantee and
+all lowering to the same QuerySpec IR the fluent builder produces.
 
 Run:  python examples/sql_interface.py
 """
 
-from repro.data.flights import make_flights_table
-from repro.query import execute_query
+import repro
 
 QUERIES = [
     # The paper's canonical visualization query.
@@ -20,7 +20,7 @@ QUERIES = [
     "SELECT carrier, SUM(arrival_delay) FROM flights GROUP BY carrier",
     # COUNT is exact from bitmap-index metadata (Section 6.3.2).
     "SELECT carrier, COUNT(*) FROM flights GROUP BY carrier",
-    # HAVING filters on the estimated aggregate.
+    # HAVING filters on the estimated aggregate (and surfaces a caveat).
     "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier "
     "HAVING AVG(arrival_delay) > 8",
     # Multiple group-bys via the cross-product key (Section 6.3.4).
@@ -30,21 +30,21 @@ QUERIES = [
 
 
 def main() -> None:
-    table = make_flights_table(num_rows=150_000, seed=23)
-    catalog = {"flights": table}
+    session = repro.connect(delta=0.05)
+    session.register_flights("flights", rows=150_000, seed=23)
     for sql in QUERIES:
         print("=" * 72)
         print(sql.strip())
-        out = execute_query(sql, catalog, delta=0.05, seed=13)
-        for agg, result in out.results.items():
-            pairs = sorted(
-                zip(out.labels, result.estimates), key=lambda p: -p[1]
-            )[:6]
+        out = session.sql(sql).run(seed=13)
+        for key, agg in out.aggregates.items():
+            pairs = sorted(agg.estimates().items(), key=lambda p: -p[1])[:6]
             shown = ", ".join(f"{label}={value:.2f}" for label, value in pairs)
-            print(f"  {agg}: {shown}" + (" ..." if len(out.labels) > 6 else ""))
-            print(f"    samples={result.total_samples:,} algorithm={result.algorithm}")
+            print(f"  {key}: {shown}" + (" ..." if len(out.labels) > 6 else ""))
+            print(f"    samples={agg.total_samples:,} algorithm={agg.algorithm}")
         if out.dropped_by_having:
             print(f"  HAVING dropped: {out.dropped_by_having}")
+        for caveat in out.caveats:
+            print(f"  caveat: {caveat.splitlines()[0]}")
     print("=" * 72)
 
 

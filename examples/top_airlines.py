@@ -1,47 +1,49 @@
 """Top-t queries: find the worst offenders without resolving everyone.
 
 Problem 4 of the paper: with many groups, the analyst only looks at the top
-few.  This demo builds 30 "routes", asks for the 5 highest-delay ones, and
-compares the sampling cost against a full IFOCUS run that orders all 30.
+few.  This demo builds 30 "routes", asks for the 5 highest-delay ones via
+the Session API's ``.top(5)``, and compares the sampling cost against a full
+run that orders all 30.
 
 Run:  python examples/top_airlines.py
 """
 
 import numpy as np
 
-from repro.core.reference import run_ifocus_reference
-from repro.data.population import MaterializedGroup, Population
-from repro.engines.memory import InMemoryEngine
-from repro.extensions import run_ifocus_topt
+import repro
 
 
 def main() -> None:
     rng = np.random.default_rng(21)
     k = 30
+    rows = 60_000
     means = rng.uniform(10, 90, k)
-    population = Population(
-        groups=[
-            MaterializedGroup(
-                f"route{i:02d}", np.clip(rng.normal(means[i], 10.0, 60_000), 0, 100)
-            )
-            for i in range(k)
-        ],
-        c=100.0,
+    labels = [f"route{i:02d}" for i in range(k)]
+    session = repro.connect(delta=0.05, engine="memory")
+    session.register(
+        "routes",
+        {
+            "route": np.repeat(labels, rows),
+            "delay": np.concatenate(
+                [np.clip(rng.normal(mu, 10.0, rows), 0, 100) for mu in means]
+            ),
+        },
     )
-    engine = InMemoryEngine(population)
+    base = session.table("routes").group_by("route").agg(repro.avg("delay")).bound(100.0)
 
-    top = run_ifocus_topt(engine, t=5, delta=0.05, largest=True, seed=4)
+    top = base.top(5).run(seed=4)
     print("top-5 routes by average delay (ordering-guaranteed):")
-    for rank, (name, est) in enumerate(zip(top.top_names, top.top_estimates), 1):
-        print(f"  {rank}. {name}: {est:.2f}")
+    top_labels = top.first.meta["top_labels"]
+    for rank, name in enumerate(top_labels, 1):
+        print(f"  {rank}. {name}: {top.first[name].estimate:.2f}")
 
     true_top = np.argsort(means)[::-1][:5]
-    print(f"\ntrue top-5     : {[f'route{i:02d}' for i in true_top]}")
-    print(f"reported top-5 : {top.top_names}")
+    print(f"\ntrue top-5     : {[labels[i] for i in true_top]}")
+    print(f"reported top-5 : {top_labels}")
 
-    full = run_ifocus_reference(engine, delta=0.05, seed=4)
-    saved = 100 * (1 - top.result.total_samples / full.total_samples)
-    print(f"\nsamples (top-5 only) : {top.result.total_samples:,}")
+    full = base.run(seed=4)
+    saved = 100 * (1 - top.total_samples / full.total_samples)
+    print(f"\nsamples (top-5 only) : {top.total_samples:,}")
     print(f"samples (full order) : {full.total_samples:,}")
     print(f"saved by top-t       : {saved:.1f}%")
 

@@ -1,7 +1,7 @@
 """Trend lines: neighbor-only ordering over an ordinal (monthly) axis.
 
 Problem 3 of the paper: on a trend line only *adjacent* comparisons shape
-the visual, so the trends variant needs far fewer samples than full
+the visual, so the ``.trends()`` guarantee needs far fewer samples than full
 ordering.  This demo plots monthly average delays with a guaranteed
 up/down/flat direction for every month-over-month step.
 
@@ -10,40 +10,45 @@ Run:  python examples/trendline_demo.py
 
 import numpy as np
 
-from repro.core.reference import run_ifocus_reference
-from repro.data.population import MaterializedGroup, Population
-from repro.engines.memory import InMemoryEngine
-from repro.extensions import run_ifocus_trends
+import repro
 from repro.viz import render_trendline, step_directions
 
+# "01-Jan".."12-Dec": zero-padded keys keep the engine's sorted group order
+# chronological, which is what the trends adjacency chain runs along.
 MONTHS = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+KEYS = [f"{i + 1:02d}-{m}" for i, m in enumerate(MONTHS)]
 # Seasonal delay pattern: winter storms, summer thunderstorms.
 MONTH_MEANS = [48, 44, 36, 30, 28, 38, 46, 45, 26, 24, 33, 52]
 
 
 def main() -> None:
     rng = np.random.default_rng(17)
-    population = Population(
-        groups=[
-            MaterializedGroup(m, np.clip(rng.normal(mu, 14.0, 120_000), 0, 100))
-            for m, mu in zip(MONTHS, MONTH_MEANS)
-        ],
-        c=100.0,
+    rows = 120_000
+    session = repro.connect(delta=0.05, engine="memory")
+    session.register(
+        "monthly",
+        {
+            "month": np.repeat(KEYS, rows),
+            "delay": np.concatenate(
+                [np.clip(rng.normal(mu, 14.0, rows), 0, 100) for mu in MONTH_MEANS]
+            ),
+        },
     )
-    engine = InMemoryEngine(population)
+    base = session.table("monthly").group_by("month").agg(repro.avg("delay")).bound(100.0)
 
-    trends = run_ifocus_trends(engine, delta=0.05, seed=2)
-    print(render_trendline(MONTHS, trends.estimates, title="monthly average delay"))
+    trends = base.trends().run(seed=2)
+    estimates = trends.first.raw.estimates
+    print(render_trendline(MONTHS, estimates, title="monthly average delay"))
     print()
 
-    est_dirs = step_directions(trends.estimates)
+    est_dirs = step_directions(estimates)
     true_dirs = step_directions(np.array(MONTH_MEANS, dtype=float))
     print(f"estimated steps: {est_dirs}")
     print(f"true steps     : {true_dirs}")
     print(f"all adjacent steps correct: {est_dirs == true_dirs}")
 
-    full = run_ifocus_reference(engine, delta=0.05, seed=2)
+    full = base.run(seed=2)
     print(f"\nsamples (trends, adjacent-only): {trends.total_samples:,}")
     print(f"samples (full ordering)        : {full.total_samples:,}")
 

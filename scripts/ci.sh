@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: lint (ruff, when available) + the tier-1 test suite.
+#
+# Usage:  scripts/ci.sh [extra pytest args...]
+#
+# Exits non-zero on the first failure.  ruff is optional because the offline
+# image may not ship it; the lint step is skipped (with a notice) rather than
+# silently passed when the tool is missing.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests scripts
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"
+
+echo "== CI OK =="

@@ -7,19 +7,72 @@ ROUNDROBIN comparison points, the NEEDLETAIL bitmap-index sampling substrate,
 the Section 6 extensions, and an experiment harness regenerating every figure
 and table in the paper's evaluation.
 
+The **Session API** is the primary surface: one front door for every
+workload, with SQL text and a fluent builder lowering to the same query IR.
+
 Quickstart::
 
     import numpy as np
-    from repro import InMemoryEngine, run_ifocus
+    import repro
 
     rng = np.random.default_rng(0)
-    engine = InMemoryEngine.from_arrays(
-        names=["AA", "JB", "UA"],
-        arrays=[rng.normal(mu, 10, 100_000).clip(0, 100) for mu in (30, 15, 85)],
-        c=100.0,
+    session = repro.connect(delta=0.05)
+    session.register("delays", {
+        "airline": np.repeat(["AA", "JB", "UA"], 100_000),
+        "delay": np.concatenate(
+            [rng.normal(mu, 10, 100_000).clip(0, 100) for mu in (30, 15, 85)]
+        ),
+    })
+
+    result = (
+        session.table("delays")
+        .group_by("airline")
+        .agg(repro.avg("delay"))
+        .run(seed=42)
     )
-    result = run_ifocus(engine, delta=0.05, seed=42)
-    print(result.order(), result.total_samples)
+    print(result.first.order(), result.total_samples)
+
+    # the SQL front door lowers to the same QuerySpec:
+    same = session.sql(
+        "SELECT airline, AVG(delay) FROM delays GROUP BY airline"
+    ).run(seed=42)
+
+    # every workload also streams - bars appear the moment they're trustworthy:
+    for update in session.table("delays").group_by("airline").agg(
+        repro.avg("delay")
+    ).stream(seed=42):
+        print(update.group.label, update.group.estimate)
+
+Guarantee variants chain onto any query: ``.top(5)`` (§6.1.2), ``.trends()``
+(§6.1.1), ``.values(within=2.0)`` (§6.2.1), ``.mistakes(0.9)`` (§6.1.3),
+``.guarantee(delta=..., resolution=...)`` (Problem 2), and
+``.on_engine("memory" | "needletail" | "noindex")`` picks the substrate.
+
+Migration from the deprecated pre-Session entrypoints (all keep working
+throughout 1.x, each emits a :class:`DeprecationWarning`):
+
+=============================  =============================================
+Legacy entrypoint              Session API equivalent
+=============================  =============================================
+``run_ifocus(engine)``         ``session.table(t).group_by(X).agg(avg(Y)).run()``
+``run_ifocus_sum(engine)``     ``....agg(total(Y)).run()``
+``run_count_known(engine)``    ``....agg(count("*")).run()``
+``run_ifocus_multi_avg(...)``  ``....agg(avg(Y), avg(Z)).run()``
+``run_multi_groupby(...)``     ``....group_by(X, Z).agg(avg(Y)).run()``
+``run_ifocus_topt(engine, t)`` ``....agg(avg(Y)).top(t).run()``
+``run_ifocus_trends(engine)``  ``....agg(avg(Y)).trends().run()``
+``run_ifocus_values(...)``     ``....agg(avg(Y)).values(within=d).run()``
+``run_ifocus_mistakes(...)``   ``....agg(avg(Y)).mistakes(gamma).run()``
+``run_noindex(engine)``        ``....agg(avg(Y)).on_engine("noindex").run()``
+``run_ifocus_partial(...)``    ``for u in ....stream(): ...``
+``stream_partial_results(..)`` ``....stream()``
+``execute_query(sql, tables)`` ``session.sql(sql).run()``
+=============================  =============================================
+
+The algorithm layer (``run_irefine``, ``run_roundrobin``, ``run_scan``,
+``run_ifocus_reference``, ``run_algorithm``) stays public and undeprecated:
+it is what the Session planner itself dispatches to, reachable from the
+Session API via ``.using("irefine")`` etc.
 """
 
 from repro.core import (
@@ -34,10 +87,44 @@ from repro.core import (
 )
 from repro.data import Population
 from repro.engines import InMemoryEngine
+from repro.session import (
+    GroupEstimate,
+    GuaranteeSpec,
+    PartialUpdate,
+    QueryBuilder,
+    QuerySpec,
+    Result,
+    ResultStream,
+    Session,
+    avg,
+    connect,
+    count,
+    load_csv_table,
+    register_engine,
+    sum_,
+    total,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Session API (primary surface)
+    "connect",
+    "Session",
+    "QueryBuilder",
+    "QuerySpec",
+    "GuaranteeSpec",
+    "Result",
+    "GroupEstimate",
+    "PartialUpdate",
+    "ResultStream",
+    "avg",
+    "total",
+    "sum_",
+    "count",
+    "register_engine",
+    "load_csv_table",
+    # algorithm layer
     "OrderingResult",
     "algorithm_names",
     "run_algorithm",

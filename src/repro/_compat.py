@@ -1,0 +1,53 @@
+"""Deprecation machinery for the pre-Session entrypoints.
+
+Before the :mod:`repro.session` facade existed, every workload had its own
+front door (``run_ifocus``, ``run_ifocus_sum``, ``execute_query``, ...) with
+divergent signatures and result types.  Those entrypoints keep working
+throughout 1.x, but each one is now a thin shim over the same implementation
+the Session planner dispatches to, and calling it emits a
+:class:`DeprecationWarning` naming the Session-API replacement.
+
+Internal code (the planner, the experiment harness, the registry) calls the
+underscore-prefixed implementations directly, so library-internal use never
+warns - only *external* calls to the legacy names do.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+__all__ = ["deprecated_entrypoint"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def deprecated_entrypoint(impl: _F, name: str, replacement: str) -> _F:
+    """Wrap ``impl`` so calling it by its legacy ``name`` warns once per call.
+
+    Args:
+        impl: the real implementation (also used internally, never warns).
+        name: the public legacy name being shimmed.
+        replacement: a short Session-API snippet shown in the warning.
+
+    Returns:
+        A wrapper with the legacy name, forwarding everything to ``impl``.
+        ``wrapper.__wrapped__`` exposes the implementation for introspection.
+    """
+
+    @functools.wraps(impl)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"{name}() is deprecated; use the Session API instead: {replacement} "
+            "(see README.md for the full migration table). "
+            "The legacy entrypoint keeps working throughout 1.x.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = name
+    wrapper.__deprecated__ = replacement  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

@@ -7,11 +7,15 @@ Usage::
     python -m repro experiment fig3a [--scale smoke|paper]
     python -m repro bench-export [--output BENCH_micro.json]
     python -m repro query "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier" \
-        [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0]
+        [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0] \
+        [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
+        [--engine needletail|memory|noindex] [--stream]
 
-``query`` runs against a freshly synthesized flights table (the offline
-stand-in for the paper's dataset); any table name in the SQL is accepted and
-bound to it.
+``query`` goes through the Session API.  By default it runs against a freshly
+synthesized flights table (the offline stand-in for the paper's dataset); with
+``--csv PATH`` the table named in the SQL is bound to your own data instead.
+``--group-columns``/``--value-columns`` (comma-separated) pin CSV columns to
+string/numeric typing when auto-detection is not enough.
 """
 
 from __future__ import annotations
@@ -72,19 +76,30 @@ EXPERIMENTS: dict[str, Callable] = {
 def _cmd_demo(_args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro import InMemoryEngine, run_ifocus
+    from repro import avg, connect
     from repro.viz import render_barchart
 
     airlines = {"AA": 30, "JB": 15, "UA": 85, "DL": 45, "US": 60, "AL": 20, "SW": 23}
     rng = np.random.default_rng(7)
-    engine = InMemoryEngine.from_arrays(
-        names=list(airlines),
-        arrays=[np.clip(rng.normal(m, 15.0, 200_000), 0, 100) for m in airlines.values()],
-        c=100.0,
+    session = connect(delta=0.05, engine="memory")
+    session.register(
+        "delays",
+        {
+            "airline": np.repeat(list(airlines), 200_000),
+            "delay": np.concatenate(
+                [np.clip(rng.normal(m, 15.0, 200_000), 0, 100) for m in airlines.values()]
+            ),
+        },
     )
-    result = run_ifocus(engine, delta=0.05, seed=42)
-    print(render_barchart(result, title="Average delay by airline (IFOCUS, delta=0.05)"))
-    total = engine.population.total_size
+    result = (
+        session.table("delays").group_by("airline").agg(avg("delay")).bound(100.0).run(seed=42)
+    )
+    print(
+        render_barchart(
+            result.first.raw, title="Average delay by airline (IFOCUS, delta=0.05)"
+        )
+    )
+    total = result.engine.population.total_size
     print(
         f"\nsampled {result.total_samples:,} of {total:,} rows "
         f"({100 * result.total_samples / total:.2f}%); "
@@ -119,27 +134,67 @@ def _cmd_bench_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.data.flights import make_flights_table
-    from repro.query import execute_query, parse_query
+    from repro.query import parse_query
+    from repro.session import connect
 
     query = parse_query(args.sql)
-    table = make_flights_table(num_rows=args.rows, seed=args.seed)
-    out = execute_query(
-        query,
-        {query.table: table},
-        algorithm=args.algorithm,
+    session = connect(
         delta=args.delta,
         resolution=args.resolution,
+        algorithm=args.algorithm,
+        engine=args.engine,
         seed=args.seed,
     )
-    for agg, result in out.results.items():
-        print(f"{agg} (algorithm={result.algorithm}, samples={result.total_samples:,}):")
-        pairs = sorted(zip(out.labels, result.estimates), key=lambda p: -p[1])
+    if args.csv:
+        session.register_csv(
+            query.table,
+            args.csv,
+            group_columns=_split_columns(args.group_columns),
+            value_columns=_split_columns(args.value_columns),
+        )
+    else:
+        session.register_flights(query.table, rows=args.rows, seed=args.seed)
+
+    run_kwargs = {}
+    if args.engine == "noindex" and args.max_samples:
+        run_kwargs["max_samples"] = args.max_samples
+
+    builder = session.sql(query)
+    if args.stream:
+        print("streaming partial results (groups appear as they finalize):")
+        stream = builder.stream(seed=args.seed, **run_kwargs)
+        for update in stream:
+            g = update.group
+            print(
+                f"  [{update.emitted_so_far}/{update.total_groups}] {update.aggregate} "
+                f"{g.label} = {g.estimate:.3f} (+/- {g.half_width:.3f}, "
+                f"{g.samples:,} samples)"
+            )
+        out = stream.result
+    else:
+        out = builder.run(seed=args.seed, **run_kwargs)
+
+    for agg_key, agg in out.aggregates.items():
+        print(
+            f"{agg_key} (algorithm={agg.algorithm}, samples={agg.total_samples:,}):"
+        )
+        pairs = sorted(agg.estimates().items(), key=lambda p: -p[1])
         for label, value in pairs:
-            print(f"  {label:>12}  {value:12.3f}")
+            est = agg[label]
+            suffix = "" if est.exact else f"  (+/- {est.half_width:.3f})"
+            print(f"  {label:>12}  {value:12.3f}{suffix}")
     if out.dropped_by_having:
         print(f"HAVING dropped: {out.dropped_by_having}")
+    print(f"guarantee: {out.guarantee.describe()}")
+    for caveat in out.caveats:
+        print(f"caveat: {caveat}")
     return 0
+
+
+def _split_columns(arg: str | None) -> list[str]:
+    if not arg:
+        return []
+    return [part.strip() for part in arg.split(",") if part.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,13 +222,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_micro.json")
     bench.set_defaults(fn=_cmd_bench_export)
 
-    qry = sub.add_parser("query", help="run a SQL query over a synthetic flights table")
+    qry = sub.add_parser(
+        "query",
+        help="run a SQL query over a synthetic flights table or your own CSV",
+    )
     qry.add_argument("sql")
-    qry.add_argument("--rows", type=int, default=100_000)
+    qry.add_argument("--rows", type=int, default=100_000,
+                     help="rows of the synthetic flights table (ignored with --csv)")
     qry.add_argument("--algorithm", default="ifocus")
     qry.add_argument("--delta", type=float, default=0.05)
     qry.add_argument("--resolution", type=float, default=0.0)
     qry.add_argument("--seed", type=int, default=0)
+    qry.add_argument("--csv", default=None, metavar="PATH",
+                     help="bind the table named in the SQL to this CSV file")
+    qry.add_argument("--group-columns", default=None, metavar="A,B",
+                     help="CSV columns to keep as strings (group-by keys)")
+    qry.add_argument("--value-columns", default=None, metavar="X,Y",
+                     help="CSV columns that must parse as numbers")
+    qry.add_argument("--engine", default="needletail",
+                     help="execution substrate: needletail, memory, or noindex")
+    qry.add_argument("--max-samples", type=int, default=None,
+                     help="cap total tuples for --engine noindex (skewed tables "
+                     "with conflicting groups may otherwise sample unboundedly; "
+                     "hitting the cap voids the guarantee and prints a caveat)")
+    qry.add_argument("--stream", action="store_true",
+                     help="print partial results as groups finalize")
     qry.set_defaults(fn=_cmd_query)
     return parser
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._compat import deprecated_entrypoint
 from repro._util import check_probability, spawn_group_rngs
 from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import separated_general
@@ -45,7 +46,7 @@ def composite_group_column(table: Table, columns: list[str], sep: str = "|") -> 
     return out
 
 
-def run_multi_groupby(
+def _run_multi_groupby(
     table: Table,
     group_columns: list[str],
     value_column: str,
@@ -73,6 +74,13 @@ def run_multi_groupby(
     return result, engine
 
 
+run_multi_groupby = deprecated_entrypoint(
+    _run_multi_groupby,
+    "run_multi_groupby",
+    "session.table(...).group_by(X, Z).agg(avg(Y)).run()",
+)
+
+
 @dataclass
 class MultiAvgResult:
     """Result of the two-aggregate run: one OrderingResult per aggregate."""
@@ -86,7 +94,7 @@ class MultiAvgResult:
         return int(self.samples_per_group.sum())
 
 
-def run_ifocus_multi_avg(
+def _run_ifocus_multi_avg(
     table: Table,
     group_by: str,
     y_column: str,
@@ -217,3 +225,10 @@ def run_ifocus_multi_avg(
         z=build(est_z, hw_z, exh_z, order_z, "ifocus-multi-avg-z"),
         samples_per_group=samples.copy(),
     )
+
+
+run_ifocus_multi_avg = deprecated_entrypoint(
+    _run_ifocus_multi_avg,
+    "run_ifocus_multi_avg",
+    "session.table(...).group_by(X).agg(avg(Y), avg(Z)).run()",
+)

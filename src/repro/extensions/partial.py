@@ -23,6 +23,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro._compat import deprecated_entrypoint
 from repro.core.reference import run_ifocus_reference
 from repro.core.types import GroupOutcome, OrderingResult
 from repro.engines.base import SamplingEngine
@@ -43,7 +44,7 @@ class PartialUpdate:
         return self.emitted_so_far == self.total_groups
 
 
-def run_ifocus_partial(
+def _run_ifocus_partial(
     engine: SamplingEngine,
     on_result: Callable[[GroupOutcome], None],
     *,
@@ -62,7 +63,7 @@ def run_ifocus_partial(
     )
 
 
-def stream_partial_results(
+def _stream_partial_results(
     engine: SamplingEngine,
     *,
     delta: float = 0.05,
@@ -86,7 +87,7 @@ def stream_partial_results(
 
     def worker() -> None:
         try:
-            run_ifocus_partial(
+            _run_ifocus_partial(
                 engine, on_result, delta=delta, resolution=resolution, **kwargs
             )
             out.put(None)  # sentinel: finished
@@ -103,3 +104,16 @@ def stream_partial_results(
             raise item
         yield item
     thread.join()
+
+
+run_ifocus_partial = deprecated_entrypoint(
+    _run_ifocus_partial,
+    "run_ifocus_partial",
+    "for update in session.table(...).group_by(X).agg(avg(Y)).stream(): ...",
+)
+
+stream_partial_results = deprecated_entrypoint(
+    _stream_partial_results,
+    "stream_partial_results",
+    "session.table(...).group_by(X).agg(avg(Y)).stream()",
+)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._compat import deprecated_entrypoint
 from repro._util import check_nonnegative, check_probability
 from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import separated_general
@@ -68,7 +69,7 @@ def _finalize_result(
     )
 
 
-def run_ifocus_sum(
+def _run_ifocus_sum(
     engine: SamplingEngine,
     *,
     delta: float = 0.05,
@@ -161,6 +162,13 @@ def run_ifocus_sum(
         m,
         {"delta": delta, "resolution": resolution, "known_sizes": True, "truncated": truncated},
     )
+
+
+run_ifocus_sum = deprecated_entrypoint(
+    _run_ifocus_sum,
+    "run_ifocus_sum",
+    "session.table(...).group_by(X).agg(total(Y)).run()",
+)
 
 
 def run_ifocus_sum_unknown(

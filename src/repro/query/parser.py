@@ -30,7 +30,13 @@ from repro.query.ast import (
 )
 from repro.query.lexer import Token, tokenize
 
-__all__ = ["parse_query", "parse_predicate", "ParseError"]
+__all__ = [
+    "parse_query",
+    "parse_predicate",
+    "parse_aggregate",
+    "parse_having",
+    "ParseError",
+]
 
 
 class ParseError(ValueError):
@@ -198,3 +204,26 @@ def parse_predicate(text: str) -> Predicate:
     pred = parser.parse_predicate()
     parser.expect("eof")
     return pred
+
+
+def parse_aggregate(text: str) -> Aggregate:
+    """Parse a bare aggregate expression like ``"AVG(delay)"``.
+
+    The fluent builder accepts aggregates in string form; routing them
+    through the same grammar as full queries keeps both front doors lowering
+    to identical :class:`~repro.query.ast.Aggregate` nodes.
+    """
+    parser = _Parser(tokenize(text))
+    agg = parser._parse_aggregate()
+    parser.expect("eof")
+    return agg
+
+
+def parse_having(text: str) -> tuple[Aggregate, str, float]:
+    """Parse a bare HAVING clause body like ``"AVG(delay) > 20"``."""
+    parser = _Parser(tokenize(text))
+    agg = parser._parse_aggregate()
+    op = parser.expect("op").value
+    value = parser._parse_number()
+    parser.expect("eof")
+    return agg, op, value

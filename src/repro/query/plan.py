@@ -1,17 +1,20 @@
-"""Query planning and execution: SQL text -> engine -> sampling algorithm.
+"""Legacy SQL execution shim: ``execute_query`` over the Session planner.
 
-This is the front door a downstream user sees: hand it a visualization query
-and a catalog of tables, get back ordered (approximate) aggregates with the
-1 - delta guarantee.  Dispatch rules:
+This used to be its own planner; it is now a deprecated thin wrapper around
+:func:`repro.session.planner.execute_spec`, kept so pre-Session callers and
+their result shape (:class:`QueryResult`) keep working.  New code should use
+the Session API::
 
-* ``AVG(Y)`` - the core algorithms (ifocus/ifocusr/irefine/...);
-* ``SUM(Y)`` - Algorithm 4 (group sizes are bitmap-index metadata);
-* ``COUNT(*)``/``COUNT(Y)`` - exact from index metadata;
-* two AVG aggregates - the two-phase Problem 8 schedule;
-* multiple GROUP BY columns - the cross-product composite key (§6.3.4);
-* WHERE - predicate bitmaps ANDed into every group (§6.3.3);
-* HAVING AGG op literal - post-filter on the estimated aggregate (with the
-  usual caveat that it filters estimates, not true values).
+    session = repro.connect()
+    session.register("flights", table)
+    result = session.sql("SELECT carrier, AVG(delay) ... ").run(seed=0)
+
+Both paths lower to the same :class:`~repro.session.spec.QuerySpec` and run
+through the same planner, so results are bit-identical - with one documented
+exception: for two-AVG queries the legacy planner silently ignored ``c``,
+while the shim now forwards it as the value bound of both aggregates (a
+caller who declared a bound presumably wanted it applied); ``resolution`` is
+still ignored for two-AVG queries, exactly as before.
 """
 
 from __future__ import annotations
@@ -20,39 +23,33 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.registry import run_algorithm
+from repro._compat import deprecated_entrypoint
 from repro.core.types import OrderingResult
-from repro.extensions.multi import composite_group_column, run_ifocus_multi_avg
-from repro.extensions.counts import run_count_known
-from repro.extensions.sums import run_ifocus_sum
 from repro.needletail.engine import NeedletailEngine
-from repro.needletail.table import Column, Table
+from repro.needletail.table import Table
 from repro.query.ast import Aggregate, Query
 from repro.query.parser import parse_query
-from repro.query.predicates import predicate_bitvector, predicate_columns
+from repro.session.planner import _prepare_table, execute_spec
+from repro.session.spec import GuaranteeSpec, lower_query
 
 __all__ = ["QueryResult", "execute_query"]
-
-_COMPARE = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<>": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-}
 
 
 @dataclass
 class QueryResult:
-    """Executed visualization query: labels plus per-aggregate results."""
+    """Executed visualization query: labels plus per-aggregate results.
+
+    Pre-Session result shape; :class:`repro.session.result.Result` is the
+    unified replacement (same information plus guarantee metadata and
+    accounting helpers).
+    """
 
     query: Query
     labels: list[str]
     results: dict[str, OrderingResult]
     engine: NeedletailEngine
     dropped_by_having: list[str] = field(default_factory=list)
+    caveats: list[str] = field(default_factory=list)
 
     def estimates(self, aggregate: str | None = None) -> dict[str, float]:
         """{group label: estimate} for one aggregate (default: the first)."""
@@ -69,23 +66,7 @@ def _agg_key(agg: Aggregate) -> str:
     return f"{agg.func}({agg.column})"
 
 
-def _prepare_table(query: Query, table: Table) -> tuple[Table, str]:
-    """Resolve (possibly composite) group-by into a single indexed column."""
-    for col in query.group_by:
-        if col not in table:
-            raise KeyError(f"GROUP BY column {col!r} not in table {table.name!r}")
-    if len(query.group_by) == 1:
-        return table, query.group_by[0]
-    key = composite_group_column(table, list(query.group_by))
-    augmented = Table(
-        table.name,
-        [Column(name, table.column(name), 8) for name in table.column_names]
-        + [Column("__group_key__", key, 8)],
-    )
-    return augmented, "__group_key__"
-
-
-def execute_query(
+def _execute_query(
     sql: str | Query,
     tables: dict[str, Table],
     *,
@@ -109,100 +90,38 @@ def execute_query(
         aggregate, keyed "AVG(delay)"-style.
     """
     query = parse_query(sql) if isinstance(sql, str) else sql
-    if query.table not in tables:
-        raise KeyError(f"unknown table {query.table!r}; catalog has {sorted(tables)}")
-    table = tables[query.table]
-    for agg in query.aggregates:
-        if agg.column != "*" and agg.column not in table:
-            raise KeyError(f"aggregate column {agg.column!r} not in table {query.table!r}")
-    if query.where is not None:
-        missing = predicate_columns(query.where) - set(table.column_names)
-        if missing:
-            raise KeyError(f"WHERE references unknown columns: {sorted(missing)}")
-
-    table, group_col = _prepare_table(query, table)
-    predicate = predicate_bitvector(query.where, table) if query.where is not None else None
-
-    avgs = [a for a in query.aggregates if a.func == "AVG"]
-    results: dict[str, OrderingResult] = {}
-    labels: list[str] | None = None
-    engine: NeedletailEngine | None = None
-
-    def make_engine(value_column: str) -> NeedletailEngine:
-        return NeedletailEngine(
-            table, group_col, value_column, c=c, predicate=predicate
-        )
-
-    if len(avgs) > 2:
-        raise ValueError("at most two AVG aggregates are supported (Problem 8)")
-    if len(avgs) == 2:
-        if predicate is not None:
-            raise ValueError("two-aggregate queries do not support WHERE yet")
-        multi = run_ifocus_multi_avg(
-            table,
-            group_col,
-            avgs[0].column,
-            avgs[1].column,
-            delta=delta,
-            seed=seed,
-        )
-        results[_agg_key(avgs[0])] = multi.y
-        results[_agg_key(avgs[1])] = multi.z
-        labels = [g.name for g in multi.y.groups]
-    elif len(avgs) == 1:
-        engine = make_engine(avgs[0].column)
-        res = run_algorithm(
-            algorithm, engine, delta=delta, resolution=resolution, seed=seed, **kwargs
-        )
-        results[_agg_key(avgs[0])] = res
-        labels = engine.population.group_names
-
-    for agg in query.aggregates:
-        if agg.func == "SUM":
-            sum_engine = make_engine(agg.column)
-            res = run_ifocus_sum(sum_engine, delta=delta, seed=seed)
-            results[_agg_key(agg)] = res
-            labels = labels or sum_engine.population.group_names
-            engine = engine or sum_engine
-        elif agg.func == "COUNT":
-            count_col = query.group_by[0] if agg.column == "*" else agg.column
-            # COUNT needs any engine over the same groups; sizes are metadata.
-            count_engine = engine or make_engine(
-                avgs[0].column if avgs else _numeric_column(table, count_col)
-            )
-            results[_agg_key(agg)] = run_count_known(count_engine)
-            labels = labels or count_engine.population.group_names
-            engine = engine or count_engine
-
-    if labels is None or not results:
-        raise ValueError("query produced no executable aggregate")
+    two_avgs = sum(a.func == "AVG" for a in query.aggregates) == 2
+    spec = lower_query(
+        query,
+        # The legacy planner silently ignored resolution for two-AVG queries
+        # (the Session planner rejects it); preserve that here.
+        guarantee=GuaranteeSpec(
+            delta=delta, resolution=0.0 if two_avgs else resolution
+        ),
+        algorithm=algorithm,
+        value_bound=c,
+    )
+    result = execute_spec(spec, tables, seed=seed, runner_kwargs=kwargs)
+    engine = result.engine
     if engine is None:
-        engine = make_engine(avgs[0].column if avgs else query.aggregates[0].column)
-
-    dropped: list[str] = []
-    if query.having is not None:
-        agg, op, value = query.having
-        key = _agg_key(agg)
-        if key not in results:
-            raise ValueError(f"HAVING references {key}, which is not in SELECT")
-        keep = _COMPARE[op](results[key].estimates, value)
-        dropped = [lbl for lbl, ok in zip(labels, keep) if not ok]
-
+        # Pure two-AVG queries: the Session Result carries no engine (the
+        # two-phase schedule drives its own index), but legacy callers rely
+        # on QueryResult.engine always being populated.
+        table, group_col = _prepare_table(spec, tables[spec.table])
+        avg_col = next(a.column for a in spec.aggregates if a.func == "AVG")
+        engine = NeedletailEngine(table, group_col, avg_col, c=c)
     return QueryResult(
         query=query,
-        labels=list(labels),
-        results=results,
+        labels=list(result.labels),
+        results={key: agg.raw for key, agg in result.aggregates.items()},
         engine=engine,
-        dropped_by_having=dropped,
+        dropped_by_having=list(result.dropped_by_having),
+        caveats=list(result.caveats),
     )
 
 
-def _numeric_column(table: Table, preferred: str) -> str:
-    """A numeric column usable as the engine's value column."""
-    col = table.column(preferred) if preferred in table else None
-    if col is not None and np.issubdtype(col.dtype, np.number):
-        return preferred
-    for name in table.column_names:
-        if np.issubdtype(table.column(name).dtype, np.number):
-            return name
-    raise ValueError("table has no numeric column to anchor the engine")
+execute_query = deprecated_entrypoint(
+    _execute_query,
+    "execute_query",
+    'repro.connect().register(name, table).sql("SELECT ...").run()',
+)

@@ -1,0 +1,68 @@
+"""The Session API: one front door for every ordering-guarantee workload.
+
+Layering (top to bottom):
+
+* **Front doors** - :func:`connect` / :class:`Session` hand out fluent
+  :class:`~repro.session.builder.QueryBuilder` objects (``session.table(...)``)
+  and SQL builders (``session.sql(...)``).
+* **IR** - both front doors lower to the declarative
+  :class:`~repro.session.spec.QuerySpec`.
+* **Planner** - :func:`~repro.session.planner.execute_spec` /
+  :func:`~repro.session.planner.stream_spec` dispatch one spec across the
+  core algorithms, every Section-6 extension, and any registered engine.
+* **Results** - every path returns the unified
+  :class:`~repro.session.result.Result`; ``.stream()`` yields
+  :class:`~repro.session.result.PartialUpdate` objects for every workload.
+"""
+
+from repro.session.builder import QueryBuilder, avg, count, sum_, total
+from repro.session.planner import (
+    EngineDef,
+    describe_spec,
+    engine_names,
+    execute_spec,
+    register_engine,
+    stream_spec,
+)
+from repro.session.result import (
+    AggregateResult,
+    GroupEstimate,
+    PartialUpdate,
+    Result,
+    ResultStream,
+)
+from repro.session.session import Session, connect, load_csv_table
+from repro.session.spec import (
+    Aggregate,
+    GuaranteeSpec,
+    HavingSpec,
+    QuerySpec,
+    lower_query,
+)
+
+__all__ = [
+    "connect",
+    "Session",
+    "QueryBuilder",
+    "avg",
+    "total",
+    "sum_",
+    "count",
+    "QuerySpec",
+    "GuaranteeSpec",
+    "HavingSpec",
+    "Aggregate",
+    "lower_query",
+    "Result",
+    "AggregateResult",
+    "GroupEstimate",
+    "PartialUpdate",
+    "ResultStream",
+    "execute_spec",
+    "stream_spec",
+    "describe_spec",
+    "register_engine",
+    "engine_names",
+    "EngineDef",
+    "load_csv_table",
+]

@@ -1,0 +1,233 @@
+"""Fluent, immutable query builder - the programmatic front door.
+
+Every method returns a *new* builder (the receiver is never mutated), so
+partially-built queries can be shared and forked freely::
+
+    base = session.table("flights").where("year >= 1995").group_by("carrier")
+    by_delay = base.agg(avg("arrival_delay")).guarantee(delta=0.05)
+    result = by_delay.run(seed=42)          # unified Result
+    for update in by_delay.stream():        # incremental PartialUpdates
+        print(update.group.label, update.group.estimate)
+
+``spec()`` lowers the builder to the same declarative
+:class:`~repro.session.spec.QuerySpec` the SQL parser produces, so the two
+front doors are interchangeable and verified equal by the parity tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.query.ast import Aggregate, And, Predicate
+from repro.query.parser import parse_aggregate, parse_having, parse_predicate
+from repro.session.result import Result, ResultStream
+from repro.session.spec import GuaranteeSpec, HavingSpec, QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.session.session import Session
+
+__all__ = ["QueryBuilder", "avg", "total", "sum_", "count"]
+
+
+def avg(column: str) -> Aggregate:
+    """``AVG(column)`` - the paper's canonical aggregate."""
+    return Aggregate("AVG", column)
+
+
+def total(column: str) -> Aggregate:
+    """``SUM(column)`` (Algorithm 4)."""
+    return Aggregate("SUM", column)
+
+
+#: Alias for :func:`total`, for callers who prefer the SQL name.
+sum_ = total
+
+
+def count(column: str = "*") -> Aggregate:
+    """``COUNT(column)`` / ``COUNT(*)`` - exact from engine metadata."""
+    return Aggregate("COUNT", column)
+
+
+def _as_aggregate(agg: Aggregate | str) -> Aggregate:
+    return parse_aggregate(agg) if isinstance(agg, str) else agg
+
+
+def _as_predicate(pred: Predicate | str) -> Predicate:
+    return parse_predicate(pred) if isinstance(pred, str) else pred
+
+
+@dataclass(frozen=True)
+class QueryBuilder:
+    """An immutable, chainable query under construction.
+
+    Builders are created by :meth:`Session.table` / :meth:`Session.sql`;
+    they carry their session so ``run()``/``stream()`` resolve against its
+    catalog and defaults.
+    """
+
+    _session: "Session"
+    _table: str
+    _group_by: tuple[str, ...] = ()
+    _aggregates: tuple[Aggregate, ...] = ()
+    _where: tuple[Predicate, ...] = ()
+    _having: HavingSpec | None = None
+    _guarantee: GuaranteeSpec = dataclasses.field(default_factory=GuaranteeSpec)
+    _algorithm: str = "ifocus"
+    _engine: str = "needletail"
+    _value_bound: float | None = None
+
+    def _clone(self, **changes) -> "QueryBuilder":
+        return dataclasses.replace(self, **changes)
+
+    # -- query shape --------------------------------------------------------
+
+    def group_by(self, *columns: str) -> "QueryBuilder":
+        """Append grouping attributes (multiple columns form the §6.3.4
+        cross-product composite key)."""
+        if not columns:
+            raise ValueError("group_by() needs at least one column")
+        return self._clone(_group_by=self._group_by + tuple(columns))
+
+    def agg(self, *aggregates: Aggregate | str) -> "QueryBuilder":
+        """Append SELECT aggregates (:func:`avg` / :func:`total` /
+        :func:`count` constructors, or strings like ``"AVG(delay)"``)."""
+        if not aggregates:
+            raise ValueError("agg() needs at least one aggregate")
+        parsed = tuple(_as_aggregate(a) for a in aggregates)
+        return self._clone(_aggregates=self._aggregates + parsed)
+
+    def where(self, predicate: Predicate | str) -> "QueryBuilder":
+        """Restrict rows; multiple calls AND together (§6.3.3).
+
+        Accepts the shared predicate AST or SQL text like
+        ``"year >= 1995 AND dist BETWEEN 300 AND 1500"``.
+        """
+        return self._clone(_where=self._where + (_as_predicate(predicate),))
+
+    def having(
+        self,
+        condition: str | HavingSpec | tuple[Aggregate | str, str, float],
+    ) -> "QueryBuilder":
+        """Post-filter groups on an *estimated* aggregate (adds a caveat).
+
+        Accepts ``"AVG(delay) > 20"``, a ``(aggregate, op, value)`` triple,
+        or a ready :class:`HavingSpec`.
+        """
+        if isinstance(condition, HavingSpec):
+            having = condition
+        elif isinstance(condition, str):
+            agg, op, value = parse_having(condition)
+            having = HavingSpec(agg=agg, op=op, value=value)
+        else:
+            agg, op, value = condition
+            having = HavingSpec(agg=_as_aggregate(agg), op=op, value=float(value))
+        return self._clone(_having=having)
+
+    # -- guarantee ----------------------------------------------------------
+
+    def guarantee(
+        self, delta: float | None = None, resolution: float | None = None
+    ) -> "QueryBuilder":
+        """Set the failure probability and/or the Problem-2 resolution."""
+        changes = {}
+        if delta is not None:
+            changes["delta"] = delta
+        if resolution is not None:
+            changes["resolution"] = resolution
+        return self._clone(
+            _guarantee=dataclasses.replace(self._guarantee, **changes)
+        )
+
+    def top(self, t: int, largest: bool = True) -> "QueryBuilder":
+        """Only the top-t groups must be identified and ordered (§6.1.2)."""
+        return self._clone(
+            _guarantee=dataclasses.replace(
+                self._guarantee, mode="top", top_t=t, top_largest=largest
+            )
+        )
+
+    def trends(
+        self, neighbors: Sequence[Sequence[int]] | None = None
+    ) -> "QueryBuilder":
+        """Neighbor-only ordering for trend-lines/choropleths (§6.1.1)."""
+        frozen = (
+            tuple(tuple(int(j) for j in adj) for adj in neighbors)
+            if neighbors is not None
+            else None
+        )
+        return self._clone(
+            _guarantee=dataclasses.replace(
+                self._guarantee, mode="trends", neighbors=frozen
+            )
+        )
+
+    def values(self, within: float) -> "QueryBuilder":
+        """Every displayed estimate within ``within`` of its true value
+        (§6.2.1)."""
+        return self._clone(
+            _guarantee=dataclasses.replace(
+                self._guarantee, mode="values", value_tolerance=within
+            )
+        )
+
+    def mistakes(self, min_correct_fraction: float) -> "QueryBuilder":
+        """Tolerate misordering a fraction of group pairs (§6.1.3)."""
+        return self._clone(
+            _guarantee=dataclasses.replace(
+                self._guarantee,
+                mode="mistakes",
+                min_correct_fraction=min_correct_fraction,
+            )
+        )
+
+    # -- execution knobs ----------------------------------------------------
+
+    def using(self, algorithm: str) -> "QueryBuilder":
+        """Which core algorithm answers AVG aggregates (default ifocus)."""
+        return self._clone(_algorithm=algorithm.lower())
+
+    def on_engine(self, engine: str) -> "QueryBuilder":
+        """Which registered execution substrate serves the query."""
+        return self._clone(_engine=engine.lower())
+
+    def bound(self, c: float) -> "QueryBuilder":
+        """Declare the value upper bound c instead of inferring it."""
+        return self._clone(_value_bound=float(c))
+
+    # -- lowering and execution ---------------------------------------------
+
+    def spec(self) -> QuerySpec:
+        """Lower to the declarative IR (validates the query shape)."""
+        if len(self._where) == 0:
+            where: Predicate | None = None
+        elif len(self._where) == 1:
+            where = self._where[0]
+        else:
+            where = And(self._where)
+        return QuerySpec(
+            table=self._table,
+            group_by=self._group_by,
+            aggregates=self._aggregates,
+            where=where,
+            having=self._having,
+            guarantee=self._guarantee,
+            algorithm=self._algorithm,
+            engine=self._engine,
+            value_bound=self._value_bound,
+        )
+
+    def explain(self) -> str:
+        """The planner's dispatch description for this query."""
+        from repro.session.planner import describe_spec
+
+        return describe_spec(self.spec())
+
+    def run(self, seed=None, **runner_kwargs) -> Result:
+        """Execute and return the unified :class:`Result`."""
+        return self._session.execute(self.spec(), seed=seed, **runner_kwargs)
+
+    def stream(self, seed=None, **runner_kwargs) -> ResultStream:
+        """Execute incrementally: PartialUpdates as groups finalize."""
+        return self._session.stream(self.spec(), seed=seed, **runner_kwargs)

@@ -1,0 +1,658 @@
+"""The single planner every front door dispatches through.
+
+``execute_spec`` turns a :class:`~repro.session.spec.QuerySpec` into algorithm
+runs over a registered execution substrate and returns the unified
+:class:`~repro.session.result.Result`; ``stream_spec`` is the incremental
+form.  Dispatch rules (superset of the legacy ``execute_query`` planner):
+
+* ``AVG(Y)`` - the core algorithms (ifocus/ifocusr/irefine/...), specialized
+  by the guarantee mode: top-t (§6.1.2), trends (§6.1.1), values (§6.2.1),
+  mistakes (§6.1.3);
+* ``SUM(Y)`` - Algorithm 4 (group sizes are engine metadata);
+* ``COUNT(*)``/``COUNT(Y)`` - exact from engine metadata;
+* two AVG aggregates - the two-phase Problem 8 schedule;
+* multiple GROUP BY columns - the cross-product composite key (§6.3.4);
+* WHERE - predicate bitmaps/masks restricting every group (§6.3.3);
+* HAVING - post-filter on the *estimated* aggregate (surfaced as a caveat).
+
+Execution substrates are pluggable through :func:`register_engine`; the
+built-ins are ``needletail`` (bitmap-index sampling), ``memory`` (the paper's
+idealized in-memory setting), and ``noindex`` (§6.3.6: uniform whole-table
+tuples only).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.core.reference import run_ifocus_reference
+from repro.core.registry import RESOLUTION_VARIANTS, run_algorithm
+from repro.core.types import OrderingResult
+from repro.data.population import MaterializedGroup, Population
+from repro.engines.base import SamplingEngine
+from repro.engines.memory import InMemoryEngine
+from repro.extensions.counts import _run_count_known
+from repro.extensions.mistakes import _run_ifocus_mistakes
+from repro.extensions.multi import _run_ifocus_multi_avg, composite_group_column
+from repro.extensions.noindex import _run_noindex
+from repro.extensions.sums import _run_ifocus_sum
+from repro.extensions.topt import _run_ifocus_topt
+from repro.extensions.trends import _run_ifocus_trends
+from repro.extensions.values import _run_ifocus_values
+from repro.needletail.engine import NeedletailEngine
+from repro.needletail.table import Column, Table
+from repro.query.predicates import (
+    _OP_FUNCS as _COMPARE,
+    predicate_bitvector,
+    predicate_columns,
+    predicate_mask,
+)
+from repro.session.result import (
+    AggregateResult,
+    GroupEstimate,
+    PartialUpdate,
+    Result,
+    ResultStream,
+)
+from repro.session.spec import QuerySpec
+
+__all__ = [
+    "EngineDef",
+    "register_engine",
+    "engine_names",
+    "execute_spec",
+    "stream_spec",
+    "describe_spec",
+    "HAVING_CAVEAT",
+]
+
+HAVING_CAVEAT = (
+    "HAVING filters *estimated* aggregates, not true values: a group whose "
+    "true {key} lies on the other side of the threshold may be kept or "
+    "dropped incorrectly (the ordering guarantee does not cover the filter)."
+)
+
+_NOINDEX_CAVEAT = (
+    "no-index execution draws uniform whole-table tuples, so samples land in "
+    "groups proportionally to group size; small contentious groups converge "
+    "slowly (round-robin behaviour at best, §6.3.6)."
+)
+
+_TRUNCATED_CAVEAT = (
+    "{key} run was truncated before every interval separated; remaining "
+    "groups were finalized at their current estimates and the guarantee is "
+    "void for them."
+)
+
+_MISTAKES_CAVEAT = (
+    "allowing-mistakes mode: up to {pct:.0%} of pairwise orderings may be "
+    "incorrect by design."
+)
+
+
+# --------------------------------------------------------------------------
+# Engine registry
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _PlanContext:
+    """Resolved, validated query context shared by all engine builds."""
+
+    spec: QuerySpec
+    table: Table  # possibly augmented with the composite group key
+    group_col: str
+    engine_def: "EngineDef"
+
+    def __post_init__(self) -> None:
+        self._bitvector = None
+        self._mask = None
+
+    def bitvector(self):
+        """The WHERE predicate as a bitmap (NEEDLETAIL form), or None."""
+        if self.spec.where is None:
+            return None
+        if self._bitvector is None:
+            self._bitvector = predicate_bitvector(self.spec.where, self.table)
+        return self._bitvector
+
+    def mask(self) -> np.ndarray | None:
+        """The WHERE predicate as a boolean row mask, or None."""
+        if self.spec.where is None:
+            return None
+        if self._mask is None:
+            self._mask = predicate_mask(self.spec.where, self.table)
+        return self._mask
+
+    def build_engine(self, value_column: str) -> SamplingEngine:
+        return self.engine_def.factory(self, value_column)
+
+
+EngineFactory = Callable[[_PlanContext, str], SamplingEngine]
+
+
+@dataclass(frozen=True)
+class EngineDef:
+    """One registered execution substrate.
+
+    Attributes:
+        name: registry key (the value of ``QuerySpec.engine``).
+        factory: builds a :class:`SamplingEngine` for one value column.
+        avg_runner: optional override for how AVG aggregates are executed
+            ("noindex" routes them through §6.3.6 whole-table sampling).
+        supports_metadata: whether group sizes are engine metadata (required
+            by SUM's Algorithm 4 and exact COUNT).
+    """
+
+    name: str
+    factory: EngineFactory
+    avg_runner: str | None = None
+    supports_metadata: bool = True
+
+
+_ENGINES: dict[str, EngineDef] = {}
+
+
+def register_engine(
+    name: str,
+    factory: EngineFactory,
+    *,
+    avg_runner: str | None = None,
+    supports_metadata: bool = True,
+    overwrite: bool = False,
+) -> EngineDef:
+    """Register an execution substrate under ``name``.
+
+    The factory receives the plan context (table with resolved group column,
+    lazily-evaluated WHERE forms, the full spec) and the value column, and
+    returns a :class:`~repro.engines.base.SamplingEngine`.  Third-party
+    backends plug in here and become reachable via
+    ``Session.table(...).on_engine(name)`` with zero planner changes.
+    """
+    key = name.lower()
+    if key in _ENGINES and not overwrite:
+        raise ValueError(f"engine {name!r} is already registered")
+    engine_def = EngineDef(
+        name=key,
+        factory=factory,
+        avg_runner=avg_runner,
+        supports_metadata=supports_metadata,
+    )
+    _ENGINES[key] = engine_def
+    return engine_def
+
+
+def engine_names() -> list[str]:
+    """Registered engine names."""
+    return sorted(_ENGINES)
+
+
+def _needletail_factory(ctx: _PlanContext, value_column: str) -> SamplingEngine:
+    return NeedletailEngine(
+        ctx.table,
+        ctx.group_col,
+        value_column,
+        c=ctx.spec.value_bound,
+        predicate=ctx.bitvector(),
+    )
+
+
+def _memory_factory(ctx: _PlanContext, value_column: str) -> SamplingEngine:
+    values = np.asarray(ctx.table.column(value_column), dtype=np.float64)
+    group_vals = np.asarray(ctx.table.column(ctx.group_col))
+    mask = ctx.mask()
+    if mask is not None:
+        values = values[mask]
+        group_vals = group_vals[mask]
+    if values.size == 0:
+        raise ValueError("no group matches the predicate")
+    c = ctx.spec.value_bound
+    if c is None:
+        c = max(float(values.max()), 1e-9)
+    # One stable argsort instead of a mask scan per key: O(n log n) for any
+    # group count, and bit-identical chunks (stable sort keeps the original
+    # row order within each group).  Keys come out sorted, matching the
+    # BitmapIndex label order.
+    order = np.argsort(group_vals, kind="stable")
+    keys, starts = np.unique(group_vals[order], return_index=True)
+    chunks = np.split(values[order], starts[1:])
+    groups = [MaterializedGroup(str(key), chunk) for key, chunk in zip(keys, chunks)]
+    population = Population(groups=groups, c=float(c), name=ctx.table.name)
+    return InMemoryEngine(population)
+
+
+register_engine("needletail", _needletail_factory)
+register_engine("memory", _memory_factory)
+register_engine(
+    "noindex", _needletail_factory, avg_runner="noindex", supports_metadata=False
+)
+
+
+# --------------------------------------------------------------------------
+# Planning
+# --------------------------------------------------------------------------
+
+
+def _prepare_table(spec: QuerySpec, table: Table) -> tuple[Table, str]:
+    """Resolve (possibly composite) group-by into a single indexed column."""
+    for col in spec.group_by:
+        if col not in table:
+            raise KeyError(f"GROUP BY column {col!r} not in table {table.name!r}")
+    if len(spec.group_by) == 1:
+        return table, spec.group_by[0]
+    key = composite_group_column(table, list(spec.group_by))
+    augmented = Table(
+        table.name,
+        [Column(name, table.column(name), 8) for name in table.column_names]
+        + [Column("__group_key__", key, 8)],
+    )
+    return augmented, "__group_key__"
+
+
+def _plan(spec: QuerySpec, catalog: dict[str, Table]) -> _PlanContext:
+    """Validate the spec against the catalog and resolve the group column."""
+    if spec.table not in catalog:
+        raise KeyError(
+            f"unknown table {spec.table!r}; catalog has {sorted(catalog)}"
+        )
+    if spec.engine not in _ENGINES:
+        raise KeyError(
+            f"unknown engine {spec.engine!r}; registered: {engine_names()}"
+        )
+    table = catalog[spec.table]
+    for agg in spec.aggregates:
+        if agg.column != "*" and agg.column not in table:
+            raise KeyError(
+                f"aggregate column {agg.column!r} not in table {spec.table!r}"
+            )
+    if spec.where is not None:
+        missing = predicate_columns(spec.where) - set(table.column_names)
+        if missing:
+            raise KeyError(f"WHERE references unknown columns: {sorted(missing)}")
+    table, group_col = _prepare_table(spec, table)
+    engine_def = _ENGINES[spec.engine]
+    if not engine_def.supports_metadata:
+        bad = [a.func for a in spec.aggregates if a.func != "AVG"]
+        if bad or len(spec.avg_aggregates) != 1:
+            raise ValueError(
+                f"engine {spec.engine!r} has no group-size metadata; it "
+                "supports exactly one AVG aggregate (no SUM/COUNT/multi-AVG)"
+            )
+        if spec.guarantee.mode != "ordering":
+            raise ValueError(
+                f"engine {spec.engine!r} only supports the plain ordering "
+                f"guarantee, not mode {spec.guarantee.mode!r}"
+            )
+    return _PlanContext(spec=spec, table=table, group_col=group_col, engine_def=engine_def)
+
+
+def _numeric_column(table: Table, preferred: str) -> str:
+    """A numeric column usable as the engine's value column."""
+    col = table.column(preferred) if preferred in table else None
+    if col is not None and np.issubdtype(col.dtype, np.number):
+        return preferred
+    for name in table.column_names:
+        if np.issubdtype(table.column(name).dtype, np.number):
+            return name
+    raise ValueError("table has no numeric column to anchor the engine")
+
+
+def _run_avg(
+    spec: QuerySpec,
+    ctx: _PlanContext,
+    engine: SamplingEngine,
+    seed,
+    runner_kwargs: dict,
+    on_finalize: Callable | None = None,
+) -> tuple[OrderingResult, dict[str, Any]]:
+    """Execute the single-AVG aggregate according to the guarantee mode.
+
+    When ``on_finalize`` is given the run goes through the reference loop so
+    each group's outcome is emitted the moment it finalizes (Problem 7); the
+    default path uses the batched executors via the registry.
+    """
+    g = spec.guarantee
+    if g.mode != "ordering":
+        if spec.algorithm not in ("ifocus", "ifocusr"):
+            raise ValueError(
+                f"guarantee mode {g.mode!r} is implemented by the IFOCUS "
+                f"reference loop; algorithm {spec.algorithm!r} is not "
+                "supported with it (drop .using() or use 'ifocus')"
+            )
+        if spec.algorithm in RESOLUTION_VARIANTS and g.resolution <= 0:
+            raise ValueError(f"{spec.algorithm} requires resolution > 0")
+    common = dict(delta=g.delta, resolution=g.resolution, seed=seed, **runner_kwargs)
+    if g.mode == "top":
+        topt = _run_ifocus_topt(
+            engine, g.top_t, largest=g.top_largest, on_finalize=on_finalize, **common
+        )
+        return topt.result, {
+            "t": topt.t,
+            "largest": topt.largest,
+            "top_labels": topt.top_names,
+        }
+    if g.mode == "trends":
+        neighbors = (
+            [list(adj) for adj in g.neighbors] if g.neighbors is not None else None
+        )
+        raw = _run_ifocus_trends(
+            engine, neighbors=neighbors, on_finalize=on_finalize, **common
+        )
+        return raw, {}
+    if g.mode == "values":
+        raw = _run_ifocus_values(
+            engine, d=g.value_tolerance, on_finalize=on_finalize, **common
+        )
+        return raw, {"value_tolerance": g.value_tolerance}
+    if g.mode == "mistakes":
+        raw = _run_ifocus_mistakes(
+            engine,
+            min_correct_fraction=g.min_correct_fraction,
+            on_finalize=on_finalize,
+            **common,
+        )
+        return raw, {}
+    # mode == "ordering"
+    if ctx.engine_def.avg_runner == "noindex":
+        raw = _run_noindex(
+            engine, delta=g.delta, resolution=g.resolution, seed=seed, **runner_kwargs
+        )
+        return raw, {}
+    if on_finalize is not None:
+        if spec.algorithm in RESOLUTION_VARIANTS and g.resolution <= 0:
+            raise ValueError(f"{spec.algorithm} requires resolution > 0")
+        raw = run_ifocus_reference(
+            engine,
+            on_finalize=on_finalize,
+            algorithm_name="ifocus-partial",
+            **common,
+        )
+        return raw, {}
+    raw = run_algorithm(spec.algorithm, engine, **common)
+    return raw, {}
+
+
+def _execute_planned(
+    spec: QuerySpec,
+    ctx: _PlanContext,
+    seed,
+    runner_kwargs: dict,
+) -> Result:
+    results: dict[str, tuple[OrderingResult, dict[str, Any]]] = {}
+    engine: SamplingEngine | None = None
+    avgs = spec.avg_aggregates
+    charged = 0  # tuples actually sampled; shared multi-AVG run counted once
+
+    if len(avgs) == 2:
+        if spec.where is not None:
+            raise ValueError("two-aggregate queries do not support WHERE yet")
+        if spec.engine != "needletail":
+            raise ValueError(
+                "two-aggregate queries run on the bitmap-index substrate; "
+                f"engine {spec.engine!r} is not supported with them yet"
+            )
+        if spec.guarantee.resolution > 0:
+            raise ValueError("two-aggregate queries do not support resolution yet")
+        multi = _run_ifocus_multi_avg(
+            ctx.table,
+            ctx.group_col,
+            avgs[0].column,
+            avgs[1].column,
+            delta=spec.guarantee.delta,
+            c_y=spec.value_bound,
+            c_z=spec.value_bound,
+            seed=seed,
+            **runner_kwargs,
+        )
+        results[spec.agg_key(avgs[0])] = (multi.y, {})
+        results[spec.agg_key(avgs[1])] = (multi.z, {})
+        charged += multi.total_samples
+    elif len(avgs) == 1:
+        engine = ctx.build_engine(avgs[0].column)
+        raw, meta = _run_avg(spec, ctx, engine, seed, runner_kwargs)
+        results[spec.agg_key(avgs[0])] = (raw, meta)
+        charged += raw.total_samples
+
+    for agg in spec.aggregates:
+        if agg.func == "SUM":
+            sum_engine = ctx.build_engine(agg.column)
+            raw = _run_ifocus_sum(sum_engine, delta=spec.guarantee.delta, seed=seed)
+            results[spec.agg_key(agg)] = (raw, {})
+            charged += raw.total_samples
+            engine = engine or sum_engine
+        elif agg.func == "COUNT":
+            count_col = spec.group_by[0] if agg.column == "*" else agg.column
+            # COUNT needs any engine over the same groups; sizes are metadata.
+            count_engine = engine or ctx.build_engine(
+                avgs[0].column if avgs else _numeric_column(ctx.table, count_col)
+            )
+            results[spec.agg_key(agg)] = (_run_count_known(count_engine), {})
+            engine = engine or count_engine
+
+    if not results:
+        raise ValueError("query produced no executable aggregate")
+    # Pure multi-AVG queries leave engine None: the two-phase schedule drives
+    # its own bitmap index, there is no per-aggregate engine to expose.
+    return _assemble_result(spec, ctx, results, engine, charged)
+
+
+def _assemble_result(
+    spec: QuerySpec,
+    ctx: _PlanContext,
+    results: dict[str, tuple[OrderingResult, dict[str, Any]]],
+    engine: SamplingEngine | None,
+    total_samples: int,
+) -> Result:
+    aggregates = {
+        key: AggregateResult.from_ordering(key, raw, meta)
+        for key, (raw, meta) in results.items()
+    }
+    labels = next(iter(aggregates.values())).labels
+
+    caveats: list[str] = []
+    dropped: list[str] = []
+    if spec.having is not None:
+        key = spec.agg_key(spec.having.agg)
+        if key not in aggregates:
+            raise ValueError(f"HAVING references {key}, which is not in SELECT")
+        keep = _COMPARE[spec.having.op](aggregates[key].raw.estimates, spec.having.value)
+        dropped = [lbl for lbl, ok in zip(labels, keep) if not ok]
+        caveats.append(HAVING_CAVEAT.format(key=key))
+    if ctx.engine_def.avg_runner == "noindex":
+        caveats.append(_NOINDEX_CAVEAT)
+    if spec.guarantee.mode == "mistakes":
+        caveats.append(
+            _MISTAKES_CAVEAT.format(pct=1.0 - spec.guarantee.min_correct_fraction)
+        )
+    for key, agg in aggregates.items():
+        if agg.raw.params.get("truncated"):
+            caveats.append(_TRUNCATED_CAVEAT.format(key=key))
+
+    return Result(
+        spec=spec,
+        labels=list(labels),
+        aggregates=aggregates,
+        guarantee=spec.guarantee,
+        caveats=caveats,
+        dropped_by_having=dropped,
+        engine=engine,
+        total_samples=total_samples,
+    )
+
+
+def execute_spec(
+    spec: QuerySpec,
+    catalog: dict[str, Table],
+    *,
+    seed=None,
+    runner_kwargs: dict | None = None,
+) -> Result:
+    """Plan and execute a spec against a table catalog.
+
+    Args:
+        spec: the lowered query.
+        catalog: {table name: Table}.
+        seed: RNG seed for the sampling streams.
+        runner_kwargs: extra knobs forwarded to the AVG runner
+            (``trace_every``, ``max_rounds``, ``batch`` for noindex, ...).
+    """
+    ctx = _plan(spec, catalog)
+    return _execute_planned(spec, ctx, seed, dict(runner_kwargs or {}))
+
+
+# --------------------------------------------------------------------------
+# Streaming
+# --------------------------------------------------------------------------
+
+
+def _live_streamable(spec: QuerySpec, ctx: _PlanContext) -> bool:
+    """Whether the spec can emit finalizations while sampling continues."""
+    if len(spec.aggregates) != 1 or spec.aggregates[0].func != "AVG":
+        return False
+    if ctx.engine_def.avg_runner is not None:
+        return False
+    if spec.guarantee.mode != "ordering":
+        return True  # all guarantee variants run through the reference loop
+    return spec.algorithm in ("ifocus", "ifocusr")
+
+
+def _stream_live(
+    spec: QuerySpec, ctx: _PlanContext, seed, runner_kwargs: dict
+) -> ResultStream:
+    agg = spec.avg_aggregates[0]
+    key = spec.agg_key(agg)
+    engine = ctx.build_engine(agg.column)
+    k = engine.k
+    out: "queue.Queue[object]" = queue.Queue()
+    emitted = {"n": 0}
+
+    def on_finalize(gid: int, outcome) -> None:
+        emitted["n"] += 1
+        out.put(
+            PartialUpdate(
+                aggregate=key,
+                group=GroupEstimate.from_outcome(outcome),
+                emitted_so_far=emitted["n"],
+                total_groups=k,
+                live=True,
+            )
+        )
+
+    def worker() -> None:
+        try:
+            out.put(_run_avg(spec, ctx, engine, seed, runner_kwargs, on_finalize))
+        except BaseException as exc:  # pragma: no cover - surfaced to consumer
+            out.put(exc)
+
+    thread = threading.Thread(target=worker, daemon=True, name="session-stream")
+
+    def updates() -> Iterator[PartialUpdate]:
+        thread.start()
+        while True:
+            item = out.get()
+            if isinstance(item, BaseException):
+                raise item
+            if isinstance(item, tuple):
+                raw, meta = item
+                break
+            yield item
+        thread.join()
+        stream.result = _assemble_result(
+            spec, ctx, {key: (raw, meta)}, engine, raw.total_samples
+        )
+
+    stream = ResultStream(updates())
+    return stream
+
+
+def _replay_updates(result: Result) -> list[PartialUpdate]:
+    """Post-hoc PartialUpdates in true finalization order, per aggregate.
+
+    Counters are global across the whole stream (not per aggregate) so that
+    ``PartialUpdate.done`` is True only on the very last update - the
+    stop-at-done consumer pattern must not drop later aggregates' groups.
+    """
+    pending: list[tuple[str, Any]] = []
+    for key, agg in result.aggregates.items():
+        order = [int(i) for i in agg.raw.inactive_order]
+        if len(order) != len(agg.groups):  # defensive: fall back to input order
+            order = list(range(len(agg.groups)))
+        pending.extend((key, agg.groups[gid]) for gid in order)
+    return [
+        PartialUpdate(
+            aggregate=key,
+            group=group,
+            emitted_so_far=n,
+            total_groups=len(pending),
+            live=False,
+        )
+        for n, (key, group) in enumerate(pending, start=1)
+    ]
+
+
+def stream_spec(
+    spec: QuerySpec,
+    catalog: dict[str, Table],
+    *,
+    seed=None,
+    runner_kwargs: dict | None = None,
+) -> ResultStream:
+    """Incremental execution: yields one PartialUpdate per finalized group.
+
+    Every workload streams.  Single-AVG queries (all guarantee modes) emit
+    *live*: each group surfaces the moment it leaves the active set, while
+    contentious groups keep sampling on a background thread.  Other workloads
+    (SUM, COUNT, multi-AVG, no-index, non-IFOCUS algorithms) compute the full
+    answer first and then replay it in true finalization order
+    (``PartialUpdate.live`` is False).  In both cases ``stream.result`` holds
+    the unified :class:`Result` once the stream is exhausted.
+    """
+    ctx = _plan(spec, catalog)
+    kwargs = dict(runner_kwargs or {})
+    if _live_streamable(spec, ctx):
+        return _stream_live(spec, ctx, seed, kwargs)
+    result = _execute_planned(spec, ctx, seed, kwargs)
+    stream = ResultStream(iter(_replay_updates(result)))
+    stream.result = result
+    return stream
+
+
+# --------------------------------------------------------------------------
+# Explain
+# --------------------------------------------------------------------------
+
+
+def describe_spec(spec: QuerySpec) -> str:
+    """A short textual plan: how the planner will dispatch this spec."""
+    lines = [f"table: {spec.table}  group by: {', '.join(spec.group_by)}"]
+    if spec.where is not None:
+        lines.append(f"where: {spec.where!r}")
+    avgs = spec.avg_aggregates
+    for agg in spec.aggregates:
+        key = spec.agg_key(agg)
+        if agg.func == "AVG" and len(avgs) == 2:
+            lines.append(f"{key}: two-phase multi-AVG schedule (Problem 8)")
+        elif agg.func == "AVG":
+            mode = spec.guarantee.mode
+            runner = (
+                "noindex whole-table sampling"
+                if _ENGINES[spec.engine].avg_runner == "noindex"
+                else spec.algorithm
+            )
+            lines.append(f"{key}: {runner} (guarantee mode: {mode})")
+        elif agg.func == "SUM":
+            lines.append(f"{key}: IFOCUS-Sum, known group sizes (Algorithm 4)")
+        else:
+            lines.append(f"{key}: exact from engine metadata")
+    if spec.having is not None:
+        h = spec.having
+        lines.append(
+            f"having: {spec.agg_key(h.agg)} {h.op} {h.value:g} (filters estimates)"
+        )
+    lines.append(f"engine: {spec.engine}   guarantee: {spec.guarantee.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Unified result hierarchy for the Session API.
+
+Every workload - AVG, SUM, COUNT, multi-AVG, top-t, trends, values, mistakes,
+no-index, streaming - returns the same shapes:
+
+* :class:`GroupEstimate` - one bar: estimate, confidence half-width, sample
+  and finalization accounting;
+* :class:`AggregateResult` - one aggregate's bars plus its raw
+  :class:`~repro.core.types.OrderingResult` (the algorithm-layer record);
+* :class:`Result` - the whole answer: per-aggregate results, HAVING drops,
+  guarantee metadata, *caveats*, and engine accounting;
+* :class:`PartialUpdate` / :class:`ResultStream` - the incremental form every
+  workload supports through ``.stream()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.types import GroupOutcome, OrderingResult
+from repro.session.spec import GuaranteeSpec, QuerySpec
+
+__all__ = [
+    "GroupEstimate",
+    "AggregateResult",
+    "Result",
+    "PartialUpdate",
+    "ResultStream",
+]
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """One group's (bar's) final state.
+
+    Attributes:
+        label: group label (e.g. carrier code, or "x|z" composite key).
+        estimate: the returned estimate of the group's aggregate.
+        half_width: confidence-interval half-width at finalization
+            (0.0 when the value is exact).
+        samples: number of samples charged to this group.
+        exhausted: True if the group was fully read (estimate is exact).
+        finalized_round: round at which the group left the active set.
+    """
+
+    label: str
+    estimate: float
+    half_width: float
+    samples: int
+    exhausted: bool
+    finalized_round: int
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The confidence interval [estimate - hw, estimate + hw]."""
+        return (self.estimate - self.half_width, self.estimate + self.half_width)
+
+    @property
+    def exact(self) -> bool:
+        return self.exhausted or self.half_width == 0.0
+
+    @classmethod
+    def from_outcome(cls, outcome: GroupOutcome) -> "GroupEstimate":
+        return cls(
+            label=outcome.name,
+            estimate=float(outcome.estimate),
+            half_width=float(outcome.half_width),
+            samples=int(outcome.samples),
+            exhausted=bool(outcome.exhausted),
+            finalized_round=int(outcome.finalized_round),
+        )
+
+
+@dataclass
+class AggregateResult:
+    """One aggregate's answer: labelled estimates plus the raw algorithm run."""
+
+    key: str
+    algorithm: str
+    labels: list[str]
+    groups: list[GroupEstimate]
+    raw: OrderingResult
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_ordering(
+        cls, key: str, raw: OrderingResult, meta: dict[str, Any] | None = None
+    ) -> "AggregateResult":
+        groups = [GroupEstimate.from_outcome(g) for g in raw.groups]
+        return cls(
+            key=key,
+            algorithm=raw.algorithm,
+            labels=[g.label for g in groups],
+            groups=groups,
+            raw=raw,
+            meta=dict(meta or {}),
+        )
+
+    def estimates(self) -> dict[str, float]:
+        """{label: estimate} in input group order."""
+        return {g.label: g.estimate for g in self.groups}
+
+    def __getitem__(self, label: str) -> GroupEstimate:
+        for g in self.groups:
+            if g.label == label:
+                return g
+        raise KeyError(f"no group labelled {label!r} in {self.key}")
+
+    def __iter__(self) -> Iterator[GroupEstimate]:
+        return iter(self.groups)
+
+    @property
+    def total_samples(self) -> int:
+        return int(self.raw.samples_per_group.sum())
+
+    def order(self, descending: bool = False) -> list[str]:
+        """Labels sorted by estimate (the certified display order)."""
+        idx = np.argsort(self.raw.estimates, kind="stable")
+        if descending:
+            idx = idx[::-1]
+        return [self.labels[int(i)] for i in idx]
+
+    def finalization_order(self) -> list[str]:
+        """Labels in the order the algorithm finalized them (Problem 7)."""
+        return [self.labels[int(i)] for i in self.raw.inactive_order]
+
+
+@dataclass
+class Result:
+    """The unified answer every Session query returns.
+
+    Attributes:
+        spec: the :class:`QuerySpec` that produced this result.
+        labels: group labels in input order (shared by all aggregates).
+        aggregates: one :class:`AggregateResult` per SELECT aggregate,
+            keyed "AVG(delay)"-style.
+        guarantee: the promise this result carries (delta, mode, ...).
+        caveats: human-readable warnings the display layer should surface
+            (e.g. HAVING filtering estimates, truncated runs).
+        dropped_by_having: labels removed by the HAVING post-filter.
+        engine: the sampling engine that served the query (None for pure
+            multi-AVG queries, whose two-phase schedule drives its own index,
+            and for hand-built results).
+        total_samples: tuples actually sampled for the whole query - runs
+            shared between aggregates (multi-AVG) count once, independent
+            runs (e.g. AVG + SUM) sum.
+    """
+
+    spec: QuerySpec
+    labels: list[str]
+    aggregates: dict[str, AggregateResult]
+    guarantee: GuaranteeSpec
+    caveats: list[str] = field(default_factory=list)
+    dropped_by_having: list[str] = field(default_factory=list)
+    engine: Any = None
+    total_samples: int = 0
+
+    def __getitem__(self, key: str) -> AggregateResult:
+        return self.aggregates[key]
+
+    def __iter__(self) -> Iterator[AggregateResult]:
+        return iter(self.aggregates.values())
+
+    @property
+    def first(self) -> AggregateResult:
+        """The first (usually only) aggregate's result."""
+        return next(iter(self.aggregates.values()))
+
+    def estimates(self, key: str | None = None) -> dict[str, float]:
+        """{label: estimate} for one aggregate (default: the first)."""
+        agg = self.aggregates[key] if key is not None else self.first
+        return agg.estimates()
+
+    @property
+    def kept_labels(self) -> list[str]:
+        """Labels surviving the HAVING post-filter (input order)."""
+        dropped = set(self.dropped_by_having)
+        return [lbl for lbl in self.labels if lbl not in dropped]
+
+    @property
+    def io_seconds(self) -> float:
+        return sum(
+            a.raw.stats.io_seconds for a in self.aggregates.values() if a.raw.stats
+        )
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(
+            a.raw.stats.cpu_seconds for a in self.aggregates.values() if a.raw.stats
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return self.io_seconds + self.cpu_seconds
+
+    def finalization_order(self, key: str | None = None) -> list[str]:
+        agg = self.aggregates[key] if key is not None else self.first
+        return agg.finalization_order()
+
+    def summary(self) -> str:
+        parts = [
+            f"{k}: {a.algorithm}, {a.total_samples:,} samples"
+            for k, a in self.aggregates.items()
+        ]
+        return f"Result({'; '.join(parts)}; {self.guarantee.describe()})"
+
+
+@dataclass(frozen=True)
+class PartialUpdate:
+    """One emission of a streaming query: a group just became trustworthy.
+
+    ``live`` distinguishes true incremental emission (the group finalized
+    while others are still sampling) from post-hoc replay in finalization
+    order (workloads whose executor has no incremental hook).
+    """
+
+    aggregate: str
+    group: GroupEstimate
+    emitted_so_far: int
+    total_groups: int
+    live: bool = True
+
+    @property
+    def done(self) -> bool:
+        return self.emitted_so_far == self.total_groups
+
+
+class ResultStream:
+    """Iterator of :class:`PartialUpdate` with the final :class:`Result`.
+
+    Reading ``.result`` drains any remaining updates first, so it is always
+    available - including when the consumer stopped at ``update.done``
+    instead of exhausting the iterator.
+    """
+
+    def __init__(self, updates: Iterator[PartialUpdate]) -> None:
+        self._updates = updates
+        self._result: Result | None = None
+
+    def __iter__(self) -> Iterator[PartialUpdate]:
+        return self
+
+    def __next__(self) -> PartialUpdate:
+        return next(self._updates)
+
+    @property
+    def result(self) -> Result:
+        """The unified result (drains remaining updates if necessary)."""
+        if self._result is None:
+            for _ in self:
+                pass
+        if self._result is None:
+            raise RuntimeError(
+                "the stream terminated without producing a result "
+                "(the underlying run raised before completing)"
+            )
+        return self._result
+
+    @result.setter
+    def result(self, value: Result) -> None:
+        self._result = value
+
+    def drain(self) -> Result:
+        """Consume all remaining updates and return the final result."""
+        return self.result

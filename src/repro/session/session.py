@@ -1,0 +1,296 @@
+"""``Session``/``connect()`` - the one front door for every workload.
+
+A session owns a table catalog and default knobs (delta, algorithm, engine,
+seed) and hands out :class:`~repro.session.builder.QueryBuilder` objects from
+either front door::
+
+    import repro
+
+    session = repro.connect(delta=0.05)
+    session.register_flights("flights", rows=100_000, seed=0)
+
+    # programmatic front door
+    result = (
+        session.table("flights")
+        .group_by("carrier")
+        .agg(repro.avg("arrival_delay"))
+        .run(seed=42)
+    )
+
+    # SQL front door - lowers to the *same* QuerySpec
+    result = session.sql(
+        "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier"
+    ).run(seed=42)
+
+Tables can be registered from :class:`~repro.needletail.table.Table` objects,
+``{column: ndarray}`` dicts, or CSV files (:meth:`Session.register_csv`).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import os
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.needletail.table import Table
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+from repro.session.builder import QueryBuilder
+from repro.session.planner import execute_spec, stream_spec
+from repro.session.result import Result, ResultStream
+from repro.session.spec import GuaranteeSpec, QuerySpec, lower_query
+
+__all__ = ["Session", "connect", "load_csv_table"]
+
+
+def load_csv_table(
+    path: str | os.PathLike,
+    name: str | None = None,
+    *,
+    group_columns: Iterable[str] = (),
+    value_columns: Iterable[str] = (),
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file into a :class:`~repro.needletail.table.Table`.
+
+    Column typing: columns named in ``group_columns`` stay strings (group-by
+    keys), columns in ``value_columns`` must parse as floats (aggregation
+    targets), and everything else is auto-detected (float if every row
+    parses, string otherwise).
+
+    Args:
+        path: CSV file with a header row.
+        name: table name; defaults to the file's stem.
+        group_columns / value_columns: explicit typing overrides.
+        delimiter: field separator.
+    """
+    group_cols = set(group_columns)
+    value_cols = set(value_columns)
+    overlap = group_cols & value_cols
+    if overlap:
+        raise ValueError(f"columns marked both group and value: {sorted(overlap)}")
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV (no header row)") from None
+        header = [h.strip() for h in header]
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path}: CSV has a header but no data rows")
+    unknown = (group_cols | value_cols) - set(header)
+    if unknown:
+        raise KeyError(f"{path}: no such CSV columns: {sorted(unknown)}")
+    bad_widths = sorted({len(row) for row in rows if len(row) != len(header)})
+    if bad_widths:
+        count = sum(1 for row in rows if len(row) != len(header))
+        raise ValueError(
+            f"{path}: {count} row(s) have {bad_widths} fields, "
+            f"expected {len(header)}"
+        )
+
+    columns: dict[str, np.ndarray] = {}
+    for j, col_name in enumerate(header):
+        raw = np.array([row[j].strip() for row in rows], dtype=str)
+        if col_name in group_cols:
+            columns[col_name] = raw
+            continue
+        try:
+            as_float = raw.astype(np.float64)
+        except ValueError:
+            if col_name in value_cols:
+                raise ValueError(
+                    f"{path}: value column {col_name!r} has non-numeric entries"
+                ) from None
+            columns[col_name] = raw
+        else:
+            columns[col_name] = as_float
+    table_name = name if name is not None else os.path.splitext(os.path.basename(path))[0]
+    return Table.from_dict(table_name, columns)
+
+
+class Session:
+    """A table catalog plus default query knobs.
+
+    All registration methods return the session, so setup chains::
+
+        session = connect().register("t", table).register_csv("u", "u.csv")
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.05,
+        resolution: float = 0.0,
+        algorithm: str = "ifocus",
+        engine: str = "needletail",
+        seed: int | None = None,
+    ) -> None:
+        self._catalog: dict[str, Table] = {}
+        self.delta = delta
+        self.resolution = resolution
+        self.algorithm = algorithm
+        self.engine = engine
+        self.seed = seed
+
+    # -- catalog ------------------------------------------------------------
+
+    @property
+    def tables(self) -> list[str]:
+        """Registered table names."""
+        return sorted(self._catalog)
+
+    @property
+    def catalog(self) -> dict[str, Table]:
+        """The live name -> Table mapping (shared, not a copy)."""
+        return self._catalog
+
+    def register(
+        self, name: str, data: Table | Mapping[str, np.ndarray]
+    ) -> "Session":
+        """Register a table under ``name`` (Table or {column: array} dict)."""
+        if isinstance(data, Table):
+            table = data
+        else:
+            table = Table.from_dict(name, dict(data))
+        self._catalog[name] = table
+        return self
+
+    def register_csv(
+        self,
+        name: str,
+        path: str | os.PathLike,
+        *,
+        group_columns: Iterable[str] = (),
+        value_columns: Iterable[str] = (),
+        delimiter: str = ",",
+    ) -> "Session":
+        """Load a CSV file and register it (see :func:`load_csv_table`)."""
+        table = load_csv_table(
+            path,
+            name,
+            group_columns=group_columns,
+            value_columns=value_columns,
+            delimiter=delimiter,
+        )
+        return self.register(name, table)
+
+    def register_flights(
+        self, name: str = "flights", *, rows: int = 100_000, seed: int | None = 0
+    ) -> "Session":
+        """Register the synthetic flights table (the paper's workload)."""
+        from repro.data.flights import make_flights_table
+
+        return self.register(name, make_flights_table(num_rows=rows, seed=seed))
+
+    # -- front doors --------------------------------------------------------
+
+    def _builder(self, table: str) -> QueryBuilder:
+        return QueryBuilder(
+            _session=self,
+            _table=table,
+            _guarantee=GuaranteeSpec(delta=self.delta, resolution=self.resolution),
+            _algorithm=self.algorithm,
+            _engine=self.engine,
+        )
+
+    def table(self, name: str) -> QueryBuilder:
+        """Start a fluent query over a registered table."""
+        if name not in self._catalog:
+            raise KeyError(f"unknown table {name!r}; registered: {self.tables}")
+        return self._builder(name)
+
+    def sql(self, text: str | Query) -> QueryBuilder:
+        """Start a query from SQL text (or a pre-parsed Query).
+
+        Returns a builder seeded from the parsed query, so Session-only
+        features chain onto SQL: ``session.sql("SELECT ...").top(3).run()``.
+        """
+        query = parse_query(text) if isinstance(text, str) else text
+        spec = lower_query(query)
+        return dataclasses.replace(
+            self._builder(spec.table),
+            _group_by=spec.group_by,
+            _aggregates=spec.aggregates,
+            _where=(spec.where,) if spec.where is not None else (),
+            _having=spec.having,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def _lower(self, what: str | Query | QuerySpec | QueryBuilder) -> QuerySpec:
+        if isinstance(what, QuerySpec):
+            return what
+        if isinstance(what, QueryBuilder):
+            return what.spec()
+        if isinstance(what, (str, Query)):
+            return self.sql(what).spec()
+        raise TypeError(f"cannot execute {type(what).__name__}")
+
+    def execute(
+        self,
+        what: str | Query | QuerySpec | QueryBuilder,
+        *,
+        seed=None,
+        **runner_kwargs,
+    ) -> Result:
+        """Execute SQL text, a Query, a QuerySpec, or a builder."""
+        spec = self._lower(what)
+        return execute_spec(
+            spec,
+            self._catalog,
+            seed=seed if seed is not None else self.seed,
+            runner_kwargs=runner_kwargs,
+        )
+
+    def stream(
+        self,
+        what: str | Query | QuerySpec | QueryBuilder,
+        *,
+        seed=None,
+        **runner_kwargs,
+    ) -> ResultStream:
+        """Incremental execution: PartialUpdates as groups finalize."""
+        spec = self._lower(what)
+        return stream_spec(
+            spec,
+            self._catalog,
+            seed=seed if seed is not None else self.seed,
+            runner_kwargs=runner_kwargs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(tables={self.tables}, delta={self.delta}, "
+            f"algorithm={self.algorithm!r}, engine={self.engine!r})"
+        )
+
+
+def connect(
+    *,
+    delta: float = 0.05,
+    resolution: float = 0.0,
+    algorithm: str = "ifocus",
+    engine: str = "needletail",
+    seed: int | None = None,
+) -> Session:
+    """Open a session - the Session API's entrypoint.
+
+    Args:
+        delta: default failure probability for every query.
+        resolution: default Problem-2 visual resolution.
+        algorithm: default AVG algorithm (ifocus/ifocusr/irefine/...).
+        engine: default execution substrate (needletail/memory/noindex).
+        seed: default RNG seed when ``run()``/``stream()`` omit one.
+    """
+    return Session(
+        delta=delta,
+        resolution=resolution,
+        algorithm=algorithm,
+        engine=engine,
+        seed=seed,
+    )

@@ -1,0 +1,215 @@
+"""The declarative query IR both front doors lower to.
+
+A :class:`QuerySpec` is an immutable, fully-validated description of one
+visualization query: what to aggregate, how to group, which rows qualify, and
+what guarantee the answer must carry.  SQL text (via :mod:`repro.query`) and
+the fluent builder (:mod:`repro.session.builder`) both compile to this type,
+and :mod:`repro.session.planner` is the single component that turns a spec
+into algorithm runs - so the two front doors cannot drift apart.
+
+Specs are plain frozen dataclasses: two logically identical queries compare
+equal regardless of which front door produced them (the parity test suite
+relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro._util import check_nonnegative, check_probability
+from repro.query.ast import COMPARISON_OPS, Aggregate, Predicate, Query
+
+__all__ = [
+    "Aggregate",
+    "HavingSpec",
+    "GuaranteeSpec",
+    "QuerySpec",
+    "GUARANTEE_MODES",
+    "lower_query",
+]
+
+#: Guarantee modes the planner can dispatch (paper section in parentheses):
+#: ordering (§3), top (§6.1.2), trends (§6.1.1), values (§6.2.1),
+#: mistakes (§6.1.3).
+GUARANTEE_MODES = ("ordering", "top", "trends", "values", "mistakes")
+
+
+@dataclass(frozen=True)
+class HavingSpec:
+    """HAVING AGG(col) op literal - a post-filter on the estimated aggregate."""
+
+    agg: Aggregate
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown HAVING operator {self.op!r}")
+        object.__setattr__(self, "value", float(self.value))
+
+
+@dataclass(frozen=True)
+class GuaranteeSpec:
+    """The probabilistic promise attached to a query's answer.
+
+    Attributes:
+        delta: failure probability; the guarantee holds with prob >= 1-delta.
+        resolution: Problem-2 visual resolution r (0 disables the relaxation).
+        mode: which property must hold (see :data:`GUARANTEE_MODES`).
+        top_t / top_largest: ``mode="top"`` - report the t best groups,
+            correctly identified and internally ordered.
+        neighbors: ``mode="trends"`` - adjacency list (tuple of tuples) for
+            the neighbor-only ordering; ``None`` means the ordinal chain.
+        value_tolerance: ``mode="values"`` - every displayed estimate is
+            within this of its true value.
+        min_correct_fraction: ``mode="mistakes"`` - the fraction of pairwise
+            orderings that must be correct.
+    """
+
+    delta: float = 0.05
+    resolution: float = 0.0
+    mode: str = "ordering"
+    top_t: int | None = None
+    top_largest: bool = True
+    neighbors: tuple[tuple[int, ...], ...] | None = None
+    value_tolerance: float | None = None
+    min_correct_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        check_probability(self.delta, "delta")
+        check_nonnegative(self.resolution, "resolution")
+        if self.mode not in GUARANTEE_MODES:
+            raise ValueError(
+                f"unknown guarantee mode {self.mode!r}; known: {GUARANTEE_MODES}"
+            )
+        if self.mode == "top" and (self.top_t is None or self.top_t < 1):
+            raise ValueError("mode='top' requires top_t >= 1")
+        if self.mode == "values":
+            if self.value_tolerance is None or self.value_tolerance <= 0:
+                raise ValueError("mode='values' requires value_tolerance > 0")
+        if self.mode == "mistakes":
+            if self.min_correct_fraction is None:
+                raise ValueError("mode='mistakes' requires min_correct_fraction")
+            if not 0.0 < self.min_correct_fraction <= 1.0:
+                raise ValueError("min_correct_fraction must be in (0, 1]")
+
+    def describe(self) -> str:
+        """One-line human-readable statement of the promise."""
+        p = f"with probability >= {1.0 - self.delta:g}"
+        if self.mode == "ordering":
+            return f"displayed order is correct {p}"
+        if self.mode == "top":
+            side = "largest" if self.top_largest else "smallest"
+            return (
+                f"the {self.top_t} {side} groups are correctly identified "
+                f"and internally ordered {p}"
+            )
+        if self.mode == "trends":
+            return f"all neighboring groups are correctly ordered {p}"
+        if self.mode == "values":
+            return (
+                f"order is correct and every estimate is within "
+                f"{self.value_tolerance:g} of its true value {p}"
+            )
+        return (
+            f"at least {self.min_correct_fraction:.0%} of pairwise orderings "
+            f"are correct {p}"
+        )
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A fully-lowered visualization query, ready for the planner.
+
+    Attributes:
+        table: catalog name of the relation.
+        group_by: one or more grouping attributes (multiple columns become
+            the §6.3.4 cross-product composite key at planning time).
+        aggregates: SELECT-list aggregates, in SELECT order.
+        where: optional row predicate (shared AST with the SQL parser).
+        having: optional post-filter on one estimated aggregate.
+        guarantee: the probabilistic promise (delta, resolution, mode).
+        algorithm: which core algorithm answers AVG aggregates
+            (``ifocus``, ``ifocusr``, ``irefine``, ``roundrobin``, ...).
+        engine: registered execution substrate (``needletail``, ``memory``,
+            ``noindex``; see :func:`repro.session.planner.register_engine`).
+        value_bound: optional value upper bound c; inferred when omitted.
+    """
+
+    table: str
+    group_by: tuple[str, ...]
+    aggregates: tuple[Aggregate, ...]
+    where: Predicate | None = None
+    having: HavingSpec | None = None
+    guarantee: GuaranteeSpec = field(default_factory=GuaranteeSpec)
+    algorithm: str = "ifocus"
+    engine: str = "needletail"
+    value_bound: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise ValueError("a query needs a table name")
+        if not self.group_by:
+            raise ValueError("a visualization query requires at least one GROUP BY")
+        if not self.aggregates:
+            raise ValueError("need at least one aggregate in SELECT")
+        seen: set[Aggregate] = set()
+        for agg in self.aggregates:
+            if agg in seen:
+                raise ValueError(
+                    f"duplicate aggregate {agg.func}({agg.column}) in SELECT"
+                )
+            seen.add(agg)
+        avgs = [a for a in self.aggregates if a.func == "AVG"]
+        if len(avgs) > 2:
+            raise ValueError("at most two AVG aggregates are supported (Problem 8)")
+        if self.having is not None and self.having.agg not in self.aggregates:
+            key = f"{self.having.agg.func}({self.having.agg.column})"
+            raise ValueError(f"HAVING references {key}, which is not in SELECT")
+        if self.guarantee.mode != "ordering" and len(avgs) != 1:
+            raise ValueError(
+                f"guarantee mode {self.guarantee.mode!r} applies to queries "
+                "with exactly one AVG aggregate"
+            )
+
+    @property
+    def avg_aggregates(self) -> tuple[Aggregate, ...]:
+        return tuple(a for a in self.aggregates if a.func == "AVG")
+
+    def agg_key(self, agg: Aggregate) -> str:
+        """Canonical result key for one aggregate, e.g. ``"AVG(delay)"``."""
+        return f"{agg.func}({agg.column})"
+
+    def with_guarantee(self, **changes) -> "QuerySpec":
+        """A copy of the spec with guarantee fields replaced."""
+        return replace(self, guarantee=replace(self.guarantee, **changes))
+
+
+def lower_query(
+    query: Query,
+    *,
+    guarantee: GuaranteeSpec | None = None,
+    algorithm: str = "ifocus",
+    engine: str = "needletail",
+    value_bound: float | None = None,
+) -> QuerySpec:
+    """Lower a parsed SQL :class:`~repro.query.ast.Query` to a :class:`QuerySpec`.
+
+    This is the SQL front door's half of the "both paths meet in the same IR"
+    contract; the fluent builder's ``spec()`` is the other half.
+    """
+    having = None
+    if query.having is not None:
+        agg, op, value = query.having
+        having = HavingSpec(agg=agg, op=op, value=float(value))
+    return QuerySpec(
+        table=query.table,
+        group_by=tuple(query.group_by),
+        aggregates=tuple(query.aggregates),
+        where=query.where,
+        having=having,
+        guarantee=guarantee if guarantee is not None else GuaranteeSpec(),
+        algorithm=algorithm,
+        engine=engine,
+        value_bound=value_bound,
+    )

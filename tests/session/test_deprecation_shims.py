@@ -1,0 +1,200 @@
+"""Every legacy ``run_*`` front door warns and matches the Session API exactly.
+
+The pre-Session entrypoints are thin shims over the same implementations the
+Session planner dispatches to, so with the same engine construction and seed
+the results must be *bit-identical* - and every call must emit a
+DeprecationWarning pointing at the replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    run_count_known,
+    run_ifocus_mistakes,
+    run_ifocus_multi_avg,
+    run_ifocus_partial,
+    run_ifocus_sum,
+    run_ifocus_topt,
+    run_ifocus_trends,
+    run_ifocus_values,
+    run_multi_groupby,
+    run_noindex,
+    stream_partial_results,
+)
+from repro.core.ifocus import run_ifocus
+from repro.needletail.engine import NeedletailEngine
+from repro.needletail.table import Table
+from repro.query.plan import execute_query
+from repro.session import avg, connect, count, total
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(9)
+    n = 9_000
+    names = rng.choice(["a", "b", "c"], size=n)
+    base = {"a": 15.0, "b": 45.0, "c": 80.0}
+    y = np.clip(np.array([base[x] for x in names]) + rng.normal(0, 6, n), 0, 100)
+    z = np.clip(rng.normal(50, 10, n), 0, 100)
+    h = rng.choice(["p", "q"], size=n)
+    return Table.from_dict("t", {"g": names, "h": h, "y": y, "z": z})
+
+
+@pytest.fixture()
+def session(table):
+    return connect().register("t", table)
+
+
+@pytest.fixture()
+def engine(table) -> NeedletailEngine:
+    # Identical to the engine the Session planner builds for AVG(y)/SUM(y).
+    return NeedletailEngine(table, "g", "y")
+
+
+def assert_same_ordering_result(legacy, raw) -> None:
+    np.testing.assert_array_equal(legacy.estimates, raw.estimates)
+    np.testing.assert_array_equal(legacy.samples_per_group, raw.samples_per_group)
+    assert legacy.inactive_order == raw.inactive_order
+    assert [g.name for g in legacy.groups] == [g.name for g in raw.groups]
+
+
+def session_avg(session):
+    return session.table("t").group_by("g").agg(avg("y"))
+
+
+class TestShimsWarnAndMatch:
+    def test_run_ifocus(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus"):
+            legacy = run_ifocus(engine, delta=0.05, seed=3)
+        res = session_avg(session).run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_ifocus_sum(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus_sum"):
+            legacy = run_ifocus_sum(engine, delta=0.05, seed=3)
+        res = session.table("t").group_by("g").agg(total("y")).run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_count_known(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_count_known"):
+            legacy = run_count_known(engine)
+        res = session.table("t").group_by("g").agg(count("*")).run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_ifocus_multi_avg(self, table, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus_multi_avg"):
+            legacy = run_ifocus_multi_avg(table, "g", "y", "z", delta=0.05, seed=3)
+        res = session.table("t").group_by("g").agg(avg("y"), avg("z")).run(seed=3)
+        assert_same_ordering_result(legacy.y, res["AVG(y)"].raw)
+        assert_same_ordering_result(legacy.z, res["AVG(z)"].raw)
+
+    def test_run_multi_groupby(self, table, session):
+        with pytest.warns(DeprecationWarning, match="run_multi_groupby"):
+            legacy, _ = run_multi_groupby(table, ["g", "h"], "y", seed=3)
+        res = session.table("t").group_by("g", "h").agg(avg("y")).run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_ifocus_topt(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus_topt"):
+            legacy = run_ifocus_topt(engine, 2, delta=0.05, seed=3)
+        res = session_avg(session).top(2).run(seed=3)
+        assert_same_ordering_result(legacy.result, res.first.raw)
+        assert legacy.top_names == res.first.meta["top_labels"]
+
+    def test_run_ifocus_trends(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus_trends"):
+            legacy = run_ifocus_trends(engine, delta=0.05, seed=3)
+        res = session_avg(session).trends().run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_ifocus_values(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus_values"):
+            legacy = run_ifocus_values(engine, d=4.0, delta=0.05, seed=3)
+        res = session_avg(session).values(within=4.0).run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_ifocus_mistakes(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_ifocus_mistakes"):
+            legacy = run_ifocus_mistakes(engine, min_correct_fraction=0.9, delta=0.05, seed=3)
+        res = session_avg(session).mistakes(0.9).run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_noindex(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="run_noindex"):
+            legacy = run_noindex(engine, delta=0.05, seed=3)
+        res = session_avg(session).on_engine("noindex").run(seed=3)
+        assert_same_ordering_result(legacy, res.first.raw)
+
+    def test_run_ifocus_partial(self, engine, session):
+        emitted = []
+        with pytest.warns(DeprecationWarning, match="run_ifocus_partial"):
+            legacy = run_ifocus_partial(
+                engine, lambda o: emitted.append(o), delta=0.05, seed=3
+            )
+        stream = session_avg(session).stream(seed=3)
+        updates = list(stream)
+        assert [o.name for o in emitted] == [u.group.label for u in updates]
+        assert_same_ordering_result(legacy, stream.result.first.raw)
+
+    def test_stream_partial_results(self, engine, session):
+        with pytest.warns(DeprecationWarning, match="stream_partial_results"):
+            legacy_updates = list(stream_partial_results(engine, delta=0.05, seed=3))
+        session_updates = list(session_avg(session).stream(seed=3))
+        assert len(legacy_updates) == len(session_updates)
+        for lu, su in zip(legacy_updates, session_updates):
+            assert lu.outcome.name == su.group.label
+            assert lu.outcome.estimate == su.group.estimate
+            assert lu.outcome.samples == su.group.samples
+            assert lu.emitted_so_far == su.emitted_so_far
+
+    def test_execute_query_two_avgs_keeps_legacy_behaviour(self, table):
+        # Legacy compat: two-AVG queries always populated .engine and
+        # silently ignored resolution; the shim must preserve both.
+        with pytest.warns(DeprecationWarning, match="execute_query"):
+            out = execute_query(
+                "SELECT g, AVG(y), AVG(z) FROM t GROUP BY g",
+                {"t": table},
+                resolution=0.5,
+                seed=3,
+            )
+        assert out.engine is not None
+        assert out.engine.population.group_names == out.labels
+
+    def test_execute_query(self, table, session):
+        sql = "SELECT g, AVG(y) FROM t GROUP BY g HAVING AVG(y) > 20"
+        with pytest.warns(DeprecationWarning, match="execute_query"):
+            legacy = execute_query(sql, {"t": table}, delta=0.05, seed=3)
+        res = session.sql(sql).run(seed=3)
+        assert legacy.labels == res.labels
+        assert legacy.dropped_by_having == res.dropped_by_having
+        assert legacy.caveats == res.caveats  # caveats surfaced on both types
+        for key, raw in legacy.results.items():
+            assert_same_ordering_result(raw, res[key].raw)
+
+
+class TestShimMetadata:
+    def test_wrapped_implementation_exposed(self):
+        assert run_ifocus.__wrapped__.__name__ == "_run_ifocus"
+        assert run_ifocus.__deprecated__
+
+    def test_every_legacy_entrypoint_is_shimmed(self):
+        for fn in (
+            run_ifocus,
+            run_ifocus_sum,
+            run_count_known,
+            run_ifocus_multi_avg,
+            run_multi_groupby,
+            run_ifocus_topt,
+            run_ifocus_trends,
+            run_ifocus_values,
+            run_ifocus_mistakes,
+            run_noindex,
+            run_ifocus_partial,
+            stream_partial_results,
+            execute_query,
+        ):
+            assert hasattr(fn, "__deprecated__"), fn
+            assert hasattr(fn, "__wrapped__"), fn

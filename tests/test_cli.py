@@ -57,6 +57,42 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "AVG(arrival_delay)" in out and "samples=" in out
+        assert "guarantee:" in out
+
+    def test_query_csv(self, capsys, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text(
+            "city,delay\nNYC,10\nNYC,12\nLA,30\nLA,28\nSF,55\nSF,54\n"
+        )
+        code = main(
+            ["query", "SELECT city, AVG(delay) FROM trips GROUP BY city",
+             "--csv", str(path), "--group-columns", "city",
+             "--value-columns", "delay", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVG(delay)" in out and "NYC" in out and "SF" in out
+
+    def test_query_having_prints_caveat(self, capsys):
+        code = main(
+            ["query",
+             "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier "
+             "HAVING AVG(arrival_delay) > 8",
+             "--rows", "20000", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "caveat:" in out and "HAVING" in out
+
+    def test_query_stream(self, capsys):
+        code = main(
+            ["query",
+             "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier",
+             "--rows", "20000", "--seed", "3", "--stream"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming partial results" in out and "[1/" in out
 
     def test_experiments_registry_complete(self):
         # Every figure/table of the paper has a CLI entry.

@@ -1,0 +1,138 @@
+"""Micro-benchmarks of the sharded execution backend.
+
+The headline case tracks shard scaling on the k=1000 mixture workload: one
+fused ``draw_block`` over all 1000 groups, served by a single shard vs fanned
+out over 4.  Because CI containers are often pinned to one core, the scaling
+metric is the **draw critical path** - the maximum per-shard thread-CPU
+seconds (``ShardedRun.shard_seconds``), i.e. the wall time of the slowest
+shard in a worker-per-shard deployment - rather than single-box elapsed time,
+which cannot parallelize on one core.  Elapsed medians are still recorded for
+the regression guard; the critical-path metrics ride along in ``extra_info``
+and land in BENCH_micro.json (see DESIGN_PERF.md, "Sharded execution").
+
+Export with ``python -m repro bench-export`` (writes BENCH_micro.json).
+"""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_mixture_dataset
+from repro.engines.memory import InMemoryEngine
+from repro.engines.sharded import ShardedEngine
+
+_K_LARGE = 1000
+_DRAW_ROUNDS = 512
+_REPS = 5
+
+
+@lru_cache(maxsize=1)
+def _k1000_population():
+    return make_mixture_dataset(k=_K_LARGE, total_size=1_000_000, seed=31, materialize=True)
+
+
+def _critical_path_seconds(shards: int, reps: int = _REPS) -> float:
+    """Median over runs of the slowest shard's draw thread-CPU seconds."""
+    engine = ShardedEngine(
+        InMemoryEngine(_k1000_population()), shards=shards, record_timings=True
+    )
+    gids = np.arange(_K_LARGE)
+    worst: list[float] = []
+    try:
+        for rep in range(reps):
+            run = engine.open_run(seed=100 + rep)
+            run.draw_block(gids, 1)  # materialize permutations off the clock
+            before = run.shard_seconds.copy()
+            run.draw_block(gids, _DRAW_ROUNDS)
+            worst.append(float((run.shard_seconds - before).max()))
+    finally:
+        engine.close()
+    return float(np.median(worst))
+
+
+def test_bench_sharded_draw_smoke(benchmark):
+    """Light sanity case: shards=4 fan-out merges bit-identically (k=32)."""
+    population = make_mixture_dataset(k=32, total_size=32_000, seed=9, materialize=True)
+    plain = InMemoryEngine(population)
+    sharded = ShardedEngine(InMemoryEngine(population), shards=4)
+    gids = np.arange(32)
+
+    def setup():
+        run = sharded.open_run(seed=2)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, 64), setup=setup, rounds=5, iterations=1
+    )
+    benchmark.extra_info["k"] = 32
+    benchmark.extra_info["shards"] = 4
+    plain_run = plain.open_run(seed=2)
+    plain_run.draw_block(gids, 1)
+    assert np.array_equal(out, plain_run.draw_block(gids, 64))
+    sharded.close()
+
+
+@pytest.mark.bench
+def test_bench_sharded_draw_k1000(benchmark):
+    """Fan-out draw at k=1000 / shards=4, with critical-path scaling metrics.
+
+    Asserts the acceptance bar for the sharded backend: the shards=4 draw
+    critical path is at least 2x shorter than the shards=1 one on the k=1000
+    mixture workload (i.e. >= 2x throughput with one worker per shard).
+    """
+    critical_1 = _critical_path_seconds(shards=1)
+    critical_4 = _critical_path_seconds(shards=4)
+
+    engine = ShardedEngine(InMemoryEngine(_k1000_population()), shards=4)
+    gids = np.arange(_K_LARGE)
+
+    def setup():
+        run = engine.open_run(seed=1)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, _DRAW_ROUNDS),
+        setup=setup,
+        rounds=_REPS,
+        iterations=1,
+    )
+    engine.close()
+    scaling = critical_1 / critical_4
+    benchmark.extra_info["k"] = _K_LARGE
+    benchmark.extra_info["shards"] = 4
+    benchmark.extra_info["draw_rounds"] = _DRAW_ROUNDS
+    benchmark.extra_info["critical_path_shards1_seconds"] = critical_1
+    benchmark.extra_info["critical_path_shards4_seconds"] = critical_4
+    benchmark.extra_info["scaling_x"] = round(scaling, 2)
+    assert out.shape == (_DRAW_ROUNDS, _K_LARGE)
+    assert scaling >= 2.0, (
+        f"shards=4 critical path {critical_4 * 1e3:.2f} ms is only "
+        f"{scaling:.2f}x better than shards=1 ({critical_1 * 1e3:.2f} ms); "
+        "expected >= 2x"
+    )
+
+
+@pytest.mark.bench
+def test_bench_sharded_draw_shards1_k1000(benchmark):
+    """Baseline for the regression guard: the same draw through one shard."""
+    engine = ShardedEngine(InMemoryEngine(_k1000_population()), shards=1)
+    gids = np.arange(_K_LARGE)
+
+    def setup():
+        run = engine.open_run(seed=1)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, _DRAW_ROUNDS),
+        setup=setup,
+        rounds=_REPS,
+        iterations=1,
+    )
+    engine.close()
+    benchmark.extra_info["k"] = _K_LARGE
+    benchmark.extra_info["shards"] = 1
+    assert out.shape == (_DRAW_ROUNDS, _K_LARGE)

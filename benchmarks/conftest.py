@@ -17,18 +17,23 @@ from repro.experiments import current_scale
 
 
 def pytest_collection_modifyitems(config, items):
-    """Skip ``bench``-marked items unless explicitly requested.
+    """Deselect ``bench``-marked items unless explicitly requested.
 
     The heavy perf-trajectory benchmarks (k=1000 fused vs legacy runs) are
     not part of the tier-1 suite; ``REPRO_RUN_BENCH=1`` (set by
     ``python -m repro bench-export`` / scripts/bench_export.py) enables them.
+    Deselection (rather than skip markers or collection errors) keeps
+    ``pytest benchmarks`` green in any environment, so CI jobs never need to
+    special-case paths - REPRO_RUN_BENCH is the only switch.
     """
-    if os.environ.get("REPRO_RUN_BENCH"):
+    if os.environ.get("REPRO_RUN_BENCH") not in (None, "", "0"):
         return
-    skip = pytest.mark.skip(reason="bench benchmark; set REPRO_RUN_BENCH=1 to run")
+    kept, deselected = [], []
     for item in items:
-        if "bench" in item.keywords:
-            item.add_marker(skip)
+        (deselected if "bench" in item.keywords else kept).append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = kept
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -19,9 +19,15 @@ from repro.bench import export_micro  # noqa: E402
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_micro.json")
+    parser.add_argument("--output", default=None,
+                        help="output path (default BENCH_micro.json; smoke "
+                        "mode defaults to BENCH_micro.smoke.json so a sanity "
+                        "run never clobbers the committed trajectory)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI sanity mode: light micro ops only, capped "
+                        "rounds, finishes in seconds")
     args = parser.parse_args(argv)
-    path = export_micro(args.output)
+    path = export_micro(args.output, smoke=args.smoke)
     print(f"wrote {path}")
     return 0
 

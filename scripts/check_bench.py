@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Bench regression guard: compare a fresh micro-bench JSON to the committed one.
+
+Usage::
+
+    python scripts/check_bench.py FRESH.json [--baseline BENCH_micro.json]
+                                  [--threshold 2.0]
+
+Every op present in *both* files is compared by ``median_seconds``; any op
+slower than ``threshold`` x the committed baseline fails the check (exit 1).
+Ops absent on either side are skipped with a notice - the smoke export only
+runs the light subset, and newly added ops have no baseline yet - so the
+guard never blocks on coverage differences, only on regressions.
+
+Baselines are committed from one developer machine, but CI runs on shared
+runners with different (and noisy) single-thread speed.  To keep the guard
+meaningful across machines, when enough ops are shared
+(>= ``_CALIBRATE_MIN_OPS``) each ratio is judged *relative to the median
+ratio* - the "machine factor": a runner that is uniformly 2.5x slower stays
+green, while one op that slowed 2x more than the rest of the suite fails.
+A single genuine regression barely moves the median, so it cannot hide
+itself.  ``--no-calibrate`` restores raw absolute comparison.
+
+The 2x default is deliberately loose: the guard is for order-of-magnitude
+regressions (an accidentally de-fused hot path), not for 10% drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Minimum shared ops before median calibration is trustworthy.
+_CALIBRATE_MIN_OPS = 5
+
+
+def load_entries(path: Path) -> dict[str, float]:
+    """Map op name -> median seconds, dropping malformed or non-positive rows."""
+    data = json.loads(path.read_text())
+    entries: dict[str, float] = {}
+    for entry in data.get("entries", []):
+        op = entry.get("op")
+        median = entry.get("median_seconds")
+        if not op or not isinstance(median, (int, float)) or median <= 0:
+            continue
+        entries[str(op)] = float(median)
+    return entries
+
+
+def compare(
+    fresh: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float,
+    calibrate: bool = True,
+) -> tuple[list[str], list[str]]:
+    """Return (failures, report_lines) for the shared ops."""
+    failures: list[str] = []
+    lines: list[str] = []
+    shared = sorted(fresh.keys() & baseline.keys())
+    machine_factor = 1.0
+    if calibrate and len(shared) >= _CALIBRATE_MIN_OPS:
+        # Clamped at 1.0: the factor only *excuses* uniformly slower
+        # machines.  A median < 1 (most ops got faster - e.g. an optimization
+        # PR whose baseline re-export is pending) must not turn unchanged
+        # ops into "relative regressions"; raw ratios already cover them.
+        machine_factor = max(
+            1.0, statistics.median(fresh[op] / baseline[op] for op in shared)
+        )
+        lines.append(
+            f"  machine factor: {machine_factor:.2f}x (median ratio over "
+            f"{len(shared)} shared ops, clamped >= 1; regressions judged "
+            "relative to it)"
+        )
+    for op in shared:
+        ratio = fresh[op] / baseline[op]
+        relative = ratio / machine_factor
+        verdict = "FAIL" if relative > threshold else "ok"
+        lines.append(
+            f"  {op:<32} {baseline[op] * 1e3:10.3f} ms -> {fresh[op] * 1e3:10.3f} ms"
+            f"  ({ratio:5.2f}x raw, {relative:5.2f}x rel)  {verdict}"
+        )
+        if relative > threshold:
+            failures.append(
+                f"{op}: {relative:.2f}x slower than the rest of the suite "
+                f"(> {threshold:g}x; raw {ratio:.2f}x)"
+            )
+    for op in sorted(fresh.keys() - baseline.keys()):
+        lines.append(f"  {op:<32} (no committed baseline; skipped)")
+    for op in sorted(baseline.keys() - fresh.keys()):
+        lines.append(f"  {op:<32} (not in fresh run; skipped)")
+    return failures, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced micro-bench JSON")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_micro.json"),
+        help="committed baseline (default: repo BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when fresh median > threshold x baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="compare raw ratios instead of normalizing by the median ratio "
+        "(machine-speed calibration)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error(f"--threshold must be > 0, got {args.threshold}")
+
+    fresh_path, base_path = Path(args.fresh), Path(args.baseline)
+    for path in (fresh_path, base_path):
+        if not path.exists():
+            print(f"check_bench: no such file: {path}", file=sys.stderr)
+            return 2
+    fresh = load_entries(fresh_path)
+    baseline = load_entries(base_path)
+    if not fresh:
+        print(f"check_bench: {fresh_path} contains no usable entries", file=sys.stderr)
+        return 2
+
+    failures, lines = compare(
+        fresh, baseline, args.threshold, calibrate=not args.no_calibrate
+    )
+    print(f"bench regression check ({fresh_path} vs {base_path}, {args.threshold:g}x):")
+    print("\n".join(lines))
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,9 +3,20 @@
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 #
+#   scripts/ci.sh                  # full gate: lint + tier-1
+#   scripts/ci.sh -k sharded       # fast mode: only tests matching an
+#                                  # expression (args go straight to pytest,
+#                                  # so -k/-m/paths all work while iterating)
+#   scripts/ci.sh -m "not slow"    # drop the long statistical tests
+#
+# This script *is* the hosted CI: .github/workflows/ci.yml runs exactly this
+# plus the bench smoke (scripts/bench_export.py --smoke + scripts/check_bench.py),
+# so a green local run means a green matrix job.
+#
 # Exits non-zero on the first failure.  ruff is optional because the offline
 # image may not ship it; the lint step is skipped (with a notice) rather than
-# silently passed when the tool is missing.
+# silently passed when the tool is missing.  The lint rule set is pinned in
+# pyproject.toml ([tool.ruff]), not inherited from ruff defaults.
 
 set -euo pipefail
 
@@ -13,8 +24,8 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
 if command -v ruff >/dev/null 2>&1; then
-    echo "== ruff check =="
-    ruff check src tests scripts
+    echo "== ruff check (config: pyproject.toml) =="
+    ruff check src tests scripts benchmarks
 else
     echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
 fi

@@ -86,7 +86,7 @@ from repro.core import (
     run_scan,
 )
 from repro.data import Population
-from repro.engines import InMemoryEngine
+from repro.engines import InMemoryEngine, ShardedEngine
 from repro.session import (
     GroupEstimate,
     GuaranteeSpec,
@@ -135,5 +135,6 @@ __all__ = [
     "run_scan",
     "Population",
     "InMemoryEngine",
+    "ShardedEngine",
     "__version__",
 ]

@@ -9,7 +9,7 @@ Usage::
     python -m repro query "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier" \
         [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0] \
         [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
-        [--engine needletail|memory|noindex] [--stream]
+        [--engine needletail|memory|noindex] [--shards 4] [--workers 4] [--stream]
 
 ``query`` goes through the Session API.  By default it runs against a freshly
 synthesized flights table (the offline stand-in for the paper's dataset); with
@@ -128,7 +128,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_bench_export(args: argparse.Namespace) -> int:
     from repro.bench import export_micro
 
-    path = export_micro(args.output)
+    path = export_micro(args.output, smoke=args.smoke)
     print(f"wrote {path}")
     return 0
 
@@ -144,6 +144,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         engine=args.engine,
         seed=args.seed,
+        shards=args.shards,
+        max_workers=args.workers,
     )
     if args.csv:
         session.register_csv(
@@ -219,7 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-export",
         help="run the micro benchmark suite and write the normalized BENCH_micro.json",
     )
-    bench.add_argument("--output", default="BENCH_micro.json")
+    bench.add_argument("--output", default=None,
+                       help="output path (default BENCH_micro.json, or "
+                       "BENCH_micro.smoke.json with --smoke)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="light sanity run: fast micro ops only, seconds not minutes")
     bench.set_defaults(fn=_cmd_bench_export)
 
     qry = sub.add_parser(
@@ -241,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="CSV columns that must parse as numbers")
     qry.add_argument("--engine", default="needletail",
                      help="execution substrate: needletail, memory, or noindex")
+    qry.add_argument("--shards", type=int, default=1,
+                     help="partition the engine into N parallel shards "
+                     "(1 = unsharded; sharded runs merge deterministically)")
+    qry.add_argument("--workers", type=int, default=None,
+                     help="thread-pool width for the shard fan-out "
+                     "(default: one worker per shard)")
     qry.add_argument("--max-samples", type=int, default=None,
                      help="cap total tuples for --engine noindex (skewed tables "
                      "with conflicting groups may otherwise sample unboundedly; "

@@ -8,6 +8,8 @@ from repro.engines.base import (
     SamplingEngine,
 )
 from repro.engines.memory import InMemoryEngine
+from repro.engines.partition import hash_partition, partition_groups, range_partition
+from repro.engines.sharded import ShardedEngine, ShardedRun
 
 __all__ = [
     "CostModel",
@@ -16,4 +18,9 @@ __all__ = [
     "RunStats",
     "SamplingEngine",
     "InMemoryEngine",
+    "ShardedEngine",
+    "ShardedRun",
+    "partition_groups",
+    "range_partition",
+    "hash_partition",
 ]

@@ -142,7 +142,20 @@ def _build_block_kernels(
 
 
 class EngineRun:
-    """One algorithm run's view of the engine: streams + accounting."""
+    """One algorithm run's view of the engine: streams + accounting.
+
+    Concurrency contract: a run is *single-consumer* - its samplers and
+    stats are mutable state owned by the one query driving it.  Runs share
+    no sampling state with each other, so runs over engines with stateless
+    cost models (the default ``NullCostModel``, the linear NEEDLETAIL model)
+    may execute in parallel without locks; a *stateful* cost model (e.g. the
+    page-cache model) is shared engine-wide, so concurrent runs over one
+    such engine would race on it - build one engine per concurrent query
+    instead, which is what the session planner does for ``Session.submit()``.
+    The sharded backend (:class:`repro.engines.sharded.ShardedRun`)
+    parallelizes *within* one run by giving each shard its own private
+    ``EngineRun``.
+    """
 
     def __init__(
         self,

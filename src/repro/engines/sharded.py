@@ -1,0 +1,297 @@
+"""Sharded execution: fan one engine's sampling work out across N shards.
+
+:class:`ShardedEngine` wraps any :class:`~repro.engines.base.SamplingEngine`
+(memory, NEEDLETAIL, the no-index substrate, or a third-party backend) and
+partitions its groups into N shards (:mod:`repro.engines.partition`).  Each
+shard owns an independent :class:`~repro.engines.base.EngineRun` over its
+sub-population, so a fused ``draw_block`` request fans out to per-shard block
+kernels - optionally on a thread pool - and the per-shard matrices are merged
+into the caller's column order.  The algorithms above (IFOCUS and friends)
+see the ordinary ``EngineRun`` interface and need no changes.
+
+Determinism contract (asserted by ``tests/engines/test_sharded.py``):
+
+* Group sampling streams are spawned from the root ``SeedSequence`` exactly
+  as the plain engines spawn them (:func:`repro._util.spawn_group_rngs`), and
+  each shard receives its groups' streams.  A shard therefore owns a disjoint
+  set of independent ``SeedSequence.spawn`` children - per-shard RNG streams
+  with no cross-shard coupling.
+* Merge order is stable: shard j writes only the output columns of its own
+  groups, and every column is a pure function of that group's stream, so the
+  merged block is bit-identical no matter how the thread pool schedules the
+  shards (or whether a pool is used at all).
+* ``shards=1`` builds one shard run whose samplers and fused kernels are
+  constructed exactly as the wrapped engine's ``open_run`` would construct
+  them, so it is bit-identical to the unsharded engine for **every** sampler
+  kind.  For per-group-stream samplers (materialized, NEEDLETAIL indexed,
+  rejection-based virtual) any shard count is bit-identical to the plain
+  engine; only fusable virtual groups - which deliberately share one stream
+  per fused kernel - draw different (equally distributed) values when the
+  kernel is split across shards.
+* Cost accounting is serialized at the merge layer: ``charge``/``charge_block``
+  run against one global :class:`~repro.engines.base.RunStats` and the
+  backend's own cost model, exactly like an unsharded run (shard runs carry a
+  null model so no cost is double-counted).  Sharding parallelizes the
+  physical draw work, never the accounting semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro._util import spawn_group_rngs
+from repro.data.population import Population
+from repro.engines.base import EngineRun, NullCostModel, SamplingEngine
+
+__all__ = ["ShardedEngine", "ShardedRun"]
+
+
+class ShardedRun(EngineRun):
+    """One algorithm run over a sharded engine: per-shard runs + global accounting.
+
+    Subclasses :class:`EngineRun` so the accounting surface (``charge``,
+    ``charge_block``, ``charge_scan``, ``exact_mean``, ``stats``) is the
+    inherited implementation over the *full* population and the backend's
+    real cost model; only the draw paths are overridden to route through the
+    per-shard runs.
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        shard_runs: list[EngineRun],
+        shard_gids: list[np.ndarray],
+        cost_model,
+        row_bytes: int,
+        pool_factory,
+        record_timings: bool = False,
+    ) -> None:
+        # No samplers at this level: drawing is delegated to the shard runs.
+        super().__init__(population, [], cost_model, row_bytes)
+        self._runs = shard_runs
+        self._shard_gids = shard_gids
+        self._pool_factory = pool_factory
+        self._record = bool(record_timings)
+        k = population.k
+        self._shard_of = np.full(k, -1, dtype=np.int64)
+        self._local_of = np.full(k, -1, dtype=np.int64)
+        for s, gids in enumerate(shard_gids):
+            self._shard_of[gids] = s
+            self._local_of[gids] = np.arange(gids.size)
+        #: Per-shard thread-CPU seconds spent drawing (populated only when the
+        #: engine was built with ``record_timings=True``).  ``max()`` of this
+        #: is the run's draw critical path - the wall time a worker-per-shard
+        #: deployment would see - which the scaling microbench reports, since
+        #: single-core CI containers cannot express the speedup in elapsed time.
+        self.shard_seconds = np.zeros(len(shard_runs), dtype=np.float64)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._runs)
+
+    def _draw_shard(self, shard: int, out, cols, local_gids, count: int) -> None:
+        if self._record:
+            t0 = time.thread_time()
+            out[:, cols] = self._runs[shard].draw_block(local_gids, count)
+            self.shard_seconds[shard] += time.thread_time() - t0
+        else:
+            out[:, cols] = self._runs[shard].draw_block(local_gids, count)
+
+    def draw(self, gid: int, count: int) -> np.ndarray:
+        shard = int(self._shard_of[gid])
+        return self._runs[shard].draw(int(self._local_of[gid]), count)
+
+    def draw_block(self, gids: np.ndarray, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        gids = np.asarray(gids, dtype=np.int64)
+        if count == 0 or gids.size == 0:
+            return np.empty((count, gids.size), dtype=np.float64)
+        shards = self._shard_of[gids]
+        involved = np.unique(shards)
+        if involved.size == 1:
+            # Single-shard request (always the case at shards=1): delegate
+            # wholesale, preserving the wrapped run's exact fused path.
+            shard = int(involved[0])
+            if not self._record:
+                return self._runs[shard].draw_block(self._local_of[gids], count)
+            t0 = time.thread_time()
+            block = self._runs[shard].draw_block(self._local_of[gids], count)
+            self.shard_seconds[shard] += time.thread_time() - t0
+            return block
+        out = np.empty((count, gids.size), dtype=np.float64)
+        tasks = []
+        for shard in involved:
+            cols = np.flatnonzero(shards == shard)
+            tasks.append((int(shard), cols, self._local_of[gids[cols]]))
+        pool = self._pool_factory()
+        if pool is None:
+            for shard, cols, local in tasks:
+                self._draw_shard(shard, out, cols, local, count)
+        else:
+            futures = [
+                pool.submit(self._draw_shard, shard, out, cols, local, count)
+                for shard, cols, local in tasks
+            ]
+            for future in futures:
+                future.result()  # propagate shard errors in stable order
+        return out
+
+
+class ShardedEngine(SamplingEngine):
+    """Hash/range-partition a backend engine into N parallel shards.
+
+    Args:
+        backend: any constructed :class:`SamplingEngine`; the sharded engine
+            shares its population, cost model, and row width.  The backend's
+            own ``open_run`` is never called - samplers are built per shard.
+        shards: requested shard count (>= 1).  Shards left empty by the
+            partitioner are skipped, so the effective count is
+            ``len(engine.shard_gids)``.
+        max_workers: thread-pool width for the fan-out; ``None`` means one
+            worker per (non-empty) shard, ``1`` disables the pool entirely
+            (sequential fan-out, still bit-identical - merge order is stable
+            by construction).
+        partitioner: ``"range"`` (contiguous gid ranges, default) or
+            ``"hash"`` (stable CRC32 of group names); see
+            :mod:`repro.engines.partition`.
+        record_timings: accumulate per-shard draw thread-CPU seconds on each
+            run (``ShardedRun.shard_seconds``) for scaling measurements.
+    """
+
+    def __init__(
+        self,
+        backend: SamplingEngine,
+        shards: int = 2,
+        *,
+        max_workers: int | None = None,
+        partitioner: str = "range",
+        record_timings: bool = False,
+    ) -> None:
+        from repro.engines.partition import partition_groups
+
+        super().__init__(
+            backend.population,
+            cost_model=backend.cost_model,
+            row_bytes=backend.row_bytes,
+        )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        # Sharding rebuilds samplers per shard from the population, so a
+        # backend whose open_run is customized would be silently bypassed -
+        # refuse loudly instead (such engines register shardable=False).
+        if type(backend).open_run is not SamplingEngine.open_run:
+            raise TypeError(
+                f"{type(backend).__name__} overrides open_run, which sharding "
+                "would bypass; register it with shardable=False or shard at "
+                "the backend level"
+            )
+        self.backend = backend
+        self.partitioner = partitioner.lower()
+        self.record_timings = bool(record_timings)
+        parts = partition_groups(self.population.group_names, shards, self.partitioner)
+        #: Global gid arrays, one per non-empty shard, each sorted ascending.
+        self.shard_gids: list[np.ndarray] = [p for p in parts if p.size]
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def shards(self) -> int:
+        """Effective (non-empty) shard count."""
+        return len(self.shard_gids)
+
+    def _get_pool(self) -> ThreadPoolExecutor | None:
+        """The shared fan-out pool, created lazily; ``None`` when disabled."""
+        if self.shards <= 1 or self.max_workers == 1:
+            return None
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("ShardedEngine is closed")
+            if self._pool is None:
+                workers = self.max_workers if self.max_workers is not None else self.shards
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+        return self._pool
+
+    def open_run(
+        self,
+        seed: int | np.random.Generator | None = None,
+        without_replacement: bool = True,
+    ) -> ShardedRun:
+        """Open a sharded run: the plain engine's streams, partitioned.
+
+        Streams are spawned exactly as :meth:`SamplingEngine.open_run` spawns
+        them - one ``SeedSequence.spawn`` child per group, in gid order - and
+        handed to the owning shard, so per-group streams are independent of
+        the shard layout.
+        """
+        groups = self.population.groups
+        rngs = spawn_group_rngs(seed, self.population.k)
+        samplers = [
+            group.sampler(rng, without_replacement)
+            for group, rng in zip(groups, rngs)
+        ]
+        shard_runs = []
+        for s, gids in enumerate(self.shard_gids):
+            sub = Population(
+                groups=[groups[int(g)] for g in gids],
+                c=self.population.c,
+                name=f"{self.population.name}/shard{s}",
+            )
+            # Null cost model: all accounting happens once, at the merge layer.
+            shard_runs.append(
+                EngineRun(
+                    sub,
+                    [samplers[int(g)] for g in gids],
+                    NullCostModel(),
+                    self.row_bytes,
+                )
+            )
+        return ShardedRun(
+            self.population,
+            shard_runs,
+            self.shard_gids,
+            self.cost_model,
+            self.row_bytes,
+            self._get_pool,
+            record_timings=self.record_timings,
+        )
+
+    def release_pool(self) -> None:
+        """Shut down the fan-out pool's threads; a later draw recreates it.
+
+        Non-terminal, unlike :meth:`close`: the engine stays fully usable.
+        The planner calls this when a query finishes so per-query sharded
+        engines pinned by ``Result.engine`` do not retain idle threads.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Shut down the fan-out pool and refuse new fan-outs (idempotent)."""
+        with self._pool_lock:
+            self._closed = True
+        self.release_pool()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine({type(self.backend).__name__}, shards={self.shards}, "
+            f"partitioner={self.partitioner!r})"
+        )

@@ -12,6 +12,14 @@ m draws are exactly a uniform m-subset.
 Costs (simulated I/O + CPU seconds) come from the engine's
 :class:`~repro.engines.base.CostModel` - by default the calibrated
 :class:`~repro.needletail.cost.NeedletailCostModel`.
+
+Sharding: a NEEDLETAIL engine partitions cleanly under
+:class:`~repro.engines.sharded.ShardedEngine` because draw-time state is
+per group - each :class:`IndexedGroup` owns its selector bitmap, and lazy
+structures (the :class:`~repro.needletail.bitvector.BitVector` select
+directory, the cached ``true_mean``) are built inside the one shard thread
+that owns the group.  The row-store value column is shared across shards
+read-only.
 """
 
 from __future__ import annotations

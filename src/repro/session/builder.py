@@ -77,6 +77,8 @@ class QueryBuilder:
     _algorithm: str = "ifocus"
     _engine: str = "needletail"
     _value_bound: float | None = None
+    _shards: int = 1
+    _max_workers: int | None = None
 
     def _clone(self, **changes) -> "QueryBuilder":
         return dataclasses.replace(self, **changes)
@@ -196,6 +198,16 @@ class QueryBuilder:
         """Declare the value upper bound c instead of inferring it."""
         return self._clone(_value_bound=float(c))
 
+    def sharded(self, shards: int, max_workers: int | None = None) -> "QueryBuilder":
+        """Partition the engine into ``shards`` parallel shards.
+
+        ``shards=1`` (the default everywhere) is bit-identical to the
+        unsharded engine; higher counts fan ``draw_block`` out to per-shard
+        workers and merge deterministically (see DESIGN_PERF.md).
+        ``max_workers`` bounds the fan-out pool (``None``: one per shard).
+        """
+        return self._clone(_shards=int(shards), _max_workers=max_workers)
+
     # -- lowering and execution ---------------------------------------------
 
     def spec(self) -> QuerySpec:
@@ -216,6 +228,8 @@ class QueryBuilder:
             algorithm=self._algorithm,
             engine=self._engine,
             value_bound=self._value_bound,
+            shards=self._shards,
+            max_workers=self._max_workers,
         )
 
     def explain(self) -> str:

@@ -36,6 +36,7 @@ from repro.core.types import OrderingResult
 from repro.data.population import MaterializedGroup, Population
 from repro.engines.base import SamplingEngine
 from repro.engines.memory import InMemoryEngine
+from repro.engines.sharded import ShardedEngine
 from repro.extensions.counts import _run_count_known
 from repro.extensions.mistakes import _run_ifocus_mistakes
 from repro.extensions.multi import _run_ifocus_multi_avg, composite_group_column
@@ -112,6 +113,7 @@ class _PlanContext:
     def __post_init__(self) -> None:
         self._bitvector = None
         self._mask = None
+        self._built_engines: list[SamplingEngine] = []
 
     def bitvector(self):
         """The WHERE predicate as a bitmap (NEEDLETAIL form), or None."""
@@ -130,7 +132,25 @@ class _PlanContext:
         return self._mask
 
     def build_engine(self, value_column: str) -> SamplingEngine:
-        return self.engine_def.factory(self, value_column)
+        engine = self.engine_def.factory(self, value_column)
+        if self.spec.shards > 1 and self.engine_def.shardable:
+            engine = ShardedEngine(
+                engine, self.spec.shards, max_workers=self.spec.max_workers
+            )
+        self._built_engines.append(engine)
+        return engine
+
+    def release_engines(self) -> None:
+        """Release per-query fan-out pools once the query is done.
+
+        ``Result.engine`` keeps engines reachable for metadata, so without
+        this a session retaining many sharded Results would also retain
+        their idle pool threads.  Releasing is non-terminal - a later draw
+        on the same engine lazily recreates its pool.
+        """
+        for engine in self._built_engines:
+            if isinstance(engine, ShardedEngine):
+                engine.release_pool()
 
 
 EngineFactory = Callable[[_PlanContext, str], SamplingEngine]
@@ -147,12 +167,16 @@ class EngineDef:
             ("noindex" routes them through §6.3.6 whole-table sampling).
         supports_metadata: whether group sizes are engine metadata (required
             by SUM's Algorithm 4 and exact COUNT).
+        shardable: whether ``QuerySpec.shards > 1`` wraps the factory's
+            engine in a :class:`~repro.engines.sharded.ShardedEngine`;
+            backends that manage their own parallelism register False.
     """
 
     name: str
     factory: EngineFactory
     avg_runner: str | None = None
     supports_metadata: bool = True
+    shardable: bool = True
 
 
 _ENGINES: dict[str, EngineDef] = {}
@@ -164,6 +188,7 @@ def register_engine(
     *,
     avg_runner: str | None = None,
     supports_metadata: bool = True,
+    shardable: bool = True,
     overwrite: bool = False,
 ) -> EngineDef:
     """Register an execution substrate under ``name``.
@@ -182,6 +207,7 @@ def register_engine(
         factory=factory,
         avg_runner=avg_runner,
         supports_metadata=supports_metadata,
+        shardable=shardable,
     )
     _ENGINES[key] = engine_def
     return engine_def
@@ -228,6 +254,10 @@ def _memory_factory(ctx: _PlanContext, value_column: str) -> SamplingEngine:
 
 register_engine("needletail", _needletail_factory)
 register_engine("memory", _memory_factory)
+# noindex stays shardable: partitioning is correct (per-group streams are
+# shard-independent), but its runner draws group-sequentially, so shards
+# buy layout compatibility rather than fan-out parallelism (see
+# DESIGN_PERF.md).
 register_engine(
     "noindex", _needletail_factory, avg_runner="noindex", supports_metadata=False
 )
@@ -398,6 +428,11 @@ def _execute_planned(
             )
         if spec.guarantee.resolution > 0:
             raise ValueError("two-aggregate queries do not support resolution yet")
+        if spec.shards > 1:
+            raise ValueError(
+                "two-aggregate queries drive their own bitmap-index schedule "
+                "and do not support sharding yet (drop .sharded())"
+            )
         multi = _run_ifocus_multi_avg(
             ctx.table,
             ctx.group_col,
@@ -502,7 +537,10 @@ def execute_spec(
             (``trace_every``, ``max_rounds``, ``batch`` for noindex, ...).
     """
     ctx = _plan(spec, catalog)
-    return _execute_planned(spec, ctx, seed, dict(runner_kwargs or {}))
+    try:
+        return _execute_planned(spec, ctx, seed, dict(runner_kwargs or {}))
+    finally:
+        ctx.release_engines()
 
 
 # --------------------------------------------------------------------------
@@ -546,8 +584,12 @@ def _stream_live(
     def worker() -> None:
         try:
             out.put(_run_avg(spec, ctx, engine, seed, runner_kwargs, on_finalize))
-        except BaseException as exc:  # pragma: no cover - surfaced to consumer
+        except BaseException as exc:
             out.put(exc)
+        finally:
+            # Sampling is over on every exit path (success, error, abandoned
+            # consumer), so the fan-out pool can release its threads here.
+            ctx.release_engines()
 
     thread = threading.Thread(target=worker, daemon=True, name="session-stream")
 
@@ -616,7 +658,10 @@ def stream_spec(
     kwargs = dict(runner_kwargs or {})
     if _live_streamable(spec, ctx):
         return _stream_live(spec, ctx, seed, kwargs)
-    result = _execute_planned(spec, ctx, seed, kwargs)
+    try:
+        result = _execute_planned(spec, ctx, seed, kwargs)
+    finally:
+        ctx.release_engines()
     stream = ResultStream(iter(_replay_updates(result)))
     stream.result = result
     return stream
@@ -654,5 +699,9 @@ def describe_spec(spec: QuerySpec) -> str:
         lines.append(
             f"having: {spec.agg_key(h.agg)} {h.op} {h.value:g} (filters estimates)"
         )
-    lines.append(f"engine: {spec.engine}   guarantee: {spec.guarantee.describe()}")
+    engine_line = f"engine: {spec.engine}"
+    if spec.shards > 1 and _ENGINES[spec.engine].shardable:
+        workers = spec.max_workers if spec.max_workers is not None else spec.shards
+        engine_line += f" (sharded x{spec.shards}, {workers} workers)"
+    lines.append(f"{engine_line}   guarantee: {spec.guarantee.describe()}")
     return "\n".join(lines)

@@ -31,6 +31,8 @@ from __future__ import annotations
 import csv
 import dataclasses
 import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -121,6 +123,10 @@ class Session:
         session = connect().register("t", table).register_csv("u", "u.csv")
     """
 
+    #: Submit-pool width when ``max_workers`` is left unset: enough to keep a
+    #: handful of concurrent queries in flight without oversubscribing CI boxes.
+    DEFAULT_SUBMIT_WORKERS = 8
+
     def __init__(
         self,
         *,
@@ -129,13 +135,24 @@ class Session:
         algorithm: str = "ifocus",
         engine: str = "needletail",
         seed: int | None = None,
+        shards: int = 1,
+        max_workers: int | None = None,
+        submit_workers: int | None = None,
     ) -> None:
+        if submit_workers is not None and int(submit_workers) < 1:
+            raise ValueError(f"submit_workers must be >= 1, got {submit_workers}")
         self._catalog: dict[str, Table] = {}
         self.delta = delta
         self.resolution = resolution
         self.algorithm = algorithm
         self.engine = engine
         self.seed = seed
+        self.shards = int(shards)
+        self.max_workers = max_workers
+        self.submit_workers = submit_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
 
     # -- catalog ------------------------------------------------------------
 
@@ -196,6 +213,8 @@ class Session:
             _guarantee=GuaranteeSpec(delta=self.delta, resolution=self.resolution),
             _algorithm=self.algorithm,
             _engine=self.engine,
+            _shards=self.shards,
+            _max_workers=self.max_workers,
         )
 
     def table(self, name: str) -> QueryBuilder:
@@ -263,6 +282,73 @@ class Session:
             runner_kwargs=runner_kwargs,
         )
 
+    def submit(
+        self,
+        what: str | Query | QuerySpec | QueryBuilder,
+        *,
+        seed=None,
+        **runner_kwargs,
+    ) -> "Future[Result]":
+        """Execute asynchronously; returns a ``concurrent.futures.Future``.
+
+        One session can serve many concurrent queries safely: the query is
+        lowered and validated on the calling thread (shape errors raise
+        here, not inside the future), the catalog is snapshotted so later
+        ``register(...)`` calls never affect queries already in flight, and
+        each worker builds its own engine and :class:`EngineRun` - all run
+        state (sampling streams, accounting) is per query by construction,
+        so concurrent queries cannot observe each other's samples or stats.
+
+        ::
+
+            futures = [session.submit(q, seed=s) for s in range(8)]
+            results = [f.result() for f in futures]
+        """
+        spec = self._lower(what)
+        if spec.table not in self._catalog:
+            raise KeyError(f"unknown table {spec.table!r}; registered: {self.tables}")
+        catalog = dict(self._catalog)
+        resolved_seed = seed if seed is not None else self.seed
+        return self._submit_pool().submit(
+            execute_spec,
+            spec,
+            catalog,
+            seed=resolved_seed,
+            runner_kwargs=runner_kwargs,
+        )
+
+    def _submit_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("Session is closed")
+            if self._pool is None:
+                # Deliberately independent of max_workers: that knob sizes the
+                # per-query *shard* fan-out (max_workers=1 means "sequential
+                # fan-out"), and must not silently serialize submit().
+                workers = (
+                    self.submit_workers
+                    if self.submit_workers is not None
+                    else self.DEFAULT_SUBMIT_WORKERS
+                )
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-session"
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the submit pool; in-flight futures finish first."""
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Session(tables={self.tables}, delta={self.delta}, "
@@ -277,6 +363,9 @@ def connect(
     algorithm: str = "ifocus",
     engine: str = "needletail",
     seed: int | None = None,
+    shards: int = 1,
+    max_workers: int | None = None,
+    submit_workers: int | None = None,
 ) -> Session:
     """Open a session - the Session API's entrypoint.
 
@@ -286,6 +375,12 @@ def connect(
         algorithm: default AVG algorithm (ifocus/ifocusr/irefine/...).
         engine: default execution substrate (needletail/memory/noindex).
         seed: default RNG seed when ``run()``/``stream()`` omit one.
+        shards: default shard count for every query (1 = unsharded,
+            bit-identical to previous releases; see DESIGN_PERF.md).
+        max_workers: per-query shard fan-out pool width (``None``: one
+            worker per shard; ``1``: sequential fan-out).
+        submit_workers: size of the :meth:`Session.submit` pool
+            (``None``: ``Session.DEFAULT_SUBMIT_WORKERS``).
     """
     return Session(
         delta=delta,
@@ -293,4 +388,7 @@ def connect(
         algorithm=algorithm,
         engine=engine,
         seed=seed,
+        shards=shards,
+        max_workers=max_workers,
+        submit_workers=submit_workers,
     )

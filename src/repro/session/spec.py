@@ -134,6 +134,11 @@ class QuerySpec:
         engine: registered execution substrate (``needletail``, ``memory``,
             ``noindex``; see :func:`repro.session.planner.register_engine`).
         value_bound: optional value upper bound c; inferred when omitted.
+        shards: partition the engine into this many parallel shards
+            (:class:`~repro.engines.sharded.ShardedEngine`); 1 (the default)
+            runs the engine unwrapped, bit-identical to previous releases.
+        max_workers: thread-pool width for the shard fan-out; ``None`` means
+            one worker per shard, ``1`` forces a sequential fan-out.
     """
 
     table: str
@@ -145,10 +150,16 @@ class QuerySpec:
     algorithm: str = "ifocus"
     engine: str = "needletail"
     value_bound: float | None = None
+    shards: int = 1
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.table:
             raise ValueError("a query needs a table name")
+        if int(self.shards) < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.max_workers is not None and int(self.max_workers) < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if not self.group_by:
             raise ValueError("a visualization query requires at least one GROUP BY")
         if not self.aggregates:
@@ -192,6 +203,8 @@ def lower_query(
     algorithm: str = "ifocus",
     engine: str = "needletail",
     value_bound: float | None = None,
+    shards: int = 1,
+    max_workers: int | None = None,
 ) -> QuerySpec:
     """Lower a parsed SQL :class:`~repro.query.ast.Query` to a :class:`QuerySpec`.
 
@@ -212,4 +225,6 @@ def lower_query(
         algorithm=algorithm,
         engine=engine,
         value_bound=value_bound,
+        shards=shards,
+        max_workers=max_workers,
     )

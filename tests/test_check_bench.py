@@ -1,0 +1,143 @@
+"""Unit tests for the bench regression guard (scripts/check_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench.py"
+_spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _write(path: Path, entries: dict[str, float]) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "suite": "micro",
+                "entries": [
+                    {"op": op, "k": None, "median_seconds": median}
+                    for op, median in entries.items()
+                ],
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture()
+def files(tmp_path):
+    def make(fresh: dict[str, float], baseline: dict[str, float]):
+        return (
+            _write(tmp_path / "fresh.json", fresh),
+            _write(tmp_path / "baseline.json", baseline),
+        )
+
+    return make
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, files):
+        fresh, baseline = files({"op_a": 0.010, "op_b": 0.019}, {"op_a": 0.010, "op_b": 0.010})
+        rc = check_bench.main([str(fresh), "--baseline", str(baseline)])
+        assert rc == 0
+
+    def test_regression_fails(self, files, capsys):
+        fresh, baseline = files({"op_a": 0.025}, {"op_a": 0.010})
+        rc = check_bench.main([str(fresh), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "op_a" in capsys.readouterr().err
+
+    def test_keys_absent_on_either_side_are_skipped(self, files):
+        # fresh-only op (no baseline) and baseline-only op (not in smoke run)
+        # must both be ignored, even at pathological ratios.
+        fresh, baseline = files(
+            {"shared": 0.010, "fresh_only": 99.0},
+            {"shared": 0.009, "committed_only": 1e-9},
+        )
+        rc = check_bench.main([str(fresh), "--baseline", str(baseline)])
+        assert rc == 0
+
+    def test_custom_threshold(self, files):
+        fresh, baseline = files({"op_a": 0.015}, {"op_a": 0.010})
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 0
+        assert (
+            check_bench.main(
+                [str(fresh), "--baseline", str(baseline), "--threshold", "1.2"]
+            )
+            == 1
+        )
+
+    def test_non_positive_and_malformed_entries_ignored(self, files):
+        fresh, baseline = files({"op_a": 0.010, "zero": 0.0}, {"op_a": 0.010, "zero": 1.0})
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 0
+
+    def test_missing_file_is_a_distinct_error(self, files, tmp_path):
+        fresh, baseline = files({"op_a": 0.010}, {"op_a": 0.010})
+        assert check_bench.main([str(tmp_path / "nope.json"), "--baseline", str(baseline)]) == 2
+
+    def test_empty_fresh_run_is_an_error(self, files, tmp_path):
+        fresh, baseline = files({}, {"op_a": 0.010})
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 2
+
+    def test_uniformly_slower_machine_is_calibrated_away(self, files):
+        # A shared runner 2.5x slower than the baseline machine across the
+        # board must stay green (>=5 shared ops turn on calibration).
+        base = {f"op_{i}": 0.010 for i in range(6)}
+        fresh, baseline = files({op: v * 2.5 for op, v in base.items()}, base)
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 0
+        assert (
+            check_bench.main(
+                [str(fresh), "--baseline", str(baseline), "--no-calibrate"]
+            )
+            == 1
+        )
+
+    def test_single_regression_not_hidden_by_calibration(self, files, capsys):
+        # One op 3x slower than the rest of the suite fails even on a
+        # machine that is uniformly 1.5x slower.
+        base = {f"op_{i}": 0.010 for i in range(6)}
+        fresh_vals = {op: v * 1.5 for op, v in base.items()}
+        fresh_vals["op_0"] = 0.010 * 1.5 * 3.0
+        fresh, baseline = files(fresh_vals, base)
+        rc = check_bench.main([str(fresh), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "op_0" in capsys.readouterr().err
+
+    def test_widespread_speedup_does_not_fail_unchanged_ops(self, files):
+        # Most ops 3x faster (stale baseline after an optimization), one op
+        # unchanged: the clamped machine factor must not flag the unchanged
+        # op as a relative regression.
+        base = {f"op_{i}": 0.010 for i in range(6)}
+        fresh_vals = {op: v / 3.0 for op, v in base.items()}
+        fresh_vals["op_5"] = 0.010
+        fresh, baseline = files(fresh_vals, base)
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 0
+
+    def test_default_baseline_is_committed_bench_micro(self):
+        committed = check_bench.load_entries(
+            Path(__file__).resolve().parents[1] / "BENCH_micro.json"
+        )
+        assert committed, "committed BENCH_micro.json should have entries"
+
+
+class TestAgainstRealSchema:
+    def test_load_entries_reads_bench_export_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "suite": "micro",
+                    "machine": "x86_64",
+                    "entries": [
+                        {"op": "draw_block_k1000", "k": 1000, "median_seconds": 4.7e-4},
+                        {"op": "broken", "k": None},
+                    ],
+                }
+            )
+        )
+        assert check_bench.load_entries(path) == {"draw_block_k1000": 4.7e-4}

@@ -1,0 +1,93 @@
+"""Validity and invariants of the hosted CI workflow.
+
+Acceptance bar for the CI gate: ``.github/workflows/ci.yml`` yaml-parses,
+covers the 3.10/3.11/3.12 matrix with pip caching, and every run step
+invokes only the repo's own CI scripts (``scripts/ci.sh``, the bench smoke,
+the regression guard) plus environment setup - so a green local
+``scripts/ci.sh`` run means a green hosted run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml", reason="PyYAML validates the workflow")
+
+WORKFLOW = Path(__file__).resolve().parents[1] / ".github" / "workflows" / "ci.yml"
+
+#: Run-step commands the workflow is allowed to use (prefix match, per line).
+ALLOWED_RUN_PREFIXES = (
+    "python -m pip install",  # environment setup
+    "scripts/ci.sh",  # the local CI gate
+    "python scripts/bench_export.py",  # bench smoke
+    "python scripts/check_bench.py",  # bench regression guard
+)
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    assert WORKFLOW.exists(), f"missing workflow file {WORKFLOW}"
+    data = yaml.safe_load(WORKFLOW.read_text())
+    assert isinstance(data, dict)
+    return data
+
+
+def _steps(workflow: dict):
+    for job_name, job in workflow["jobs"].items():
+        for step in job.get("steps", []):
+            yield job_name, step
+
+
+def test_workflow_parses_and_has_jobs(workflow):
+    assert workflow.get("name") == "CI"
+    assert set(workflow["jobs"]) == {"tests", "bench-smoke"}
+    # "on" parses as the YAML boolean True when unquoted - accept either key.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers and "pull_request" in triggers
+
+
+def test_matrix_covers_three_python_versions(workflow):
+    matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+    versions = matrix["python-version"]
+    assert versions == ["3.10", "3.11", "3.12"]
+    # Quoting matters: unquoted 3.10 would YAML-parse as the float 3.1.
+    assert all(isinstance(v, str) for v in versions)
+
+
+def test_setup_python_steps_cache_pip(workflow):
+    setup_steps = [
+        step
+        for _, step in _steps(workflow)
+        if str(step.get("uses", "")).startswith("actions/setup-python")
+    ]
+    assert setup_steps, "no setup-python steps found"
+    for step in setup_steps:
+        assert step["with"]["cache"] == "pip"
+
+
+def test_run_steps_only_invoke_ci_scripts(workflow):
+    """Hosted CI must not grow bespoke inline logic local runs would miss."""
+    run_steps = [(j, step["run"]) for j, step in _steps(workflow) if "run" in step]
+    assert run_steps, "no run steps found"
+    for job_name, command in run_steps:
+        for line in filter(None, (ln.strip() for ln in command.splitlines())):
+            assert line.startswith(ALLOWED_RUN_PREFIXES), (
+                f"job {job_name!r} runs {line!r}, which is not one of the "
+                f"repo CI scripts {ALLOWED_RUN_PREFIXES}"
+            )
+
+
+def test_matrix_job_runs_the_local_ci_gate(workflow):
+    commands = [step["run"] for _, step in _steps(workflow) if "run" in step]
+    assert any(c.strip().startswith("scripts/ci.sh") for c in commands)
+
+
+def test_bench_smoke_job_runs_smoke_and_guard(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "bench_export.py --smoke" in commands
+    assert "check_bench.py" in commands
+    # The smoke job runs tier-1 with the heavy benches explicitly off.
+    assert job["env"]["REPRO_RUN_BENCH"] == "0"

@@ -23,6 +23,15 @@ class TestParser:
         )
         assert args.rows == 500 and args.algorithm == "roundrobin"
 
+    def test_query_shards_options(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT x, AVG(y) FROM t GROUP BY x",
+             "--shards", "4", "--workers", "2"]
+        )
+        assert args.shards == 4 and args.workers == 2
+        defaults = build_parser().parse_args(["query", "SELECT x, AVG(y) FROM t GROUP BY x"])
+        assert defaults.shards == 1 and defaults.workers is None
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -58,6 +67,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "AVG(arrival_delay)" in out and "samples=" in out
         assert "guarantee:" in out
+
+    def test_query_sharded_matches_unsharded(self, capsys):
+        sql = "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier"
+        base = ["query", sql, "--rows", "20000", "--seed", "3", "--engine", "memory"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--shards", "4", "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        # Materialized table: the sharded merge is bit-identical, so the
+        # printed estimates and sample counts must match exactly.
+        assert sharded == plain
 
     def test_query_csv(self, capsys, tmp_path):
         path = tmp_path / "trips.csv"

@@ -9,6 +9,10 @@ and table in the paper's evaluation.
 
 The **Session API** is the primary surface: one front door for every
 workload, with SQL text and a fluent builder lowering to the same query IR.
+Data enters through the pluggable **catalog** (:mod:`repro.catalog`): lazy
+:class:`DataSource` objects (in-memory, chunked CSV, Parquet, synthetic
+specs, iterators) with cached builds and WHERE pushdown into the source
+scan.
 
 Quickstart::
 
@@ -85,6 +89,16 @@ from repro.core import (
     run_roundrobin,
     run_scan,
 )
+from repro.catalog import (
+    Catalog,
+    CSVSource,
+    DataSource,
+    IteratorSource,
+    ParquetSource,
+    Schema,
+    SyntheticSource,
+    TableSource,
+)
 from repro.data import Population
 from repro.engines import InMemoryEngine, ShardedEngine
 from repro.session import (
@@ -105,7 +119,7 @@ from repro.session import (
     total,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # Session API (primary surface)
@@ -124,6 +138,15 @@ __all__ = [
     "count",
     "register_engine",
     "load_csv_table",
+    # data layer (repro.catalog)
+    "Catalog",
+    "DataSource",
+    "Schema",
+    "TableSource",
+    "CSVSource",
+    "ParquetSource",
+    "SyntheticSource",
+    "IteratorSource",
     # algorithm layer
     "OrderingResult",
     "algorithm_names",

@@ -1,0 +1,327 @@
+"""The ``Catalog``: named sources plus lazy, cached engine-input builds.
+
+A catalog maps table names to :class:`~repro.catalog.source.DataSource`
+objects and owns the two derived artifacts engines consume:
+
+* :meth:`Catalog.population` - the grouped value multiset a population
+  engine (``memory``) samples from.  Built by scanning **only** the group
+  and value columns with the WHERE predicate pushed into the scan, so
+  filtering happens chunk-by-chunk *before* anything is materialized.
+  Builds are cached per ``(table, group_col, value_col, predicate,
+  value_bound)``; repeated queries over the same grouping reuse the build.
+* :meth:`Catalog.table` - the fully materialized row-store
+  :class:`~repro.needletail.table.Table` the bitmap-index engines
+  (``needletail``/``noindex``) wrap.  Cached per table; predicates are not
+  applied here because NEEDLETAIL evaluates them as index bitmaps (the
+  paper's Section 6.3.3 form of pushdown).
+
+Re-registering a name drops that name's cached builds.  All cache state is
+lock-protected so one catalog can serve concurrent ``Session.submit``
+queries; :meth:`Catalog.snapshot` gives in-flight queries an isolated view
+that later registrations cannot disturb.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+from repro.catalog.source import Chunk, DataSource, TableSource
+from repro.data.population import MaterializedGroup, Population
+from repro.needletail.table import Table
+from repro.query.ast import Predicate
+
+__all__ = ["Catalog", "SourceInfo", "PopulationBuild", "population_from_chunks"]
+
+
+def population_from_chunks(
+    chunks: Iterable[Chunk],
+    group_col: str,
+    value_col: str,
+    *,
+    c: float | None = None,
+    name: str = "population",
+    filtered: bool = False,
+) -> Population:
+    """Assemble a grouped population from streamed ``{column: array}`` chunks.
+
+    Consumes one chunk at a time (releasing each before pulling the next) and
+    accumulates only the two projected columns.  Grouping is one stable
+    argsort over the concatenated rows - the exact code path the legacy
+    post-materialization filter used, so a pushed-down scan yields a
+    bit-identical population: same keys, same per-group chunk order, same
+    inferred value bound.
+    """
+    group_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    it = iter(chunks)
+    while True:
+        try:
+            chunk = next(it)
+        except StopIteration:
+            break
+        group_parts.append(np.asarray(chunk[group_col]))
+        value_parts.append(np.asarray(chunk[value_col], dtype=np.float64))
+        del chunk
+    if value_parts:
+        values = value_parts[0] if len(value_parts) == 1 else np.concatenate(value_parts)
+        group_vals = group_parts[0] if len(group_parts) == 1 else np.concatenate(group_parts)
+    else:
+        values = np.empty(0, dtype=np.float64)
+        group_vals = np.empty(0, dtype=str)
+    if values.size == 0:
+        if filtered:
+            raise ValueError("no group matches the predicate")
+        raise ValueError(f"{name}: source produced no rows")
+    if c is None:
+        c = max(float(values.max()), 1e-9)
+    # One stable argsort instead of a mask scan per key: O(n log n) for any
+    # group count, and bit-identical chunks (stable sort keeps the original
+    # row order within each group).  Keys come out sorted, matching the
+    # BitmapIndex label order.
+    order = np.argsort(group_vals, kind="stable")
+    keys, starts = np.unique(group_vals[order], return_index=True)
+    groups = [MaterializedGroup(str(key), chunk) for key, chunk in zip(keys, np.split(values[order], starts[1:]))]
+    return Population(groups=groups, c=float(c), name=name)
+
+
+#: One cached population build, as reported by :meth:`Catalog.describe`.
+PopulationBuild = tuple[str, str, "Predicate | None", "float | None"]
+
+
+@dataclass(frozen=True)
+class SourceInfo:
+    """One catalog entry's metadata, as shown by ``repro tables``/``describe``."""
+
+    name: str
+    kind: str
+    description: str
+    schema: Schema
+    row_count_hint: int | None
+    table_cached: bool
+    cached_populations: tuple[PopulationBuild, ...]
+
+
+class Catalog:
+    """Named :class:`DataSource` objects plus cached lazy builds.
+
+    Caches are keyed by the *source object* (identity), not the registered
+    name: re-binding a name can never serve a stale build, the same source
+    registered under two names shares its builds, and
+    :meth:`snapshot`-holding queries (``Session.submit``) both reuse and
+    contribute to the same cache - an async workload repeating one query
+    scans its source exactly once.
+
+    Bounds and freshness: population builds live in an LRU capped at
+    :data:`MAX_CACHED_POPULATIONS` (long-lived sessions serving ad-hoc
+    predicates - e.g. a moving ``WHERE ts > <now>`` literal - evict old
+    builds instead of growing without bound); sources with
+    ``cacheable = False`` (live streams) are never cached, so every query
+    sees current data; and :meth:`invalidate` drops a name's builds
+    explicitly (e.g. after a CSV file changed on disk).
+    """
+
+    #: Upper bound on cached population builds (LRU eviction beyond it).
+    #: Each entry holds one filtered group/value copy, so this caps resident
+    #: memory at ~MAX * relation-column size for pathological workloads.
+    MAX_CACHED_POPULATIONS = 64
+
+    def __init__(self) -> None:
+        self._sources: dict[str, DataSource] = {}
+        self._tables: dict[DataSource, Table] = {}
+        self._populations: "OrderedDict[tuple, Population]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_tables(cls, tables: Mapping[str, Table]) -> "Catalog":
+        """Wrap a legacy ``{name: Table}`` mapping (each table one source)."""
+        catalog = cls()
+        for name, table in tables.items():
+            catalog.register(name, table)
+        return catalog
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self, name: str, source: DataSource | Table | Mapping[str, np.ndarray]
+    ) -> "Catalog":
+        """Bind ``name`` to a source.
+
+        Tables and ``{column: array}`` dicts are wrapped in a
+        :class:`TableSource` for convenience.  Re-binding a name cannot
+        serve stale data (caches are keyed by source, not name); builds of
+        a replaced source are dropped once no name references it.
+        """
+        if not isinstance(source, DataSource):
+            source = TableSource(source, name=name)
+        with self._lock:
+            old = self._sources.get(name)
+            self._sources[name] = source
+            if old is not None and old is not source and not any(
+                s is old for s in self._sources.values()
+            ):
+                self._drop_builds(old)
+        return self
+
+    def _drop_builds(self, source: DataSource) -> None:
+        """Drop cached builds for one source (caller holds the lock)."""
+        self._tables.pop(source, None)
+        for key in [k for k in self._populations if k[0] is source]:
+            del self._populations[key]
+
+    def invalidate(self, name: str) -> "Catalog":
+        """Drop the named source's cached builds; the next query rebuilds.
+
+        Use when the underlying data changed behind a cacheable source - a
+        CSV file rewritten on disk, an iterator registered with
+        ``cache=True`` whose replayed data moved on.  The source's own
+        metadata caches are refreshed too, so schemas and row counts are
+        re-inferred, not just populations rebuilt.
+        """
+        source = self.source(name)
+        with self._lock:
+            self._drop_builds(source)
+        source.refresh()
+        return self
+
+    @property
+    def names(self) -> list[str]:
+        """Registered table names, sorted."""
+        return sorted(self._sources)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def source(self, name: str) -> DataSource:
+        if name not in self._sources:
+            raise KeyError(f"unknown table {name!r}; catalog has {self.names}")
+        return self._sources[name]
+
+    def __getitem__(self, name: str) -> DataSource:
+        """Subscript access (``catalog["flights"]``) resolves the source.
+
+        Kept mapping-like because ``Session.catalog`` used to be a plain
+        ``{name: Table}`` dict; code that subscripted it keeps working and
+        gets the richer :class:`DataSource` back.
+        """
+        return self.source(name)
+
+    def schema(self, name: str) -> Schema:
+        """The named source's schema (no data materialized)."""
+        return self.source(name).schema()
+
+    # -- lazy builds ---------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Materialize the full row-store table for bitmap engines.
+
+        Cached per source; non-cacheable (streaming) sources rebuild every
+        call so queries never see a frozen first snapshot.
+        """
+        source = self.source(name)
+        with self._lock:
+            cached = self._tables.get(source)
+        if cached is not None:
+            return cached
+        if isinstance(source, TableSource):
+            table = source.table  # zero-copy: the wrapped table *is* the relation
+        else:
+            table = source.to_table(name)
+        if not source.cacheable:
+            return table
+        with self._lock:
+            return self._tables.setdefault(source, table)
+
+    def population(
+        self,
+        name: str,
+        group_col: str,
+        value_col: str,
+        *,
+        predicate: Predicate | None = None,
+        value_bound: float | None = None,
+    ) -> Population:
+        """The grouped population for one ``(table, group, value, predicate)``.
+
+        The WHERE predicate is lowered into the source scan (per-chunk
+        filtering, nothing non-qualifying materialized); the result is cached
+        (LRU, :data:`MAX_CACHED_POPULATIONS` entries) so repeated queries
+        over the same grouping skip the scan entirely.  Non-cacheable
+        (streaming) sources rebuild on every query.
+        """
+        source = self.source(name)
+        key = (source, group_col, value_col, predicate, value_bound)
+        if source.cacheable:
+            with self._lock:
+                cached = self._populations.get(key)
+                if cached is not None:
+                    self._populations.move_to_end(key)
+                    return cached
+        population = source.population(group_col, value_col, predicate, value_bound)
+        if population is None:
+            population = population_from_chunks(
+                source.scan(columns=(group_col, value_col), predicate=predicate),
+                group_col,
+                value_col,
+                c=value_bound,
+                name=name,
+                filtered=predicate is not None,
+            )
+        if not source.cacheable:
+            return population
+        with self._lock:
+            population = self._populations.setdefault(key, population)
+            self._populations.move_to_end(key)
+            while len(self._populations) > self.MAX_CACHED_POPULATIONS:
+                self._populations.popitem(last=False)
+            return population
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self, name: str) -> SourceInfo:
+        """Metadata for one entry: kind, schema, caching status."""
+        source = self.source(name)
+        with self._lock:
+            table_cached = source in self._tables
+            builds = tuple(k[1:] for k in self._populations if k[0] is source)
+        return SourceInfo(
+            name=name,
+            kind=source.kind,
+            description=source.describe(),
+            schema=source.schema(),
+            row_count_hint=source.row_count_hint(),
+            table_cached=table_cached,
+            cached_populations=builds,
+        )
+
+    def snapshot(self) -> "Catalog":
+        """A name-isolated view for in-flight queries.
+
+        The *name binding* is copied: later ``register`` calls on either
+        catalog never change what the other's names resolve to (the
+        ``Session.submit`` isolation contract).  The build caches and their
+        lock are *shared* - cache keys are source objects, so a shared entry
+        can never go stale, and builds done by async queries benefit every
+        later query instead of being re-scanned per snapshot.
+        """
+        clone = Catalog()
+        with self._lock:
+            clone._sources = dict(self._sources)
+            clone._tables = self._tables
+            clone._populations = self._populations
+            clone._lock = self._lock
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Catalog(tables={self.names})"

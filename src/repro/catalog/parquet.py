@@ -1,0 +1,127 @@
+"""Parquet/Arrow source - optional ``pyarrow`` extra, degrading gracefully.
+
+This module always imports cleanly; only *constructing* a
+:class:`ParquetSource` requires pyarrow, and a missing install raises a
+:class:`~repro.catalog.source.MissingDependencyError` that names the extra
+(``pip install repro-ordering-guarantees[arrow]``) instead of an opaque
+``ModuleNotFoundError`` from the middle of a query.
+
+Scans stream Arrow record batches (``ParquetFile.iter_batches``) with column
+pruning pushed into the reader, so only the projected columns of one batch
+are resident at a time; predicates are applied per batch by the shared
+:class:`~repro.catalog.source.DataSource` machinery.  The schema and the row
+count come from Parquet file metadata - no data pages are read to answer
+``repro describe``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+except ImportError:  # pragma: no cover - the common offline case
+    pa = None
+    pq = None
+
+from repro.catalog.schema import NUMERIC, STRING, ColumnSchema, Schema
+from repro.catalog.source import Chunk, DataSource, MissingDependencyError
+
+__all__ = ["ParquetSource", "HAVE_PYARROW", "require_pyarrow"]
+
+HAVE_PYARROW = pq is not None
+
+#: Default record-batch size for scans; matches the CSV source's chunking.
+DEFAULT_BATCH_ROWS = 65_536
+
+
+def require_pyarrow() -> None:
+    """Raise a clear error if the optional pyarrow extra is missing."""
+    if not HAVE_PYARROW:
+        raise MissingDependencyError(
+            "Parquet sources need the optional 'pyarrow' extra; install it "
+            "with `pip install repro-ordering-guarantees[arrow]` (or plain "
+            "`pip install pyarrow`)"
+        )
+
+
+class ParquetSource(DataSource):
+    """A lazily-scanned Parquet file."""
+
+    kind = "parquet"
+
+    def __init__(self, path: str | os.PathLike, *, batch_rows: int = DEFAULT_BATCH_ROWS) -> None:
+        require_pyarrow()
+        if batch_rows < 1:
+            raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+        self._path = os.fspath(path)
+        self._batch_rows = int(batch_rows)
+        self._schema: Schema | None = None
+        self._num_rows: int | None = None
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def describe(self) -> str:
+        return f"parquet {os.path.basename(self._path)!r}"
+
+    def _metadata(self):
+        pf = pq.ParquetFile(self._path)
+        if self._num_rows is None:
+            self._num_rows = int(pf.metadata.num_rows)
+        return pf
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            arrow_schema = self._metadata().schema_arrow
+            self._schema = Schema(
+                ColumnSchema(
+                    field.name,
+                    NUMERIC
+                    if (
+                        pa.types.is_integer(field.type)
+                        or pa.types.is_floating(field.type)
+                        or pa.types.is_decimal(field.type)
+                        or pa.types.is_boolean(field.type)
+                    )
+                    else STRING,
+                )
+                for field in arrow_schema
+            )
+        return self._schema
+
+    def row_count_hint(self) -> int | None:
+        if self._num_rows is None:
+            self._metadata()
+        return self._num_rows
+
+    def refresh(self) -> None:
+        """Forget cached file metadata; re-read on next use."""
+        self._schema = None
+        self._num_rows = None
+
+    def _chunks(self, columns: tuple[str, ...]) -> Iterator[Chunk]:
+        schema = self.schema()
+        pf = self._metadata()
+        it = pf.iter_batches(batch_size=self._batch_rows, columns=list(columns))
+        while True:
+            try:
+                batch = next(it)
+            except StopIteration:
+                return
+            out: dict[str, np.ndarray] = {}
+            for name in columns:
+                arr = batch.column(batch.schema.get_field_index(name)).to_numpy(
+                    zero_copy_only=False
+                )
+                if schema.is_numeric(name):
+                    out[name] = np.asarray(arr, dtype=np.float64)
+                else:
+                    out[name] = np.asarray(arr, dtype=str)
+            del batch
+            yield out

@@ -1,0 +1,157 @@
+"""Relation schemas: the metadata layer queries validate against.
+
+A :class:`Schema` describes a source's columns without materializing any
+data, so the query layer can reject a bad column name or a type mismatch
+(``AVG`` over a string column, a numeric comparison against a string
+literal) *before* a single row is scanned.  Sources produce schemas from
+whatever cheap metadata they have - numpy dtypes, CSV header + one streaming
+inference pass, Parquet file metadata.
+
+Only two column kinds matter to the paper's query class: ``numeric``
+(aggregation targets, numeric predicates) and ``string`` (group-by keys,
+equality predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.query.ast import And, Between, Comparison, InList, Not, Or, Predicate
+
+__all__ = ["ColumnSchema", "Schema"]
+
+NUMERIC = "numeric"
+STRING = "string"
+
+
+def _kind_of(dtype: np.dtype) -> str:
+    return NUMERIC if np.issubdtype(dtype, np.number) or dtype == bool else STRING
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """One column: a name and its kind (``numeric`` or ``string``)."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NUMERIC, STRING):
+            raise ValueError(f"column kind must be 'numeric' or 'string', got {self.kind!r}")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnSchema` entries."""
+
+    def __init__(self, columns: Iterable[ColumnSchema]) -> None:
+        cols = list(columns)
+        names = [c.name for c in cols]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(f"duplicate schema column(s): {dupes}")
+        self._columns: dict[str, ColumnSchema] = {c.name: c for c in cols}
+
+    @classmethod
+    def from_arrays(cls, data: Mapping[str, np.ndarray]) -> "Schema":
+        """Infer a schema from a ``{column: ndarray}`` mapping."""
+        return cls(
+            ColumnSchema(name, _kind_of(np.asarray(values).dtype))
+            for name, values in data.items()
+        )
+
+    @classmethod
+    def from_table(cls, table) -> "Schema":
+        """Infer a schema from a :class:`~repro.needletail.table.Table`."""
+        return cls(
+            ColumnSchema(name, _kind_of(table.column(name).dtype))
+            for name in table.column_names
+        )
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __iter__(self) -> Iterator[ColumnSchema]:
+        return iter(self._columns.values())
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def column(self, name: str) -> ColumnSchema:
+        if name not in self._columns:
+            raise KeyError(f"no such column {name!r}; schema has {self.names}")
+        return self._columns[name]
+
+    def is_numeric(self, name: str) -> bool:
+        return self.column(name).is_numeric
+
+    # -- query-layer validation ---------------------------------------------
+
+    def check_columns(self, names: Iterable[str], what: str, table: str) -> None:
+        """Raise KeyError if any of ``names`` is missing from the schema."""
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise KeyError(
+                f"{what} column {missing[0]!r} not in table {table!r}; "
+                f"available: {self.names}"
+            )
+
+    def check_aggregate(self, agg, table: str) -> None:
+        """Validate one SELECT aggregate: column exists, AVG/SUM is numeric.
+
+        The single implementation behind both the builder's early check and
+        the planner's defense-in-depth re-check, so the error a user sees
+        does not depend on which front door they came through.
+        """
+        if agg.column == "*":
+            return
+        self.check_columns((agg.column,), "aggregate", table)
+        if agg.func in ("AVG", "SUM") and not self.is_numeric(agg.column):
+            raise TypeError(
+                f"aggregate column {agg.column!r} is not numeric; "
+                f"{agg.func} needs a numeric column"
+            )
+
+    def check_predicate(self, pred: Predicate, table: str) -> None:
+        """Validate a WHERE predicate: columns exist, literal types line up.
+
+        Mirrors the runtime coercion rules of
+        :func:`repro.query.predicates.predicate_mask` so a query that would
+        fail mid-scan fails here instead, before any data is read.
+        """
+        if isinstance(pred, (Comparison, Between, InList)):
+            if pred.column not in self._columns:
+                raise KeyError(
+                    f"WHERE references unknown columns: {[pred.column]} "
+                    f"(table {table!r} has {self.names})"
+                )
+            if self.is_numeric(pred.column):
+                literals = (
+                    (pred.value,)
+                    if isinstance(pred, Comparison)
+                    else (pred.lo, pred.hi)
+                    if isinstance(pred, Between)
+                    else tuple(pred.values)
+                )
+                for lit in literals:
+                    if isinstance(lit, str):
+                        raise TypeError(
+                            f"cannot compare numeric column to string literal {lit!r}"
+                        )
+        elif isinstance(pred, Not):
+            self.check_predicate(pred.operand, table)
+        elif isinstance(pred, (And, Or)):
+            for p in pred.operands:
+                self.check_predicate(p, table)
+        else:
+            raise TypeError(f"unknown predicate node {type(pred).__name__}")

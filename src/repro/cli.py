@@ -1,4 +1,4 @@
-"""Command-line interface: demos, experiments, and ad-hoc queries.
+"""Command-line interface: demos, experiments, catalog inspection, queries.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     python -m repro list
     python -m repro experiment fig3a [--scale smoke|paper]
     python -m repro bench-export [--output BENCH_micro.json]
+    python -m repro tables [--csv PATH]... [--parquet PATH]... [--flights]
+    python -m repro describe TABLE [--csv PATH]... [--parquet PATH]...
     python -m repro query "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier" \
         [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0] \
         [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
@@ -16,6 +18,12 @@ synthesized flights table (the offline stand-in for the paper's dataset); with
 ``--csv PATH`` the table named in the SQL is bound to your own data instead.
 ``--group-columns``/``--value-columns`` (comma-separated) pin CSV columns to
 string/numeric typing when auto-detection is not enough.
+
+``tables`` and ``describe`` inspect the session catalog without running a
+query: source kinds, schemas, row counts, and cached-build status.  Each
+``--csv``/``--parquet`` flag registers one file under its stem name (or
+``NAME=PATH`` to pick the name); with no flags the synthetic flights table
+is registered so there is always something to show.
 """
 
 from __future__ import annotations
@@ -199,6 +207,92 @@ def _split_columns(arg: str | None) -> list[str]:
     return [part.strip() for part in arg.split(",") if part.strip()]
 
 
+# -- catalog inspection ------------------------------------------------------
+
+
+def _name_and_path(arg: str) -> tuple[str, str]:
+    """Parse a ``NAME=PATH`` or bare ``PATH`` registration flag."""
+    import os
+
+    if "=" in arg:
+        name, path = arg.split("=", 1)
+        return name.strip(), path
+    return os.path.splitext(os.path.basename(arg))[0], arg
+
+
+def _catalog_session(args: argparse.Namespace):
+    """Build a session holding the sources named on the command line."""
+    from repro.session import connect
+
+    session = connect()
+    for arg in args.csv or []:
+        name, path = _name_and_path(arg)
+        session.register_csv(
+            name,
+            path,
+            group_columns=_split_columns(getattr(args, "group_columns", None)),
+            value_columns=_split_columns(getattr(args, "value_columns", None)),
+        )
+    for arg in args.parquet or []:
+        name, path = _name_and_path(arg)
+        session.register_parquet(name, path)
+    if args.flights or not session.tables:
+        session.register_flights("flights", rows=args.rows, seed=0)
+    return session
+
+
+def _format_rows(hint: int | None) -> str:
+    return f"{hint:,}" if hint is not None else "?"
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    session = _catalog_session(args)
+    infos = [session.describe_table(name) for name in session.tables]
+    name_w = max(len("table"), *(len(i.name) for i in infos))
+    kind_w = max(len("kind"), *(len(i.kind) for i in infos))
+    print(f"{'table':<{name_w}}  {'kind':<{kind_w}}  {'rows':>12}  columns")
+    for info in infos:
+        cols = ", ".join(
+            f"{c.name}:{'num' if c.is_numeric else 'str'}" for c in info.schema
+        )
+        print(
+            f"{info.name:<{name_w}}  {info.kind:<{kind_w}}  "
+            f"{_format_rows(info.row_count_hint):>12}  {cols}"
+        )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    session = _catalog_session(args)
+    if args.table not in session.tables:
+        print(
+            f"unknown table {args.table!r}; registered: {session.tables}",
+            file=sys.stderr,
+        )
+        return 2
+    info = session.describe_table(args.table)
+    print(f"table: {info.name}")
+    print(f"source: {info.description} (kind: {info.kind})")
+    print(f"rows: {_format_rows(info.row_count_hint)}")
+    print("columns:")
+    for col in info.schema:
+        print(f"  {col.name:<24} {col.kind}")
+    print(f"materialized table cached: {'yes' if info.table_cached else 'no'}")
+    if info.cached_populations:
+        print("cached populations:")
+        for group_col, value_col, predicate, bound in info.cached_populations:
+            extras = []
+            if predicate is not None:
+                extras.append(f"where {predicate!r}")
+            if bound is not None:
+                extras.append(f"c={bound:g}")
+            suffix = f"  ({', '.join(extras)})" if extras else ""
+            print(f"  group by {group_col}, value {value_col}{suffix}")
+    else:
+        print("cached populations: none (first query triggers the build)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +321,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smoke", action="store_true",
                        help="light sanity run: fast micro ops only, seconds not minutes")
     bench.set_defaults(fn=_cmd_bench_export)
+
+    def add_catalog_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--csv", action="append", metavar="[NAME=]PATH",
+                       help="register a CSV file (repeatable); name defaults "
+                       "to the file stem")
+        p.add_argument("--parquet", action="append", metavar="[NAME=]PATH",
+                       help="register a Parquet file (needs the pyarrow extra)")
+        p.add_argument("--flights", action="store_true",
+                       help="also register the synthetic flights table")
+        p.add_argument("--rows", type=int, default=100_000,
+                       help="rows of the synthetic flights table")
+        p.add_argument("--group-columns", default=None, metavar="A,B",
+                       help="CSV columns to keep as strings (group-by keys)")
+        p.add_argument("--value-columns", default=None, metavar="X,Y",
+                       help="CSV columns that must parse as numbers")
+
+    tbls = sub.add_parser(
+        "tables",
+        help="list the catalog: table names, source kinds, row counts, schemas",
+    )
+    add_catalog_flags(tbls)
+    tbls.set_defaults(fn=_cmd_tables)
+
+    desc = sub.add_parser(
+        "describe",
+        help="show one table's schema, source kind, and cached-build status",
+    )
+    desc.add_argument("table", help="catalog name of the table to describe")
+    add_catalog_flags(desc)
+    desc.set_defaults(fn=_cmd_describe)
 
     qry = sub.add_parser(
         "query",

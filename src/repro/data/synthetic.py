@@ -31,6 +31,7 @@ __all__ = [
     "make_bernoulli_dataset",
     "make_hard_dataset",
     "make_skewed_mixture_dataset",
+    "SYNTHETIC_FAMILIES",
     "DEFAULT_C",
     "DEFAULT_K",
     "DEFAULT_TOTAL_SIZE",
@@ -187,3 +188,15 @@ def make_skewed_mixture_dataset(
     return Population(
         groups=groups, c=c, name=f"skewed-mixture(k={k},f={first_fraction})"
     )
+
+
+#: Named generator families, so catalog sources and the CLI can refer to a
+#: synthetic workload by string spec instead of importing factory functions:
+#: ``SyntheticSource("mixture", k=10, total_size=10_000_000, seed=0)``.
+SYNTHETIC_FAMILIES = {
+    "truncnorm": make_truncnorm_dataset,
+    "mixture": make_mixture_dataset,
+    "bernoulli": make_bernoulli_dataset,
+    "hard": make_hard_dataset,
+    "skewed-mixture": make_skewed_mixture_dataset,
+}

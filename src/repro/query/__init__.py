@@ -12,12 +12,23 @@ from repro.query.ast import (
     Query,
 )
 from repro.query.parser import ParseError, parse_predicate, parse_query
-from repro.query.plan import QueryResult, execute_query
 from repro.query.predicates import (
     predicate_bitvector,
     predicate_columns,
     predicate_mask,
 )
+
+
+def __getattr__(name: str):
+    # QueryResult/execute_query live in repro.query.plan, which imports the
+    # session planner (and through it the catalog).  Loading them lazily
+    # keeps this package importable from the data layer (catalog modules use
+    # the predicate AST) without a circular import.
+    if name in ("QueryResult", "execute_query"):
+        from repro.query import plan
+
+        return getattr(plan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Aggregate",

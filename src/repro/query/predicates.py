@@ -11,13 +11,21 @@ in the relation that is indexed").
 
 from __future__ import annotations
 
+from typing import Callable, Mapping
+
 import numpy as np
 
 from repro.needletail.bitvector import BitVector
 from repro.needletail.table import Table
 from repro.query.ast import And, Between, Comparison, InList, Not, Or, Predicate
 
-__all__ = ["predicate_mask", "predicate_bitvector", "predicate_columns"]
+__all__ = [
+    "predicate_mask",
+    "predicate_mask_over",
+    "predicate_chunk_mask",
+    "predicate_bitvector",
+    "predicate_columns",
+]
 
 _OP_FUNCS = {
     "=": np.equal,
@@ -31,8 +39,13 @@ _OP_FUNCS = {
 
 
 def _coerce(column_values: np.ndarray, literal):
-    """Coerce a literal to the column's dtype family for fair comparison."""
-    if np.issubdtype(column_values.dtype, np.number):
+    """Coerce a literal to the column's dtype family for fair comparison.
+
+    bool counts as numeric (``flag = 1`` compares ``True == 1.0``), matching
+    the schema layer's classification - previously a bool column stringified
+    the literal and crashed inside the ufunc.
+    """
+    if np.issubdtype(column_values.dtype, np.number) or column_values.dtype == bool:
         if isinstance(literal, str):
             raise TypeError(
                 f"cannot compare numeric column to string literal {literal!r}"
@@ -41,36 +54,57 @@ def _coerce(column_values: np.ndarray, literal):
     return str(literal)
 
 
-def predicate_mask(pred: Predicate, table: Table) -> np.ndarray:
-    """Evaluate a predicate to a boolean row mask over the table."""
+def predicate_mask_over(
+    pred: Predicate, column_of: Callable[[str], np.ndarray], num_rows: int
+) -> np.ndarray:
+    """Evaluate a predicate to a boolean mask over any columnar row batch.
+
+    ``column_of`` resolves a column name to its value array; ``num_rows`` is
+    the batch length.  This is the shared kernel behind both the whole-table
+    form (:func:`predicate_mask`) and the per-chunk form the lazy
+    :mod:`repro.catalog` sources use for predicate pushdown - masking each
+    chunk as it streams by is bit-identical to masking the concatenated
+    whole, which is what the pushdown parity tests assert.
+    """
     if isinstance(pred, Comparison):
-        col = table.column(pred.column)
+        col = column_of(pred.column)
         value = _coerce(col, pred.value)
         return _OP_FUNCS[pred.op](col, value)
     if isinstance(pred, Between):
-        col = table.column(pred.column)
+        col = column_of(pred.column)
         lo = _coerce(col, pred.lo)
         hi = _coerce(col, pred.hi)
         return (col >= lo) & (col <= hi)
     if isinstance(pred, InList):
-        col = table.column(pred.column)
-        out = np.zeros(table.num_rows, dtype=bool)
+        col = column_of(pred.column)
+        out = np.zeros(num_rows, dtype=bool)
         for v in pred.values:
             out |= col == _coerce(col, v)
         return out
     if isinstance(pred, Not):
-        return ~predicate_mask(pred.operand, table)
+        return ~predicate_mask_over(pred.operand, column_of, num_rows)
     if isinstance(pred, And):
-        out = np.ones(table.num_rows, dtype=bool)
+        out = np.ones(num_rows, dtype=bool)
         for p in pred.operands:
-            out &= predicate_mask(p, table)
+            out &= predicate_mask_over(p, column_of, num_rows)
         return out
     if isinstance(pred, Or):
-        out = np.zeros(table.num_rows, dtype=bool)
+        out = np.zeros(num_rows, dtype=bool)
         for p in pred.operands:
-            out |= predicate_mask(p, table)
+            out |= predicate_mask_over(p, column_of, num_rows)
         return out
     raise TypeError(f"unknown predicate node {type(pred).__name__}")
+
+
+def predicate_mask(pred: Predicate, table: Table) -> np.ndarray:
+    """Evaluate a predicate to a boolean row mask over the table."""
+    return predicate_mask_over(pred, table.column, table.num_rows)
+
+
+def predicate_chunk_mask(pred: Predicate, chunk: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Evaluate a predicate over one ``{column: array}`` scan chunk."""
+    num_rows = len(next(iter(chunk.values()))) if chunk else 0
+    return predicate_mask_over(pred, lambda name: chunk[name], num_rows)
 
 
 def predicate_bitvector(pred: Predicate, table: Table) -> BitVector:

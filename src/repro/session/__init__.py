@@ -13,8 +13,24 @@ Layering (top to bottom):
 * **Results** - every path returns the unified
   :class:`~repro.session.result.Result`; ``.stream()`` yields
   :class:`~repro.session.result.PartialUpdate` objects for every workload.
+
+The data side mirrors this layering in :mod:`repro.catalog`: sessions own a
+:class:`~repro.catalog.Catalog` of pluggable
+:class:`~repro.catalog.DataSource` objects (in-memory, chunked CSV, Parquet,
+synthetic specs, iterators) with lazy, cached builds and WHERE pushdown into
+the source scan.
 """
 
+from repro.catalog import (
+    Catalog,
+    CSVSource,
+    DataSource,
+    IteratorSource,
+    ParquetSource,
+    Schema,
+    SyntheticSource,
+    TableSource,
+)
 from repro.session.builder import QueryBuilder, avg, count, sum_, total
 from repro.session.planner import (
     EngineDef,
@@ -65,4 +81,13 @@ __all__ = [
     "engine_names",
     "EngineDef",
     "load_csv_table",
+    # data layer (re-exported from repro.catalog)
+    "Catalog",
+    "DataSource",
+    "Schema",
+    "TableSource",
+    "CSVSource",
+    "ParquetSource",
+    "SyntheticSource",
+    "IteratorSource",
 ]

@@ -20,6 +20,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.catalog.schema import Schema
 from repro.query.ast import Aggregate, And, Predicate
 from repro.query.parser import parse_aggregate, parse_having, parse_predicate
 from repro.session.result import Result, ResultStream
@@ -64,7 +65,9 @@ class QueryBuilder:
 
     Builders are created by :meth:`Session.table` / :meth:`Session.sql`;
     they carry their session so ``run()``/``stream()`` resolve against its
-    catalog and defaults.
+    catalog and defaults, plus the table's :class:`~repro.catalog.Schema`
+    so column-existence and type errors raise at the call that introduced
+    them (``.group_by("typo")`` raises there, not deep in the planner).
     """
 
     _session: "Session"
@@ -79,6 +82,7 @@ class QueryBuilder:
     _value_bound: float | None = None
     _shards: int = 1
     _max_workers: int | None = None
+    _schema: Schema | None = None
 
     def _clone(self, **changes) -> "QueryBuilder":
         return dataclasses.replace(self, **changes)
@@ -90,6 +94,8 @@ class QueryBuilder:
         cross-product composite key)."""
         if not columns:
             raise ValueError("group_by() needs at least one column")
+        if self._schema is not None:
+            self._schema.check_columns(columns, "GROUP BY", self._table)
         return self._clone(_group_by=self._group_by + tuple(columns))
 
     def agg(self, *aggregates: Aggregate | str) -> "QueryBuilder":
@@ -98,15 +104,23 @@ class QueryBuilder:
         if not aggregates:
             raise ValueError("agg() needs at least one aggregate")
         parsed = tuple(_as_aggregate(a) for a in aggregates)
+        if self._schema is not None:
+            for agg in parsed:
+                self._schema.check_aggregate(agg, self._table)
         return self._clone(_aggregates=self._aggregates + parsed)
 
     def where(self, predicate: Predicate | str) -> "QueryBuilder":
         """Restrict rows; multiple calls AND together (§6.3.3).
 
         Accepts the shared predicate AST or SQL text like
-        ``"year >= 1995 AND dist BETWEEN 300 AND 1500"``.
+        ``"year >= 1995 AND dist BETWEEN 300 AND 1500"``.  The predicate is
+        pushed down into the source scan (population engines) or the bitmap
+        index (NEEDLETAIL), so filtering happens before materialization.
         """
-        return self._clone(_where=self._where + (_as_predicate(predicate),))
+        pred = _as_predicate(predicate)
+        if self._schema is not None:
+            self._schema.check_predicate(pred, self._table)
+        return self._clone(_where=self._where + (pred,))
 
     def having(
         self,

@@ -12,8 +12,16 @@ form.  Dispatch rules (superset of the legacy ``execute_query`` planner):
 * ``COUNT(*)``/``COUNT(Y)`` - exact from engine metadata;
 * two AVG aggregates - the two-phase Problem 8 schedule;
 * multiple GROUP BY columns - the cross-product composite key (§6.3.4);
-* WHERE - predicate bitmaps/masks restricting every group (§6.3.3);
+* WHERE - lowered into the :class:`~repro.catalog.Catalog` source scan for
+  population engines (rows filtered chunk-by-chunk before anything is
+  materialized), or evaluated as index bitmaps restricting every group for
+  the bitmap engines (§6.3.3) - the two forms are bit-identical in effect;
 * HAVING - post-filter on the *estimated* aggregate (surfaced as a caveat).
+
+Plans run against a :class:`~repro.catalog.Catalog` of named
+:class:`~repro.catalog.source.DataSource` objects (legacy ``{name: Table}``
+dicts are wrapped transparently): validation uses source *schemas* only, and
+tables/populations materialize lazily, cached by the catalog.
 
 Execution substrates are pluggable through :func:`register_engine`; the
 built-ins are ``needletail`` (bitmap-index sampling), ``memory`` (the paper's
@@ -26,14 +34,16 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 import numpy as np
 
+from repro.catalog.catalog import Catalog, population_from_chunks
+from repro.catalog.schema import Schema
+from repro.catalog.source import TableSource
 from repro.core.reference import run_ifocus_reference
 from repro.core.registry import RESOLUTION_VARIANTS, run_algorithm
 from repro.core.types import OrderingResult
-from repro.data.population import MaterializedGroup, Population
 from repro.engines.base import SamplingEngine
 from repro.engines.memory import InMemoryEngine
 from repro.engines.sharded import ShardedEngine
@@ -50,8 +60,6 @@ from repro.needletail.table import Column, Table
 from repro.query.predicates import (
     _OP_FUNCS as _COMPARE,
     predicate_bitvector,
-    predicate_columns,
-    predicate_mask,
 )
 from repro.session.result import (
     AggregateResult,
@@ -103,33 +111,75 @@ _MISTAKES_CAVEAT = (
 
 @dataclass
 class _PlanContext:
-    """Resolved, validated query context shared by all engine builds."""
+    """Resolved, validated query context shared by all engine builds.
+
+    Validation runs against the catalog *schema* only; the row-store table
+    is materialized lazily (:attr:`table`), so population engines whose
+    builds go through :meth:`population` - a pruned, predicate-pushed-down
+    source scan - never materialize columns the query does not touch.
+    """
 
     spec: QuerySpec
-    table: Table  # possibly augmented with the composite group key
+    catalog: Catalog
+    schema: Schema
     group_col: str
     engine_def: "EngineDef"
 
     def __post_init__(self) -> None:
+        self._table: Table | None = None
         self._bitvector = None
-        self._mask = None
         self._built_engines: list[SamplingEngine] = []
 
+    @property
+    def table(self) -> Table:
+        """The materialized (possibly composite-key-augmented) table.
+
+        Touching this property is what triggers full materialization; the
+        bitmap-index engines need it, population engines do not.
+        """
+        if self._table is None:
+            self._table = _prepare_table(self.spec, self.catalog.table(self.spec.table))[0]
+        return self._table
+
+    def population(self, value_column: str):
+        """The grouped population with WHERE pushed into the source scan.
+
+        Single-column group-by goes through the catalog's cached build
+        (scanning only the group/value/predicate columns).  Composite keys
+        need the augmented table, so they build from its scan instead -
+        chunk semantics are identical, results bit-match either way.
+        """
+        spec = self.spec
+        if len(spec.group_by) == 1:
+            return self.catalog.population(
+                spec.table,
+                self.group_col,
+                value_column,
+                predicate=spec.where,
+                value_bound=spec.value_bound,
+            )
+        return population_from_chunks(
+            TableSource(self.table).scan(
+                columns=(self.group_col, value_column), predicate=spec.where
+            ),
+            self.group_col,
+            value_column,
+            c=spec.value_bound,
+            name=spec.table,
+            filtered=spec.where is not None,
+        )
+
     def bitvector(self):
-        """The WHERE predicate as a bitmap (NEEDLETAIL form), or None."""
+        """The WHERE predicate as a bitmap (NEEDLETAIL form), or None.
+
+        Touching this materializes the table; population engines must use
+        :meth:`population` (scan-level pushdown) instead of a row mask.
+        """
         if self.spec.where is None:
             return None
         if self._bitvector is None:
             self._bitvector = predicate_bitvector(self.spec.where, self.table)
         return self._bitvector
-
-    def mask(self) -> np.ndarray | None:
-        """The WHERE predicate as a boolean row mask, or None."""
-        if self.spec.where is None:
-            return None
-        if self._mask is None:
-            self._mask = predicate_mask(self.spec.where, self.table)
-        return self._mask
 
     def build_engine(self, value_column: str) -> SamplingEngine:
         engine = self.engine_def.factory(self, value_column)
@@ -170,6 +220,10 @@ class EngineDef:
         shardable: whether ``QuerySpec.shards > 1`` wraps the factory's
             engine in a :class:`~repro.engines.sharded.ShardedEngine`;
             backends that manage their own parallelism register False.
+        predicate_form: how WHERE reaches the data - ``"scan"`` (lowered
+            into the source scan, rows filtered before materialization) or
+            ``"bitmap"`` (evaluated as index bitmaps the engine ANDs with
+            every group, §6.3.3).  Informational: shown by ``explain()``.
     """
 
     name: str
@@ -177,6 +231,7 @@ class EngineDef:
     avg_runner: str | None = None
     supports_metadata: bool = True
     shardable: bool = True
+    predicate_form: str = "scan"
 
 
 _ENGINES: dict[str, EngineDef] = {}
@@ -189,15 +244,17 @@ def register_engine(
     avg_runner: str | None = None,
     supports_metadata: bool = True,
     shardable: bool = True,
+    predicate_form: str = "scan",
     overwrite: bool = False,
 ) -> EngineDef:
     """Register an execution substrate under ``name``.
 
-    The factory receives the plan context (table with resolved group column,
-    lazily-evaluated WHERE forms, the full spec) and the value column, and
-    returns a :class:`~repro.engines.base.SamplingEngine`.  Third-party
-    backends plug in here and become reachable via
-    ``Session.table(...).on_engine(name)`` with zero planner changes.
+    The factory receives the plan context (catalog + schema with the
+    resolved group column, lazily-materialized table, lazily-evaluated
+    WHERE forms, the full spec) and the value column, and returns a
+    :class:`~repro.engines.base.SamplingEngine`.  Third-party backends plug
+    in here and become reachable via ``Session.table(...).on_engine(name)``
+    with zero planner changes.
     """
     key = name.lower()
     if key in _ENGINES and not overwrite:
@@ -208,6 +265,7 @@ def register_engine(
         avg_runner=avg_runner,
         supports_metadata=supports_metadata,
         shardable=shardable,
+        predicate_form=predicate_form,
     )
     _ENGINES[key] = engine_def
     return engine_def
@@ -229,37 +287,29 @@ def _needletail_factory(ctx: _PlanContext, value_column: str) -> SamplingEngine:
 
 
 def _memory_factory(ctx: _PlanContext, value_column: str) -> SamplingEngine:
-    values = np.asarray(ctx.table.column(value_column), dtype=np.float64)
-    group_vals = np.asarray(ctx.table.column(ctx.group_col))
-    mask = ctx.mask()
-    if mask is not None:
-        values = values[mask]
-        group_vals = group_vals[mask]
-    if values.size == 0:
-        raise ValueError("no group matches the predicate")
-    c = ctx.spec.value_bound
-    if c is None:
-        c = max(float(values.max()), 1e-9)
-    # One stable argsort instead of a mask scan per key: O(n log n) for any
-    # group count, and bit-identical chunks (stable sort keeps the original
-    # row order within each group).  Keys come out sorted, matching the
-    # BitmapIndex label order.
-    order = np.argsort(group_vals, kind="stable")
-    keys, starts = np.unique(group_vals[order], return_index=True)
-    chunks = np.split(values[order], starts[1:])
-    groups = [MaterializedGroup(str(key), chunk) for key, chunk in zip(keys, chunks)]
-    population = Population(groups=groups, c=float(c), name=ctx.table.name)
-    return InMemoryEngine(population)
+    """Population engine: WHERE is pushed into the source scan.
+
+    The catalog scans only the group/value/predicate columns, filters each
+    chunk as it streams by, and caches the resulting population per
+    ``(table, group, value, predicate)`` - bit-identical to the legacy
+    materialize-then-mask path (asserted by the pushdown parity tests), but
+    nothing non-qualifying is ever resident.
+    """
+    return InMemoryEngine(ctx.population(value_column))
 
 
-register_engine("needletail", _needletail_factory)
+register_engine("needletail", _needletail_factory, predicate_form="bitmap")
 register_engine("memory", _memory_factory)
 # noindex stays shardable: partitioning is correct (per-group streams are
 # shard-independent), but its runner draws group-sequentially, so shards
 # buy layout compatibility rather than fan-out parallelism (see
 # DESIGN_PERF.md).
 register_engine(
-    "noindex", _needletail_factory, avg_runner="noindex", supports_metadata=False
+    "noindex",
+    _needletail_factory,
+    avg_runner="noindex",
+    supports_metadata=False,
+    predicate_form="bitmap",
 )
 
 
@@ -284,27 +334,37 @@ def _prepare_table(spec: QuerySpec, table: Table) -> tuple[Table, str]:
     return augmented, "__group_key__"
 
 
-def _plan(spec: QuerySpec, catalog: dict[str, Table]) -> _PlanContext:
-    """Validate the spec against the catalog and resolve the group column."""
+def _as_catalog(catalog: Catalog | Mapping[str, Table]) -> Catalog:
+    """Accept either a real Catalog or a legacy ``{name: Table}`` mapping."""
+    if isinstance(catalog, Catalog):
+        return catalog
+    return Catalog.from_tables(catalog)
+
+
+def _plan(spec: QuerySpec, catalog: Catalog) -> _PlanContext:
+    """Validate the spec against the catalog schema; materialize nothing.
+
+    Every shape error - unknown table/engine, missing group/aggregate/WHERE
+    columns, a non-numeric AVG/SUM target, a numeric-vs-string predicate
+    literal - surfaces here, before a single row is scanned.
+    """
     if spec.table not in catalog:
         raise KeyError(
-            f"unknown table {spec.table!r}; catalog has {sorted(catalog)}"
+            f"unknown table {spec.table!r}; catalog has {sorted(catalog.names)}"
         )
     if spec.engine not in _ENGINES:
         raise KeyError(
             f"unknown engine {spec.engine!r}; registered: {engine_names()}"
         )
-    table = catalog[spec.table]
+    schema = catalog.schema(spec.table)
+    schema.check_columns(spec.group_by, "GROUP BY", spec.table)
     for agg in spec.aggregates:
-        if agg.column != "*" and agg.column not in table:
-            raise KeyError(
-                f"aggregate column {agg.column!r} not in table {spec.table!r}"
-            )
+        schema.check_aggregate(agg, spec.table)
     if spec.where is not None:
-        missing = predicate_columns(spec.where) - set(table.column_names)
-        if missing:
-            raise KeyError(f"WHERE references unknown columns: {sorted(missing)}")
-    table, group_col = _prepare_table(spec, table)
+        schema.check_predicate(spec.where, spec.table)
+    group_col = (
+        spec.group_by[0] if len(spec.group_by) == 1 else "__group_key__"
+    )
     engine_def = _ENGINES[spec.engine]
     if not engine_def.supports_metadata:
         bad = [a.func for a in spec.aggregates if a.func != "AVG"]
@@ -318,16 +378,21 @@ def _plan(spec: QuerySpec, catalog: dict[str, Table]) -> _PlanContext:
                 f"engine {spec.engine!r} only supports the plain ordering "
                 f"guarantee, not mode {spec.guarantee.mode!r}"
             )
-    return _PlanContext(spec=spec, table=table, group_col=group_col, engine_def=engine_def)
+    return _PlanContext(
+        spec=spec,
+        catalog=catalog,
+        schema=schema,
+        group_col=group_col,
+        engine_def=engine_def,
+    )
 
 
-def _numeric_column(table: Table, preferred: str) -> str:
+def _numeric_column(schema: Schema, preferred: str) -> str:
     """A numeric column usable as the engine's value column."""
-    col = table.column(preferred) if preferred in table else None
-    if col is not None and np.issubdtype(col.dtype, np.number):
+    if preferred in schema and schema.is_numeric(preferred):
         return preferred
-    for name in table.column_names:
-        if np.issubdtype(table.column(name).dtype, np.number):
+    for name in schema.names:
+        if schema.is_numeric(name):
             return name
     raise ValueError("table has no numeric column to anchor the engine")
 
@@ -464,7 +529,7 @@ def _execute_planned(
             count_col = spec.group_by[0] if agg.column == "*" else agg.column
             # COUNT needs any engine over the same groups; sizes are metadata.
             count_engine = engine or ctx.build_engine(
-                avgs[0].column if avgs else _numeric_column(ctx.table, count_col)
+                avgs[0].column if avgs else _numeric_column(ctx.schema, count_col)
             )
             results[spec.agg_key(agg)] = (_run_count_known(count_engine), {})
             engine = engine or count_engine
@@ -522,21 +587,22 @@ def _assemble_result(
 
 def execute_spec(
     spec: QuerySpec,
-    catalog: dict[str, Table],
+    catalog: Catalog | Mapping[str, Table],
     *,
     seed=None,
     runner_kwargs: dict | None = None,
 ) -> Result:
-    """Plan and execute a spec against a table catalog.
+    """Plan and execute a spec against a catalog.
 
     Args:
         spec: the lowered query.
-        catalog: {table name: Table}.
+        catalog: a :class:`~repro.catalog.Catalog` of named sources, or a
+            legacy ``{table name: Table}`` mapping (wrapped on the fly).
         seed: RNG seed for the sampling streams.
         runner_kwargs: extra knobs forwarded to the AVG runner
             (``trace_every``, ``max_rounds``, ``batch`` for noindex, ...).
     """
-    ctx = _plan(spec, catalog)
+    ctx = _plan(spec, _as_catalog(catalog))
     try:
         return _execute_planned(spec, ctx, seed, dict(runner_kwargs or {}))
     finally:
@@ -639,7 +705,7 @@ def _replay_updates(result: Result) -> list[PartialUpdate]:
 
 def stream_spec(
     spec: QuerySpec,
-    catalog: dict[str, Table],
+    catalog: Catalog | Mapping[str, Table],
     *,
     seed=None,
     runner_kwargs: dict | None = None,
@@ -654,7 +720,7 @@ def stream_spec(
     (``PartialUpdate.live`` is False).  In both cases ``stream.result`` holds
     the unified :class:`Result` once the stream is exhausted.
     """
-    ctx = _plan(spec, catalog)
+    ctx = _plan(spec, _as_catalog(catalog))
     kwargs = dict(runner_kwargs or {})
     if _live_streamable(spec, ctx):
         return _stream_live(spec, ctx, seed, kwargs)
@@ -675,8 +741,15 @@ def stream_spec(
 def describe_spec(spec: QuerySpec) -> str:
     """A short textual plan: how the planner will dispatch this spec."""
     lines = [f"table: {spec.table}  group by: {', '.join(spec.group_by)}"]
+    lines.append(f"scan columns: {', '.join(spec.scan_columns())}")
     if spec.where is not None:
-        lines.append(f"where: {spec.where!r}")
+        form = _ENGINES.get(spec.engine)
+        how = (
+            "bitmap-index pushdown (§6.3.3)"
+            if form is not None and form.predicate_form == "bitmap"
+            else "pushed into the source scan"
+        )
+        lines.append(f"where: {spec.where!r}  [{how}]")
     avgs = spec.avg_aggregates
     for agg in spec.aggregates:
         key = spec.agg_key(agg)

@@ -1,8 +1,9 @@
 """``Session``/``connect()`` - the one front door for every workload.
 
-A session owns a table catalog and default knobs (delta, algorithm, engine,
-seed) and hands out :class:`~repro.session.builder.QueryBuilder` objects from
-either front door::
+A session owns a :class:`~repro.catalog.Catalog` of named data sources and
+default knobs (delta, algorithm, engine, seed) and hands out
+:class:`~repro.session.builder.QueryBuilder` objects from either front
+door::
 
     import repro
 
@@ -22,13 +23,18 @@ either front door::
         "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier"
     ).run(seed=42)
 
-Tables can be registered from :class:`~repro.needletail.table.Table` objects,
-``{column: ndarray}`` dicts, or CSV files (:meth:`Session.register_csv`).
+Data enters through :meth:`Session.register_source` - any
+:class:`~repro.catalog.source.DataSource` plugs in: in-memory tables/dicts,
+chunked CSV files, Parquet (optional ``pyarrow`` extra), synthetic generator
+specs, streaming chunk iterators.  ``register``/``register_csv``/
+``register_flights`` are thin conveniences over the same call.  Sources are
+*lazy*: registering records metadata, the first query triggers the (cached)
+scan or population build, and WHERE predicates are pushed into the source
+scan so non-qualifying rows are filtered before they are materialized.
 """
 
 from __future__ import annotations
 
-import csv
 import dataclasses
 import os
 import threading
@@ -37,6 +43,15 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.catalog import (
+    Catalog,
+    CSVSource,
+    DataSource,
+    ParquetSource,
+    SourceInfo,
+    SyntheticSource,
+    TableSource,
+)
 from repro.needletail.table import Table
 from repro.query.ast import Query
 from repro.query.parser import parse_query
@@ -56,67 +71,36 @@ def load_csv_table(
     value_columns: Iterable[str] = (),
     delimiter: str = ",",
 ) -> Table:
-    """Load a CSV file into a :class:`~repro.needletail.table.Table`.
+    """Load a CSV file eagerly into a :class:`~repro.needletail.table.Table`.
 
-    Column typing: columns named in ``group_columns`` stay strings (group-by
-    keys), columns in ``value_columns`` must parse as floats (aggregation
-    targets), and everything else is auto-detected (float if every row
-    parses, string otherwise).
+    A convenience over :class:`~repro.catalog.CSVSource` (which is what
+    ``Session.register_csv`` uses - prefer that: it stays lazy and supports
+    predicate pushdown).  Column typing: columns named in ``group_columns``
+    stay strings (group-by keys), columns in ``value_columns`` must parse as
+    floats (aggregation targets), and everything else is auto-detected
+    (float if every row parses, string otherwise).  Duplicate header names
+    are rejected - the legacy loader silently let the last duplicate win.
 
     Args:
-        path: CSV file with a header row.
+        path: CSV file with a header row (UTF-8).
         name: table name; defaults to the file's stem.
         group_columns / value_columns: explicit typing overrides.
         delimiter: field separator.
     """
-    group_cols = set(group_columns)
-    value_cols = set(value_columns)
-    overlap = group_cols & value_cols
-    if overlap:
-        raise ValueError(f"columns marked both group and value: {sorted(overlap)}")
-    with open(path, newline="") as fh:
-        reader = csv.reader(fh, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path}: empty CSV (no header row)") from None
-        header = [h.strip() for h in header]
-        rows = [row for row in reader if row]
-    if not rows:
-        raise ValueError(f"{path}: CSV has a header but no data rows")
-    unknown = (group_cols | value_cols) - set(header)
-    if unknown:
-        raise KeyError(f"{path}: no such CSV columns: {sorted(unknown)}")
-    bad_widths = sorted({len(row) for row in rows if len(row) != len(header)})
-    if bad_widths:
-        count = sum(1 for row in rows if len(row) != len(header))
-        raise ValueError(
-            f"{path}: {count} row(s) have {bad_widths} fields, "
-            f"expected {len(header)}"
-        )
-
-    columns: dict[str, np.ndarray] = {}
-    for j, col_name in enumerate(header):
-        raw = np.array([row[j].strip() for row in rows], dtype=str)
-        if col_name in group_cols:
-            columns[col_name] = raw
-            continue
-        try:
-            as_float = raw.astype(np.float64)
-        except ValueError:
-            if col_name in value_cols:
-                raise ValueError(
-                    f"{path}: value column {col_name!r} has non-numeric entries"
-                ) from None
-            columns[col_name] = raw
-        else:
-            columns[col_name] = as_float
-    table_name = name if name is not None else os.path.splitext(os.path.basename(path))[0]
-    return Table.from_dict(table_name, columns)
+    source = CSVSource(
+        path,
+        group_columns=group_columns,
+        value_columns=value_columns,
+        delimiter=delimiter,
+    )
+    table_name = (
+        name if name is not None else os.path.splitext(os.path.basename(path))[0]
+    )
+    return source.to_table(table_name)
 
 
 class Session:
-    """A table catalog plus default query knobs.
+    """A data-source catalog plus default query knobs.
 
     All registration methods return the session, so setup chains::
 
@@ -141,7 +125,7 @@ class Session:
     ) -> None:
         if submit_workers is not None and int(submit_workers) < 1:
             raise ValueError(f"submit_workers must be >= 1, got {submit_workers}")
-        self._catalog: dict[str, Table] = {}
+        self._catalog = Catalog()
         self.delta = delta
         self.resolution = resolution
         self.algorithm = algorithm
@@ -159,23 +143,33 @@ class Session:
     @property
     def tables(self) -> list[str]:
         """Registered table names."""
-        return sorted(self._catalog)
+        return self._catalog.names
 
     @property
-    def catalog(self) -> dict[str, Table]:
-        """The live name -> Table mapping (shared, not a copy)."""
+    def catalog(self) -> Catalog:
+        """The live :class:`~repro.catalog.Catalog` (shared, not a copy)."""
         return self._catalog
 
-    def register(
-        self, name: str, data: Table | Mapping[str, np.ndarray]
-    ) -> "Session":
-        """Register a table under ``name`` (Table or {column: array} dict)."""
-        if isinstance(data, Table):
-            table = data
-        else:
-            table = Table.from_dict(name, dict(data))
-        self._catalog[name] = table
+    def register_source(self, name: str, source: DataSource) -> "Session":
+        """Register any :class:`DataSource` under ``name`` - the one real door.
+
+        Every other ``register_*`` method is a convenience shim over this.
+        """
+        if not isinstance(source, DataSource):
+            raise TypeError(
+                f"register_source needs a DataSource, got {type(source).__name__}; "
+                "use register() for tables and {column: array} dicts"
+            )
+        self._catalog.register(name, source)
         return self
+
+    def register(
+        self, name: str, data: DataSource | Table | Mapping[str, np.ndarray]
+    ) -> "Session":
+        """Register a table (Table, {column: array} dict, or any DataSource)."""
+        if isinstance(data, DataSource):
+            return self.register_source(name, data)
+        return self.register_source(name, TableSource(data, name=name))
 
     def register_csv(
         self,
@@ -185,24 +179,77 @@ class Session:
         group_columns: Iterable[str] = (),
         value_columns: Iterable[str] = (),
         delimiter: str = ",",
+        chunk_rows: int | None = None,
     ) -> "Session":
-        """Load a CSV file and register it (see :func:`load_csv_table`)."""
-        table = load_csv_table(
+        """Register a CSV file as a lazy chunked source.
+
+        Compat shim over ``register_source(name, CSVSource(...))``.  The
+        file is *not* materialized here: registration runs only the bounded
+        schema-inference pass (so malformed files - duplicate headers,
+        ragged rows, non-numeric value columns - fail fast, exactly like the
+        old eager loader), and queries stream it chunk-by-chunk with WHERE
+        pushed into the scan.
+        """
+        kwargs = {} if chunk_rows is None else {"chunk_rows": chunk_rows}
+        source = CSVSource(
             path,
-            name,
             group_columns=group_columns,
             value_columns=value_columns,
             delimiter=delimiter,
+            **kwargs,
         )
-        return self.register(name, table)
+        source.schema()  # surface file/typing errors at registration time
+        return self.register_source(name, source)
+
+    def register_parquet(
+        self, name: str, path: str | os.PathLike, *, batch_rows: int | None = None
+    ) -> "Session":
+        """Register a Parquet file (needs the optional ``pyarrow`` extra)."""
+        kwargs = {} if batch_rows is None else {"batch_rows": batch_rows}
+        return self.register_source(name, ParquetSource(path, **kwargs))
 
     def register_flights(
         self, name: str = "flights", *, rows: int = 100_000, seed: int | None = 0
     ) -> "Session":
-        """Register the synthetic flights table (the paper's workload)."""
+        """Register the synthetic flights table (the paper's workload).
+
+        Compat shim over ``register_source`` with an in-memory source built
+        from :func:`repro.data.flights.make_flights_table`.
+        """
         from repro.data.flights import make_flights_table
 
         return self.register(name, make_flights_table(num_rows=rows, seed=seed))
+
+    def register_synthetic(
+        self,
+        name: str,
+        family: str,
+        *,
+        group_column: str = "g",
+        value_column: str = "value",
+        **params,
+    ) -> "Session":
+        """Register a synthetic generator spec (see
+        :data:`repro.data.synthetic.SYNTHETIC_FAMILIES`) as a relation."""
+        return self.register_source(
+            name,
+            SyntheticSource(
+                family, group_column=group_column, value_column=value_column, **params
+            ),
+        )
+
+    def describe_table(self, name: str) -> SourceInfo:
+        """Schema, source kind, and cached-build status for one table."""
+        return self._catalog.describe(name)
+
+    def invalidate(self, name: str) -> "Session":
+        """Drop a table's cached builds; the next query re-reads the source.
+
+        Use after the data behind a cacheable source changed (a CSV file
+        rewritten on disk, a replayable iterator whose data moved on).
+        """
+        self._catalog.invalidate(name)
+        return self
 
     # -- front doors --------------------------------------------------------
 
@@ -210,6 +257,7 @@ class Session:
         return QueryBuilder(
             _session=self,
             _table=table,
+            _schema=self._catalog.schema(table) if table in self._catalog else None,
             _guarantee=GuaranteeSpec(delta=self.delta, resolution=self.resolution),
             _algorithm=self.algorithm,
             _engine=self.engine,
@@ -218,7 +266,11 @@ class Session:
         )
 
     def table(self, name: str) -> QueryBuilder:
-        """Start a fluent query over a registered table."""
+        """Start a fluent query over a registered table.
+
+        The builder carries the table's schema, so bad column names and type
+        mismatches raise right where you type them, not deep in the planner.
+        """
         if name not in self._catalog:
             raise KeyError(f"unknown table {name!r}; registered: {self.tables}")
         return self._builder(name)
@@ -307,7 +359,7 @@ class Session:
         spec = self._lower(what)
         if spec.table not in self._catalog:
             raise KeyError(f"unknown table {spec.table!r}; registered: {self.tables}")
-        catalog = dict(self._catalog)
+        catalog = self._catalog.snapshot()
         resolved_seed = seed if seed is not None else self.seed
         return self._submit_pool().submit(
             execute_spec,

@@ -187,6 +187,23 @@ class QuerySpec:
     def avg_aggregates(self) -> tuple[Aggregate, ...]:
         return tuple(a for a in self.aggregates if a.func == "AVG")
 
+    def scan_columns(self) -> tuple[str, ...]:
+        """Every source column this query touches, in first-use order.
+
+        Group-by keys, aggregate targets (``COUNT(*)`` touches none), and
+        WHERE columns - the projection a :class:`~repro.catalog.source.DataSource`
+        scan needs to answer the query.  Used by the planner's population
+        builds (scan only these, never the full relation) and surfaced by
+        ``explain()``.
+        """
+        from repro.query.predicates import predicate_columns
+
+        cols = list(self.group_by)
+        cols += [a.column for a in self.aggregates if a.column != "*"]
+        if self.where is not None:
+            cols += sorted(predicate_columns(self.where))
+        return tuple(dict.fromkeys(cols))
+
     def agg_key(self, agg: Aggregate) -> str:
         """Canonical result key for one aggregate, e.g. ``"AVG(delay)"``."""
         return f"{agg.func}({agg.column})"

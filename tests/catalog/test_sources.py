@@ -1,0 +1,282 @@
+"""DataSource contract: schemas, scans, pruning, pushdown, laziness."""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    IteratorSource,
+    Schema,
+    SyntheticSource,
+    TableSource,
+)
+from repro.catalog.schema import ColumnSchema
+from repro.needletail.table import Table
+from repro.query.parser import parse_predicate
+
+
+@pytest.fixture()
+def data() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    n = 1000
+    return {
+        "g": rng.choice(["a", "b", "c"], size=n),
+        "y": rng.uniform(0, 100, size=n),
+        "year": rng.integers(2000, 2010, size=n).astype(np.float64),
+    }
+
+
+class TestSchema:
+    def test_from_arrays_kinds(self, data):
+        schema = Schema.from_arrays(data)
+        assert schema.names == ["g", "y", "year"]
+        assert not schema.is_numeric("g")
+        assert schema.is_numeric("y") and schema.is_numeric("year")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([ColumnSchema("x", "numeric"), ColumnSchema("x", "string")])
+
+    def test_unknown_column(self, data):
+        with pytest.raises(KeyError, match="no such column"):
+            Schema.from_arrays(data).column("bogus")
+
+    def test_predicate_type_check(self, data):
+        schema = Schema.from_arrays(data)
+        schema.check_predicate(parse_predicate("year >= 2005"), "t")
+        schema.check_predicate(parse_predicate("g = 'a' OR y < 3"), "t")
+        with pytest.raises(TypeError, match="string literal"):
+            schema.check_predicate(parse_predicate("year >= 'old'"), "t")
+        with pytest.raises(TypeError, match="string literal"):
+            schema.check_predicate(parse_predicate("y IN ('a', 'b')"), "t")
+        with pytest.raises(KeyError, match="unknown"):
+            schema.check_predicate(parse_predicate("bogus = 1"), "t")
+
+
+class TestTableSource:
+    def test_scan_whole_table_single_chunk(self, data):
+        source = TableSource(data, name="t")
+        chunks = list(source.scan())
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0]["y"], data["y"])
+
+    def test_scan_prunes_columns(self, data):
+        chunks = list(TableSource(data, name="t").scan(columns=("g",)))
+        assert set(chunks[0]) == {"g"}
+
+    def test_scan_unknown_column(self, data):
+        with pytest.raises(KeyError):
+            list(TableSource(data, name="t").scan(columns=("bogus",)))
+
+    def test_chunked_scan_roundtrips(self, data):
+        source = TableSource(data, name="t", chunk_rows=137)
+        chunks = list(source.scan(columns=("y",)))
+        assert len(chunks) == int(np.ceil(1000 / 137))
+        np.testing.assert_array_equal(
+            np.concatenate([c["y"] for c in chunks]), data["y"]
+        )
+
+    def test_predicate_pushdown_masks_chunks(self, data):
+        pred = parse_predicate("year >= 2005")
+        source = TableSource(data, name="t", chunk_rows=100)
+        got = np.concatenate([c["y"] for c in source.scan(("y",), pred)])
+        np.testing.assert_array_equal(got, data["y"][data["year"] >= 2005])
+
+    def test_predicate_column_not_in_projection(self, data):
+        # "year" is only in the WHERE clause; it must be read but not returned.
+        pred = parse_predicate("year < 2003")
+        chunks = list(TableSource(data, name="t").scan(("g", "y"), pred))
+        assert set(chunks[0]) == {"g", "y"}
+
+    def test_row_count_hint(self, data):
+        assert TableSource(data, name="t").row_count_hint() == 1000
+
+    def test_wrapped_table_is_shared(self, data):
+        table = Table.from_dict("t", data)
+        assert TableSource(table).table is table
+        assert TableSource(table).to_table("t") is table
+
+
+class _TrackedChunk(dict):
+    """Weakref-able chunk dict, so tests can watch chunk lifetimes."""
+
+
+class TestIteratorSource:
+    def _factory(self, refs, stale, chunks=5, rows=50):
+        def produce():
+            rng = np.random.default_rng(7)
+            for i in range(chunks):
+                chunk = _TrackedChunk(
+                    g=rng.choice(["a", "b"], size=rows),
+                    y=rng.uniform(0, 100, size=rows),
+                )
+                # With the new chunk in hand, every previously produced one
+                # must already be dead: consumers may not accumulate chunks.
+                alive = sum(1 for r in refs if r() is not None)
+                stale[0] = max(stale[0], alive)
+                refs.append(weakref.ref(chunk))
+                yield chunk
+
+        return produce
+
+    def test_schema_inferred_from_first_chunk(self):
+        source = IteratorSource(self._factory([], [0]))
+        assert source.schema().names == ["g", "y"]
+        assert source.schema().is_numeric("y")
+
+    def test_scan_is_repeatable(self):
+        source = IteratorSource(self._factory([], [0]))
+        first = np.concatenate([c["y"] for c in source.scan(("y",))])
+        second = np.concatenate([c["y"] for c in source.scan(("y",))])
+        np.testing.assert_array_equal(first, second)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError, match="factory"):
+            IteratorSource([{"g": np.array(["a"])}])
+
+    def test_chunks_coerced_to_schema_kind(self):
+        """A string-typed chunk in a numeric column must filter numerically.
+
+        Regression: without per-chunk coercion, WHERE 'v > 5' compared the
+        second chunk lexicographically ('10' > '5' is False) and silently
+        dropped qualifying rows.
+        """
+        def factory():
+            yield {"g": np.array(["a"] * 3), "v": np.array([1.0, 6.0, 10.0])}
+            yield {"g": np.array(["a"] * 3), "v": np.array(["1", "6", "10"])}
+
+        source = IteratorSource(factory)
+        got = np.concatenate(
+            [c["v"] for c in source.scan(("v",), parse_predicate("v > 5"))]
+        )
+        np.testing.assert_array_equal(got, [6.0, 10.0, 6.0, 10.0])
+
+    def test_unparseable_numeric_chunk_raises(self):
+        def factory():
+            yield {"v": np.array([1.0, 2.0])}
+            yield {"v": np.array(["oops"])}
+
+        source = IteratorSource(factory)
+        with pytest.raises(ValueError, match="unparseable"):
+            list(source.scan(("v",)))
+
+    def test_shared_iterator_factory_rejected(self):
+        """Regression: `lambda: gen` passes the callable guard but would make
+        the second scan silently resume a half-consumed stream - groups in
+        already-consumed chunks would vanish from results with no error."""
+
+        def gen():
+            yield {"g": np.array(["a"] * 10), "y": np.arange(10.0)}
+            yield {"g": np.array(["b"] * 10), "y": np.arange(10.0)}
+
+        shared = gen()
+        source = IteratorSource(lambda: shared)
+        source.schema()  # consumes chunk 1 of the shared iterator
+        with pytest.raises(TypeError, match="same iterator"):
+            list(source.scan())
+
+    def test_chunk_missing_column(self):
+        # declared schema promises "y", but the stream's chunks lack it
+        schema = Schema(
+            [ColumnSchema("g", "string"), ColumnSchema("y", "numeric")]
+        )
+        source = IteratorSource(
+            lambda: iter([_TrackedChunk(g=np.array(["a"]))]), schema=schema
+        )
+        with pytest.raises(KeyError, match="missing columns"):
+            list(source.scan(("g", "y")))
+
+    def test_only_one_chunk_alive_during_filtered_scan(self):
+        """The laziness contract: scans never accumulate raw chunks.
+
+        The factory records, at each chunk it is asked to produce, how many
+        previously produced chunks are still alive (weakrefs).  Consuming a
+        filtered scan with the streaming pattern must keep that at one.
+        """
+        refs: list = []
+        stale = [0]
+        source = IteratorSource(self._factory(refs, stale, chunks=8))
+        pred = parse_predicate("y >= 50")
+        total = 0
+        it = source.scan(("g", "y"), pred)
+        while True:
+            try:
+                chunk = next(it)
+            except StopIteration:
+                break
+            total += len(chunk["y"])
+            del chunk
+        assert total > 0
+        assert len(refs) > 8  # schema-inference scan + the filtered scan
+        assert stale[0] == 0, f"{stale[0]} previous raw chunks still alive"
+
+
+class TestSyntheticSource:
+    def test_virtual_population_flows_through(self):
+        source = SyntheticSource("mixture", k=4, total_size=100_000, seed=1)
+        pop = source.population("g", "value", None, None)
+        assert pop.k == 4 and pop.total_size == 100_000
+        assert source.row_count_hint() == 100_000
+        assert not source.materialized
+
+    def test_row_count_hint_does_not_build(self):
+        """The hint contract: metadata questions never generate the data."""
+        calls = [0]
+
+        def factory(total_size=0):
+            calls[0] += 1
+            from repro.data.synthetic import make_mixture_dataset
+
+            return make_mixture_dataset(k=2, total_size=total_size, seed=0)
+
+        source = SyntheticSource(factory, total_size=5_000)
+        assert source.row_count_hint() == 5_000
+        assert calls[0] == 0  # describe/tables stay metadata-only
+        assert source.build().total_size == 5_000
+        assert calls[0] == 1
+
+    def test_population_build_is_cached(self):
+        source = SyntheticSource("mixture", k=3, total_size=1000, seed=1)
+        assert source.build() is source.build()
+
+    def test_schema_names(self):
+        source = SyntheticSource("bernoulli", group_column="grp", value_column="v")
+        assert source.schema().names == ["grp", "v"]
+
+    def test_virtual_scan_rejected(self):
+        source = SyntheticSource("mixture", k=2, total_size=1000, seed=0)
+        with pytest.raises(ValueError, match="virtual"):
+            list(source.scan())
+        with pytest.raises(ValueError, match="virtual"):
+            source.to_table("t")
+
+    def test_virtual_where_rejected(self):
+        source = SyntheticSource("mixture", k=2, total_size=1000, seed=0)
+        with pytest.raises(ValueError, match="WHERE"):
+            source.population("g", "value", parse_predicate("value > 1"), None)
+
+    def test_materialized_scan(self):
+        source = SyntheticSource(
+            "truncnorm", k=3, total_size=600, seed=2, materialize=True
+        )
+        assert source.materialized
+        chunks = list(source.scan())
+        assert sum(len(c["value"]) for c in chunks) == 600
+        assert set(np.concatenate([c["g"] for c in chunks])) == {"g0", "g1", "g2"}
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown synthetic family"):
+            SyntheticSource("bogus")
+
+    def test_column_mismatch(self):
+        source = SyntheticSource("mixture", k=2, total_size=1000, seed=0)
+        with pytest.raises(KeyError, match="exposes columns"):
+            source.population("other", "value", None, None)
+
+    def test_value_bound_override(self):
+        source = SyntheticSource("mixture", k=2, total_size=1000, seed=0)
+        pop = source.population("g", "value", None, 250.0)
+        assert pop.c == 250.0

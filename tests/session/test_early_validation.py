@@ -1,0 +1,117 @@
+"""Schema-threaded builders: shape errors raise where they are typed.
+
+Before the catalog redesign a typo'd column or a string-typed AVG target
+survived all the way into the planner (or the engine build); builders now
+carry the table's schema, so the failing *call* raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.session import avg, connect, total
+
+
+@pytest.fixture()
+def session():
+    rng = np.random.default_rng(2)
+    n = 500
+    return connect().register(
+        "t",
+        {
+            "g": rng.choice(["a", "b"], size=n),
+            "y": rng.uniform(0, 100, size=n),
+            "note": rng.choice(["x", "y"], size=n),
+        },
+    )
+
+
+class TestEarlyErrors:
+    def test_group_by_unknown_column(self, session):
+        with pytest.raises(KeyError, match="GROUP BY column 'bogus'"):
+            session.table("t").group_by("bogus")
+
+    def test_agg_unknown_column(self, session):
+        with pytest.raises(KeyError, match="aggregate column 'bogus'"):
+            session.table("t").agg(avg("bogus"))
+
+    def test_avg_over_string_column(self, session):
+        with pytest.raises(TypeError, match="not numeric"):
+            session.table("t").agg(avg("note"))
+
+    def test_sum_over_string_column(self, session):
+        with pytest.raises(TypeError, match="not numeric"):
+            session.table("t").agg(total("note"))
+
+    def test_count_star_always_fine(self, session):
+        session.table("t").group_by("g").agg("COUNT(*)")  # no raise
+
+    def test_where_unknown_column(self, session):
+        with pytest.raises(KeyError, match="unknown columns"):
+            session.table("t").where("bogus > 3")
+
+    def test_where_type_mismatch(self, session):
+        with pytest.raises(TypeError, match="string literal"):
+            session.table("t").where("y = 'fast'")
+
+    def test_bool_column_is_numeric_end_to_end(self):
+        """Validation and the runtime kernel agree that bool is numeric:
+        a query the schema accepts must not crash mid-scan (regression)."""
+        rng = np.random.default_rng(4)
+        n = 400
+        session = connect(engine="memory").register(
+            "t",
+            {
+                "g": rng.choice(["a", "b"], size=n),
+                "flag": rng.integers(0, 2, size=n).astype(bool),
+                "y": rng.uniform(0, 100, size=n),
+            },
+        )
+        res = (
+            session.table("t").where("flag = 1").group_by("g")
+            .agg("COUNT(*)").run()
+        )
+        assert sum(res.estimates().values()) > 0
+        with pytest.raises(TypeError, match="string literal"):
+            session.table("t").where("flag = 'yes'")
+
+    def test_errors_raise_at_the_call_not_at_run(self, session):
+        builder = session.table("t").group_by("g")
+        try:
+            builder.agg(avg("bogus"))
+        except KeyError:
+            pass
+        # the original builder is untouched (immutability) and still runs
+        result = builder.agg(avg("y")).run(seed=1)
+        assert result.labels == ["a", "b"]
+
+
+class TestPlannerStillValidates:
+    """Specs that bypass the builder (raw SQL specs, dict catalogs) still
+    get the same checks from the planner."""
+
+    def test_sql_on_unknown_table_fails_at_run(self, session):
+        builder = session.sql("SELECT g, AVG(y) FROM nope GROUP BY g")
+        with pytest.raises(KeyError, match="unknown table"):
+            builder.run(seed=1)
+
+    def test_planner_rejects_string_avg(self, session):
+        from repro.session import execute_spec
+        from repro.session.spec import QuerySpec
+        from repro.query.ast import Aggregate
+
+        spec = QuerySpec(
+            table="t", group_by=("g",), aggregates=(Aggregate("AVG", "note"),)
+        )
+        with pytest.raises(TypeError, match="not numeric"):
+            execute_spec(spec, session.catalog, seed=0)
+
+    def test_planner_rejects_predicate_type_mismatch(self, session):
+        with pytest.raises(TypeError, match="string literal"):
+            session.execute("SELECT g, AVG(y) FROM t WHERE y = 'slow' GROUP BY g")
+
+    def test_sql_builder_carries_schema_for_later_chaining(self, session):
+        builder = session.sql("SELECT g, AVG(y) FROM t GROUP BY g")
+        with pytest.raises(KeyError, match="unknown columns"):
+            builder.where("bogus = 1")

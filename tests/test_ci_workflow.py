@@ -56,6 +56,28 @@ def test_matrix_covers_three_python_versions(workflow):
     assert all(isinstance(v, str) for v in versions)
 
 
+def test_one_matrix_leg_requires_pyarrow(workflow):
+    """Exactly one extra leg installs the arrow extra and demands pyarrow.
+
+    The base matrix must stay pyarrow-free (the Parquet tests skip there);
+    the include leg flips REPRO_REQUIRE_PYARROW so tests/catalog/test_parquet.py
+    *fails* instead of skipping if the extra did not install.
+    """
+    job = workflow["jobs"]["tests"]
+    matrix = job["strategy"]["matrix"]
+    assert matrix["extras"] == ["dev"], "base matrix legs must not pull pyarrow"
+    arrow_legs = [
+        inc for inc in matrix.get("include", []) if "arrow" in inc.get("extras", "")
+    ]
+    assert len(arrow_legs) == 1, "want exactly one pyarrow matrix leg"
+    # The install step derives from matrix.extras, so the arrow leg installs it.
+    install = " ".join(step.get("run", "") for step in job["steps"])
+    assert "matrix.extras" in install
+    # The flag is wired through the job env from the same matrix variable.
+    assert "REPRO_REQUIRE_PYARROW" in job.get("env", {})
+    assert "arrow" in str(job["env"]["REPRO_REQUIRE_PYARROW"])
+
+
 def test_setup_python_steps_cache_pip(workflow):
     setup_steps = [
         step

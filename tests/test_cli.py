@@ -114,6 +114,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "streaming partial results" in out and "[1/" in out
 
+    def test_tables_default_flights(self, capsys):
+        assert main(["tables", "--rows", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "flights" in out and "memory" in out
+        assert "carrier:str" in out and "arrival_delay:num" in out
+
+    def test_tables_with_csv(self, capsys, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text("city,delay\nNYC,10\nLA,30\n")
+        assert main(["tables", "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trips" in out and "csv" in out and "city:str" in out
+        # row counts come from the schema pass, not a materialization
+        assert "2" in out
+
+    def test_tables_named_registration(self, capsys, tmp_path):
+        path = tmp_path / "whatever.csv"
+        path.write_text("a,b\nx,1\n")
+        assert main(["tables", "--csv", f"mytable={path}"]) == 0
+        assert "mytable" in capsys.readouterr().out
+
+    def test_describe_table(self, capsys):
+        assert main(["describe", "flights", "--rows", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "kind: memory" in out
+        assert "carrier" in out and "string" in out and "numeric" in out
+        assert "cached populations: none" in out
+
+    def test_describe_unknown_table(self, capsys):
+        assert main(["describe", "nope", "--rows", "5000"]) == 2
+        assert "unknown table" in capsys.readouterr().err
+
+    def test_describe_csv(self, capsys, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text("city,delay\nNYC,10\nLA,30\n")
+        assert main(["describe", "trips", "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kind: csv" in out and "delay" in out
+
     def test_experiments_registry_complete(self):
         # Every figure/table of the paper has a CLI entry.
         for expected in (

@@ -1,0 +1,194 @@
+"""Elapsed-wall-clock scaling of the process shard executor (ISSUE 5).
+
+Unlike ``bench_micro_sharded.py`` - whose thread fan-out can only claim the
+per-shard thread-CPU *critical path*, because the GIL serializes the Python
+half of every draw - the process executor is measured in honest **elapsed
+seconds**: the 512 x 1000 fused draw over the k=1000 materialized mixture,
+at shards 1/2/4, thread vs process.  On a >=4-core machine the shards=4
+process draw must beat the shards=1 process draw by ``scaling_x >= 1.5``
+elapsed (the acceptance bar); on 1-2-core CI boxes the gate test skips -
+the numbers still export so the committed BENCH_micro.json carries the
+trajectory from whatever machine recorded it.
+
+All ops in this file export with ``"guard": false``: their medians measure
+machine topology (core count, spawn cost, pipe latency), so
+``scripts/check_bench.py`` must never treat them as regression evidence.
+
+Export with ``python -m repro bench-export`` (writes BENCH_micro.json).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_mixture_dataset
+from repro.engines.memory import InMemoryEngine
+from repro.engines.sharded import ShardedEngine
+
+_K_LARGE = 1000
+_DRAW_ROUNDS = 512
+_REPS = 5
+
+
+def _usable_cpus() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the host, ignoring affinity masks and cgroup
+    pinning - a containerized runner on a 64-core host pinned to 2 CPUs must
+    still skip the scaling gate.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@lru_cache(maxsize=1)
+def _k1000_population():
+    return make_mixture_dataset(
+        k=_K_LARGE, total_size=1_000_000, seed=31, materialize=True
+    )
+
+
+@lru_cache(maxsize=None)
+def _elapsed_seconds(executor: str, shards: int, reps: int = _REPS) -> float:
+    """Median elapsed seconds of the 512 x 1000 fused draw."""
+    engine = ShardedEngine(
+        InMemoryEngine(_k1000_population()), shards=shards, executor=executor
+    )
+    gids = np.arange(_K_LARGE)
+    times: list[float] = []
+    try:
+        for rep in range(reps):
+            run = engine.open_run(seed=100 + rep)
+            run.draw_block(gids, 1)  # materialize permutations off the clock
+            t0 = time.perf_counter()
+            run.draw_block(gids, _DRAW_ROUNDS)
+            times.append(time.perf_counter() - t0)
+    finally:
+        engine.close()
+    return float(np.median(times))
+
+
+def test_bench_procpool_draw_smoke(benchmark):
+    """Light sanity case (runs in --smoke): a 2-shard process engine merges
+    bit-identically to the plain engine on a small draw."""
+    population = make_mixture_dataset(k=16, total_size=16_000, seed=9, materialize=True)
+    plain = InMemoryEngine(population)
+    engine = ShardedEngine(InMemoryEngine(population), shards=2, executor="process")
+    gids = np.arange(16)
+
+    def setup():
+        run = engine.open_run(seed=2)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, 64), setup=setup, rounds=3, iterations=1
+    )
+    benchmark.extra_info["k"] = 16
+    benchmark.extra_info["shards"] = 2
+    benchmark.extra_info["executor"] = "process"
+    benchmark.extra_info["guard"] = False
+    plain_run = plain.open_run(seed=2)
+    plain_run.draw_block(gids, 1)
+    assert np.array_equal(out, plain_run.draw_block(gids, 64))
+    engine.close()
+
+
+@pytest.mark.bench
+def test_bench_procpool_draw_k1000(benchmark):
+    """The headline op: shards=4 process draw, with the full elapsed matrix.
+
+    ``extra_info`` carries elapsed medians for every (executor, shards)
+    combination plus ``scaling_x`` (process shards=1 elapsed / shards=4
+    elapsed) and the recording machine's core count; the >=1.5 acceptance
+    gate lives in :func:`test_procpool_elapsed_scaling_gate` so single-core
+    CI skips the criterion without losing the exported numbers.
+    """
+    matrix = {
+        f"elapsed_{executor}_s{shards}": _elapsed_seconds(executor, shards)
+        for executor in ("thread", "process")
+        for shards in (1, 2, 4)
+    }
+    engine = ShardedEngine(
+        InMemoryEngine(_k1000_population()), shards=4, executor="process"
+    )
+    gids = np.arange(_K_LARGE)
+
+    def setup():
+        run = engine.open_run(seed=1)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, _DRAW_ROUNDS),
+        setup=setup,
+        rounds=_REPS,
+        iterations=1,
+    )
+    engine.close()
+    benchmark.extra_info["k"] = _K_LARGE
+    benchmark.extra_info["shards"] = 4
+    benchmark.extra_info["executor"] = "process"
+    benchmark.extra_info["draw_rounds"] = _DRAW_ROUNDS
+    benchmark.extra_info["cpu_count"] = _usable_cpus()
+    benchmark.extra_info["guard"] = False
+    benchmark.extra_info.update({k: round(v, 6) for k, v in matrix.items()})
+    benchmark.extra_info["scaling_x"] = round(
+        matrix["elapsed_process_s1"] / matrix["elapsed_process_s4"], 2
+    )
+    assert out.shape == (_DRAW_ROUNDS, _K_LARGE)
+
+
+@pytest.mark.bench
+def test_bench_procpool_draw_thread_k1000(benchmark):
+    """The same elapsed draw through the thread executor, for the table."""
+    engine = ShardedEngine(
+        InMemoryEngine(_k1000_population()), shards=4, executor="thread"
+    )
+    gids = np.arange(_K_LARGE)
+
+    def setup():
+        run = engine.open_run(seed=1)
+        run.draw_block(gids, 1)
+        return (run,), {}
+
+    out = benchmark.pedantic(
+        lambda run: run.draw_block(gids, _DRAW_ROUNDS),
+        setup=setup,
+        rounds=_REPS,
+        iterations=1,
+    )
+    engine.close()
+    benchmark.extra_info["k"] = _K_LARGE
+    benchmark.extra_info["shards"] = 4
+    benchmark.extra_info["executor"] = "thread"
+    benchmark.extra_info["guard"] = False
+    assert out.shape == (_DRAW_ROUNDS, _K_LARGE)
+
+
+@pytest.mark.bench
+def test_procpool_elapsed_scaling_gate():
+    """Elapsed scaling_x >= 1.5 at shards=4 - the ISSUE 5 acceptance bar.
+
+    Skip-not-fail below 4 cores: a 1- or 2-vCPU CI runner physically cannot
+    express a 4-way elapsed speedup, so the criterion only arms where the
+    hardware can satisfy it.
+    """
+    cpus = _usable_cpus()
+    if cpus < 4:
+        pytest.skip(
+            f"elapsed-scaling gate needs >= 4 cores, found {cpus}; the "
+            "measurements still export via test_bench_procpool_draw_k1000"
+        )
+    scaling = _elapsed_seconds("process", 1) / _elapsed_seconds("process", 4)
+    assert scaling >= 1.5, (
+        f"process shards=4 elapsed is only {scaling:.2f}x better than "
+        "shards=1; expected >= 1.5x on a >= 4-core machine"
+    )

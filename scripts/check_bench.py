@@ -12,6 +12,12 @@ Ops absent on either side are skipped with a notice - the smoke export only
 runs the light subset, and newly added ops have no baseline yet - so the
 guard never blocks on coverage differences, only on regressions.
 
+Entries carrying ``"guard": false`` are excluded entirely (from both the
+comparisons and the machine-factor calibration): benchmarks whose medians
+measure *machine topology* rather than code - e.g. the process-executor
+elapsed-scaling ops, which swing with the runner's core count - export their
+trajectory into BENCH_micro.json without ever arming the guard.
+
 Baselines are committed from one developer machine, but CI runs on shared
 runners with different (and noisy) single-thread speed.  To keep the guard
 meaningful across machines, when enough ops are shared
@@ -38,13 +44,20 @@ _CALIBRATE_MIN_OPS = 5
 
 
 def load_entries(path: Path) -> dict[str, float]:
-    """Map op name -> median seconds, dropping malformed or non-positive rows."""
+    """Map op name -> median seconds, dropping malformed or non-positive rows.
+
+    Rows flagged ``"guard": false`` (machine-topology-dependent ops, e.g.
+    process-executor elapsed scaling) are dropped too - they are trajectory
+    data, never regression evidence.
+    """
     data = json.loads(path.read_text())
     entries: dict[str, float] = {}
     for entry in data.get("entries", []):
         op = entry.get("op")
         median = entry.get("median_seconds")
         if not op or not isinstance(median, (int, float)) or median <= 0:
+            continue
+        if entry.get("guard") is False:
             continue
         entries[str(op)] = float(median)
     return entries

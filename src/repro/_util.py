@@ -13,6 +13,8 @@ import numpy as np
 
 __all__ = [
     "spawn_group_rngs",
+    "spawn_group_seed_seqs",
+    "rngs_from_seed_seqs",
     "as_rng",
     "check_probability",
     "check_positive",
@@ -27,6 +29,34 @@ def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_group_seed_seqs(
+    seed: int | np.random.Generator | None, k: int
+) -> list[np.random.SeedSequence]:
+    """Spawn ``k`` independent per-group ``SeedSequence`` children.
+
+    This is the seed half of :func:`spawn_group_rngs`, split out so the
+    process-parallel shard executor can ship the (picklable) children to
+    worker processes and rebuild *the same* per-group streams in-worker.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    root = as_rng(seed)
+    return root.bit_generator.seed_seq.spawn(k)  # type: ignore[union-attr]
+
+
+def rngs_from_seed_seqs(
+    seed_seqs: list[np.random.SeedSequence],
+) -> list[np.random.Generator]:
+    """Per-group Generators from spawned children - THE stream construction.
+
+    Every consumer (plain engines, thread shards in-process, process-shard
+    workers rebuilding streams from pickled children) must build generators
+    through this one function: the bit-generator choice is the determinism
+    contract, and two copies of this expression could silently drift.
+    """
+    return [np.random.Generator(np.random.PCG64(s)) for s in seed_seqs]
+
+
 def spawn_group_rngs(seed: int | np.random.Generator | None, k: int) -> list[np.random.Generator]:
     """Create ``k`` independent random streams, one per group.
 
@@ -34,11 +64,7 @@ def spawn_group_rngs(seed: int | np.random.Generator | None, k: int) -> list[np.
     reproducible from one integer seed, yet each group's draw sequence is
     independent of how draws to other groups are interleaved.
     """
-    if k < 0:
-        raise ValueError(f"k must be >= 0, got {k}")
-    root = as_rng(seed)
-    seeds = root.bit_generator.seed_seq.spawn(k)  # type: ignore[union-attr]
-    return [np.random.Generator(np.random.PCG64(s)) for s in seeds]
+    return rngs_from_seed_seqs(spawn_group_seed_seqs(seed, k))
 
 
 def check_probability(value: float, name: str) -> float:

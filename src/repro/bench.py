@@ -25,6 +25,7 @@ MICRO_BENCH_FILES = (
     "benchmarks/bench_micro_core.py",
     "benchmarks/bench_micro_bitmap.py",
     "benchmarks/bench_micro_sharded.py",
+    "benchmarks/bench_micro_procpool.py",
 )
 
 

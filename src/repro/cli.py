@@ -11,7 +11,8 @@ Usage::
     python -m repro query "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier" \
         [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0] \
         [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
-        [--engine needletail|memory|noindex] [--shards 4] [--workers 4] [--stream]
+        [--engine needletail|memory|noindex] [--shards 4] [--workers 4] \
+        [--executor thread|process] [--stream]
 
 ``query`` goes through the Session API.  By default it runs against a freshly
 synthesized flights table (the offline stand-in for the paper's dataset); with
@@ -154,6 +155,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         seed=args.seed,
         shards=args.shards,
         max_workers=args.workers,
+        executor=args.executor,
     )
     if args.csv:
         session.register_csv(
@@ -377,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--workers", type=int, default=None,
                      help="thread-pool width for the shard fan-out "
                      "(default: one worker per shard)")
+    qry.add_argument("--executor", choices=("thread", "process"), default="thread",
+                     help="shard fan-out executor: 'thread' (in-process) or "
+                     "'process' (one worker process per shard over shared "
+                     "memory; falls back to threads, with a caveat, when the "
+                     "data cannot cross the process boundary)")
     qry.add_argument("--max-samples", type=int, default=None,
                      help="cap total tuples for --engine noindex (skewed tables "
                      "with conflicting groups may otherwise sample unboundedly; "

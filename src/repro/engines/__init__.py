@@ -9,7 +9,12 @@ from repro.engines.base import (
 )
 from repro.engines.memory import InMemoryEngine
 from repro.engines.partition import hash_partition, partition_groups, range_partition
-from repro.engines.sharded import ShardedEngine, ShardedRun
+from repro.engines.sharded import (
+    SHARD_EXECUTORS,
+    ProcessShardedRun,
+    ShardedEngine,
+    ShardedRun,
+)
 
 __all__ = [
     "CostModel",
@@ -18,8 +23,10 @@ __all__ = [
     "RunStats",
     "SamplingEngine",
     "InMemoryEngine",
+    "SHARD_EXECUTORS",
     "ShardedEngine",
     "ShardedRun",
+    "ProcessShardedRun",
     "partition_groups",
     "range_partition",
     "hash_partition",

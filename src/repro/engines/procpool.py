@@ -1,0 +1,380 @@
+"""Process-backed shard execution: persistent spawn workers over shared memory.
+
+:class:`ProcessShardPool` is the muscle behind
+``ShardedEngine(executor="process")``: one persistent worker process per
+non-empty shard (``spawn`` context - no inherited state, identical semantics
+on every platform), each owning its shard's
+:class:`~repro.engines.base.EngineRun` and fused block kernels over a
+sub-population rebuilt zero-copy from shared-memory segments
+(:mod:`repro.engines.shm`).  The parent never ships data - only tiny
+``(command, gids, count)`` tuples travel down each worker's pipe, and result
+matrices come back through a preallocated per-worker shared output buffer
+(grown geometrically, parent-owned), so a fused draw moves exactly one
+``(count, m)`` float64 block through memory, not through pickle.
+
+Determinism: workers rebuild per-group RNG streams from the *same*
+``SeedSequence`` children the thread executor (and the plain engines) spawn
+(:func:`repro._util.spawn_group_seed_seqs`), in the same gid order, so the
+PR-3 shard-merge contract holds verbatim - asserted by running the sharded
+determinism test matrix against ``executor="process"``.
+
+Lifecycle: the pool owns every segment it created and each worker process.
+``shutdown()`` stops workers (terminating any that will not exit, e.g. after
+a crash) and releases each owned segment exactly once through the
+:class:`~repro.engines.shm.ShmRegistry`; a worker that died mid-run surfaces
+as ``WorkerCrashed`` on the next command, and shutdown still reclaims every
+segment (asserted by the kill-the-worker test).
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import threading
+import time
+import traceback
+
+import numpy as np
+
+from repro.engines.shm import REGISTRY, SharedArrayRef, ShardPayload, build_shard_payloads
+
+__all__ = ["ProcessShardPool", "WorkerCrashed"]
+
+#: Initial per-worker output buffer (bytes); grown geometrically on demand.
+_MIN_OUT_BYTES = 1 << 16
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker process died before answering a command."""
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, payload: ShardPayload) -> None:
+    """Entry point of one shard worker process.
+
+    Protocol (parent -> worker, one reply per command):
+
+    * ``("open_run", run_id, seed_seqs, without_replacement, row_bytes)``
+    * ``("draw_block", run_id, gids, count, out_ref)`` -> ``(shape, seconds)``
+    * ``("draw", run_id, gid, count, out_ref)`` -> ``(shape, seconds)``
+    * ``("close_run", run_id)``
+    * ``("stop",)``
+
+    Replies are ``("ok", value)`` or ``("err", exception, traceback_text)``.
+    Errors (e.g. group exhaustion) leave the worker alive, mirroring the
+    thread fan-out where a raised draw does not kill the pool.
+    """
+    from repro._util import rngs_from_seed_seqs
+    from repro.engines.base import EngineRun, NullCostModel
+    from repro.engines.shm import ShmRegistry
+
+    registry = ShmRegistry()  # this worker's private segment table
+    population = payload.build_population(registry)
+    runs: dict[int, EngineRun] = {}
+    out_name: str | None = None
+    out_view: np.ndarray | None = None
+
+    def out_buffer(ref: SharedArrayRef) -> np.ndarray:
+        nonlocal out_name, out_view
+        if ref.name != out_name:
+            if out_name is not None:
+                registry.release(out_name)
+            out_view = registry.attach(ref)
+            out_name = ref.name
+        return out_view
+
+    try:
+        conn.send(("ok", "ready"))
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # parent went away; nothing left to serve
+                break
+            cmd = msg[0]
+            try:
+                if cmd == "open_run":
+                    _, run_id, seed_seqs, without_replacement, row_bytes = msg
+                    rngs = rngs_from_seed_seqs(seed_seqs)
+                    samplers = [
+                        group.sampler(rng, without_replacement)
+                        for group, rng in zip(population.groups, rngs)
+                    ]
+                    # Null cost model: accounting happens once, parent-side.
+                    runs[run_id] = EngineRun(
+                        population, samplers, NullCostModel(), row_bytes
+                    )
+                    reply = None
+                elif cmd in ("draw_block", "draw"):
+                    _, run_id, gids, count, out_ref = msg
+                    run = runs[run_id]
+                    t0 = time.thread_time()
+                    if cmd == "draw_block":
+                        block = run.draw_block(gids, count)
+                    else:
+                        block = run.draw(int(gids), count)
+                    seconds = time.thread_time() - t0
+                    flat = np.ascontiguousarray(block).reshape(-1)
+                    out_buffer(out_ref)[: flat.size] = flat
+                    reply = (block.shape, seconds)
+                elif cmd == "close_run":
+                    runs.pop(msg[1], None)
+                    reply = None
+                elif cmd == "stop":
+                    conn.send(("ok", None))
+                    break
+                else:  # pragma: no cover - protocol is fixed at build time
+                    raise ValueError(f"unknown worker command {cmd!r}")
+                conn.send(("ok", reply))
+            except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+                text = traceback.format_exc()
+                try:
+                    conn.send(("err", exc, text))
+                except Exception:  # unpicklable exception: degrade to text
+                    conn.send(
+                        ("err", RuntimeError(f"{type(exc).__name__}: {exc}"), text)
+                    )
+    finally:
+        for name in list(registry.active_names()):
+            registry.release(name)
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _Worker:
+    """Parent-side record of one shard worker."""
+
+    __slots__ = ("process", "conn", "lock", "out_ref", "alive")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.out_ref: SharedArrayRef | None = None
+        self.alive = True
+
+
+class ProcessShardPool:
+    """Persistent worker processes serving one sharded engine's draws."""
+
+    def __init__(
+        self,
+        population,
+        shard_gids: list[np.ndarray],
+        *,
+        name: str = "repro-shard",
+    ) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        # Guards _closed and _owned: a draw racing shutdown() must either
+        # complete against live state or fail the closed check - never
+        # register a fresh segment after shutdown drained the owned list.
+        self._state_lock = threading.Lock()
+        payloads, self._owned = build_shard_payloads(population, shard_gids)
+        self._workers: list[_Worker] = []
+        self._closed = False
+        # Run ids whose parent-side run was garbage collected; drained (with
+        # real close_run commands) on the next open_run.  GC finalizers only
+        # ever append here - a deque append is lock-free and never blocks,
+        # so collection can never deadlock on a worker lock or touch a pipe.
+        self._retired: collections.deque[int] = collections.deque()
+        try:
+            for shard, payload in enumerate(payloads):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, payload),
+                    daemon=True,
+                    name=f"{name}-{shard}",
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_Worker(process, parent_conn))
+            for shard, worker in enumerate(self._workers):
+                self._recv(shard, worker)  # handshake: population built
+        except BaseException:
+            self.shutdown()
+            raise
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _crashed(self, shard: int, worker: _Worker) -> WorkerCrashed:
+        worker.alive = False
+        code = worker.process.exitcode
+        return WorkerCrashed(
+            f"shard worker {shard} died (exit code {code}); the query cannot "
+            "continue - rerun it (segments are reclaimed on close)"
+        )
+
+    def _recv(self, shard: int, worker: _Worker):
+        try:
+            status, *rest = worker.conn.recv()
+        except (EOFError, OSError):
+            raise self._crashed(shard, worker) from None
+        if status == "err":
+            exc, text = rest
+            if hasattr(exc, "add_note"):  # keep the worker-side traceback
+                exc.add_note(f"(raised in shard worker {shard})\n{text}")
+            raise exc
+        return rest[0]
+
+    def _worker(self, shard: int) -> _Worker:
+        if self._closed:
+            raise RuntimeError(
+                "process shard pool is shut down; runs opened before a "
+                "release_pool()/close() cannot draw - open a new run"
+            )
+        return self._workers[shard]
+
+    def _request(self, shard: int, message: tuple):
+        worker = self._worker(shard)
+        if not worker.alive:
+            raise self._crashed(shard, worker)
+        try:
+            worker.conn.send(message)
+        except (BrokenPipeError, OSError):
+            raise self._crashed(shard, worker) from None
+        return self._recv(shard, worker)
+
+    def _ensure_out(self, worker: _Worker, nbytes: int) -> SharedArrayRef:
+        ref = worker.out_ref
+        if ref is not None and ref.nbytes >= nbytes:
+            return ref
+        size = max(_MIN_OUT_BYTES, nbytes)
+        if ref is not None:
+            size = max(size, 2 * ref.nbytes)
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError(
+                    "process shard pool is shut down; runs opened before a "
+                    "release_pool()/close() cannot draw - open a new run"
+                )
+            shm = REGISTRY.create(size)
+            self._owned.append(shm.name)
+            if ref is not None:
+                self._owned.remove(ref.name)
+        if ref is not None:
+            REGISTRY.release(ref.name)
+        worker.out_ref = SharedArrayRef(
+            shm.name, np.dtype(np.float64).str, (size // 8,)
+        )
+        return worker.out_ref
+
+    # -- commands -----------------------------------------------------------
+
+    def open_run(
+        self,
+        shard: int,
+        run_id: int,
+        seed_seqs,
+        without_replacement: bool,
+        row_bytes: int,
+    ) -> None:
+        self._drain_retired()
+        worker = self._worker(shard)
+        with worker.lock:
+            self._request(
+                shard, ("open_run", run_id, seed_seqs, without_replacement, row_bytes)
+            )
+
+    def retire_run(self, run_id: int) -> None:
+        """Mark a run's worker-side state reclaimable.
+
+        Safe to call from a ``weakref`` finalizer (i.e. from GC at an
+        arbitrary point, possibly on a thread already holding a worker
+        lock): it only appends to a deque.  The actual ``close_run``
+        commands run on the next :meth:`open_run`, on a normal thread.
+        """
+        self._retired.append(run_id)
+
+    def _drain_retired(self) -> None:
+        while True:
+            try:
+                run_id = self._retired.popleft()
+            except IndexError:
+                return
+            for shard, worker in enumerate(self._workers):
+                if not worker.alive:
+                    continue
+                with worker.lock:
+                    try:
+                        self._request(shard, ("close_run", run_id))
+                    except (WorkerCrashed, RuntimeError):  # best-effort cleanup
+                        pass
+
+    def _fetch(self, shard: int, message_head: tuple, count: int, width: int):
+        """Send a draw command and copy the result out of the shared buffer.
+
+        The copy happens under the worker lock: the buffer is reused by the
+        very next command, so the bytes must be lifted before another run's
+        draw can overwrite them.
+        """
+        worker = self._worker(shard)
+        with worker.lock:
+            out_ref = self._ensure_out(worker, count * width * 8)
+            shape, seconds = self._request(shard, (*message_head, out_ref))
+            n = int(np.prod(shape)) if shape else 0
+            block = np.empty(shape, dtype=np.float64)
+            block.reshape(-1)[...] = REGISTRY.ndarray(out_ref)[:n]
+        return block, float(seconds)
+
+    def draw_block(
+        self, shard: int, run_id: int, gids: np.ndarray, count: int
+    ) -> tuple[np.ndarray, float]:
+        gids = np.asarray(gids, dtype=np.int64)
+        return self._fetch(
+            shard, ("draw_block", run_id, gids, count), count, gids.size
+        )
+
+    def draw(
+        self, shard: int, run_id: int, gid: int, count: int
+    ) -> tuple[np.ndarray, float]:
+        return self._fetch(shard, ("draw", run_id, int(gid), count), count, 1)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop workers and release every owned segment, exactly once.
+
+        An in-flight draw either finishes first (the stop loop waits on its
+        worker lock, and its out segment is in ``_owned`` by then) or fails
+        the closed check in ``_ensure_out``/``_worker`` - so the final drain
+        below always sees every owned segment.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard, worker in enumerate(self._workers):
+            if not worker.alive:
+                continue
+            with worker.lock:
+                try:
+                    worker.conn.send(("stop",))
+                    worker.conn.recv()
+                except (EOFError, OSError):
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=timeout)
+            worker.conn.close()
+        # The worker list is deliberately NOT cleared: a thread that read
+        # _closed just before it flipped may still index it, and must get a
+        # clean closed/crashed error from the ensuing request - never an
+        # IndexError from a vanished list.
+        with self._state_lock:
+            owned, self._owned = self._owned, []
+        for name in owned:
+            REGISTRY.release(name)

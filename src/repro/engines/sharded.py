@@ -33,21 +33,37 @@ Determinism contract (asserted by ``tests/engines/test_sharded.py``):
   backend's own cost model, exactly like an unsharded run (shard runs carry a
   null model so no cost is double-counted).  Sharding parallelizes the
   physical draw work, never the accounting semantics.
+
+Two executors serve the fan-out (``executor=`` at construction):
+
+* ``"thread"`` (default) - per-shard :class:`EngineRun` objects in-process,
+  fanned out on a lazy thread pool.  Cheap to build, but the GIL serializes
+  the Python half of each draw, so elapsed time does not parallelize.
+* ``"process"`` - persistent per-shard worker processes
+  (:mod:`repro.engines.procpool`) mapping the population's buffers zero-copy
+  from shared memory (:mod:`repro.engines.shm`).  Workers rebuild their
+  groups' RNG streams from the same ``SeedSequence`` children, so the whole
+  determinism contract above holds verbatim; elapsed time scales with cores.
+  Requires a process-shareable population (:func:`repro.engines.shm.shareable`).
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro._util import spawn_group_rngs
+from repro._util import spawn_group_rngs, spawn_group_seed_seqs
 from repro.data.population import Population
 from repro.engines.base import EngineRun, NullCostModel, SamplingEngine
 
-__all__ = ["ShardedEngine", "ShardedRun"]
+__all__ = ["SHARD_EXECUTORS", "ShardedEngine", "ShardedRun", "ProcessShardedRun"]
+
+#: Recognised fan-out executors for ``ShardedEngine``/``QuerySpec.executor``.
+SHARD_EXECUTORS = ("thread", "process")
 
 
 class ShardedRun(EngineRun):
@@ -93,13 +109,17 @@ class ShardedRun(EngineRun):
     def num_shards(self) -> int:
         return len(self._runs)
 
+    def _timed_block(self, shard: int, local_gids, count: int) -> np.ndarray:
+        """One shard's fused draw, accumulating its thread-CPU seconds."""
+        if not self._record:
+            return self._runs[shard].draw_block(local_gids, count)
+        t0 = time.thread_time()
+        block = self._runs[shard].draw_block(local_gids, count)
+        self.shard_seconds[shard] += time.thread_time() - t0
+        return block
+
     def _draw_shard(self, shard: int, out, cols, local_gids, count: int) -> None:
-        if self._record:
-            t0 = time.thread_time()
-            out[:, cols] = self._runs[shard].draw_block(local_gids, count)
-            self.shard_seconds[shard] += time.thread_time() - t0
-        else:
-            out[:, cols] = self._runs[shard].draw_block(local_gids, count)
+        out[:, cols] = self._timed_block(shard, local_gids, count)
 
     def draw(self, gid: int, count: int) -> np.ndarray:
         shard = int(self._shard_of[gid])
@@ -116,13 +136,7 @@ class ShardedRun(EngineRun):
         if involved.size == 1:
             # Single-shard request (always the case at shards=1): delegate
             # wholesale, preserving the wrapped run's exact fused path.
-            shard = int(involved[0])
-            if not self._record:
-                return self._runs[shard].draw_block(self._local_of[gids], count)
-            t0 = time.thread_time()
-            block = self._runs[shard].draw_block(self._local_of[gids], count)
-            self.shard_seconds[shard] += time.thread_time() - t0
-            return block
+            return self._timed_block(int(involved[0]), self._local_of[gids], count)
         out = np.empty((count, gids.size), dtype=np.float64)
         tasks = []
         for shard in involved:
@@ -142,6 +156,55 @@ class ShardedRun(EngineRun):
         return out
 
 
+class _ShardWorkerProxy:
+    """Routes one shard's draw traffic to its worker process.
+
+    Duck-types the slice of the :class:`EngineRun` draw surface that
+    :class:`ShardedRun` calls on its per-shard runs, so the merge logic is
+    shared verbatim between the thread and process executors.
+    """
+
+    __slots__ = ("_pool", "_shard", "_run_id", "last_seconds")
+
+    def __init__(self, pool, shard: int, run_id: int) -> None:
+        self._pool = pool
+        self._shard = shard
+        self._run_id = run_id
+        #: Worker-side thread-CPU seconds of the most recent draw.
+        self.last_seconds = 0.0
+
+    def draw(self, gid: int, count: int) -> np.ndarray:
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        block, self.last_seconds = self._pool.draw(
+            self._shard, self._run_id, gid, count
+        )
+        return block
+
+    def draw_block(self, gids: np.ndarray, count: int) -> np.ndarray:
+        block, self.last_seconds = self._pool.draw_block(
+            self._shard, self._run_id, gids, count
+        )
+        return block
+
+
+class ProcessShardedRun(ShardedRun):
+    """A sharded run whose per-shard draws execute in worker processes.
+
+    Identical merge/accounting behaviour to :class:`ShardedRun` (it *is*
+    one, over worker proxies); only the timing source differs -
+    ``shard_seconds`` accumulates the workers' own draw thread-CPU, since
+    the parent thread spends its time blocked on the pipe, not drawing.
+    """
+
+    def _timed_block(self, shard: int, local_gids, count: int) -> np.ndarray:
+        proxy = self._runs[shard]
+        block = proxy.draw_block(local_gids, count)
+        if self._record:
+            self.shard_seconds[shard] += proxy.last_seconds
+        return block
+
+
 class ShardedEngine(SamplingEngine):
     """Hash/range-partition a backend engine into N parallel shards.
 
@@ -152,15 +215,21 @@ class ShardedEngine(SamplingEngine):
         shards: requested shard count (>= 1).  Shards left empty by the
             partitioner are skipped, so the effective count is
             ``len(engine.shard_gids)``.
-        max_workers: thread-pool width for the fan-out; ``None`` means one
+        max_workers: fan-out pool width (dispatch threads); ``None`` means one
             worker per (non-empty) shard, ``1`` disables the pool entirely
             (sequential fan-out, still bit-identical - merge order is stable
-            by construction).
+            by construction).  With ``executor="process"`` this sizes only the
+            parent-side dispatch threads; there is always one worker process
+            per shard.
         partitioner: ``"range"`` (contiguous gid ranges, default) or
             ``"hash"`` (stable CRC32 of group names); see
             :mod:`repro.engines.partition`.
         record_timings: accumulate per-shard draw thread-CPU seconds on each
             run (``ShardedRun.shard_seconds``) for scaling measurements.
+        executor: ``"thread"`` (in-process fan-out, default) or ``"process"``
+            (persistent spawn workers over shared memory; requires a
+            process-shareable population, see
+            :func:`repro.engines.shm.shareable`).
     """
 
     def __init__(
@@ -171,6 +240,7 @@ class ShardedEngine(SamplingEngine):
         max_workers: int | None = None,
         partitioner: str = "range",
         record_timings: bool = False,
+        executor: str = "thread",
     ) -> None:
         from repro.engines.partition import partition_groups
 
@@ -183,6 +253,19 @@ class ShardedEngine(SamplingEngine):
             raise ValueError(f"shards must be >= 1, got {shards}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in SHARD_EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; known: {SHARD_EXECUTORS}"
+            )
+        if executor == "process":
+            from repro.engines.shm import shareable
+
+            reason = shareable(backend.population)
+            if reason is not None:
+                raise ValueError(
+                    f"executor='process' needs a process-shareable population: "
+                    f"{reason} (use executor='thread')"
+                )
         # Sharding rebuilds samplers per shard from the population, so a
         # backend whose open_run is customized would be silently bypassed -
         # refuse loudly instead (such engines register shardable=False).
@@ -195,12 +278,15 @@ class ShardedEngine(SamplingEngine):
         self.backend = backend
         self.partitioner = partitioner.lower()
         self.record_timings = bool(record_timings)
+        self.executor = executor
         parts = partition_groups(self.population.group_names, shards, self.partitioner)
         #: Global gid arrays, one per non-empty shard, each sorted ascending.
         self.shard_gids: list[np.ndarray] = [p for p in parts if p.size]
         self.max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
+        self._procpool = None
         self._pool_lock = threading.Lock()
+        self._run_ids = itertools.count()
         self._closed = False
 
     @property
@@ -222,6 +308,21 @@ class ShardedEngine(SamplingEngine):
                 )
         return self._pool
 
+    def _get_procpool(self):
+        """The worker-process pool, spawned lazily (and after a release)."""
+        from repro.engines.procpool import ProcessShardPool
+
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("ShardedEngine is closed")
+            if self._procpool is None:
+                self._procpool = ProcessShardPool(
+                    self.population,
+                    self.shard_gids,
+                    name=f"repro-shard-{self.population.name}",
+                )
+        return self._procpool
+
     def open_run(
         self,
         seed: int | np.random.Generator | None = None,
@@ -232,8 +333,11 @@ class ShardedEngine(SamplingEngine):
         Streams are spawned exactly as :meth:`SamplingEngine.open_run` spawns
         them - one ``SeedSequence.spawn`` child per group, in gid order - and
         handed to the owning shard, so per-group streams are independent of
-        the shard layout.
+        the shard layout (and of the executor: worker processes rebuild the
+        same streams from the same children).
         """
+        if self.executor == "process":
+            return self._open_process_run(seed, without_replacement)
         groups = self.population.groups
         rngs = spawn_group_rngs(seed, self.population.k)
         samplers = [
@@ -266,17 +370,54 @@ class ShardedEngine(SamplingEngine):
             record_timings=self.record_timings,
         )
 
+    def _open_process_run(self, seed, without_replacement: bool) -> "ProcessShardedRun":
+        import weakref
+
+        pool = self._get_procpool()
+        seeds = spawn_group_seed_seqs(seed, self.population.k)
+        run_id = next(self._run_ids)
+        proxies = []
+        for s, gids in enumerate(self.shard_gids):
+            pool.open_run(
+                s,
+                run_id,
+                [seeds[int(g)] for g in gids],
+                without_replacement,
+                self.row_bytes,
+            )
+            proxies.append(_ShardWorkerProxy(pool, s, run_id))
+        run = ProcessShardedRun(
+            self.population,
+            proxies,
+            self.shard_gids,
+            self.cost_model,
+            self.row_bytes,
+            self._get_pool,
+            record_timings=self.record_timings,
+        )
+        # Workers keep per-run sampler state; mark it reclaimable when the
+        # parent-side run is garbage collected.  retire_run only appends to
+        # a deque (GC-safe: no locks, no pipe IPC from a finalizer); the
+        # next open_run on this pool issues the real close_run commands.
+        weakref.finalize(run, pool.retire_run, run_id)
+        return run
+
     def release_pool(self) -> None:
-        """Shut down the fan-out pool's threads; a later draw recreates it.
+        """Shut down fan-out threads *and* worker processes; later draws
+        recreate them.
 
         Non-terminal, unlike :meth:`close`: the engine stays fully usable.
         The planner calls this when a query finishes so per-query sharded
-        engines pinned by ``Result.engine`` do not retain idle threads.
+        engines pinned by ``Result.engine`` retain neither idle threads nor
+        worker processes (nor their shared-memory segments).
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            procpool, self._procpool = self._procpool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if procpool is not None:
+            procpool.shutdown()
 
     def close(self) -> None:
         """Shut down the fan-out pool and refuse new fan-outs (idempotent)."""
@@ -293,5 +434,5 @@ class ShardedEngine(SamplingEngine):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedEngine({type(self.backend).__name__}, shards={self.shards}, "
-            f"partitioner={self.partitioner!r})"
+            f"partitioner={self.partitioner!r}, executor={self.executor!r})"
         )

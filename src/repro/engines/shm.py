@@ -1,0 +1,364 @@
+"""Zero-copy shared-memory transport for process-parallel shard execution.
+
+The process shard executor (:mod:`repro.engines.procpool`) gives every shard
+a persistent worker process that owns its shard's :class:`EngineRun` and
+block kernels.  Workers must see the shard's *data* - materialized value
+columns, NEEDLETAIL row-store columns, bitmap words - without pickling it
+through the command pipe, so this module places those buffers into
+:mod:`multiprocessing.shared_memory` segments once (parent side) and lets
+each worker ``mmap`` them zero-copy.
+
+Two layers:
+
+* :class:`ShmRegistry` - a per-process table of live segments keyed by name,
+  recording dtype, shape, a refcount, and whether this process *owns* the
+  segment (creator).  Owners unlink on final release; attachers only close.
+  ``REGISTRY`` is the process-wide instance; its ``active_count()`` is the
+  leak oracle the test suite asserts to be zero after ``Session.close()``.
+* Shard payloads - compact, picklable descriptions of one shard's
+  sub-population (:func:`build_shard_payloads`): per-group metadata plus
+  :class:`SharedArrayRef` handles into at most three segments per engine
+  (one concatenated materialized-values buffer, one concatenated
+  bitmap-words buffer, one shared row-store value column).  Workers rebuild
+  the sub-:class:`~repro.data.population.Population` as *views* into the
+  mapped segments (:meth:`ShardPayload.build_population`) - no copies.
+
+Not every population can cross the process boundary this way:
+:func:`shareable` returns the reason a population must stay on the thread
+executor (the planner surfaces it as a ``Result`` caveat).  Materialized
+groups, NEEDLETAIL indexed groups whose selectors reduce to flat
+:class:`~repro.needletail.bitvector.BitVector` words, and fusable virtual
+groups (parameter-only distributions) all ship; rejection-sampled virtual
+groups - whose draws run arbitrary Python sampler code with data-dependent
+RNG consumption - and unknown third-party ``Group`` subclasses do not.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.data.distributions import Distribution
+from repro.data.population import Group, MaterializedGroup, Population, VirtualGroup
+
+__all__ = [
+    "SharedArrayRef",
+    "ShmRegistry",
+    "REGISTRY",
+    "ShardPayload",
+    "shareable",
+    "build_shard_payloads",
+]
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable handle to one ndarray living in a shared-memory segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        n = int(np.prod(self.shape)) if self.shape else 1
+        return n * np.dtype(self.dtype).itemsize
+
+
+class ShmRegistry:
+    """Per-process bookkeeping for shared-memory segments.
+
+    Guarantees the lifecycle contract of the process executor: every
+    segment is closed exactly once and unlinked exactly once (by its
+    creator), no matter how many refs were handed out or whether a worker
+    crashed mid-run.  All methods are thread-safe - the session submit pool
+    builds and tears down process engines concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> [SharedMemory, refcount, owner]
+        self._entries: dict[str, list] = {}
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Create and register an owned segment of ``nbytes`` bytes."""
+        if nbytes <= 0:
+            raise ValueError(f"segment size must be > 0, got {nbytes}")
+        shm = shared_memory.SharedMemory(create=True, size=int(nbytes))
+        with self._lock:
+            self._entries[shm.name] = [shm, 1, True]
+        return shm
+
+    def share_array(self, array: np.ndarray) -> SharedArrayRef:
+        """Copy ``array`` into a fresh owned segment; returns its handle."""
+        array = np.ascontiguousarray(array)
+        shm = self.create(max(array.nbytes, 1))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return SharedArrayRef(shm.name, array.dtype.str, tuple(array.shape))
+
+    def attach(self, ref: SharedArrayRef) -> np.ndarray:
+        """Map an existing segment (refcounted) and return its ndarray view.
+
+        Attaching registers the name with the resource tracker *shared* with
+        the creating process (spawn children inherit its fd), where the
+        per-name cache is a set - so this is a no-op there, and the single
+        unregister happens at the owner's ``unlink``.  Workers therefore
+        only ever ``close()`` their mappings; unlink stays with the parent.
+        """
+        with self._lock:
+            entry = self._entries.get(ref.name)
+            if entry is None:
+                shm = shared_memory.SharedMemory(name=ref.name)
+                entry = [shm, 0, False]
+                self._entries[ref.name] = entry
+            entry[1] += 1
+            shm = entry[0]
+        return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+    def ndarray(self, ref: SharedArrayRef) -> np.ndarray:
+        """A view over an already-registered segment (no refcount change)."""
+        with self._lock:
+            shm = self._entries[ref.name][0]
+        return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+    def release(self, name: str) -> None:
+        """Drop one ref; close (and unlink, if owned) at zero.  Idempotent
+        past zero: releasing an unknown name is a no-op, so crash-path and
+        normal-path teardown can overlap without double-unlink."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._entries[name]
+            shm, _, owner = entry
+        shm.close()
+        if owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def active_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide registry.  Parent and workers each hold their own
+#: instance (one per process); segment *names* are the cross-process keys.
+REGISTRY = ShmRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Shard payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _MaterializedSpec:
+    """One materialized group: a slice of the shard's flat values buffer."""
+
+    name: str
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class _IndexedSpec:
+    """One NEEDLETAIL group: a word-slice of the bitmap buffer + row count."""
+
+    name: str
+    word_lo: int
+    word_hi: int
+    length: int
+
+
+@dataclass(frozen=True)
+class _VirtualSpec:
+    """One fusable virtual group: distribution parameters travel by pickle."""
+
+    name: str
+    dist: Distribution
+    size: int
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """Everything a worker needs to rebuild one shard's sub-population."""
+
+    population_name: str
+    c: float
+    groups: tuple
+    values_flat: SharedArrayRef | None = None
+    bitmap_words: SharedArrayRef | None = None
+    value_column: SharedArrayRef | None = None
+
+    def segment_refs(self) -> list[SharedArrayRef]:
+        return [
+            ref
+            for ref in (self.values_flat, self.bitmap_words, self.value_column)
+            if ref is not None
+        ]
+
+    def build_population(self, registry: ShmRegistry) -> Population:
+        """Reconstruct the sub-population as zero-copy views (worker side)."""
+        from repro.needletail.bitvector import BitVector
+        from repro.needletail.engine import IndexedGroup
+
+        values_flat = (
+            registry.attach(self.values_flat) if self.values_flat is not None else None
+        )
+        words_flat = (
+            registry.attach(self.bitmap_words) if self.bitmap_words is not None else None
+        )
+        value_column = (
+            registry.attach(self.value_column) if self.value_column is not None else None
+        )
+        groups: list[Group] = []
+        for spec in self.groups:
+            if isinstance(spec, _MaterializedSpec):
+                groups.append(MaterializedGroup(spec.name, values_flat[spec.lo : spec.hi]))
+            elif isinstance(spec, _IndexedSpec):
+                selector = BitVector(
+                    words_flat[spec.word_lo : spec.word_hi], spec.length
+                )
+                groups.append(IndexedGroup(spec.name, selector, value_column))
+            elif isinstance(spec, _VirtualSpec):
+                groups.append(VirtualGroup(spec.name, spec.dist, spec.size))
+            else:  # pragma: no cover - payloads are built by this module only
+                raise TypeError(f"unknown shard group spec {type(spec).__name__}")
+        return Population(groups=groups, c=self.c, name=self.population_name)
+
+
+def shareable(population: Population) -> str | None:
+    """Why ``population`` cannot cross into worker processes (None = it can).
+
+    The process executor ships buffers via shared memory and rebuilds
+    samplers from compact parameter specs; see the module docstring for the
+    per-kind rules.  The planner downgrades ``executor="process"`` to the
+    thread fan-out when this returns a reason, surfacing it as a caveat.
+    """
+    from repro.needletail.engine import IndexedGroup, base_bitvector
+
+    for group in population.groups:
+        if isinstance(group, MaterializedGroup):
+            continue
+        if isinstance(group, IndexedGroup):
+            if base_bitvector(group._selector) is None:
+                return (
+                    f"group {group.name!r} uses a selector without flat bitmap "
+                    "words, which cannot be placed in shared memory"
+                )
+            continue
+        if isinstance(group, VirtualGroup):
+            if not group.dist.fusable:
+                return (
+                    f"group {group.name!r} is backed by a rejection-sampled "
+                    f"distribution ({type(group.dist).__name__}), whose sampler "
+                    "state cannot be rebuilt in worker processes"
+                )
+            continue
+        return (
+            f"group {group.name!r} has unknown kind {type(group).__name__}, "
+            "which the shared-memory transport does not cover"
+        )
+    return None
+
+
+def build_shard_payloads(
+    population: Population,
+    shard_gids: list[np.ndarray],
+    registry: ShmRegistry = REGISTRY,
+) -> tuple[list[ShardPayload], list[str]]:
+    """Place a population's buffers in shared memory, one payload per shard.
+
+    Returns ``(payloads, owned_segment_names)``; the caller (the process
+    pool) releases each owned name exactly once on shutdown.  Raises
+    ``ValueError`` when :func:`shareable` says no.
+    """
+    from repro.needletail.engine import IndexedGroup, base_bitvector
+
+    reason = shareable(population)
+    if reason is not None:
+        raise ValueError(f"population is not process-shareable: {reason}")
+
+    owned: list[str] = []
+    # The NEEDLETAIL row-store value column is shared by every group of an
+    # engine; ship each distinct array once, across all shards.
+    column_refs: dict[int, SharedArrayRef] = {}
+
+    def share(array: np.ndarray) -> SharedArrayRef:
+        ref = registry.share_array(array)
+        owned.append(ref.name)
+        return ref
+
+    try:
+        payloads = []
+        for gids in shard_gids:
+            groups = [population.groups[int(g)] for g in gids]
+            specs: list = []
+            mat_chunks: list[np.ndarray] = []
+            word_chunks: list[np.ndarray] = []
+            value_ref: SharedArrayRef | None = None
+            mat_off = word_off = 0
+            for group in groups:
+                if isinstance(group, MaterializedGroup):
+                    values = np.asarray(group.values, dtype=np.float64)
+                    specs.append(
+                        _MaterializedSpec(group.name, mat_off, mat_off + values.size)
+                    )
+                    mat_chunks.append(values)
+                    mat_off += values.size
+                elif isinstance(group, IndexedGroup):
+                    base = base_bitvector(group._selector)
+                    words = np.asarray(base.words)
+                    specs.append(
+                        _IndexedSpec(
+                            group.name, word_off, word_off + words.size, len(base)
+                        )
+                    )
+                    word_chunks.append(words)
+                    word_off += words.size
+                    column = group._values
+                    if id(column) not in column_refs:
+                        column_refs[id(column)] = share(
+                            np.asarray(column, dtype=np.float64)
+                        )
+                    ref = column_refs[id(column)]
+                    if value_ref is not None and ref != value_ref:
+                        raise ValueError(
+                            "groups of one shard span distinct value columns; "
+                            "the process transport shares one column per shard"
+                        )
+                    value_ref = ref
+                else:  # fusable VirtualGroup (shareable() vetted the rest)
+                    specs.append(_VirtualSpec(group.name, group.dist, group.size))
+            payloads.append(
+                ShardPayload(
+                    population_name=population.name,
+                    c=population.c,
+                    groups=tuple(specs),
+                    values_flat=share(np.concatenate(mat_chunks))
+                    if mat_chunks
+                    else None,
+                    bitmap_words=share(np.concatenate(word_chunks))
+                    if word_chunks
+                    else None,
+                    value_column=value_ref,
+                )
+            )
+    except BaseException:
+        for name in owned:
+            registry.release(name)
+        raise
+    return payloads, owned

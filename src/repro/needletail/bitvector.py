@@ -155,8 +155,29 @@ class BitVector:
         return total
 
     def select(self, r: int) -> int:
-        """Position of the r-th (0-based) set bit."""
-        return int(self.select_many(np.array([r], dtype=np.int64))[0])
+        """Position of the r-th (0-based) set bit.
+
+        Scalar fast path: pure-int word location plus byte-table finish; no
+        throwaway 1-element arrays, unlike routing through ``select_many``
+        (a regression test pins scalar calls off the array door).
+        """
+        r = int(r)
+        total = self.count()
+        if not 0 <= r < total:
+            raise IndexError(f"select rank out of range [0, {total})")
+        cum = self._cumulative()
+        widx = int(np.searchsorted(cum, r, side="right"))
+        local = r - (int(cum[widx - 1]) if widx > 0 else 0)
+        word = int(self._words[widx])
+        offset = 0
+        while True:
+            byte = word & 0xFF
+            pop = byte.bit_count()
+            if local < pop:
+                return widx * _WORD_BITS + offset + int(_SELECT_IN_BYTE[byte, local])
+            local -= pop
+            word >>= 8
+            offset += 8
 
     def select_many(self, ranks: np.ndarray) -> np.ndarray:
         """Vectorized select: positions of the given 0-based ranks.

@@ -24,6 +24,8 @@ read-only.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.data.population import BlockKernel, Group, GroupSampler, Population
@@ -33,16 +35,78 @@ from repro.needletail.cost import NeedletailCostModel
 from repro.needletail.index import BitmapIndex
 from repro.needletail.table import Table
 
-__all__ = ["IndexedGroup", "NeedletailEngine"]
+__all__ = ["IndexedGroup", "NeedletailEngine", "base_bitvector"]
+
+
+def base_bitvector(selector) -> BitVector | None:
+    """The flat :class:`BitVector` under a selector, or ``None``.
+
+    The one definition of the "has flat bitmap words" predicate: the fused
+    select kernel gates fusion on it, and :mod:`repro.engines.shm` gates
+    process-shareability on it - the two must never drift.
+    """
+    base = getattr(selector, "bits", selector)
+    return base if isinstance(base, BitVector) else None
+
+
+class _FusedSelect:
+    """One offset-adjusted batched select over many groups' bitmaps.
+
+    The groups' flat bitmap words are concatenated (word-aligned) into one
+    long :class:`BitVector`, so a multi-group select becomes a *single*
+    vectorized ``select_many``: group j's rank ``r`` maps to combined rank
+    ``r + set_offset[j]``, and the combined position maps back to a rowid by
+    subtracting ``64 * word_offset[j]``.  Bit-exact with per-group selects -
+    each group's word range holds exactly its own bits (tails are already
+    masked), so positions and ranks never cross group boundaries.
+
+    The concatenation copies the bitmap words once per *engine* (selectors
+    are immutable engine-level state, so the structure is cached across runs
+    in ``_FUSED_CACHE``, built lazily on the first fused draw) - the trade
+    the fused-sampling fast paths make everywhere: one up-front vectorized
+    build buys the removal of a Python-level call per group per batch.
+    """
+
+    def __init__(self, selectors: list) -> None:
+        bases = [base_bitvector(sel) for sel in selectors]
+        self.ok = all(base is not None for base in bases)
+        if not self.ok:
+            return
+        words = [np.asarray(base.words) for base in bases]
+        word_counts = np.array([w.shape[0] for w in words], dtype=np.int64)
+        set_counts = np.array([base.count() for base in bases], dtype=np.int64)
+        self._word_offsets = np.zeros(len(bases), dtype=np.int64)
+        np.cumsum(word_counts[:-1], out=self._word_offsets[1:])
+        self._set_offsets = np.zeros(len(bases), dtype=np.int64)
+        np.cumsum(set_counts[:-1], out=self._set_offsets[1:])
+        combined_words = np.concatenate(words)
+        self._combined = BitVector(combined_words, combined_words.shape[0] * 64)
+
+    def select(self, slots: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """Rowids for ``ranks`` (shape ``(m, count)``, row j = slot j's ranks)."""
+        adjusted = ranks + self._set_offsets[slots][:, None]
+        positions = self._combined.select_many(adjusted.reshape(-1))
+        return positions.reshape(ranks.shape) - 64 * self._word_offsets[slots][:, None]
+
+
+#: Engine-level cache of combined select structures: first IndexedGroup ->
+#: (selector list, _FusedSelect).  Weak keys tie each entry's lifetime to
+#: its engine's groups; see ``_IndexedBlockKernel._fused_select``.
+_FUSED_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 class _IndexedBlockKernel(BlockKernel):
     """Fused rank -> select -> fetch for a batch of indexed groups.
 
-    Rank selection runs per group (each group has its own bitmap), but the
-    row-store fetch is one gather: every group of an engine shares the same
-    value column, so the ``(count, m)`` rowid matrix indexes it in one go.
-    Bit-exact with per-group draws - identical ranks, selects, and values.
+    Rank streams stay per group (each group owns its permutation), but both
+    halves of the retrieval fuse: all groups' ranks concatenate into one
+    offset-adjusted batched select over the combined bitmap
+    (:class:`_FusedSelect` - one ``select_many`` per batch instead of one
+    Python-level call per group), and the row-store fetch is one gather
+    (every group of an engine shares the same value column, so the
+    ``(count, m)`` rowid matrix indexes it in one go).  Bit-exact with
+    per-group draws - identical ranks, selects, and values, asserted in
+    tests - with a per-group fallback for selectors without flat words.
     """
 
     def __init__(self, samplers: list[GroupSampler], gids: np.ndarray) -> None:
@@ -52,23 +116,51 @@ class _IndexedBlockKernel(BlockKernel):
         self._shared_values = all(
             s._group._values is self._values for s in samplers  # type: ignore[attr-defined]
         )
+        self._fused: _FusedSelect | None = None  # resolved on first fused draw
+
+    def _fused_select(self) -> _FusedSelect:
+        """The combined select structure, cached per engine across runs.
+
+        Selectors live on the engine's :class:`IndexedGroup` objects and
+        never change, so the (word-copying) concatenation is paid once per
+        group set, not once per run.  The cache is keyed weakly by the
+        first group and stores the selector list alongside the structure,
+        so it can only be reused for the identical selectors (entries die
+        with their engine; the strong selector refs inside share the
+        group's lifetime anyway).
+        """
+        if self._fused is not None:
+            return self._fused
+        group0 = self._samplers[0]._group  # type: ignore[attr-defined]
+        selectors = [s._group._selector for s in self._samplers]  # type: ignore[attr-defined]
+        cached = _FUSED_CACHE.get(group0)
+        if cached is not None:
+            cached_selectors, fused = cached
+            if len(cached_selectors) == len(selectors) and all(
+                a is b for a, b in zip(cached_selectors, selectors)
+            ):
+                self._fused = fused
+                return fused
+        fused = _FusedSelect(selectors)
+        _FUSED_CACHE[group0] = (selectors, fused)
+        self._fused = fused
+        return fused
 
     def draw_into(
         self, out: np.ndarray, cols: np.ndarray, gids: np.ndarray, count: int
     ) -> None:
         slots = self.slots(gids)
-        if not self._shared_values:
+        fused = self._fused_select() if self._shared_values else None
+        if fused is None or not fused.ok:
             for slot, col in zip(slots, cols):
                 out[:, col] = self._samplers[int(slot)].draw(count)
             return
-        rowids = np.empty((count, cols.size), dtype=np.int64)
+        ranks = np.empty((cols.size, count), dtype=np.int64)
         for j, slot in enumerate(slots):
             sampler = self._samplers[int(slot)]
-            ranks = sampler._next_ranks(count)  # type: ignore[attr-defined]
-            rowids[:, j] = sampler._group._selector.select_many(  # type: ignore[attr-defined]
-                np.asarray(ranks, dtype=np.int64)
-            )
-        out[:, cols] = self._values[rowids]
+            ranks[j] = sampler._next_ranks(count)  # type: ignore[attr-defined]
+        rowids = fused.select(slots, ranks)
+        out[:, cols] = self._values[rowids.T]
 
 
 class _IndexedWithoutReplacement(GroupSampler):

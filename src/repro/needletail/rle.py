@@ -46,6 +46,11 @@ class RunLengthBitmap:
         self._b = boundaries
         self._first = bool(first_value)
         self._length = int(length)
+        # Set-run (starts, lengths, cumulative counts), cached on first use:
+        # the run representation is immutable (logical ops build new
+        # bitmaps), and rank/select - including the scalar fast path -
+        # would otherwise recompute these O(num_runs) arrays per call.
+        self._set_runs: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -121,12 +126,14 @@ class RunLengthBitmap:
 
     # -- rank / select -------------------------------------------------------
     def _set_run_cumlengths(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(starts, lengths, cumulative set counts) of the *set* runs."""
-        starts = self._starts()
-        lengths = self._run_lengths()
-        vals = self._run_values()
-        s, l = starts[vals], lengths[vals]
-        return s, l, np.cumsum(l)
+        """(starts, lengths, cumulative set counts) of the *set* runs (cached)."""
+        if self._set_runs is None:
+            starts = self._starts()
+            lengths = self._run_lengths()
+            vals = self._run_values()
+            s, l = starts[vals], lengths[vals]
+            self._set_runs = (s, l, np.cumsum(l))
+        return self._set_runs
 
     def rank(self, i: int) -> int:
         """Number of set bits strictly before position ``i``."""
@@ -142,8 +149,20 @@ class RunLengthBitmap:
         return before + min(int(l[run]), i - int(s[run]))
 
     def select(self, r: int) -> int:
-        """Position of the r-th (0-based) set bit, without decompressing."""
-        return int(self.select_many(np.array([r]))[0])
+        """Position of the r-th (0-based) set bit, without decompressing.
+
+        Scalar fast path: one scalar ``searchsorted`` over the set-run
+        cumulative lengths - no throwaway 1-element arrays (a regression
+        test pins scalar calls off the ``select_many`` array door).
+        """
+        r = int(r)
+        s, _, cum = self._set_run_cumlengths()
+        total = int(cum[-1]) if cum.size else 0
+        if not 0 <= r < total:
+            raise IndexError(f"select rank out of range [0, {total})")
+        run = int(np.searchsorted(cum, r, side="right"))
+        before = int(cum[run - 1]) if run > 0 else 0
+        return int(s[run]) + (r - before)
 
     def select_many(self, ranks: np.ndarray) -> np.ndarray:
         ranks = np.asarray(ranks, dtype=np.int64)

@@ -82,6 +82,7 @@ class QueryBuilder:
     _value_bound: float | None = None
     _shards: int = 1
     _max_workers: int | None = None
+    _executor: str = "thread"
     _schema: Schema | None = None
 
     def _clone(self, **changes) -> "QueryBuilder":
@@ -212,15 +213,27 @@ class QueryBuilder:
         """Declare the value upper bound c instead of inferring it."""
         return self._clone(_value_bound=float(c))
 
-    def sharded(self, shards: int, max_workers: int | None = None) -> "QueryBuilder":
+    def sharded(
+        self,
+        shards: int,
+        max_workers: int | None = None,
+        executor: str | None = None,
+    ) -> "QueryBuilder":
         """Partition the engine into ``shards`` parallel shards.
 
         ``shards=1`` (the default everywhere) is bit-identical to the
         unsharded engine; higher counts fan ``draw_block`` out to per-shard
         workers and merge deterministically (see DESIGN_PERF.md).
         ``max_workers`` bounds the fan-out pool (``None``: one per shard).
+        ``executor="process"`` runs one worker *process* per shard over
+        shared memory - true multicore elapsed-time scaling; the planner
+        falls back to threads (with a caveat) for populations that cannot
+        cross the process boundary.  ``None`` keeps the session default.
         """
-        return self._clone(_shards=int(shards), _max_workers=max_workers)
+        changes = {"_shards": int(shards), "_max_workers": max_workers}
+        if executor is not None:
+            changes["_executor"] = executor.lower()
+        return self._clone(**changes)
 
     # -- lowering and execution ---------------------------------------------
 
@@ -244,6 +257,7 @@ class QueryBuilder:
             value_bound=self._value_bound,
             shards=self._shards,
             max_workers=self._max_workers,
+            executor=self._executor,
         )
 
     def explain(self) -> str:

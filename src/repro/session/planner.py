@@ -103,6 +103,11 @@ _MISTAKES_CAVEAT = (
     "incorrect by design."
 )
 
+_PROCESS_FALLBACK_CAVEAT = (
+    "executor='process' fell back to the thread fan-out: {reason}. Results "
+    "are identical; only elapsed-time scaling differs."
+)
+
 
 # --------------------------------------------------------------------------
 # Engine registry
@@ -129,6 +134,9 @@ class _PlanContext:
         self._table: Table | None = None
         self._bitvector = None
         self._built_engines: list[SamplingEngine] = []
+        #: Reasons the process executor was downgraded to threads (one per
+        #: affected engine build); surfaced as Result caveats.
+        self.executor_fallbacks: list[str] = []
 
     @property
     def table(self) -> Table:
@@ -184,8 +192,19 @@ class _PlanContext:
     def build_engine(self, value_column: str) -> SamplingEngine:
         engine = self.engine_def.factory(self, value_column)
         if self.spec.shards > 1 and self.engine_def.shardable:
+            executor = self.spec.executor
+            if executor == "process":
+                from repro.engines.shm import shareable
+
+                reason = shareable(engine.population)
+                if reason is not None:
+                    executor = "thread"
+                    self.executor_fallbacks.append(reason)
             engine = ShardedEngine(
-                engine, self.spec.shards, max_workers=self.spec.max_workers
+                engine,
+                self.spec.shards,
+                max_workers=self.spec.max_workers,
+                executor=executor,
             )
         self._built_engines.append(engine)
         return engine
@@ -565,6 +584,10 @@ def _assemble_result(
         caveats.append(HAVING_CAVEAT.format(key=key))
     if ctx.engine_def.avg_runner == "noindex":
         caveats.append(_NOINDEX_CAVEAT)
+    # dict.fromkeys: one caveat per distinct reason, even when several
+    # engine builds (multi-aggregate queries) fell back the same way.
+    for reason in dict.fromkeys(ctx.executor_fallbacks):
+        caveats.append(_PROCESS_FALLBACK_CAVEAT.format(reason=reason))
     if spec.guarantee.mode == "mistakes":
         caveats.append(
             _MISTAKES_CAVEAT.format(pct=1.0 - spec.guarantee.min_correct_fraction)
@@ -775,6 +798,20 @@ def describe_spec(spec: QuerySpec) -> str:
     engine_line = f"engine: {spec.engine}"
     if spec.shards > 1 and _ENGINES[spec.engine].shardable:
         workers = spec.max_workers if spec.max_workers is not None else spec.shards
-        engine_line += f" (sharded x{spec.shards}, {workers} workers)"
+        engine_line += f" (sharded x{spec.shards}, {workers} workers"
+        if spec.executor != "thread":
+            engine_line += f", {spec.executor} executor"
+        engine_line += ")"
     lines.append(f"{engine_line}   guarantee: {spec.guarantee.describe()}")
+    if (
+        spec.shards > 1
+        and spec.executor == "process"
+        and _ENGINES[spec.engine].shardable
+    ):
+        lines.append(
+            "executor: one worker process per shard over shared memory; "
+            "falls back to the thread fan-out (with a caveat on the Result) "
+            "when the population cannot cross the process boundary "
+            "(e.g. rejection-sampled virtual groups)"
+        )
     return "\n".join(lines)

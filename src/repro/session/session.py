@@ -121,6 +121,7 @@ class Session:
         seed: int | None = None,
         shards: int = 1,
         max_workers: int | None = None,
+        executor: str = "thread",
         submit_workers: int | None = None,
     ) -> None:
         if submit_workers is not None and int(submit_workers) < 1:
@@ -133,6 +134,7 @@ class Session:
         self.seed = seed
         self.shards = int(shards)
         self.max_workers = max_workers
+        self.executor = executor.lower()
         self.submit_workers = submit_workers
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
@@ -263,6 +265,7 @@ class Session:
             _engine=self.engine,
             _shards=self.shards,
             _max_workers=self.max_workers,
+            _executor=self.executor,
         )
 
     def table(self, name: str) -> QueryBuilder:
@@ -417,6 +420,7 @@ def connect(
     seed: int | None = None,
     shards: int = 1,
     max_workers: int | None = None,
+    executor: str = "thread",
     submit_workers: int | None = None,
 ) -> Session:
     """Open a session - the Session API's entrypoint.
@@ -431,6 +435,11 @@ def connect(
             bit-identical to previous releases; see DESIGN_PERF.md).
         max_workers: per-query shard fan-out pool width (``None``: one
             worker per shard; ``1``: sequential fan-out).
+        executor: default shard fan-out executor - ``"thread"``
+            (in-process) or ``"process"`` (one worker process per shard
+            over shared memory, true multicore elapsed-time scaling; the
+            planner falls back to threads, with a caveat, when the
+            population cannot cross the process boundary).
         submit_workers: size of the :meth:`Session.submit` pool
             (``None``: ``Session.DEFAULT_SUBMIT_WORKERS``).
     """
@@ -442,5 +451,6 @@ def connect(
         seed=seed,
         shards=shards,
         max_workers=max_workers,
+        executor=executor,
         submit_workers=submit_workers,
     )

@@ -25,8 +25,13 @@ __all__ = [
     "GuaranteeSpec",
     "QuerySpec",
     "GUARANTEE_MODES",
+    "SHARD_EXECUTORS",
     "lower_query",
 ]
+
+#: Shard fan-out executors (mirrors repro.engines.sharded.SHARD_EXECUTORS;
+#: kept literal here so the spec layer stays import-light).
+SHARD_EXECUTORS = ("thread", "process")
 
 #: Guarantee modes the planner can dispatch (paper section in parentheses):
 #: ordering (§3), top (§6.1.2), trends (§6.1.1), values (§6.2.1),
@@ -139,6 +144,10 @@ class QuerySpec:
             runs the engine unwrapped, bit-identical to previous releases.
         max_workers: thread-pool width for the shard fan-out; ``None`` means
             one worker per shard, ``1`` forces a sequential fan-out.
+        executor: shard fan-out executor - ``"thread"`` (in-process, default)
+            or ``"process"`` (one worker process per shard over shared
+            memory; the planner falls back to threads, with a caveat, when
+            the population cannot cross the process boundary).
     """
 
     table: str
@@ -152,6 +161,7 @@ class QuerySpec:
     value_bound: float | None = None
     shards: int = 1
     max_workers: int | None = None
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if not self.table:
@@ -160,6 +170,10 @@ class QuerySpec:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.max_workers is not None and int(self.max_workers) < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.executor not in SHARD_EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; known: {SHARD_EXECUTORS}"
+            )
         if not self.group_by:
             raise ValueError("a visualization query requires at least one GROUP BY")
         if not self.aggregates:
@@ -222,6 +236,7 @@ def lower_query(
     value_bound: float | None = None,
     shards: int = 1,
     max_workers: int | None = None,
+    executor: str = "thread",
 ) -> QuerySpec:
     """Lower a parsed SQL :class:`~repro.query.ast.Query` to a :class:`QuerySpec`.
 
@@ -244,4 +259,5 @@ def lower_query(
         value_bound=value_bound,
         shards=shards,
         max_workers=max_workers,
+        executor=executor,
     )

@@ -1,0 +1,220 @@
+"""Lifecycle, shared-memory hygiene, and crash paths of the process executor.
+
+The contract under test (ISSUE 5 acceptance bar):
+
+* zero shared-memory segments outlive ``close()``/``release_pool()`` - the
+  process-wide :data:`repro.engines.shm.REGISTRY` is the leak oracle;
+* segments are unlinked exactly once *even when a worker is killed* mid-run
+  (the kill-the-worker test);
+* a released engine is still usable (workers and segments are rebuilt
+  lazily, draws stay bit-identical), while runs opened before the release
+  fail loudly instead of hanging;
+* populations that cannot cross the process boundary are rejected loudly at
+  the engine layer (the planner's thread fallback is tested in the session
+  suite).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import TruncatedNormal, TwoPoint, UniformValues
+from repro.data.population import Group, Population, VirtualGroup
+from repro.engines.memory import InMemoryEngine
+from repro.engines.shm import REGISTRY, build_shard_payloads, shareable
+from repro.engines.sharded import ShardedEngine
+from tests.conftest import make_materialized_population
+
+K = 8
+
+
+def _engine() -> InMemoryEngine:
+    pop = make_materialized_population(
+        [10.0 + 8.0 * i for i in range(K)], sizes=400, seed=5
+    )
+    return InMemoryEngine(pop)
+
+
+def _process_engine(shards: int = 2, **kwargs) -> ShardedEngine:
+    return ShardedEngine(_engine(), shards=shards, executor="process", **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test must leave the shm registry exactly as it found it."""
+    baseline = REGISTRY.active_count()
+    yield
+    assert REGISTRY.active_count() == baseline, (
+        f"leaked shared-memory segments: {REGISTRY.active_names()}"
+    )
+
+
+class TestLifecycle:
+    def test_close_unlinks_every_segment(self):
+        engine = _process_engine(shards=2)
+        run = engine.open_run(seed=0)
+        run.draw_block(np.arange(K), 5)
+        assert REGISTRY.active_count() > 0  # payload + output segments live
+        engine.close()
+        assert REGISTRY.active_count() == 0
+
+    def test_close_is_idempotent(self):
+        engine = _process_engine(shards=2)
+        engine.open_run(seed=0).draw_block(np.arange(K), 3)
+        engine.close()
+        engine.close()
+        assert REGISTRY.active_count() == 0
+
+    def test_release_pool_frees_workers_and_segments_but_not_the_engine(self):
+        engine = _process_engine(shards=2)
+        a = engine.open_run(seed=3).draw_block(np.arange(K), 6)
+        engine.release_pool()
+        assert REGISTRY.active_count() == 0  # nothing pinned between queries
+        b = engine.open_run(seed=3).draw_block(np.arange(K), 6)  # fresh workers
+        assert np.array_equal(a, b)
+        engine.close()
+
+    def test_run_opened_before_release_fails_loudly_after_it(self):
+        engine = _process_engine(shards=2)
+        run = engine.open_run(seed=1)
+        run.draw_block(np.arange(K), 2)
+        engine.release_pool()
+        with pytest.raises(RuntimeError, match="shut down"):
+            run.draw_block(np.arange(K), 2)
+        engine.close()
+
+    def test_closed_engine_refuses_new_runs(self):
+        engine = _process_engine(shards=2)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.open_run(seed=0)
+
+    def test_output_buffer_grows_for_large_draws(self):
+        """A draw bigger than the initial out segment grows it geometrically
+        (old segment unlinked, new one registered) and stays bit-exact."""
+        pop = make_materialized_population(
+            [10.0 + 8.0 * i for i in range(K)], sizes=5000, seed=5
+        )
+        plain = InMemoryEngine(pop)
+        engine = ShardedEngine(InMemoryEngine(pop), shards=2, executor="process")
+        r_plain = plain.open_run(seed=9)
+        r_proc = engine.open_run(seed=9)
+        small = r_proc.draw_block(np.arange(K), 4)
+        assert np.array_equal(small, r_plain.draw_block(np.arange(K), 4))
+        big = r_proc.draw_block(np.arange(K), 4096)  # > 64 KiB per worker
+        assert np.array_equal(big, r_plain.draw_block(np.arange(K), 4096))
+        engine.close()
+
+    def test_draw_zero_count_skips_the_pipe(self):
+        engine = _process_engine(shards=2)
+        run = engine.open_run(seed=0)
+        assert run.draw(0, 0).size == 0
+        engine.close()
+
+    def test_isolated_runs_on_one_engine(self):
+        """Two live runs on one engine own independent worker-side streams."""
+        plain = _engine()
+        engine = _process_engine(shards=2)
+        run_a = engine.open_run(seed=11)
+        run_b = engine.open_run(seed=22)
+        ref_a = plain.open_run(seed=11)
+        ref_b = plain.open_run(seed=22)
+        gids = np.arange(K)
+        assert np.array_equal(run_a.draw_block(gids, 5), ref_a.draw_block(gids, 5))
+        assert np.array_equal(run_b.draw_block(gids, 7), ref_b.draw_block(gids, 7))
+        assert np.array_equal(run_a.draw_block(gids, 3), ref_a.draw_block(gids, 3))
+        engine.close()
+
+
+class TestWorkerCrash:
+    def test_killed_worker_surfaces_and_segments_are_reclaimed(self):
+        """SIGKILL one worker mid-run: the next draw raises instead of
+        hanging, and close() still unlinks every segment exactly once."""
+        engine = _process_engine(shards=2)
+        run = engine.open_run(seed=0)
+        run.draw_block(np.arange(K), 4)
+        pool = engine._procpool
+        victim = pool._workers[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        deadline = time.time() + 10
+        with pytest.raises(RuntimeError, match="died"):
+            while time.time() < deadline:  # the pipe may drain buffered data
+                run.draw_block(np.arange(K), 4)
+            raise AssertionError("killed worker never surfaced")
+        engine.close()
+        assert REGISTRY.active_count() == 0
+
+    def test_surviving_shards_unaffected_until_close(self):
+        engine = _process_engine(shards=2)
+        run = engine.open_run(seed=0)
+        pool = engine._procpool
+        os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+        pool._workers[0].process.join(timeout=10)
+        # Shard 1 owns the upper half of the gids; it still answers.
+        upper = engine.shard_gids[1]
+        block = run.draw_block(upper, 3)
+        assert block.shape == (3, upper.size)
+        engine.close()
+        assert REGISTRY.active_count() == 0
+
+
+class TestShareability:
+    def test_rejection_sampled_virtual_rejected_loudly(self):
+        groups = [VirtualGroup("g0", TruncatedNormal(50.0, 5.0, 0.0, 100.0), 10**6)]
+        engine = InMemoryEngine(Population(groups=groups, c=100.0))
+        assert "rejection-sampled" in shareable(engine.population)
+        with pytest.raises(ValueError, match="rejection-sampled"):
+            ShardedEngine(engine, shards=2, executor="process")
+
+    def test_unknown_group_kind_rejected(self):
+        class OpaqueGroup(Group):
+            name = "opaque"
+
+            @property
+            def size(self):
+                return 10
+
+            @property
+            def true_mean(self):
+                return 1.0
+
+        pop = Population(groups=[OpaqueGroup()], c=10.0)
+        assert "unknown kind" in shareable(pop)
+        with pytest.raises(ValueError, match="not process-shareable"):
+            build_shard_payloads(pop, [np.array([0])])
+
+    def test_fusable_virtual_is_shareable(self):
+        groups = [
+            VirtualGroup("u", UniformValues(0.0, 50.0), 10**6),
+            VirtualGroup("t", TwoPoint(0.3, 0.0, 100.0), 10**6),
+        ]
+        assert shareable(Population(groups=groups, c=100.0)) is None
+
+    def test_materialized_is_shareable(self):
+        assert shareable(_engine().population) is None
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            ShardedEngine(_engine(), shards=2, executor="fiber")
+
+
+class TestPayloadCleanupOnError:
+    def test_failed_build_releases_partial_segments(self):
+        """An error *after* some segments were created must release them."""
+        from repro.needletail.bitvector import BitVector
+        from repro.needletail.engine import IndexedGroup
+
+        v1 = np.arange(64, dtype=np.float64)
+        v2 = v1 + 1.0  # a second, distinct value column in the same shard
+        g1 = IndexedGroup("a", BitVector.from_bools(np.ones(64, dtype=bool)), v1)
+        g2 = IndexedGroup("b", BitVector.from_bools(np.ones(64, dtype=bool)), v2)
+        pop = Population(groups=[g1, g2], c=100.0)
+        with pytest.raises(ValueError, match="distinct value columns"):
+            build_shard_payloads(pop, [np.array([0, 1])])
+        # the autouse fixture asserts the partially-built segments were freed

@@ -11,6 +11,12 @@ The guarantees under test (see the module docstring and DESIGN_PERF.md):
   matter how the fan-out is scheduled (pool, sequential, hash partition).
 * Fusable virtual groups draw reproducibly at ``shards>1`` (fixed seed ->
   identical values) and produce the same ordering as the plain engine.
+* The whole matrix holds for **both executors**: the thread fan-out and the
+  process fan-out (``executor="process"``, worker processes over shared
+  memory) are interchangeable bit-for-bit wherever the population can cross
+  the process boundary.  Rejection-sampled virtual populations cannot (the
+  engine refuses them loudly; the planner falls back to threads - see the
+  session suite), so their process legs are skipped here.
 """
 
 from __future__ import annotations
@@ -27,7 +33,6 @@ from repro.data.distributions import (
     UniformValues,
 )
 from repro.data.population import Population, VirtualGroup
-from repro.data.synthetic import make_mixture_dataset
 from repro.engines.memory import InMemoryEngine
 from repro.engines.partition import hash_partition, partition_groups, range_partition
 from repro.engines.sharded import ShardedEngine
@@ -60,6 +65,38 @@ def _virtual_engine() -> InMemoryEngine:
         ),
     ]
     return InMemoryEngine(Population(groups=groups, c=100.0))
+
+
+def _fusable_virtual_engine() -> InMemoryEngine:
+    """Only fusable distributions: the virtual population a process worker
+    can rebuild (parameters pickle; no rejection-sampled state)."""
+    groups = [
+        VirtualGroup("uniform", UniformValues(10.0, 90.0), 10**6),
+        VirtualGroup("twopoint", TwoPoint(0.4, 0.0, 100.0), 10**6),
+        VirtualGroup("point", PointMass(42.0), 10**6),
+        VirtualGroup(
+            "mixture",
+            Mixture([UniformValues(0.0, 10.0), TwoPoint(0.5, 0.0, 100.0)]),
+            10**6,
+        ),
+    ]
+    return InMemoryEngine(Population(groups=groups, c=100.0))
+
+
+#: Both fan-out executors; the full determinism matrix runs against each.
+EXECUTORS = ("thread", "process")
+
+
+def _sharded(kind: str, shards: int, executor: str, **kwargs) -> ShardedEngine:
+    """A sharded engine over a fresh builder engine, skipping impossible legs."""
+    if executor == "process" and kind == "virtual":
+        pytest.skip(
+            "rejection-sampled virtual populations are not process-shareable "
+            "(refusal and planner fallback are tested separately)"
+        )
+    return ShardedEngine(
+        ENGINE_BUILDERS[kind](), shards=shards, executor=executor, **kwargs
+    )
 
 
 def _needletail_engine() -> NeedletailEngine:
@@ -136,16 +173,18 @@ class TestPartition:
 ENGINE_BUILDERS = {
     "materialized": _materialized_engine,
     "virtual": _virtual_engine,
+    "fusable_virtual": _fusable_virtual_engine,
     "needletail": _needletail_engine,
 }
 
 
 class TestSingleShardBitIdentical:
+    @pytest.mark.parametrize("executor", EXECUTORS)
     @pytest.mark.parametrize("kind", sorted(ENGINE_BUILDERS))
     @pytest.mark.parametrize("without_replacement", [True, False])
-    def test_draws_and_accounting_match(self, kind, without_replacement):
+    def test_draws_and_accounting_match(self, kind, without_replacement, executor):
         plain = ENGINE_BUILDERS[kind]()
-        sharded = ShardedEngine(ENGINE_BUILDERS[kind](), shards=1)
+        sharded = _sharded(kind, 1, executor)
         r_plain = plain.open_run(seed=7, without_replacement=without_replacement)
         r_shard = sharded.open_run(seed=7, without_replacement=without_replacement)
         for a, b in zip(_drain(r_plain, plain.k), _drain(r_shard, plain.k)):
@@ -155,16 +194,19 @@ class TestSingleShardBitIdentical:
         )
         assert r_plain.stats.io_seconds == r_shard.stats.io_seconds
         assert r_plain.stats.cpu_seconds == r_shard.stats.cpu_seconds
+        sharded.close()
 
+    @pytest.mark.parametrize("executor", EXECUTORS)
     @pytest.mark.parametrize("kind", sorted(ENGINE_BUILDERS))
-    def test_full_ifocus_run_matches(self, kind):
+    def test_full_ifocus_run_matches(self, kind, executor):
         plain = ENGINE_BUILDERS[kind]()
-        sharded = ShardedEngine(ENGINE_BUILDERS[kind](), shards=1)
+        sharded = _sharded(kind, 1, executor)
         a = run_algorithm("ifocus", plain, delta=0.05, seed=13)
         b = run_algorithm("ifocus", sharded, delta=0.05, seed=13)
         assert np.array_equal(a.estimates, b.estimates)
         assert np.array_equal(a.samples_per_group, b.samples_per_group)
         assert a.stats.total_seconds == b.stats.total_seconds
+        sharded.close()
 
     def test_exact_mean_and_sizes_delegate_to_population(self):
         plain = _materialized_engine()
@@ -182,38 +224,45 @@ class TestSingleShardBitIdentical:
 
 
 class TestMultiShardDeterminism:
+    @pytest.mark.parametrize("executor", EXECUTORS)
     @pytest.mark.parametrize("shards", [2, 3, 4, K])
     @pytest.mark.parametrize("builder", ["materialized", "needletail"])
-    def test_per_group_stream_kinds_bit_identical_to_plain(self, shards, builder):
+    def test_per_group_stream_kinds_bit_identical_to_plain(
+        self, shards, builder, executor
+    ):
         plain = ENGINE_BUILDERS[builder]()
-        sharded = ShardedEngine(ENGINE_BUILDERS[builder](), shards=shards)
+        sharded = _sharded(builder, shards, executor)
         r_plain = plain.open_run(seed=21)
         r_shard = sharded.open_run(seed=21)
         for a, b in zip(_drain(r_plain, plain.k), _drain(r_shard, plain.k)):
             assert np.array_equal(a, b)
         sharded.close()
 
+    @pytest.mark.parametrize("executor", EXECUTORS)
     @pytest.mark.parametrize("builder", ["materialized", "needletail"])
-    def test_full_run_bit_identical_to_plain_at_four_shards(self, builder):
+    def test_full_run_bit_identical_to_plain_at_four_shards(self, builder, executor):
         plain = ENGINE_BUILDERS[builder]()
-        with ShardedEngine(ENGINE_BUILDERS[builder](), shards=4) as sharded:
+        with _sharded(builder, 4, executor) as sharded:
             a = run_algorithm("ifocus", plain, delta=0.05, seed=5)
             b = run_algorithm("ifocus", sharded, delta=0.05, seed=5)
         assert np.array_equal(a.estimates, b.estimates)
         assert np.array_equal(a.samples_per_group, b.samples_per_group)
         assert a.stats.total_seconds == b.stats.total_seconds
 
-    def test_sequential_fanout_equals_pooled(self):
-        pooled = ShardedEngine(_materialized_engine(), shards=4)
-        sequential = ShardedEngine(_materialized_engine(), shards=4, max_workers=1)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_sequential_fanout_equals_pooled(self, executor):
+        pooled = _sharded("materialized", 4, executor)
+        sequential = _sharded("materialized", 4, executor, max_workers=1)
         a = pooled.open_run(seed=2).draw_block(np.arange(K), 40)
         b = sequential.open_run(seed=2).draw_block(np.arange(K), 40)
         assert np.array_equal(a, b)
         pooled.close()
+        sequential.close()
 
-    def test_hash_partitioner_equals_range_for_per_group_streams(self):
-        by_range = ShardedEngine(_materialized_engine(), shards=3, partitioner="range")
-        by_hash = ShardedEngine(_materialized_engine(), shards=3, partitioner="hash")
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_hash_partitioner_equals_range_for_per_group_streams(self, executor):
+        by_range = _sharded("materialized", 3, executor, partitioner="range")
+        by_hash = _sharded("materialized", 3, executor, partitioner="hash")
         gids = np.arange(K)
         a = by_range.open_run(seed=4).draw_block(gids, 25)
         b = by_hash.open_run(seed=4).draw_block(gids, 25)
@@ -221,9 +270,13 @@ class TestMultiShardDeterminism:
         by_range.close()
         by_hash.close()
 
-    def test_virtual_groups_reproducible_and_same_ordering(self):
-        plain = _virtual_engine()
-        sharded = ShardedEngine(_virtual_engine(), shards=3)
+    @pytest.mark.parametrize(
+        "executor,kind",
+        [("thread", "virtual"), ("process", "fusable_virtual")],
+    )
+    def test_virtual_groups_reproducible_and_same_ordering(self, executor, kind):
+        plain = ENGINE_BUILDERS[kind]()
+        sharded = _sharded(kind, 3, executor)
         gids = np.arange(plain.k)
         x = sharded.open_run(seed=11).draw_block(gids, 30)
         y = sharded.open_run(seed=11).draw_block(gids, 30)
@@ -233,19 +286,34 @@ class TestMultiShardDeterminism:
         assert np.array_equal(np.argsort(a.estimates), np.argsort(b.estimates))
         sharded.close()
 
-    def test_partial_blocks_touching_a_shard_subset(self):
+    def test_thread_and_process_executors_bit_identical(self):
+        """The two fan-outs are interchangeable, not merely each correct."""
+        by_thread = _sharded("materialized", 4, "thread")
+        by_process = _sharded("materialized", 4, "process")
+        gids = np.arange(K)
+        a = by_thread.open_run(seed=15).draw_block(gids, 33)
+        b = by_process.open_run(seed=15).draw_block(gids, 33)
+        assert np.array_equal(a, b)
+        by_thread.close()
+        by_process.close()
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_partial_blocks_touching_a_shard_subset(self, executor):
         plain = _materialized_engine()
-        sharded = ShardedEngine(_materialized_engine(), shards=4)
+        sharded = _sharded("materialized", 4, executor)
         subset = np.array([1, 5, 9])  # spans three range shards
         a = plain.open_run(seed=8).draw_block(subset, 17)
         b = sharded.open_run(seed=8).draw_block(subset, 17)
         assert np.array_equal(a, b)
         sharded.close()
 
-    def test_charge_accounting_matches_plain_with_cost_model(self):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_charge_accounting_matches_plain_with_cost_model(self, executor):
         plain = _materialized_engine(cost_model=NeedletailCostModel())
         sharded = ShardedEngine(
-            _materialized_engine(cost_model=NeedletailCostModel()), shards=4
+            _materialized_engine(cost_model=NeedletailCostModel()),
+            shards=4,
+            executor=executor,
         )
         r_plain = plain.open_run(seed=1)
         r_shard = sharded.open_run(seed=1)
@@ -258,6 +326,7 @@ class TestMultiShardDeterminism:
         )
         assert r_plain.stats.io_seconds == pytest.approx(r_shard.stats.io_seconds)
         assert r_plain.stats.cpu_seconds == pytest.approx(r_shard.stats.cpu_seconds)
+        sharded.close()
 
 
 # ---------------------------------------------------------------------------
@@ -266,9 +335,10 @@ class TestMultiShardDeterminism:
 
 
 class TestLifecycle:
-    def test_exhaustion_error_propagates_through_fanout(self):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_exhaustion_error_propagates_through_fanout(self, executor):
         pop = make_materialized_population([10.0, 30.0, 50.0, 70.0], sizes=20, seed=0)
-        sharded = ShardedEngine(InMemoryEngine(pop), shards=4)
+        sharded = ShardedEngine(InMemoryEngine(pop), shards=4, executor=executor)
         run = sharded.open_run(seed=0)
         with pytest.raises(ValueError, match="exhausted"):
             run.draw_block(np.arange(4), 21)
@@ -283,8 +353,11 @@ class TestLifecycle:
         with pytest.raises(RuntimeError, match="closed"):
             sharded.open_run(seed=1).draw_block(np.arange(K), 3)
 
-    def test_record_timings_accumulates_per_shard(self):
-        sharded = ShardedEngine(_materialized_engine(), shards=4, record_timings=True)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_record_timings_accumulates_per_shard(self, executor):
+        sharded = ShardedEngine(
+            _materialized_engine(), shards=4, record_timings=True, executor=executor
+        )
         run = sharded.open_run(seed=0)
         assert run.shard_seconds.shape == (4,)
         run.draw_block(np.arange(K), 50)

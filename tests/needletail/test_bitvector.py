@@ -104,6 +104,34 @@ class TestRankSelect:
         ranks = np.arange(200)
         assert np.array_equal(bv.select_many(ranks), ranks)
 
+    def test_scalar_select_equals_select_many_everywhere(self):
+        """The scalar fast path and the vectorized path agree, rank by rank,
+        across densities and word-boundary lengths."""
+        for density in (0.02, 0.5, 0.98):
+            for length in (1, 64, 65, 640, 1031):
+                bits = random_bits(length, density, seed=int(density * 100) + length)
+                bv = BitVector.from_bools(bits)
+                total = bv.count()
+                if total == 0:
+                    continue
+                many = bv.select_many(np.arange(total))
+                for r in range(total):
+                    assert bv.select(r) == int(many[r])
+
+    def test_scalar_select_avoids_the_array_door(self, monkeypatch):
+        """Regression (ISSUE 5 satellite): ``select`` must not allocate a
+        throwaway 1-element array by routing through ``select_many``."""
+        bits = random_bits(500, 0.3, seed=6)
+        bv = BitVector.from_bools(bits)
+        positions = np.flatnonzero(bits)
+
+        def boom(self, ranks):
+            raise AssertionError("scalar select routed through select_many")
+
+        monkeypatch.setattr(BitVector, "select_many", boom)
+        for r in (0, 1, len(positions) // 2, len(positions) - 1):
+            assert bv.select(r) == positions[r]
+
     def test_rank_select_duality(self):
         bits = random_bits(800, 0.3, seed=5)
         bv = BitVector.from_bools(bits)

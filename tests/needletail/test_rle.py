@@ -73,6 +73,30 @@ class TestAccessors:
         with pytest.raises(IndexError):
             rl.select(250)
 
+    def test_scalar_select_equals_select_many_everywhere(self):
+        bits = clustered_bits()
+        rl = RunLengthBitmap.from_bools(bits)
+        total = rl.count()
+        many = rl.select_many(np.arange(total))
+        for r in range(0, total, 7):
+            assert rl.select(r) == int(many[r])
+        with pytest.raises(IndexError):
+            rl.select(-1)
+
+    def test_scalar_select_avoids_the_array_door(self, monkeypatch):
+        """Regression (ISSUE 5 satellite): the scalar path must not build a
+        throwaway 1-element array via ``select_many``."""
+        bits = clustered_bits()
+        rl = RunLengthBitmap.from_bools(bits)
+        positions = np.flatnonzero(bits)
+
+        def boom(self, ranks):
+            raise AssertionError("scalar select routed through select_many")
+
+        monkeypatch.setattr(RunLengthBitmap, "select_many", boom)
+        for r in (0, 10, 199, 249):
+            assert rl.select(r) == positions[r]
+
 
 class TestLogicalOps:
     @given(

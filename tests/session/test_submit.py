@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro import avg, connect
+from repro.engines.shm import REGISTRY
 from repro.engines.sharded import ShardedEngine
 from repro.session.spec import Aggregate, QuerySpec
 
@@ -63,6 +64,43 @@ class TestSubmit:
             serial = [b.run(seed=s) for b, s in jobs]
             for got, want in zip(concurrent, serial):
                 assert _result_fingerprint(got) == _result_fingerprint(want)
+
+    def test_eight_concurrent_process_queries_leak_nothing(self):
+        """The ISSUE-5 stress bar: 8 in-flight ``executor="process"`` queries
+        on one session.
+
+        Every worker builds an isolated process engine (own spawn workers,
+        own shared-memory segments, own run state), results are bit-identical
+        to the same queries run serially through the *unsharded* engine
+        (materialized tables: any shard count and executor matches), and the
+        shm registry is empty once the queries and the session are done -
+        no segment outlives its query.
+        """
+        baseline = REGISTRY.active_count()
+        with _flights_session(engine="memory", submit_workers=8) as session:
+            base = session.table("flights").group_by("carrier").agg(avg("arrival_delay"))
+            jobs = [(base.sharded(2, executor="process"), seed) for seed in range(4)]
+            # All jobs stay on the batched executor: the reference-loop modes
+            # (top/trends/...) draw one sample per IPC round trip, which is
+            # exactly the pattern the process executor is not built for.
+            jobs += [
+                (base.sharded(3, executor="process"), 100),
+                (base.sharded(2, max_workers=1, executor="process"), 100),
+                (base.sharded(2, executor="process").guarantee(delta=0.2), 7),
+                (base.sharded(2, executor="process").guarantee(delta=0.15), 9),
+            ]
+            assert len(jobs) == 8
+            futures = [session.submit(b, seed=s) for b, s in jobs]
+            concurrent = [f.result(timeout=300) for f in futures]
+            serial = [b.sharded(1).run(seed=s) for b, s in jobs]
+            for got, want in zip(concurrent, serial):
+                assert _result_fingerprint(got) == _result_fingerprint(want)
+            for got in concurrent:
+                assert isinstance(got.engine, ShardedEngine)
+                assert got.engine.executor == "process"
+        assert REGISTRY.active_count() == baseline, (
+            f"process queries leaked segments: {REGISTRY.active_names()}"
+        )
 
     def test_submit_sql_text(self):
         with _flights_session() as session:
@@ -177,6 +215,56 @@ class TestShardedQueries:
             ).spec()
             assert spec.shards == 3
 
+    def test_sql_door_carries_session_executor(self):
+        with _flights_session(shards=2, executor="process") as session:
+            spec = session.sql(
+                "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier"
+            ).spec()
+            assert spec.executor == "process"
+
+    @pytest.mark.parametrize("engine", ["memory", "needletail"])
+    def test_process_sharded_run_bit_identical_to_unsharded(self, engine):
+        """Materialized tables: process shards=2 answers are bit-identical,
+        and the query pins no worker processes or segments once done."""
+        baseline = REGISTRY.active_count()
+        with _flights_session(engine=engine) as session:
+            base = session.table("flights").group_by("carrier").agg(avg("arrival_delay"))
+            plain = base.run(seed=42)
+            proc = base.sharded(2, executor="process").run(seed=42)
+            assert _result_fingerprint(plain) == _result_fingerprint(proc)
+            assert isinstance(proc.engine, ShardedEngine)
+            assert proc.engine.executor == "process"
+        assert REGISTRY.active_count() == baseline
+
+    def test_process_falls_back_to_threads_for_rejection_virtual(self):
+        """Non-shareable populations downgrade with an explicit caveat."""
+        with connect(delta=0.1, seed=0, engine="memory") as session:
+            session.register_synthetic(
+                "syn", "mixture", k=4, total_size=40_000, seed=1, materialize=False
+            )
+            result = (
+                session.table("syn")
+                .group_by("g")
+                .agg(avg("value"))
+                .sharded(2, executor="process")
+                .run(seed=1)
+            )
+            assert any("fell back to the thread fan-out" in c for c in result.caveats)
+            assert isinstance(result.engine, ShardedEngine)
+            assert result.engine.executor == "thread"
+
+    def test_explain_mentions_process_executor(self):
+        with _flights_session() as session:
+            text = (
+                session.table("flights")
+                .group_by("carrier")
+                .agg(avg("arrival_delay"))
+                .sharded(4, executor="process")
+                .explain()
+            )
+            assert "process executor" in text
+            assert "falls back to the thread fan-out" in text
+
 
 class TestSpecValidation:
     def _spec(self, **overrides):
@@ -191,6 +279,22 @@ class TestSpecValidation:
     def test_defaults_are_unsharded(self):
         spec = self._spec()
         assert spec.shards == 1 and spec.max_workers is None
+        assert spec.executor == "thread"
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            self._spec(executor="fiber")
+
+    def test_builder_executor_reaches_spec(self):
+        with _flights_session() as session:
+            spec = (
+                session.table("flights")
+                .group_by("carrier")
+                .agg(avg("arrival_delay"))
+                .sharded(4, executor="process")
+                .spec()
+            )
+            assert spec.shards == 4 and spec.executor == "process"
 
     @pytest.mark.parametrize("bad", [0, -2])
     def test_invalid_shards_rejected(self, bad):

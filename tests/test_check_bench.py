@@ -125,6 +125,47 @@ class TestCompare:
         assert committed, "committed BENCH_micro.json should have entries"
 
 
+class TestUnguardedEntries:
+    def test_guard_false_entries_never_arm_the_guard(self, tmp_path):
+        """Machine-topology ops (``"guard": false``) are excluded from both
+        comparison and calibration, even at pathological ratios."""
+
+        def write(path, rows):
+            path.write_text(json.dumps({"suite": "micro", "entries": rows}))
+            return path
+
+        fresh = write(
+            tmp_path / "fresh.json",
+            [
+                {"op": "op_a", "median_seconds": 0.010},
+                {"op": "procpool_draw", "median_seconds": 99.0, "guard": False},
+            ],
+        )
+        baseline = write(
+            tmp_path / "baseline.json",
+            [
+                {"op": "op_a", "median_seconds": 0.010},
+                {"op": "procpool_draw", "median_seconds": 1e-9, "guard": False},
+            ],
+        )
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 0
+        assert check_bench.load_entries(fresh) == {"op_a": 0.010}
+
+    def test_guard_true_and_absent_both_compare(self, tmp_path):
+        def write(path, rows):
+            path.write_text(json.dumps({"suite": "micro", "entries": rows}))
+            return path
+
+        fresh = write(
+            tmp_path / "fresh.json",
+            [{"op": "op_a", "median_seconds": 0.030, "guard": True}],
+        )
+        baseline = write(
+            tmp_path / "baseline.json", [{"op": "op_a", "median_seconds": 0.010}]
+        )
+        assert check_bench.main([str(fresh), "--baseline", str(baseline)]) == 1
+
+
 class TestAgainstRealSchema:
     def test_load_entries_reads_bench_export_schema(self, tmp_path):
         path = tmp_path / "b.json"

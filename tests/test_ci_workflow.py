@@ -42,7 +42,7 @@ def _steps(workflow: dict):
 
 def test_workflow_parses_and_has_jobs(workflow):
     assert workflow.get("name") == "CI"
-    assert set(workflow["jobs"]) == {"tests", "bench-smoke"}
+    assert set(workflow["jobs"]) == {"tests", "bench-smoke", "procpool"}
     # "on" parses as the YAML boolean True when unquoted - accept either key.
     triggers = workflow.get("on", workflow.get(True))
     assert "push" in triggers and "pull_request" in triggers
@@ -113,3 +113,18 @@ def test_bench_smoke_job_runs_smoke_and_guard(workflow):
     assert "check_bench.py" in commands
     # The smoke job runs tier-1 with the heavy benches explicitly off.
     assert job["env"]["REPRO_RUN_BENCH"] == "0"
+
+
+def test_procpool_job_runs_lifecycle_tests_and_smoke_bench(workflow):
+    """The 2-vCPU leg must exercise the process-executor suites (incl. the
+    kill-the-worker cleanup test) and the proc-pool smoke bench - still
+    through the repo's own CI scripts only."""
+    job = workflow["jobs"]["procpool"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "tests/engines/test_procpool.py" in commands
+    assert "tests/engines/test_sharded.py" in commands
+    assert "bench_export.py --smoke" in commands
+    for step in job["steps"]:
+        line = step.get("run", "").strip()
+        if line and "test_procpool" in line:
+            assert line.startswith("scripts/ci.sh")

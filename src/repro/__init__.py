@@ -101,11 +101,19 @@ from repro.catalog import (
 )
 from repro.data import Population
 from repro.engines import InMemoryEngine, ShardedEngine
+from repro.errors import (
+    FatalError,
+    QueryCancelled,
+    ReproError,
+    TransientError,
+    WorkerCrashed,
+)
 from repro.session import (
     GroupEstimate,
     GuaranteeSpec,
     PartialUpdate,
     QueryBuilder,
+    QueryFuture,
     QuerySpec,
     Result,
     ResultStream,
@@ -138,6 +146,13 @@ __all__ = [
     "count",
     "register_engine",
     "load_csv_table",
+    "QueryFuture",
+    # error taxonomy / resilience
+    "ReproError",
+    "TransientError",
+    "FatalError",
+    "WorkerCrashed",
+    "QueryCancelled",
     # data layer (repro.catalog)
     "Catalog",
     "DataSource",

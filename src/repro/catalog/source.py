@@ -41,6 +41,7 @@ from repro.data.population import Population
 from repro.needletail.table import Table
 from repro.query.ast import Predicate
 from repro.query.predicates import predicate_chunk_mask, predicate_columns
+from repro.resilience.faults import fault_at
 
 __all__ = ["DataSource", "TableSource", "IteratorSource", "MissingDependencyError"]
 
@@ -140,7 +141,13 @@ class DataSource:
         predicate: Predicate | None,
     ) -> Iterator[Chunk]:
         it = self._chunks(needed)
+        index = 0
         while True:
+            # Named injection point for the chaos suite: a planned
+            # fail_scan_chunk fault surfaces here as a TransientError, which
+            # the planner's retry policy absorbs by restarting the build.
+            fault_at("catalog.scan_chunk", shard=None, index=index)
+            index += 1
             try:
                 chunk = next(it)
             except StopIteration:

@@ -12,7 +12,7 @@ Usage::
         [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0] \
         [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
         [--engine needletail|memory|noindex] [--shards 4] [--workers 4] \
-        [--executor thread|process] [--stream]
+        [--executor thread|process] [--deadline-ms 500] [--max-retries 2] [--stream]
 
 ``query`` goes through the Session API.  By default it runs against a freshly
 synthesized flights table (the offline stand-in for the paper's dataset); with
@@ -156,6 +156,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_workers=args.workers,
         executor=args.executor,
+        deadline_ms=args.deadline_ms,
+        max_retries=args.max_retries,
     )
     if args.csv:
         session.register_csv(
@@ -200,6 +202,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"guarantee: {out.guarantee.describe()}")
     for caveat in out.caveats:
         print(f"caveat: {caveat}")
+    if out.deadline_exceeded:
+        # Distinct exit code so scripts can tell "partial anytime answer"
+        # (above output is still valid, intervals are just wider) from both
+        # success (0) and bad invocations (2).
+        return 3
     return 0
 
 
@@ -388,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cap total tuples for --engine noindex (skewed tables "
                      "with conflicting groups may otherwise sample unboundedly; "
                      "hitting the cap voids the guarantee and prints a caveat)")
+    qry.add_argument("--deadline-ms", type=float, default=None,
+                     help="time budget in milliseconds; on expiry the run "
+                     "finalizes remaining groups at their current estimates "
+                     "(wider intervals), prints the partial answer with a "
+                     "deadline_exceeded caveat, and exits with code 3")
+    qry.add_argument("--max-retries", type=int, default=2,
+                     help="retry budget for transient source-scan IO failures "
+                     "(exponential backoff; retries are surfaced as caveats)")
     qry.add_argument("--stream", action="store_true",
                      help="print partial results as groups finalize")
     qry.set_defaults(fn=_cmd_query)

@@ -94,6 +94,7 @@ from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import first_event_row, first_resolution_row
 from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
 from repro.engines.base import EngineRun, SamplingEngine
+from repro.resilience.deadline import Deadline
 
 __all__ = ["run_ifocus"]
 
@@ -167,6 +168,7 @@ def _run_ifocus(
     initial_batch: int = _DEFAULT_INITIAL_BATCH,
     max_batch: int = _DEFAULT_MAX_BATCH,
     max_rounds: int | None = None,
+    deadline: "Deadline | None" = None,
 ) -> OrderingResult:
     """Run IFOCUS (or IFOCUS-R when ``resolution`` > 0) over an engine.
 
@@ -191,6 +193,11 @@ def _run_ifocus(
         max_rounds: optional safety cap on the number of rounds; if reached,
             remaining active groups are finalized at their current estimates
             and ``params["truncated"]`` is set.
+        deadline: optional :class:`~repro.resilience.deadline.Deadline`,
+            polled once per round: on expiry remaining active groups are
+            finalized at their current estimates (anytime behaviour) and
+            ``params["deadline_exceeded"]`` is set; on cancellation
+            :class:`~repro.errors.QueryCancelled` propagates.
 
     Returns:
         An :class:`~repro.core.types.OrderingResult`.
@@ -219,9 +226,14 @@ def _run_ifocus(
 
     batch = int(initial_batch)
     truncated = False
+    deadline_exceeded = False
     while state.active.any():
         if max_rounds is not None and m >= max_rounds:
             truncated = True
+            _truncate_active(state, schedule, m, without_replacement)
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             _truncate_active(state, schedule, m, without_replacement)
             break
 
@@ -295,6 +307,7 @@ def _run_ifocus(
         "without_replacement": without_replacement,
         "c": run.c,
         "truncated": truncated,
+        "deadline_exceeded": deadline_exceeded,
     }
     # ``m`` may overshoot to the batch end when the last group finalizes
     # mid-batch; the number of rounds actually executed is the last

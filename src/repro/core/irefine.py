@@ -32,6 +32,7 @@ from repro.core.confidence import chernoff_sample_size
 from repro.core.intervals import pairwise_overlap_matrix
 from repro.core.types import GroupOutcome, OrderingResult
 from repro.engines.base import SamplingEngine
+from repro.resilience.deadline import Deadline
 
 __all__ = ["run_irefine"]
 
@@ -43,6 +44,7 @@ def run_irefine(
     resolution: float = 0.0,
     seed: int | np.random.Generator | None = None,
     max_iterations: int = 64,
+    deadline: Deadline | None = None,
 ) -> OrderingResult:
     """Run IREFINE (or IREFINE-R when ``resolution`` > 0).
 
@@ -54,6 +56,10 @@ def run_irefine(
         seed: RNG seed for the sampling streams.
         max_iterations: safety cap on halving iterations (eps shrinks by 2^64
             over the default cap - far beyond any realistic instance).
+        deadline: optional time budget / cancel token, polled once per
+            halving iteration; on expiry remaining active groups keep
+            their current (eps, estimate) and
+            ``params["deadline_exceeded"]`` is set.
 
     Returns:
         An :class:`~repro.core.types.OrderingResult`.
@@ -85,10 +91,16 @@ def run_irefine(
 
     iteration = 0
     truncated = False
+    deadline_exceeded = False
     while active.any():
         iteration += 1
         if iteration > max_iterations:
             truncated = True
+            for gid in np.flatnonzero(active):
+                finalize(int(gid), iteration - 1, False)
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             for gid in np.flatnonzero(active):
                 finalize(int(gid), iteration - 1, False)
             break
@@ -157,6 +169,7 @@ def run_irefine(
             "resolution": resolution,
             "c": c,
             "truncated": truncated,
+            "deadline_exceeded": deadline_exceeded,
         },
         stats=run.stats,
     )

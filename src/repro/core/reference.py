@@ -34,6 +34,7 @@ from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import separated_general
 from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
 from repro.engines.base import SamplingEngine
+from repro.resilience.deadline import Deadline
 
 __all__ = ["LoopContext", "default_policy", "run_ifocus_reference"]
 
@@ -111,6 +112,7 @@ def run_ifocus_reference(
     min_half_width: float | None = None,
     on_finalize: Callable[[int, GroupOutcome], None] | None = None,
     algorithm_name: str | None = None,
+    deadline: Deadline | None = None,
 ) -> OrderingResult:
     """Run the reference IFOCUS loop.
 
@@ -131,6 +133,9 @@ def run_ifocus_reference(
         on_finalize: callback invoked with (gid, outcome) the moment a group
             is finalized - this is the partial-results stream of Problem 7.
         algorithm_name: override the result's algorithm label.
+        deadline: optional time budget / cancel token, polled once per
+            round; on expiry remaining groups are finalized at their
+            current estimates and ``params["deadline_exceeded"]`` is set.
     """
     check_probability(delta, "delta")
     check_nonnegative(resolution, "resolution")
@@ -215,9 +220,15 @@ def run_ifocus_reference(
         )
 
     truncated = False
+    deadline_exceeded = False
     while active.any():
         if max_rounds is not None and m >= max_rounds:
             truncated = True
+            for gid in np.flatnonzero(active):
+                finalize(int(gid), float(half_widths[gid]), m, False)
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             for gid in np.flatnonzero(active):
                 finalize(int(gid), float(half_widths[gid]), m, False)
             break
@@ -309,6 +320,7 @@ def run_ifocus_reference(
             "without_replacement": without_replacement,
             "c": run.c,
             "truncated": truncated,
+            "deadline_exceeded": deadline_exceeded,
             "reactivation": reactivation,
         },
         stats=run.stats,

@@ -27,6 +27,7 @@ from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import first_event_row, first_resolution_row
 from repro.core.types import GroupOutcome, OrderingResult, RoundSnapshot, Trace
 from repro.engines.base import SamplingEngine
+from repro.resilience.deadline import Deadline
 
 __all__ = ["run_roundrobin"]
 
@@ -44,6 +45,7 @@ def run_roundrobin(
     initial_batch: int = 64,
     max_batch: int = 1 << 18,
     max_rounds: int | None = None,
+    deadline: Deadline | None = None,
 ) -> OrderingResult:
     """Run ROUNDROBIN (or ROUNDROBIN-R when ``resolution`` > 0).
 
@@ -77,10 +79,14 @@ def run_roundrobin(
 
     done = k <= 1
     truncated = False
+    deadline_exceeded = False
     batch = int(initial_batch)
     while not done:
         if max_rounds is not None and m >= max_rounds:
             truncated = True
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             break
         if without_replacement:
             for gid in np.flatnonzero(live & (sizes <= m)):
@@ -163,6 +169,7 @@ def run_roundrobin(
             "without_replacement": without_replacement,
             "c": run.c,
             "truncated": truncated,
+            "deadline_exceeded": deadline_exceeded,
         },
         stats=run.stats,
     )

@@ -18,18 +18,38 @@ Determinism: workers rebuild per-group RNG streams from the *same*
 PR-3 shard-merge contract holds verbatim - asserted by running the sharded
 determinism test matrix against ``executor="process"``.
 
+Deterministic worker recovery: everything a worker holds is either owned by
+the parent (the shm payload segments) or a pure function of the parent-side
+command history (sampler streams are rebuilt from ``SeedSequence`` children;
+every draw advances them by amounts fixed by the command sequence and the
+static data).  So the pool logs each state-mutating command per shard, and
+when a worker dies - SIGKILL, OOM, a corrupt handshake - it respawns the
+process from the still-live payloads and *replays the log*: the replacement
+ends in a state bit-identical to where the casualty would have been, and
+the in-flight command's reply comes from the replay.  Recovery is bounded
+by a pool-wide restart budget (``max_restarts``); past it the original
+``WorkerCrashed`` surfaces.  Crash/recovery events are recorded for
+``Result.caveats`` and reported to the engine's circuit breaker.
+
 Lifecycle: the pool owns every segment it created and each worker process.
-``shutdown()`` stops workers (terminating any that will not exit, e.g. after
-a crash) and releases each owned segment exactly once through the
-:class:`~repro.engines.shm.ShmRegistry`; a worker that died mid-run surfaces
-as ``WorkerCrashed`` on the next command, and shutdown still reclaims every
-segment (asserted by the kill-the-worker test).
+``shutdown()`` stops workers against one shared deadline (terminate -> kill
+escalation, so N stuck workers cost one timeout, not N) and releases each
+owned segment exactly once through the
+:class:`~repro.engines.shm.ShmRegistry`.
+
+Fault-injection sites (:mod:`repro.resilience.faults`): ``procpool.command``
+(parent-side, per fresh command: ``kill_worker``, ``kill_mid_command``,
+``delay_shard``) and ``procpool.handshake`` (worker-side, per spawn:
+``corrupt_handshake``).  Kill faults fire in the parent with parent-side
+budgets, so a respawned worker replaying its log can never re-trigger them.
 """
 
 from __future__ import annotations
 
 import collections
 import multiprocessing
+import os
+import signal
 import threading
 import time
 import traceback
@@ -37,15 +57,20 @@ import traceback
 import numpy as np
 
 from repro.engines.shm import REGISTRY, SharedArrayRef, ShardPayload, build_shard_payloads
+from repro.errors import WorkerCrashed
+from repro.resilience.faults import fault_at
 
 __all__ = ["ProcessShardPool", "WorkerCrashed"]
 
 #: Initial per-worker output buffer (bytes); grown geometrically on demand.
 _MIN_OUT_BYTES = 1 << 16
 
+#: Default pool-wide worker-restart budget.
+_DEFAULT_MAX_RESTARTS = 3
 
-class WorkerCrashed(RuntimeError):
-    """A shard worker process died before answering a command."""
+#: Default build-handshake timeout (seconds).  Generous: a spawn-context
+#: worker must import numpy and map its segments before it can answer.
+_DEFAULT_HANDSHAKE_TIMEOUT = 30.0
 
 
 # ---------------------------------------------------------------------------
@@ -53,7 +78,7 @@ class WorkerCrashed(RuntimeError):
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(conn, payload: ShardPayload) -> None:
+def _worker_main(conn, payload: ShardPayload, shard: int = 0, spawn_index: int = 0) -> None:
     """Entry point of one shard worker process.
 
     Protocol (parent -> worker, one reply per command):
@@ -73,7 +98,6 @@ def _worker_main(conn, payload: ShardPayload) -> None:
     from repro.engines.shm import ShmRegistry
 
     registry = ShmRegistry()  # this worker's private segment table
-    population = payload.build_population(registry)
     runs: dict[int, EngineRun] = {}
     out_name: str | None = None
     out_view: np.ndarray | None = None
@@ -88,6 +112,11 @@ def _worker_main(conn, payload: ShardPayload) -> None:
         return out_view
 
     try:
+        fault = fault_at("procpool.handshake", shard=shard, index=spawn_index)
+        if fault is not None and fault.kind == "corrupt_handshake":
+            conn.send(("garbled", spawn_index))
+            return
+        population = payload.build_population(registry)
         conn.send(("ok", "ready"))
         while True:
             try:
@@ -149,9 +178,18 @@ def _worker_main(conn, payload: ShardPayload) -> None:
 
 
 class _Worker:
-    """Parent-side record of one shard worker."""
+    """Parent-side record of one shard worker.
 
-    __slots__ = ("process", "conn", "lock", "out_ref", "alive")
+    ``log`` is the shard's replay journal: one normalized entry per
+    state-mutating command (``open_run``/``draw_block``/``draw``), with draw
+    entries stored *without* their out-buffer handle - old out segments are
+    unlinked when the buffer grows, so replay substitutes the current one
+    (always big enough: growth is monotone).  ``commands`` counts fresh
+    (non-replay) commands; it is the fault-injection index and survives a
+    respawn, so a plan's per-shard coordinates stay stable across crashes.
+    """
+
+    __slots__ = ("process", "conn", "lock", "out_ref", "alive", "log", "commands")
 
     def __init__(self, process, conn) -> None:
         self.process = process
@@ -159,10 +197,25 @@ class _Worker:
         self.lock = threading.Lock()
         self.out_ref: SharedArrayRef | None = None
         self.alive = True
+        self.log: list[tuple] = []
+        self.commands = 0
 
 
 class ProcessShardPool:
-    """Persistent worker processes serving one sharded engine's draws."""
+    """Persistent worker processes serving one sharded engine's draws.
+
+    Args:
+        population / shard_gids / name: as before (PR 5).
+        max_restarts: pool-wide budget of worker respawns; ``0`` disables
+            recovery entirely (a crash surfaces as ``WorkerCrashed`` on the
+            next command, the pre-resilience behaviour).
+        handshake_timeout: seconds to wait for a worker's build handshake
+            before declaring it crashed (a worker that dies *before*
+            handshaking must never block the build forever).
+        on_crash: optional observer called as ``on_crash(shard, exc)`` for
+            every crash the pool attempts to recover from - the sharded
+            engine feeds its circuit breaker with this.
+    """
 
     def __init__(
         self,
@@ -170,14 +223,30 @@ class ProcessShardPool:
         shard_gids: list[np.ndarray],
         *,
         name: str = "repro-shard",
+        max_restarts: int = _DEFAULT_MAX_RESTARTS,
+        handshake_timeout: float = _DEFAULT_HANDSHAKE_TIMEOUT,
+        on_crash=None,
     ) -> None:
-        ctx = multiprocessing.get_context("spawn")
-        # Guards _closed and _owned: a draw racing shutdown() must either
-        # complete against live state or fail the closed check - never
+        if int(max_restarts) < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if handshake_timeout <= 0:
+            raise ValueError(
+                f"handshake_timeout must be > 0, got {handshake_timeout}"
+            )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._name = name
+        self._max_restarts = int(max_restarts)
+        self._restarts_left = int(max_restarts)
+        self._handshake_timeout = float(handshake_timeout)
+        self._on_crash = on_crash
+        # Guards _closed, _owned, and _events: a draw racing shutdown() must
+        # either complete against live state or fail the closed check - never
         # register a fresh segment after shutdown drained the owned list.
         self._state_lock = threading.Lock()
-        payloads, self._owned = build_shard_payloads(population, shard_gids)
+        self._payloads, self._owned = build_shard_payloads(population, shard_gids)
         self._workers: list[_Worker] = []
+        self._spawned = [0] * len(self._payloads)
+        self._events: list[str] = []
         self._closed = False
         # Run ids whose parent-side run was garbage collected; drained (with
         # real close_run commands) on the next open_run.  GC finalizers only
@@ -185,19 +254,15 @@ class ProcessShardPool:
         # so collection can never deadlock on a worker lock or touch a pipe.
         self._retired: collections.deque[int] = collections.deque()
         try:
-            for shard, payload in enumerate(payloads):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, payload),
-                    daemon=True,
-                    name=f"{name}-{shard}",
-                )
-                process.start()
-                child_conn.close()
-                self._workers.append(_Worker(process, parent_conn))
+            for shard in range(len(self._payloads)):
+                process, conn = self._spawn_process(shard)
+                self._workers.append(_Worker(process, conn))
             for shard, worker in enumerate(self._workers):
-                self._recv(shard, worker)  # handshake: population built
+                try:
+                    self._handshake(shard, worker)
+                except WorkerCrashed as exc:
+                    # Empty log: recovery here is a clean respawn+handshake.
+                    self._recover(shard, exc)
         except BaseException:
             self.shutdown()
             raise
@@ -206,14 +271,156 @@ class ProcessShardPool:
     def num_workers(self) -> int:
         return len(self._workers)
 
+    @property
+    def restarts_remaining(self) -> int:
+        return self._restarts_left
+
+    def events(self) -> list[str]:
+        """Crash/recovery events recorded so far (for Result caveats)."""
+        with self._state_lock:
+            return list(self._events)
+
+    def _record_event(self, text: str) -> None:
+        with self._state_lock:
+            self._events.append(text)
+
+    # -- spawning and recovery ----------------------------------------------
+
+    def _spawn_process(self, shard: int):
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._payloads[shard], shard, self._spawned[shard]),
+            daemon=True,
+            name=f"{self._name}-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        self._spawned[shard] += 1
+        return process, parent_conn
+
+    def _reap(self, worker: _Worker) -> None:
+        """Bury a dead (or doomed) worker process and its pipe."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
+    def _handshake(self, shard: int, worker: _Worker) -> None:
+        """Wait (bounded) for the worker's build handshake.
+
+        A worker that died or hung before handshaking must never block the
+        build forever: past the timeout it is declared crashed (with its
+        exit code, once reaped) and ``WorkerCrashed`` raises.
+        """
+        try:
+            ready = worker.conn.poll(self._handshake_timeout)
+        except (EOFError, OSError):
+            ready = True  # the recv below surfaces the broken pipe
+        if not ready:
+            worker.alive = False
+            self._reap(worker)
+            raise WorkerCrashed(
+                f"shard worker {shard} did not complete its build handshake "
+                f"within {self._handshake_timeout:.1f}s and was killed "
+                f"(exit code {worker.process.exitcode})"
+            )
+        try:
+            reply = worker.conn.recv()
+        except (EOFError, OSError):
+            raise self._crashed(shard, worker) from None
+        if not (isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "ok"):
+            worker.alive = False
+            self._reap(worker)
+            raise WorkerCrashed(
+                f"shard worker {shard} sent a corrupt build handshake "
+                f"({reply!r}); it was killed (exit code {worker.process.exitcode})"
+            )
+
+    def _recover(self, shard: int, cause: WorkerCrashed, raise_last: bool = True):
+        """Respawn the shard's worker and replay its command log.
+
+        Returns the final replayed reply (the in-flight command's answer,
+        when the caller logged it before crashing).  Raises ``cause`` when
+        the pool is closed or the restart budget is exhausted; each failed
+        recovery attempt consumes budget, so a persistent killer cannot
+        loop forever.
+        """
+        worker = self._workers[shard]
+        while True:
+            with self._state_lock:
+                if self._closed:
+                    raise cause
+                if self._restarts_left <= 0:
+                    self._events.append(
+                        f"shard worker {shard} died and the pool restart "
+                        f"budget (max_restarts={self._max_restarts}) is "
+                        "exhausted; no recovery attempted"
+                    )
+                    raise cause
+                self._restarts_left -= 1
+            if self._on_crash is not None:
+                self._on_crash(shard, cause)
+            self._reap(worker)
+            process, conn = self._spawn_process(shard)
+            worker.process, worker.conn = process, conn
+            worker.alive = True
+            try:
+                self._handshake(shard, worker)
+                last = self._replay(shard, worker, raise_last=raise_last)
+            except WorkerCrashed as exc:
+                cause = exc
+                continue
+            self._record_event(
+                f"shard worker {shard} crashed ({cause}) and was respawned; "
+                f"{len(worker.log)} logged commands were replayed "
+                "deterministically"
+            )
+            return last
+
+    def _replay(self, shard: int, worker: _Worker, *, raise_last: bool):
+        """Re-issue the shard's logged commands against a fresh worker.
+
+        Draw entries get the *current* out buffer attached (big enough by
+        monotone growth).  Worker-side errors on non-final entries already
+        surfaced to their original callers, so they are swallowed here to
+        reproduce the original state; the final entry's error propagates
+        only when it answers an in-flight command (``raise_last``).
+        """
+        last = None
+        for i, entry in enumerate(worker.log):
+            if entry[0] in ("draw_block", "draw"):
+                count = entry[3]
+                width = entry[2].size if entry[0] == "draw_block" else 1
+                out_ref = self._ensure_out(worker, count * width * 8)
+                message = (*entry, out_ref)
+            else:
+                message = entry
+            try:
+                worker.conn.send(message)
+            except (BrokenPipeError, OSError):
+                raise self._crashed(shard, worker) from None
+            try:
+                last = self._recv(shard, worker)
+            except WorkerCrashed:
+                raise
+            except Exception:
+                if raise_last and i == len(worker.log) - 1:
+                    raise
+                last = None
+        return last
+
     # -- plumbing -----------------------------------------------------------
 
     def _crashed(self, shard: int, worker: _Worker) -> WorkerCrashed:
         worker.alive = False
         code = worker.process.exitcode
         return WorkerCrashed(
-            f"shard worker {shard} died (exit code {code}); the query cannot "
-            "continue - rerun it (segments are reclaimed on close)"
+            f"shard worker {shard} died (exit code {code}) before answering"
         )
 
     def _recv(self, shard: int, worker: _Worker):
@@ -236,15 +443,61 @@ class ProcessShardPool:
             )
         return self._workers[shard]
 
-    def _request(self, shard: int, message: tuple):
-        worker = self._worker(shard)
-        if not worker.alive:
-            raise self._crashed(shard, worker)
+    def _kill_worker(self, worker: _Worker) -> None:
+        """Apply a planned kill fault: SIGKILL, then wait for the death to
+        be observable (so the fault is deterministic, not racy)."""
         try:
-            worker.conn.send(message)
-        except (BrokenPipeError, OSError):
-            raise self._crashed(shard, worker) from None
-        return self._recv(shard, worker)
+            os.kill(worker.process.pid, signal.SIGKILL)
+        except (OSError, TypeError):  # pragma: no cover - already gone
+            pass
+        worker.process.join(timeout=10)
+
+    def _roundtrip(self, shard: int, message: tuple, entry: tuple | None = None):
+        """One command round-trip, with logging, faults, and recovery.
+
+        Must run under the shard worker's lock.  ``entry`` is the normalized
+        replay-log record for state-mutating commands; ``None`` marks
+        commands that are not replayed (``close_run``) and are instead
+        re-sent after a recovery.
+        """
+        worker = self._worker(shard)
+        fault = None
+        if entry is not None:
+            index = worker.commands
+            worker.commands += 1
+            worker.log.append(entry)
+            fault = fault_at("procpool.command", shard=shard, index=index)
+        while True:
+            try:
+                if not worker.alive:
+                    raise self._crashed(shard, worker)
+                kill_after = False
+                if fault is not None:
+                    if fault.kind == "delay_shard":
+                        time.sleep(fault.delay_s)
+                    elif fault.kind == "kill_worker":
+                        self._kill_worker(worker)
+                    elif fault.kind == "kill_mid_command":
+                        kill_after = True
+                    fault = None  # one firing per fresh command
+                try:
+                    worker.conn.send(message)
+                    if kill_after:
+                        # The parent is about to block on the result pipe
+                        # with the command already in flight - the exact
+                        # mid-command death the chaos suite exercises.
+                        self._kill_worker(worker)
+                    return self._recv(shard, worker)
+                except (BrokenPipeError, OSError):
+                    raise self._crashed(shard, worker) from None
+            except WorkerCrashed as exc:
+                answered = entry is not None
+                last = self._recover(shard, exc, raise_last=answered)
+                if answered:
+                    # The in-flight command was the log's final entry; its
+                    # replayed reply is the answer.
+                    return last
+                # Unlogged command (close_run): re-send it this iteration.
 
     def _ensure_out(self, worker: _Worker, nbytes: int) -> SharedArrayRef:
         ref = worker.out_ref
@@ -283,9 +536,8 @@ class ProcessShardPool:
         self._drain_retired()
         worker = self._worker(shard)
         with worker.lock:
-            self._request(
-                shard, ("open_run", run_id, seed_seqs, without_replacement, row_bytes)
-            )
+            message = ("open_run", run_id, seed_seqs, without_replacement, row_bytes)
+            self._roundtrip(shard, message, entry=message)
 
     def retire_run(self, run_id: int) -> None:
         """Mark a run's worker-side state reclaimable.
@@ -308,9 +560,13 @@ class ProcessShardPool:
                     continue
                 with worker.lock:
                     try:
-                        self._request(shard, ("close_run", run_id))
+                        self._roundtrip(shard, ("close_run", run_id))
                     except (WorkerCrashed, RuntimeError):  # best-effort cleanup
                         pass
+                    else:
+                        # The run is gone worker-side; replay no longer
+                        # needs its commands.
+                        worker.log = [e for e in worker.log if e[1] != run_id]
 
     def _fetch(self, shard: int, message_head: tuple, count: int, width: int):
         """Send a draw command and copy the result out of the shared buffer.
@@ -322,10 +578,12 @@ class ProcessShardPool:
         worker = self._worker(shard)
         with worker.lock:
             out_ref = self._ensure_out(worker, count * width * 8)
-            shape, seconds = self._request(shard, (*message_head, out_ref))
+            shape, seconds = self._roundtrip(
+                shard, (*message_head, out_ref), entry=message_head
+            )
             n = int(np.prod(shape)) if shape else 0
             block = np.empty(shape, dtype=np.float64)
-            block.reshape(-1)[...] = REGISTRY.ndarray(out_ref)[:n]
+            block.reshape(-1)[...] = REGISTRY.ndarray(worker.out_ref)[:n]
         return block, float(seconds)
 
     def draw_block(
@@ -350,6 +608,11 @@ class ProcessShardPool:
         worker lock, and its out segment is in ``_owned`` by then) or fails
         the closed check in ``_ensure_out``/``_worker`` - so the final drain
         below always sees every owned segment.
+
+        Join discipline: all workers share *one* deadline.  Any worker
+        still alive at the deadline is terminated; any still alive a grace
+        period after that is killed - so N stuck workers cost one timeout,
+        not N.
         """
         with self._state_lock:
             if self._closed:
@@ -364,11 +627,18 @@ class ProcessShardPool:
                     worker.conn.recv()
                 except (EOFError, OSError):
                     pass
+        deadline = time.monotonic() + timeout
         for worker in self._workers:
-            worker.process.join(timeout=timeout)
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
-                worker.process.join(timeout=timeout)
+        grace = deadline + 1.0
+        for worker in self._workers:
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.join(timeout=max(0.0, grace - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
             worker.conn.close()
         # The worker list is deliberately NOT cleared: a thread that read
         # _closed just before it flipped may still index it, and must get a

@@ -56,9 +56,11 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro._util import spawn_group_rngs, spawn_group_seed_seqs
+from repro._util import rngs_from_seed_seqs, spawn_group_rngs, spawn_group_seed_seqs
 from repro.data.population import Population
 from repro.engines.base import EngineRun, NullCostModel, SamplingEngine
+from repro.errors import WorkerCrashed
+from repro.resilience.breaker import CircuitBreaker
 
 __all__ = ["SHARD_EXECUTORS", "ShardedEngine", "ShardedRun", "ProcessShardedRun"]
 
@@ -195,14 +197,94 @@ class ProcessShardedRun(ShardedRun):
     one, over worker proxies); only the timing source differs -
     ``shard_seconds`` accumulates the workers' own draw thread-CPU, since
     the parent thread spends its time blocked on the pipe, not drawing.
+
+    Degradation: when a shard's worker is gone for good (the pool's restart
+    budget ran out, so ``WorkerCrashed`` escaped the pool's own recovery),
+    the run falls back to a thread-side :class:`EngineRun` for that shard -
+    rebuilt from the run's own ``SeedSequence`` children and fast-forwarded
+    by replaying the shard's draw history, so the continuation is
+    bit-identical to an uninjured run.  Shards are independent (disjoint
+    groups, disjoint streams), so degradation is per shard and needs no
+    cross-shard coordination.
     """
 
+    def __init__(
+        self,
+        *args,
+        engine: "ShardedEngine | None" = None,
+        seed_seqs=None,
+        without_replacement: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._engine = engine
+        self._seed_seqs = seed_seqs
+        self._without_replacement = bool(without_replacement)
+        #: Per-shard draw history: ("draw_block", local_gids, count) and
+        #: ("draw", local_gid, count) entries, recorded while the shard is
+        #: still proxy-backed.  This is the degradation replay journal.
+        self._history: list[list[tuple]] = [[] for _ in self._runs]
+        self._degraded = [False] * len(self._runs)
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shards that fell back to thread-side execution mid-run."""
+        return [s for s, d in enumerate(self._degraded) if d]
+
+    def _degrade_shard(self, shard: int, cause: WorkerCrashed) -> None:
+        """Swap one shard's dead proxy for a replayed thread-side run."""
+        engine = self._engine
+        # max_restarts=0 opts out of resilience entirely: crashes surface.
+        if engine is None or self._seed_seqs is None or engine.max_restarts == 0:
+            raise cause
+        run = engine._thread_shard_run(
+            shard, self._seed_seqs, self._without_replacement
+        )
+        for kind, arg, count in self._history[shard]:
+            if kind == "draw_block":
+                run.draw_block(arg, count)
+            else:
+                run.draw(arg, count)
+        self._runs[shard] = run
+        self._degraded[shard] = True
+        self._history[shard] = []  # threads do not crash; journal closed
+        engine._note_degraded_shard(shard, cause)
+
     def _timed_block(self, shard: int, local_gids, count: int) -> np.ndarray:
-        proxy = self._runs[shard]
-        block = proxy.draw_block(local_gids, count)
-        if self._record:
-            self.shard_seconds[shard] += proxy.last_seconds
+        if not self._degraded[shard]:
+            proxy = self._runs[shard]
+            try:
+                block = proxy.draw_block(local_gids, count)
+            except WorkerCrashed as exc:
+                self._degrade_shard(shard, exc)
+            else:
+                self._history[shard].append(("draw_block", local_gids, count))
+                if self._record:
+                    self.shard_seconds[shard] += proxy.last_seconds
+                return block
+        # Thread-side (degraded) shard: re-issue the in-flight draw here.
+        run = self._runs[shard]
+        if not self._record:
+            return run.draw_block(local_gids, count)
+        t0 = time.thread_time()
+        block = run.draw_block(local_gids, count)
+        self.shard_seconds[shard] += time.thread_time() - t0
         return block
+
+    def draw(self, gid: int, count: int) -> np.ndarray:
+        shard = int(self._shard_of[gid])
+        local = int(self._local_of[gid])
+        if not self._degraded[shard]:
+            proxy = self._runs[shard]
+            try:
+                block = proxy.draw(local, count)
+            except WorkerCrashed as exc:
+                self._degrade_shard(shard, exc)
+            else:
+                if count:  # zero-draws never reach the worker: not replayed
+                    self._history[shard].append(("draw", local, count))
+                return block
+        return self._runs[shard].draw(local, count)
 
 
 class ShardedEngine(SamplingEngine):
@@ -230,6 +312,11 @@ class ShardedEngine(SamplingEngine):
             (persistent spawn workers over shared memory; requires a
             process-shareable population, see
             :func:`repro.engines.shm.shareable`).
+        max_restarts: worker-respawn budget handed to the process pool
+            (``0`` disables recovery: a crash surfaces as ``WorkerCrashed``
+            immediately, the pre-resilience contract).
+        breaker_threshold: worker crashes before the circuit breaker opens
+            and new runs degrade to the thread executor.
     """
 
     def __init__(
@@ -241,6 +328,8 @@ class ShardedEngine(SamplingEngine):
         partitioner: str = "range",
         record_timings: bool = False,
         executor: str = "thread",
+        max_restarts: int = 3,
+        breaker_threshold: int = 3,
     ) -> None:
         from repro.engines.partition import partition_groups
 
@@ -283,11 +372,17 @@ class ShardedEngine(SamplingEngine):
         #: Global gid arrays, one per non-empty shard, each sorted ascending.
         self.shard_gids: list[np.ndarray] = [p for p in parts if p.size]
         self.max_workers = max_workers
+        self.max_restarts = int(max_restarts)
         self._pool: ThreadPoolExecutor | None = None
         self._procpool = None
         self._pool_lock = threading.Lock()
         self._run_ids = itertools.count()
         self._closed = False
+        #: Opens after ``breaker_threshold`` worker crashes; open means new
+        #: runs are built thread-side instead of respawning workers against
+        #: whatever keeps killing them.  Sticky for the engine's lifetime.
+        self.breaker = CircuitBreaker(threshold=breaker_threshold)
+        self._events: list[str] = []
 
     @property
     def shards(self) -> int:
@@ -320,8 +415,48 @@ class ShardedEngine(SamplingEngine):
                     self.population,
                     self.shard_gids,
                     name=f"repro-shard-{self.population.name}",
+                    max_restarts=self.max_restarts,
+                    on_crash=self._record_crash,
                 )
         return self._procpool
+
+    # -- resilience ----------------------------------------------------------
+
+    def _record_crash(self, shard: int, exc: BaseException) -> None:
+        """Pool crash observer: feed the circuit breaker (thread-safe)."""
+        if self.breaker.record_failure(
+            f"shard workers crashed {self.breaker.threshold} times "
+            f"(last: shard {shard}: {exc})"
+        ):
+            with self._pool_lock:
+                self._events.append(
+                    f"circuit breaker opened ({self.breaker.reason}); "
+                    "subsequent runs use the thread executor"
+                )
+
+    def _note_degraded_shard(self, shard: int, cause: BaseException) -> None:
+        """A live run lost shard ``shard`` for good and went thread-side."""
+        self.breaker.trip(f"shard {shard} worker unrecoverable: {cause}")
+        with self._pool_lock:
+            self._events.append(
+                f"shard {shard} degraded to the thread executor mid-run "
+                f"after an unrecoverable worker crash ({cause}); the shard "
+                "was rebuilt from its seeds and replayed bit-identically"
+            )
+
+    def resilience_events(self) -> list[str]:
+        """Crash/recovery/degradation events, for ``Result.caveats``.
+
+        Includes the process pool's own crash-recovery log; pool events are
+        folded into the engine's list when the pool is released, so they
+        survive ``release_pool()``.
+        """
+        with self._pool_lock:
+            events = list(self._events)
+            procpool = self._procpool
+        if procpool is not None:
+            events.extend(procpool.events())
+        return list(dict.fromkeys(events))
 
     def open_run(
         self,
@@ -336,7 +471,7 @@ class ShardedEngine(SamplingEngine):
         the shard layout (and of the executor: worker processes rebuild the
         same streams from the same children).
         """
-        if self.executor == "process":
+        if self.executor == "process" and self.breaker.closed:
             return self._open_process_run(seed, without_replacement)
         groups = self.population.groups
         rngs = spawn_group_rngs(seed, self.population.k)
@@ -370,6 +505,29 @@ class ShardedEngine(SamplingEngine):
             record_timings=self.record_timings,
         )
 
+    def _thread_shard_run(
+        self, shard: int, seed_seqs, without_replacement: bool
+    ) -> EngineRun:
+        """One shard's thread-side run from explicit ``SeedSequence`` children.
+
+        Builds the sampler streams exactly as a worker process builds them
+        (same children, same gid order), so a run degraded onto this is
+        bit-identical to its process-side twin after replay.
+        """
+        gids = self.shard_gids[shard]
+        groups = self.population.groups
+        rngs = rngs_from_seed_seqs([seed_seqs[int(g)] for g in gids])
+        sub = Population(
+            groups=[groups[int(g)] for g in gids],
+            c=self.population.c,
+            name=f"{self.population.name}/shard{shard}",
+        )
+        samplers = [
+            groups[int(g)].sampler(rng, without_replacement)
+            for g, rng in zip(gids, rngs)
+        ]
+        return EngineRun(sub, samplers, NullCostModel(), self.row_bytes)
+
     def _open_process_run(self, seed, without_replacement: bool) -> "ProcessShardedRun":
         import weakref
 
@@ -394,6 +552,9 @@ class ShardedEngine(SamplingEngine):
             self.row_bytes,
             self._get_pool,
             record_timings=self.record_timings,
+            engine=self,
+            seed_seqs=seeds,
+            without_replacement=without_replacement,
         )
         # Workers keep per-run sampler state; mark it reclaimable when the
         # parent-side run is garbage collected.  retire_run only appends to
@@ -417,7 +578,13 @@ class ShardedEngine(SamplingEngine):
         if pool is not None:
             pool.shutdown(wait=True)
         if procpool is not None:
+            events = procpool.events()
             procpool.shutdown()
+            if events:  # keep crash history visible after the pool is gone
+                with self._pool_lock:
+                    self._events.extend(
+                        e for e in events if e not in self._events
+                    )
 
     def close(self) -> None:
         """Shut down the fan-out pool and refuse new fan-outs (idempotent)."""

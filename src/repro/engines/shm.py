@@ -35,6 +35,7 @@ RNG consumption - and unknown third-party ``Group`` subclasses do not.
 
 from __future__ import annotations
 
+import atexit
 import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -153,10 +154,40 @@ class ShmRegistry:
         with self._lock:
             return len(self._entries)
 
+    def sweep_owned(self) -> list[str]:
+        """Force-release every still-registered *owned* segment.
+
+        The crash-safety net behind the ``atexit`` hook below: a process
+        that exits without ``close()``-ing its pools (Ctrl-C mid-query, a
+        test harness that leaks a session) must not leave named segments
+        behind in ``/dev/shm``.  Owned entries are closed and unlinked
+        regardless of their refcount; attached (non-owned) entries are only
+        closed - unlinking stays with their creator.  Returns the names
+        swept, oldest registration first.
+        """
+        with self._lock:
+            entries, self._entries = self._entries, {}
+        swept = []
+        for name, (shm, _refcount, owner) in entries.items():
+            shm.close()
+            if owner:
+                swept.append(name)
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        return swept
+
 
 #: The process-wide registry.  Parent and workers each hold their own
 #: instance (one per process); segment *names* are the cross-process keys.
 REGISTRY = ShmRegistry()
+
+# Last-resort leak guard: unlink whatever the process-wide registry still
+# owns when the interpreter exits, so orphaned segments never outlive the
+# parent even if no pool shutdown ran.  Registered once at import; normal
+# teardown leaves the registry empty and makes this a no-op.
+atexit.register(REGISTRY.sweep_owned)
 
 
 # ---------------------------------------------------------------------------

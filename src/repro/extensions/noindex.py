@@ -22,6 +22,7 @@ from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import separated_general
 from repro.core.types import GroupOutcome, OrderingResult
 from repro.engines.base import SamplingEngine
+from repro.resilience.deadline import Deadline
 
 __all__ = ["run_noindex"]
 
@@ -34,6 +35,7 @@ def _run_noindex(
     seed: int | np.random.Generator | None = None,
     batch: int = 256,
     max_samples: int | None = None,
+    deadline: Deadline | None = None,
 ) -> OrderingResult:
     """Order group averages using only whole-table uniform sampling.
 
@@ -44,6 +46,9 @@ def _run_noindex(
         max_samples: optional cap on total tuples; hitting it finalizes the
             remaining groups at their current estimates
             (``params["truncated"]`` is set).
+        deadline: optional time budget / cancel token, polled once per
+            batch; expiry finalizes at current estimates and sets
+            ``params["deadline_exceeded"]``.
     """
     check_probability(delta, "delta")
     check_nonnegative(resolution, "resolution")
@@ -62,6 +67,7 @@ def _run_noindex(
     counts = np.zeros(k, dtype=np.int64)
     total = 0
     truncated = False
+    deadline_exceeded = False
 
     while True:
         gids = chooser.choice(k, size=batch, p=weights)
@@ -82,6 +88,9 @@ def _run_noindex(
                 break
         if max_samples is not None and total >= max_samples:
             truncated = True
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             break
 
     est = sums / np.maximum(counts, 1)
@@ -108,7 +117,12 @@ def _run_noindex(
         groups=groups,
         inactive_order=list(np.argsort(counts, kind="stable")),
         trace=None,
-        params={"delta": delta, "resolution": resolution, "truncated": truncated},
+        params={
+            "delta": delta,
+            "resolution": resolution,
+            "truncated": truncated,
+            "deadline_exceeded": deadline_exceeded,
+        },
         stats=run.stats,
     )
 

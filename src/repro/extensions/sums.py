@@ -27,6 +27,7 @@ from repro.core.confidence import EpsilonSchedule
 from repro.core.intervals import separated_general
 from repro.core.types import GroupOutcome, OrderingResult
 from repro.engines.base import SamplingEngine
+from repro.resilience.deadline import Deadline
 
 __all__ = ["run_ifocus_sum", "run_ifocus_sum_unknown"]
 
@@ -77,6 +78,7 @@ def _run_ifocus_sum(
     without_replacement: bool = True,
     seed: int | np.random.Generator | None = None,
     max_rounds: int | None = None,
+    deadline: Deadline | None = None,
 ) -> OrderingResult:
     """IFOCUS-Sum with known group sizes (Algorithm 4).
 
@@ -117,10 +119,16 @@ def _run_ifocus_sum(
         run.charge(gid, 1)
     m = 1
     truncated = False
+    deadline_exceeded = False
 
     while active.any():
         if max_rounds is not None and m >= max_rounds:
             truncated = True
+            for gid in np.flatnonzero(active):
+                finalize(int(gid), float(half_widths[gid]), m, False)
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             for gid in np.flatnonzero(active):
                 finalize(int(gid), float(half_widths[gid]), m, False)
             break
@@ -160,7 +168,13 @@ def _run_ifocus_sum(
         exhausted,
         inactive_order,
         m,
-        {"delta": delta, "resolution": resolution, "known_sizes": True, "truncated": truncated},
+        {
+            "delta": delta,
+            "resolution": resolution,
+            "known_sizes": True,
+            "truncated": truncated,
+            "deadline_exceeded": deadline_exceeded,
+        },
     )
 
 
@@ -179,6 +193,7 @@ def run_ifocus_sum_unknown(
     seed: int | np.random.Generator | None = None,
     max_rounds: int | None = None,
     normalized: bool = True,
+    deadline: Deadline | None = None,
 ) -> OrderingResult:
     """IFOCUS-Sum with unknown group sizes (Algorithm 5).
 
@@ -228,10 +243,16 @@ def run_ifocus_sum_unknown(
         estimates[gid] = scale * sums[gid]
     m = 1
     truncated = False
+    deadline_exceeded = False
 
     while active.any():
         if max_rounds is not None and m >= max_rounds:
             truncated = True
+            for gid in np.flatnonzero(active):
+                finalize(int(gid), float(half_widths[gid]), m)
+            break
+        if deadline is not None and deadline.check():
+            deadline_exceeded = True
             for gid in np.flatnonzero(active):
                 finalize(int(gid), float(half_widths[gid]), m)
             break
@@ -269,5 +290,6 @@ def run_ifocus_sum_unknown(
             "known_sizes": False,
             "normalized": normalized,
             "truncated": truncated,
+            "deadline_exceeded": deadline_exceeded,
         },
     )

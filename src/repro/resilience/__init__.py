@@ -1,0 +1,33 @@
+"""Fault tolerance for the execution stack.
+
+Four building blocks, shared by engines, planner, session, and CLI:
+
+* :class:`~repro.resilience.deadline.Deadline` - a per-query time budget
+  that doubles as a cooperative cancel token.  IFOCUS-family runs poll it
+  each round and finalize early (anytime behaviour) instead of raising.
+* :class:`~repro.resilience.retry.RetryPolicy` /
+  :func:`~repro.resilience.retry.call_with_retry` - bounded exponential
+  backoff for :class:`~repro.errors.TransientError` failures (flaky scans).
+* :class:`~repro.resilience.breaker.CircuitBreaker` - counts worker-process
+  crashes; past the threshold the sharded engine degrades process -> thread
+  execution for the rest of its life (surfaced in ``Result.caveats``).
+* :mod:`~repro.resilience.faults` - a seeded, deterministic fault plan
+  wired through named injection points in the engines and catalog, driving
+  the chaos test suite (and the CI ``chaos`` leg via ``REPRO_FAULT_PLAN``).
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import Fault, FaultPlan, fault_at, inject
+from repro.resilience.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "Fault",
+    "FaultPlan",
+    "RetryPolicy",
+    "call_with_retry",
+    "fault_at",
+    "inject",
+]

@@ -1,0 +1,77 @@
+"""A minimal two-state (closed/open) circuit breaker.
+
+The sharded engine owns one per process pool: every worker crash (even a
+recovered one) records a failure, and once the threshold is reached the
+breaker opens - subsequent runs are built on the thread executor instead of
+respawning workers against whatever keeps killing them.  Opening is sticky
+for the breaker's lifetime unless :meth:`reset` is called; the degradation
+is surfaced to users through ``Result.caveats``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Counts failures; opens at ``threshold`` (or on an explicit trip)."""
+
+    def __init__(self, threshold: int = 3) -> None:
+        if int(threshold) < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._open = False
+        self._reason: str | None = None
+
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    @property
+    def closed(self) -> bool:
+        return not self._open
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    @property
+    def reason(self) -> str | None:
+        """Why the breaker opened (None while closed)."""
+        return self._reason
+
+    def record_failure(self, reason: str | None = None) -> bool:
+        """Count one failure; returns True iff this one opened the breaker."""
+        with self._lock:
+            self._failures += 1
+            if self._open or self._failures < self.threshold:
+                return False
+            self._open = True
+            self._reason = reason or (
+                f"{self._failures} failures reached the threshold "
+                f"({self.threshold})"
+            )
+            return True
+
+    def trip(self, reason: str) -> bool:
+        """Force the breaker open; returns True iff it was closed before."""
+        with self._lock:
+            if self._open:
+                return False
+            self._open = True
+            self._reason = reason
+            return True
+
+    def reset(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._open = False
+            self._reason = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._open else "closed"
+        return f"CircuitBreaker({state}, failures={self._failures}/{self.threshold})"

@@ -1,0 +1,87 @@
+"""Per-query time budgets and cooperative cancellation.
+
+A :class:`Deadline` is created once per query (by the planner from
+``QuerySpec.deadline_ms``, or by ``Session.submit`` so its future can
+cancel) and threaded into every sampling loop as the ``deadline=`` runner
+kwarg.  Loops poll :meth:`Deadline.check` once per round:
+
+* returns ``True`` when the time budget is spent - the loop finalizes every
+  still-active group at its current estimate/half-width (the paper's
+  incremental estimators make this anytime behaviour free) and tags the
+  result ``deadline_exceeded``;
+* raises :class:`~repro.errors.QueryCancelled` when the cancel token fired -
+  a cancelled query has no consumer, so no partial result is assembled.
+
+Polling happens between rounds, never inside a draw, so a deadline can lag
+by at most one sampling round - and results stay deterministic functions of
+the seed *given* the round at which the deadline struck.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import QueryCancelled
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A monotonic time budget doubling as a cooperative cancel token.
+
+    Args:
+        seconds: time budget from construction; ``None`` means no time
+            limit (a pure cancel token, e.g. for ``Session.submit``).
+        clock: monotonic time source, injectable for tests.
+    """
+
+    __slots__ = ("_clock", "_expires_at", "_cancelled")
+
+    def __init__(self, seconds: float | None = None, *, clock=time.monotonic) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self._clock = clock
+        self._expires_at = None if seconds is None else clock() + float(seconds)
+        self._cancelled = False
+
+    @classmethod
+    def after_ms(cls, ms: float | None, *, clock=time.monotonic) -> "Deadline":
+        """A deadline ``ms`` milliseconds from now (``None``: no limit)."""
+        return cls(None if ms is None else float(ms) / 1000.0, clock=clock)
+
+    def cancel(self) -> None:
+        """Fire the cancel token; the next :meth:`check` raises.
+
+        Safe from any thread (a bare flag write), so a ``Future.cancel()``
+        on the caller's thread stops a query running on a worker thread.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (``None``: unlimited; floor 0.0)."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """True once the time budget is spent (cancellation aside)."""
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def check(self) -> bool:
+        """Poll point for sampling loops: raise on cancel, True on expiry."""
+        if self._cancelled:
+            raise QueryCancelled("query cancelled before completion")
+        return self.expired()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._cancelled:
+            state = "cancelled"
+        elif self._expires_at is None:
+            state = "no time limit"
+        else:
+            state = f"remaining={self.remaining():.3f}s"
+        return f"Deadline({state})"

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for the chaos test suite.
+
+A :class:`FaultPlan` is a small, seeded list of :class:`Fault` records, each
+naming one *injection site* plus trigger coordinates.  Production code calls
+:func:`fault_at` at its named sites; with no active plan that is one global
+read and a ``None`` check, so the harness costs nothing when disabled.
+
+Sites (kind -> site is fixed; see ``_SITE_OF``):
+
+* ``procpool.command`` - fired parent-side before each *fresh* (non-replay)
+  command to a shard worker, with ``shard`` and the worker's monotonically
+  increasing command index.  Kinds: ``kill_worker`` (SIGKILL the worker
+  before the command is sent), ``kill_mid_command`` (send the command, then
+  SIGKILL while the parent blocks on the result pipe), ``delay_shard``
+  (sleep ``delay_s`` before sending).  Kill faults are injected by the
+  *parent*, so a respawned worker replaying its log can never re-trigger
+  them - the fire budget (``times``) lives parent-side.
+* ``procpool.handshake`` - fired worker-side before the build handshake,
+  with ``shard`` and the worker's spawn index (0 for the first spawn, 1 for
+  the first respawn, ...).  Kind ``corrupt_handshake`` makes the worker send
+  a malformed handshake and exit; ``at`` matching the spawn index means the
+  respawned replacement handshakes cleanly.
+* ``catalog.scan_chunk`` - fired per chunk of a ``DataSource`` scan with the
+  chunk index.  Kind ``fail_scan_chunk`` raises a
+  :class:`~repro.errors.TransientError` (``times`` times), closing the loop
+  for the retry-with-backoff tests.
+
+Activation: :func:`inject` (a context manager) installs a plan in-process
+*and* in ``os.environ[REPRO_FAULT_PLAN]`` as JSON, so spawn-context worker
+processes see the same plan (each with its own fire budgets - parent-side
+kill budgets are never consulted by workers and vice versa).  The CI chaos
+leg sets ``REPRO_FAULT_PLAN`` to a bare integer instead: that is *not* an
+active plan (the suite must not fire faults in arbitrary tests) but the
+seed the chaos tests feed to :meth:`FaultPlan.seeded`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+import threading
+from dataclasses import asdict, dataclass
+
+from repro.errors import TransientError
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "active_plan",
+    "fault_at",
+    "inject",
+    "seed_from_env",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: kind -> injection site.  Fixed: a fault's site is implied by its kind.
+_SITE_OF = {
+    "kill_worker": "procpool.command",
+    "kill_mid_command": "procpool.command",
+    "delay_shard": "procpool.command",
+    "corrupt_handshake": "procpool.handshake",
+    "fail_scan_chunk": "catalog.scan_chunk",
+}
+
+FAULT_KINDS = tuple(_SITE_OF)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        shard: shard index the fault targets (``None``: any shard).
+        at: trigger index at the site - command index, spawn index, or
+            chunk index depending on the kind (``None``: every index).
+        times: how many times the fault may fire before it is spent.
+        delay_s: sleep length (``delay_shard`` only).
+    """
+
+    kind: str
+    shard: int | None = None
+    at: int | None = None
+    times: int = 1
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SITE_OF:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if int(self.times) < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    @property
+    def site(self) -> str:
+        return _SITE_OF[self.kind]
+
+
+class FaultPlan:
+    """An ordered set of faults with per-fault fire budgets (thread-safe)."""
+
+    def __init__(self, faults: list[Fault] | tuple[Fault, ...]) -> None:
+        self.faults = tuple(faults)
+        self._lock = threading.Lock()
+        self._remaining = [int(f.times) for f in self.faults]
+        self._fired: list[tuple[str, int | None, int | None]] = []
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        kind: str = "kill_worker",
+        shards: int = 1,
+        max_at: int = 6,
+        times: int = 1,
+        delay_s: float = 0.0,
+    ) -> "FaultPlan":
+        """One fault whose (shard, at) coordinates derive from ``seed``.
+
+        Deterministic: the same seed always plans the same fault, so a chaos
+        run is exactly reproducible from the ``REPRO_FAULT_PLAN`` seed.
+        """
+        rng = random.Random(int(seed))
+        return cls(
+            [
+                Fault(
+                    kind=kind,
+                    shard=rng.randrange(max(1, int(shards))),
+                    at=rng.randrange(max(1, int(max_at))),
+                    times=times,
+                    delay_s=delay_s,
+                )
+            ]
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([asdict(f) for f in self.faults])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls([Fault(**record) for record in json.loads(text)])
+
+    # -- firing -------------------------------------------------------------
+
+    def match(
+        self, site: str, *, shard: int | None = None, index: int | None = None
+    ) -> Fault | None:
+        """The first unspent fault matching the coordinates (budget -1)."""
+        with self._lock:
+            for i, fault in enumerate(self.faults):
+                if self._remaining[i] <= 0 or fault.site != site:
+                    continue
+                if fault.shard is not None and shard is not None and fault.shard != shard:
+                    continue
+                if fault.at is not None and index is not None and fault.at != index:
+                    continue
+                self._remaining[i] -= 1
+                self._fired.append((fault.kind, shard, index))
+                return fault
+        return None
+
+    def fired(self) -> list[tuple[str, int | None, int | None]]:
+        """``(kind, shard, index)`` of every firing, in order."""
+        with self._lock:
+            return list(self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({list(self.faults)!r})"
+
+
+# ---------------------------------------------------------------------------
+# Activation
+# ---------------------------------------------------------------------------
+
+_active: FaultPlan | None = None
+#: Env-derived plan cache: (env text) -> plan, so fire budgets persist
+#: across active_plan() calls within one process.
+_env_cache: tuple[str, FaultPlan] | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in effect for this process, or None.
+
+    In-process activation (:func:`inject`) wins; otherwise a JSON
+    ``REPRO_FAULT_PLAN`` env value is parsed once and cached (this is how
+    spawn-context workers inherit the plan).  A non-JSON value - e.g. the
+    bare seed integer the CI chaos leg exports - activates nothing.
+    """
+    global _env_cache
+    if _active is not None:
+        return _active
+    text = os.environ.get(ENV_VAR, "").strip()
+    if not text.startswith("["):
+        return None
+    if _env_cache is not None and _env_cache[0] == text:
+        return _env_cache[1]
+    try:
+        plan = FaultPlan.from_json(text)
+    except (ValueError, TypeError):
+        return None
+    _env_cache = (text, plan)
+    return plan
+
+
+def fault_at(
+    site: str, *, shard: int | None = None, index: int | None = None
+) -> Fault | None:
+    """Injection-point probe: the fault to apply here, or None.
+
+    Near-zero cost when no plan is active (one global + one env read).
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    fault = plan.match(site, shard=shard, index=index)
+    if fault is not None and fault.kind == "fail_scan_chunk":
+        raise TransientError(
+            f"injected fault: scan chunk {index} failed (site {site})"
+        )
+    return fault
+
+
+def seed_from_env(default: int = 0) -> int:
+    """The chaos seed from ``REPRO_FAULT_PLAN`` when it is a bare integer."""
+    text = os.environ.get(ENV_VAR, "").strip()
+    try:
+        return int(text)
+    except ValueError:
+        return default
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan):
+    """Activate ``plan`` for this process and (via env) its spawn children."""
+    global _active
+    previous, previous_env = _active, os.environ.get(ENV_VAR)
+    _active = plan
+    os.environ[ENV_VAR] = plan.to_json()
+    try:
+        yield plan
+    finally:
+        _active = previous
+        if previous_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous_env

@@ -1,0 +1,73 @@
+"""Bounded retry with exponential backoff for transient failures.
+
+Only :class:`~repro.errors.TransientError` (and subclasses, e.g.
+``WorkerCrashed``) is ever retried - everything else propagates on the
+first raise.  The planner uses this to re-run whole source-scan population
+builds (``QuerySpec.max_retries``): a scan that failed mid-stream cannot be
+resumed chunk-exactly, but restarting it is idempotent because population
+builds are pure functions of the source.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import TransientError
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule: ``base_delay * multiplier**attempt``,
+    capped at ``max_delay``, for at most ``max_retries`` retries."""
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy | None = None,
+    on_retry: Callable[[int, TransientError], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` until it succeeds, a non-transient error escapes, or the
+    retry budget runs out (the last ``TransientError`` is re-raised).
+
+    Args:
+        fn: zero-argument callable; must be idempotent (it restarts whole).
+        policy: backoff schedule (default :class:`RetryPolicy`()).
+        on_retry: observer invoked as ``on_retry(attempt, exc)`` before each
+            backoff sleep - the planner collects these into Result caveats.
+        sleep: injectable for tests.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except TransientError as exc:
+            if attempt >= policy.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+            attempt += 1

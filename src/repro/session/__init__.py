@@ -47,7 +47,7 @@ from repro.session.result import (
     Result,
     ResultStream,
 )
-from repro.session.session import Session, connect, load_csv_table
+from repro.session.session import QueryFuture, Session, connect, load_csv_table
 from repro.session.spec import (
     Aggregate,
     GuaranteeSpec,
@@ -59,6 +59,7 @@ from repro.session.spec import (
 __all__ = [
     "connect",
     "Session",
+    "QueryFuture",
     "QueryBuilder",
     "avg",
     "total",

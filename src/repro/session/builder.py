@@ -83,6 +83,8 @@ class QueryBuilder:
     _shards: int = 1
     _max_workers: int | None = None
     _executor: str = "thread"
+    _deadline_ms: float | None = None
+    _max_retries: int = 2
     _schema: Schema | None = None
 
     def _clone(self, **changes) -> "QueryBuilder":
@@ -235,6 +237,21 @@ class QueryBuilder:
             changes["_executor"] = executor.lower()
         return self._clone(**changes)
 
+    def deadline(self, ms: float | None) -> "QueryBuilder":
+        """Give the query a time budget of ``ms`` milliseconds.
+
+        On expiry the run does not fail: every still-active group is
+        finalized at its current estimate - the incremental estimators make
+        this anytime behaviour free - and the :class:`Result` carries a
+        ``deadline_exceeded`` caveat plus (typically) wider intervals.
+        ``None`` removes a previously set budget.
+        """
+        return self._clone(_deadline_ms=None if ms is None else float(ms))
+
+    def retries(self, max_retries: int) -> "QueryBuilder":
+        """Retry budget for transient source-scan failures (default 2)."""
+        return self._clone(_max_retries=int(max_retries))
+
     # -- lowering and execution ---------------------------------------------
 
     def spec(self) -> QuerySpec:
@@ -258,6 +275,8 @@ class QueryBuilder:
             shards=self._shards,
             max_workers=self._max_workers,
             executor=self._executor,
+            deadline_ms=self._deadline_ms,
+            max_retries=self._max_retries,
         )
 
     def explain(self) -> str:

@@ -61,6 +61,8 @@ from repro.query.predicates import (
     _OP_FUNCS as _COMPARE,
     predicate_bitvector,
 )
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.session.result import (
     AggregateResult,
     GroupEstimate,
@@ -108,6 +110,16 @@ _PROCESS_FALLBACK_CAVEAT = (
     "are identical; only elapsed-time scaling differs."
 )
 
+_DEADLINE_CAVEAT = (
+    "deadline_exceeded: the {key} run hit its deadline before every interval "
+    "separated; remaining groups were finalized at their current estimates "
+    "(wider intervals) and the guarantee is void for them."
+)
+
+_RESILIENCE_CAVEAT = "resilience: {event}"
+
+_RETRY_CAVEAT = "resilience: source scan retried after {note}"
+
 
 # --------------------------------------------------------------------------
 # Engine registry
@@ -137,6 +149,8 @@ class _PlanContext:
         #: Reasons the process executor was downgraded to threads (one per
         #: affected engine build); surfaced as Result caveats.
         self.executor_fallbacks: list[str] = []
+        #: Transient scan failures that were retried; surfaced as caveats.
+        self.scan_retries: list[str] = []
 
     @property
     def table(self) -> Table:
@@ -158,23 +172,35 @@ class _PlanContext:
         chunk semantics are identical, results bit-match either way.
         """
         spec = self.spec
-        if len(spec.group_by) == 1:
-            return self.catalog.population(
-                spec.table,
+
+        def build():
+            if len(spec.group_by) == 1:
+                return self.catalog.population(
+                    spec.table,
+                    self.group_col,
+                    value_column,
+                    predicate=spec.where,
+                    value_bound=spec.value_bound,
+                )
+            return population_from_chunks(
+                TableSource(self.table).scan(
+                    columns=(self.group_col, value_column), predicate=spec.where
+                ),
                 self.group_col,
                 value_column,
-                predicate=spec.where,
-                value_bound=spec.value_bound,
+                c=spec.value_bound,
+                name=spec.table,
+                filtered=spec.where is not None,
             )
-        return population_from_chunks(
-            TableSource(self.table).scan(
-                columns=(self.group_col, value_column), predicate=spec.where
+
+        # A scan that failed mid-stream cannot resume chunk-exactly, but the
+        # whole build is a pure function of the source - restart it.
+        return call_with_retry(
+            build,
+            policy=RetryPolicy(max_retries=spec.max_retries),
+            on_retry=lambda attempt, exc: self.scan_retries.append(
+                f"a transient scan failure (attempt {attempt + 1}: {exc})"
             ),
-            self.group_col,
-            value_column,
-            c=spec.value_bound,
-            name=spec.table,
-            filtered=spec.where is not None,
         )
 
     def bitvector(self):
@@ -423,6 +449,7 @@ def _run_avg(
     seed,
     runner_kwargs: dict,
     on_finalize: Callable | None = None,
+    deadline: Deadline | None = None,
 ) -> tuple[OrderingResult, dict[str, Any]]:
     """Execute the single-AVG aggregate according to the guarantee mode.
 
@@ -441,6 +468,8 @@ def _run_avg(
         if spec.algorithm in RESOLUTION_VARIANTS and g.resolution <= 0:
             raise ValueError(f"{spec.algorithm} requires resolution > 0")
     common = dict(delta=g.delta, resolution=g.resolution, seed=seed, **runner_kwargs)
+    if deadline is not None:
+        common["deadline"] = deadline
     if g.mode == "top":
         topt = _run_ifocus_topt(
             engine, g.top_t, largest=g.top_largest, on_finalize=on_finalize, **common
@@ -474,7 +503,12 @@ def _run_avg(
     # mode == "ordering"
     if ctx.engine_def.avg_runner == "noindex":
         raw = _run_noindex(
-            engine, delta=g.delta, resolution=g.resolution, seed=seed, **runner_kwargs
+            engine,
+            delta=g.delta,
+            resolution=g.resolution,
+            seed=seed,
+            deadline=deadline,
+            **runner_kwargs,
         )
         return raw, {}
     if on_finalize is not None:
@@ -496,6 +530,7 @@ def _execute_planned(
     ctx: _PlanContext,
     seed,
     runner_kwargs: dict,
+    deadline: Deadline | None = None,
 ) -> Result:
     results: dict[str, tuple[OrderingResult, dict[str, Any]]] = {}
     engine: SamplingEngine | None = None
@@ -533,14 +568,16 @@ def _execute_planned(
         charged += multi.total_samples
     elif len(avgs) == 1:
         engine = ctx.build_engine(avgs[0].column)
-        raw, meta = _run_avg(spec, ctx, engine, seed, runner_kwargs)
+        raw, meta = _run_avg(spec, ctx, engine, seed, runner_kwargs, deadline=deadline)
         results[spec.agg_key(avgs[0])] = (raw, meta)
         charged += raw.total_samples
 
     for agg in spec.aggregates:
         if agg.func == "SUM":
             sum_engine = ctx.build_engine(agg.column)
-            raw = _run_ifocus_sum(sum_engine, delta=spec.guarantee.delta, seed=seed)
+            raw = _run_ifocus_sum(
+                sum_engine, delta=spec.guarantee.delta, seed=seed, deadline=deadline
+            )
             results[spec.agg_key(agg)] = (raw, {})
             charged += raw.total_samples
             engine = engine or sum_engine
@@ -595,6 +632,16 @@ def _assemble_result(
     for key, agg in aggregates.items():
         if agg.raw.params.get("truncated"):
             caveats.append(_TRUNCATED_CAVEAT.format(key=key))
+        if agg.raw.params.get("deadline_exceeded"):
+            caveats.append(_DEADLINE_CAVEAT.format(key=key))
+    for note in dict.fromkeys(ctx.scan_retries):
+        caveats.append(_RETRY_CAVEAT.format(note=note))
+    events: list[str] = []
+    for built in ctx._built_engines:
+        if isinstance(built, ShardedEngine):
+            events.extend(built.resilience_events())
+    for event in dict.fromkeys(events):
+        caveats.append(_RESILIENCE_CAVEAT.format(event=event))
 
     return Result(
         spec=spec,
@@ -614,6 +661,7 @@ def execute_spec(
     *,
     seed=None,
     runner_kwargs: dict | None = None,
+    deadline: Deadline | None = None,
 ) -> Result:
     """Plan and execute a spec against a catalog.
 
@@ -624,10 +672,19 @@ def execute_spec(
         seed: RNG seed for the sampling streams.
         runner_kwargs: extra knobs forwarded to the AVG runner
             (``trace_every``, ``max_rounds``, ``batch`` for noindex, ...).
+        deadline: optional pre-built :class:`~repro.resilience.Deadline`
+            (a cancel token shared with :meth:`Session.submit`); when None,
+            one is derived from ``spec.deadline_ms``.  IFOCUS-family runs
+            treat expiry as an *anytime* stop: current estimates come back
+            with wider intervals and a ``deadline_exceeded`` caveat.
     """
+    if deadline is None and spec.deadline_ms is not None:
+        deadline = Deadline.after_ms(spec.deadline_ms)
     ctx = _plan(spec, _as_catalog(catalog))
     try:
-        return _execute_planned(spec, ctx, seed, dict(runner_kwargs or {}))
+        return _execute_planned(
+            spec, ctx, seed, dict(runner_kwargs or {}), deadline=deadline
+        )
     finally:
         ctx.release_engines()
 
@@ -649,7 +706,11 @@ def _live_streamable(spec: QuerySpec, ctx: _PlanContext) -> bool:
 
 
 def _stream_live(
-    spec: QuerySpec, ctx: _PlanContext, seed, runner_kwargs: dict
+    spec: QuerySpec,
+    ctx: _PlanContext,
+    seed,
+    runner_kwargs: dict,
+    deadline: Deadline | None = None,
 ) -> ResultStream:
     agg = spec.avg_aggregates[0]
     key = spec.agg_key(agg)
@@ -672,7 +733,11 @@ def _stream_live(
 
     def worker() -> None:
         try:
-            out.put(_run_avg(spec, ctx, engine, seed, runner_kwargs, on_finalize))
+            out.put(
+                _run_avg(
+                    spec, ctx, engine, seed, runner_kwargs, on_finalize, deadline
+                )
+            )
         except BaseException as exc:
             out.put(exc)
         finally:
@@ -732,6 +797,7 @@ def stream_spec(
     *,
     seed=None,
     runner_kwargs: dict | None = None,
+    deadline: Deadline | None = None,
 ) -> ResultStream:
     """Incremental execution: yields one PartialUpdate per finalized group.
 
@@ -743,12 +809,14 @@ def stream_spec(
     (``PartialUpdate.live`` is False).  In both cases ``stream.result`` holds
     the unified :class:`Result` once the stream is exhausted.
     """
+    if deadline is None and spec.deadline_ms is not None:
+        deadline = Deadline.after_ms(spec.deadline_ms)
     ctx = _plan(spec, _as_catalog(catalog))
     kwargs = dict(runner_kwargs or {})
     if _live_streamable(spec, ctx):
-        return _stream_live(spec, ctx, seed, kwargs)
+        return _stream_live(spec, ctx, seed, kwargs, deadline)
     try:
-        result = _execute_planned(spec, ctx, seed, kwargs)
+        result = _execute_planned(spec, ctx, seed, kwargs, deadline=deadline)
     finally:
         ctx.release_engines()
     stream = ResultStream(iter(_replay_updates(result)))

@@ -181,6 +181,19 @@ class Result:
         return [lbl for lbl in self.labels if lbl not in dropped]
 
     @property
+    def deadline_exceeded(self) -> bool:
+        """True when any aggregate's run stopped at its deadline.
+
+        The estimates are still valid anytime estimates - intervals are just
+        wider than the guarantee would have required (see the matching
+        ``deadline_exceeded`` caveat).
+        """
+        return any(
+            bool(a.raw.params.get("deadline_exceeded"))
+            for a in self.aggregates.values()
+        )
+
+    @property
     def io_seconds(self) -> float:
         return sum(
             a.raw.stats.io_seconds for a in self.aggregates.values() if a.raw.stats

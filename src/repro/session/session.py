@@ -55,12 +55,61 @@ from repro.catalog import (
 from repro.needletail.table import Table
 from repro.query.ast import Query
 from repro.query.parser import parse_query
+from repro.resilience.deadline import Deadline
 from repro.session.builder import QueryBuilder
 from repro.session.planner import execute_spec, stream_spec
 from repro.session.result import Result, ResultStream
 from repro.session.spec import GuaranteeSpec, QuerySpec, lower_query
 
-__all__ = ["Session", "connect", "load_csv_table"]
+__all__ = ["Session", "QueryFuture", "connect", "load_csv_table"]
+
+
+class QueryFuture:
+    """A ``concurrent.futures.Future`` wrapper with cooperative cancellation.
+
+    A plain Future can only cancel work that has not started; a query
+    already sampling would run to completion.  :meth:`cancel` additionally
+    fires the query's :class:`~repro.resilience.Deadline` cancel token, so
+    an in-flight IFOCUS-family run stops at its next round boundary and the
+    future resolves with :class:`~repro.errors.QueryCancelled`.
+    """
+
+    def __init__(self, inner: "Future[Result]", deadline: Deadline) -> None:
+        self._inner = inner
+        self._deadline = deadline
+
+    def cancel(self) -> bool:
+        """Cancel the query; True unless it already finished.
+
+        Not-yet-started queries are cancelled outright (the Future never
+        runs); in-flight queries are cancelled *cooperatively* - their
+        ``result()`` raises :class:`~repro.errors.QueryCancelled` once the
+        run observes the token at a round boundary.
+        """
+        if self._inner.cancel():
+            return True
+        if self._inner.done():
+            return False
+        self._deadline.cancel()
+        return True
+
+    def cancelled(self) -> bool:
+        return self._inner.cancelled() or self._deadline.cancelled
+
+    def result(self, timeout: float | None = None) -> Result:
+        return self._inner.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        return self._inner.exception(timeout)
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def running(self) -> bool:
+        return self._inner.running()
+
+    def add_done_callback(self, fn) -> None:
+        self._inner.add_done_callback(lambda _inner: fn(self))
 
 
 def load_csv_table(
@@ -123,6 +172,8 @@ class Session:
         max_workers: int | None = None,
         executor: str = "thread",
         submit_workers: int | None = None,
+        deadline_ms: float | None = None,
+        max_retries: int = 2,
     ) -> None:
         if submit_workers is not None and int(submit_workers) < 1:
             raise ValueError(f"submit_workers must be >= 1, got {submit_workers}")
@@ -136,6 +187,8 @@ class Session:
         self.max_workers = max_workers
         self.executor = executor.lower()
         self.submit_workers = submit_workers
+        self.deadline_ms = deadline_ms
+        self.max_retries = int(max_retries)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -266,6 +319,8 @@ class Session:
             _shards=self.shards,
             _max_workers=self.max_workers,
             _executor=self.executor,
+            _deadline_ms=self.deadline_ms,
+            _max_retries=self.max_retries,
         )
 
     def table(self, name: str) -> QueryBuilder:
@@ -343,8 +398,8 @@ class Session:
         *,
         seed=None,
         **runner_kwargs,
-    ) -> "Future[Result]":
-        """Execute asynchronously; returns a ``concurrent.futures.Future``.
+    ) -> QueryFuture:
+        """Execute asynchronously; returns a :class:`QueryFuture`.
 
         One session can serve many concurrent queries safely: the query is
         lowered and validated on the calling thread (shape errors raise
@@ -353,6 +408,11 @@ class Session:
         each worker builds its own engine and :class:`EngineRun` - all run
         state (sampling streams, accounting) is per query by construction,
         so concurrent queries cannot observe each other's samples or stats.
+
+        The returned future supports *cooperative* cancellation: every
+        submitted query carries a :class:`~repro.resilience.Deadline` token
+        (also enforcing ``spec.deadline_ms`` when set), and
+        :meth:`QueryFuture.cancel` fires it even after sampling started.
 
         ::
 
@@ -364,13 +424,19 @@ class Session:
             raise KeyError(f"unknown table {spec.table!r}; registered: {self.tables}")
         catalog = self._catalog.snapshot()
         resolved_seed = seed if seed is not None else self.seed
-        return self._submit_pool().submit(
+        # Built here (not in the worker) so cancel() can fire it while the
+        # query is still queued or mid-run.  With no deadline_ms this is a
+        # pure cancel token - no time limit.
+        deadline = Deadline.after_ms(spec.deadline_ms)
+        inner = self._submit_pool().submit(
             execute_spec,
             spec,
             catalog,
             seed=resolved_seed,
             runner_kwargs=runner_kwargs,
+            deadline=deadline,
         )
+        return QueryFuture(inner, deadline)
 
     def _submit_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -422,6 +488,8 @@ def connect(
     max_workers: int | None = None,
     executor: str = "thread",
     submit_workers: int | None = None,
+    deadline_ms: float | None = None,
+    max_retries: int = 2,
 ) -> Session:
     """Open a session - the Session API's entrypoint.
 
@@ -442,6 +510,14 @@ def connect(
             population cannot cross the process boundary).
         submit_workers: size of the :meth:`Session.submit` pool
             (``None``: ``Session.DEFAULT_SUBMIT_WORKERS``).
+        deadline_ms: default per-query time budget in milliseconds
+            (``None``: unlimited).  Expiry is an *anytime* stop, not an
+            error: the run finalizes remaining groups at their current
+            estimates with wider intervals and a ``deadline_exceeded``
+            caveat on the Result.
+        max_retries: default retry budget for transient source-scan IO
+            failures (each retried with exponential backoff; surfaced as a
+            caveat when it happens).
     """
     return Session(
         delta=delta,
@@ -453,4 +529,6 @@ def connect(
         max_workers=max_workers,
         executor=executor,
         submit_workers=submit_workers,
+        deadline_ms=deadline_ms,
+        max_retries=max_retries,
     )

@@ -148,6 +148,14 @@ class QuerySpec:
             or ``"process"`` (one worker process per shard over shared
             memory; the planner falls back to threads, with a caveat, when
             the population cannot cross the process boundary).
+        deadline_ms: optional per-query time budget in milliseconds.  On
+            expiry the sampling loops finalize every still-active group at
+            its current estimate (anytime behaviour: valid, wider
+            intervals) and the result carries a ``deadline_exceeded``
+            caveat instead of an exception.
+        max_retries: transient-failure retry budget for source-scan
+            population builds (exponential backoff; see
+            :mod:`repro.resilience.retry`).
     """
 
     table: str
@@ -162,6 +170,8 @@ class QuerySpec:
     shards: int = 1
     max_workers: int | None = None
     executor: str = "thread"
+    deadline_ms: float | None = None
+    max_retries: int = 2
 
     def __post_init__(self) -> None:
         if not self.table:
@@ -174,6 +184,10 @@ class QuerySpec:
             raise ValueError(
                 f"unknown executor {self.executor!r}; known: {SHARD_EXECUTORS}"
             )
+        if self.deadline_ms is not None and float(self.deadline_ms) <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if int(self.max_retries) < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if not self.group_by:
             raise ValueError("a visualization query requires at least one GROUP BY")
         if not self.aggregates:
@@ -237,6 +251,8 @@ def lower_query(
     shards: int = 1,
     max_workers: int | None = None,
     executor: str = "thread",
+    deadline_ms: float | None = None,
+    max_retries: int = 2,
 ) -> QuerySpec:
     """Lower a parsed SQL :class:`~repro.query.ast.Query` to a :class:`QuerySpec`.
 
@@ -260,4 +276,6 @@ def lower_query(
         shards=shards,
         max_workers=max_workers,
         executor=executor,
+        deadline_ms=deadline_ms,
+        max_retries=max_retries,
     )

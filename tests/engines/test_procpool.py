@@ -133,9 +133,10 @@ class TestLifecycle:
 
 class TestWorkerCrash:
     def test_killed_worker_surfaces_and_segments_are_reclaimed(self):
-        """SIGKILL one worker mid-run: the next draw raises instead of
-        hanging, and close() still unlinks every segment exactly once."""
-        engine = _process_engine(shards=2)
+        """With recovery disabled (max_restarts=0), SIGKILL keeps the
+        pre-resilience contract: the next draw raises instead of hanging,
+        and close() still unlinks every segment exactly once."""
+        engine = _process_engine(shards=2, max_restarts=0)
         run = engine.open_run(seed=0)
         run.draw_block(np.arange(K), 4)
         pool = engine._procpool
@@ -150,8 +151,30 @@ class TestWorkerCrash:
         engine.close()
         assert REGISTRY.active_count() == 0
 
-    def test_surviving_shards_unaffected_until_close(self):
+    def test_killed_worker_recovers_bit_identically(self):
+        """Default contract: a SIGKILLed worker is respawned, its command
+        log replayed, and the run continues bit-identical to an uninjured
+        twin."""
+        baseline_engine = _process_engine(shards=2)
+        baseline_run = baseline_engine.open_run(seed=0)
+        expected = [baseline_run.draw_block(np.arange(K), 4) for _ in range(6)]
+        baseline_engine.close()
+
         engine = _process_engine(shards=2)
+        run = engine.open_run(seed=0)
+        got = [run.draw_block(np.arange(K), 4) for _ in range(3)]
+        pool = engine._procpool
+        os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+        pool._workers[0].process.join(timeout=10)
+        got.extend(run.draw_block(np.arange(K), 4) for _ in range(3))
+        for want, have in zip(expected, got):
+            np.testing.assert_array_equal(want, have)
+        assert any("respawned" in e for e in engine.resilience_events())
+        engine.close()
+        assert REGISTRY.active_count() == 0
+
+    def test_surviving_shards_unaffected_until_close(self):
+        engine = _process_engine(shards=2, max_restarts=0)
         run = engine.open_run(seed=0)
         pool = engine._procpool
         os.kill(pool._workers[0].process.pid, signal.SIGKILL)

@@ -1,0 +1,129 @@
+"""The fault-injection harness itself: plans, budgets, env activation."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import TransientError
+from repro.resilience.faults import (
+    ENV_VAR,
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    active_plan,
+    fault_at,
+    inject,
+    seed_from_env,
+)
+
+
+class TestFault:
+    def test_kind_implies_site(self):
+        assert Fault("kill_worker").site == "procpool.command"
+        assert Fault("kill_mid_command").site == "procpool.command"
+        assert Fault("delay_shard").site == "procpool.command"
+        assert Fault("corrupt_handshake").site == "procpool.handshake"
+        assert Fault("fail_scan_chunk").site == "catalog.scan_chunk"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("melt_cpu")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            Fault("kill_worker", times=0)
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(1234, kind="kill_worker", shards=4, max_at=8)
+        b = FaultPlan.seeded(1234, kind="kill_worker", shards=4, max_at=8)
+        assert a.faults == b.faults
+        (fault,) = a.faults
+        assert fault.kind == "kill_worker"
+        assert 0 <= fault.shard < 4 and 0 <= fault.at < 8
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            [
+                Fault("kill_worker", shard=1, at=3),
+                Fault("delay_shard", delay_s=0.25, times=2),
+            ]
+        )
+        assert FaultPlan.from_json(plan.to_json()).faults == plan.faults
+
+    def test_budget_and_coordinates(self):
+        plan = FaultPlan([Fault("kill_worker", shard=1, at=3, times=2)])
+        assert plan.match("procpool.command", shard=0, index=3) is None  # wrong shard
+        assert plan.match("procpool.command", shard=1, index=2) is None  # wrong index
+        assert plan.match("procpool.handshake", shard=1, index=3) is None  # wrong site
+        assert plan.match("procpool.command", shard=1, index=3) is not None
+        assert plan.match("procpool.command", shard=1, index=3) is not None
+        assert plan.match("procpool.command", shard=1, index=3) is None  # spent
+        assert plan.fired() == [("kill_worker", 1, 3), ("kill_worker", 1, 3)]
+
+    def test_none_coordinates_are_wildcards(self):
+        plan = FaultPlan([Fault("kill_worker", times=3)])
+        assert plan.match("procpool.command", shard=0, index=0) is not None
+        assert plan.match("procpool.command", shard=7, index=99) is not None
+
+
+class TestActivation:
+    def test_no_plan_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_plan() is None
+        assert fault_at("procpool.command", shard=0, index=0) is None
+
+    def test_inject_activates_and_restores(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plan = FaultPlan([Fault("kill_worker", shard=0, at=0)])
+        with inject(plan) as active:
+            assert active is plan
+            assert active_plan() is plan
+            # The env mirror is JSON so spawn children can parse it.
+            assert ENV_VAR in os.environ
+            assert fault_at("procpool.command", shard=0, index=0) is plan.faults[0]
+        assert active_plan() is None
+        assert ENV_VAR not in os.environ
+
+    def test_bare_integer_env_is_seed_not_plan(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "20260807")
+        assert active_plan() is None
+        assert seed_from_env() == 20260807
+
+    def test_seed_from_env_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert seed_from_env(default=7) == 7
+        monkeypatch.setenv(ENV_VAR, "[]")
+        assert seed_from_env(default=7) == 7
+
+    def test_json_env_is_an_active_plan(self, monkeypatch):
+        plan = FaultPlan([Fault("kill_worker", shard=0, at=1, times=5)])
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        env_plan = active_plan()
+        assert env_plan is not None
+        assert env_plan.faults == plan.faults
+        # The cached env plan keeps its budgets across active_plan() calls.
+        assert env_plan.match("procpool.command", shard=0, index=1) is not None
+        assert active_plan() is env_plan
+
+    def test_fail_scan_chunk_raises_transient(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plan = FaultPlan([Fault("fail_scan_chunk", at=2)])
+        with inject(plan):
+            assert fault_at("catalog.scan_chunk", shard=None, index=1) is None
+            with pytest.raises(TransientError, match="scan chunk 2"):
+                fault_at("catalog.scan_chunk", shard=None, index=2)
+            # Budget spent: the retried scan passes chunk 2 cleanly.
+            assert fault_at("catalog.scan_chunk", shard=None, index=2) is None
+
+    def test_every_kind_is_covered_by_a_site(self):
+        assert set(FAULT_KINDS) == {
+            "kill_worker",
+            "kill_mid_command",
+            "delay_shard",
+            "corrupt_handshake",
+            "fail_scan_chunk",
+        }

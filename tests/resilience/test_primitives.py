@@ -1,0 +1,179 @@
+"""Unit tests for the resilience primitives: Deadline, retry, breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FatalError, QueryCancelled, TransientError, WorkerCrashed
+from repro.resilience import CircuitBreaker, Deadline, RetryPolicy, call_with_retry
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_no_limit_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() is None
+        assert not d.expired()
+        assert d.check() is False
+
+    def test_expires_on_the_fake_clock(self):
+        clock = FakeClock()
+        d = Deadline(2.0, clock=clock)
+        assert d.check() is False
+        assert d.remaining() == pytest.approx(2.0)
+        clock.now = 1.9
+        assert not d.expired()
+        clock.now = 2.0
+        assert d.expired()
+        assert d.check() is True
+        assert d.remaining() == 0.0
+
+    def test_after_ms(self):
+        clock = FakeClock()
+        d = Deadline.after_ms(500.0, clock=clock)
+        assert d.remaining() == pytest.approx(0.5)
+        assert Deadline.after_ms(None).remaining() is None
+
+    def test_cancel_makes_check_raise(self):
+        d = Deadline(None)
+        assert not d.cancelled
+        d.cancel()
+        assert d.cancelled
+        with pytest.raises(QueryCancelled):
+            d.check()
+
+    def test_cancel_wins_over_expiry(self):
+        clock = FakeClock()
+        d = Deadline(0.0, clock=clock)
+        clock.now = 1.0
+        d.cancel()
+        with pytest.raises(QueryCancelled):
+            d.check()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            Deadline(-1.0)
+
+
+class TestErrorTaxonomy:
+    def test_worker_crashed_is_transient_and_runtime(self):
+        # WorkerCrashed must stay catchable as RuntimeError (the
+        # pre-resilience contract) while being retryable as transient.
+        exc = WorkerCrashed("boom")
+        assert isinstance(exc, TransientError)
+        assert isinstance(exc, RuntimeError)
+
+    def test_fatal_is_not_transient(self):
+        assert not isinstance(FatalError("x"), TransientError)
+
+
+class TestRetry:
+    def test_returns_first_success(self):
+        calls = []
+        out = call_with_retry(lambda: calls.append(1) or "ok", sleep=lambda _s: None)
+        assert out == "ok" and len(calls) == 1
+
+    def test_retries_transient_until_budget(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("blip")
+            return "done"
+
+        policy = RetryPolicy(max_retries=2, base_delay=0.0)
+        assert call_with_retry(flaky, policy=policy, sleep=lambda _s: None) == "done"
+        assert len(attempts) == 3
+
+    def test_reraises_after_budget(self):
+        def always():
+            raise TransientError("persistent")
+
+        policy = RetryPolicy(max_retries=1, base_delay=0.0)
+        with pytest.raises(TransientError, match="persistent"):
+            call_with_retry(always, policy=policy, sleep=lambda _s: None)
+
+    def test_non_transient_escapes_immediately(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise FatalError("no retry")
+
+        with pytest.raises(FatalError):
+            call_with_retry(fatal, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_observer_and_backoff_schedule(self):
+        seen = []
+        slept = []
+
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise TransientError(f"blip {len(attempts)}")
+            return 42
+
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0, max_delay=0.3)
+        out = call_with_retry(
+            flaky,
+            policy=policy,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+            sleep=slept.append,
+        )
+        assert out == 42
+        assert [a for a, _ in seen] == [0, 1, 2]
+        # base * multiplier**attempt, capped at max_delay.
+        assert slept == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        b = CircuitBreaker(threshold=3)
+        assert b.closed
+        assert b.record_failure() is False
+        assert b.record_failure() is False
+        assert b.record_failure() is True  # this one opened it
+        assert b.open and not b.closed
+        assert b.failures == 3
+        assert "3 failures" in b.reason
+
+    def test_open_is_sticky(self):
+        b = CircuitBreaker(threshold=1)
+        assert b.record_failure("first crash") is True
+        assert b.reason == "first crash"
+        # Further failures count but never "open it again".
+        assert b.record_failure("second") is False
+        assert b.reason == "first crash"
+
+    def test_trip_forces_open_once(self):
+        b = CircuitBreaker(threshold=100)
+        assert b.trip("unrecoverable") is True
+        assert b.open and b.reason == "unrecoverable"
+        assert b.trip("again") is False
+
+    def test_reset_closes(self):
+        b = CircuitBreaker(threshold=1)
+        b.record_failure()
+        b.reset()
+        assert b.closed and b.failures == 0 and b.reason is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)

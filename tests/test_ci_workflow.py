@@ -42,7 +42,7 @@ def _steps(workflow: dict):
 
 def test_workflow_parses_and_has_jobs(workflow):
     assert workflow.get("name") == "CI"
-    assert set(workflow["jobs"]) == {"tests", "bench-smoke", "procpool"}
+    assert set(workflow["jobs"]) == {"tests", "bench-smoke", "procpool", "chaos"}
     # "on" parses as the YAML boolean True when unquoted - accept either key.
     triggers = workflow.get("on", workflow.get(True))
     assert "push" in triggers and "pull_request" in triggers
@@ -127,4 +127,20 @@ def test_procpool_job_runs_lifecycle_tests_and_smoke_bench(workflow):
     for step in job["steps"]:
         line = step.get("run", "").strip()
         if line and "test_procpool" in line:
+            assert line.startswith("scripts/ci.sh")
+
+
+def test_chaos_job_runs_the_resilience_suite_with_a_seed(workflow):
+    """The fault-injection leg runs the resilience suite through the repo's
+    own CI gate, with REPRO_FAULT_PLAN set to a *bare integer* - the seed
+    the chaos tests derive their fault coordinates from, never an active
+    JSON plan (which would inject faults into unrelated tests)."""
+    job = workflow["jobs"]["chaos"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "tests/resilience/" in commands
+    seed = str(job["env"]["REPRO_FAULT_PLAN"])
+    assert seed.isdigit(), "REPRO_FAULT_PLAN in CI must be a bare seed integer"
+    for step in job["steps"]:
+        line = step.get("run", "").strip()
+        if line and "tests/resilience" in line:
             assert line.startswith("scripts/ci.sh")

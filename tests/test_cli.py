@@ -32,6 +32,15 @@ class TestParser:
         defaults = build_parser().parse_args(["query", "SELECT x, AVG(y) FROM t GROUP BY x"])
         assert defaults.shards == 1 and defaults.workers is None
 
+    def test_query_resilience_options(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT x, AVG(y) FROM t GROUP BY x",
+             "--deadline-ms", "250", "--max-retries", "5"]
+        )
+        assert args.deadline_ms == 250.0 and args.max_retries == 5
+        defaults = build_parser().parse_args(["query", "SELECT x, AVG(y) FROM t GROUP BY x"])
+        assert defaults.deadline_ms is None and defaults.max_retries == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -103,6 +112,20 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "caveat:" in out and "HAVING" in out
+
+    def test_query_deadline_exit_code_3_with_partial_result(self, capsys):
+        """An expired deadline is anytime, not an error: the partial result
+        still prints (with its caveat), but scripts get exit code 3 to
+        distinguish it from a fully-guaranteed answer (0)."""
+        code = main(
+            ["query",
+             "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier",
+             "--rows", "20000", "--seed", "3", "--deadline-ms", "0.001"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "AVG(arrival_delay)" in out  # the partial answer is printed
+        assert "deadline_exceeded" in out
 
     def test_query_stream(self, capsys):
         code = main(

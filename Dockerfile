@@ -1,0 +1,34 @@
+# Container image for the always-on query service (`repro serve`).
+#
+#   docker build -t repro-serve .
+#   docker run --rm -p 8765:8765 repro-serve
+#   curl -s localhost:8765/healthz
+#
+# Mount your own data and register it at startup:
+#
+#   docker run --rm -p 8765:8765 -v $PWD/data:/data repro-serve \
+#       --csv delays=/data/delays.csv --tenant dashboards=8:32:2000
+#
+# The image is intentionally tiny: the package is stdlib + numpy, so one
+# slim Python base layer plus the source tree is the whole story.
+
+FROM python:3.12-slim
+
+# The only hard runtime dependency; pyarrow (Parquet sources) is optional
+# and deliberately not baked in.
+RUN pip install --no-cache-dir "numpy>=1.24"
+
+WORKDIR /app
+COPY pyproject.toml README.md ./
+COPY src ./src
+RUN pip install --no-cache-dir --no-deps .
+
+# /proc-backed shared memory for --executor process shard fan-out.
+# Size it with `docker run --shm-size=1g` for large populations.
+
+EXPOSE 8765
+# Bind all interfaces inside the container; publish selectively with -p.
+ENTRYPOINT ["python", "-m", "repro", "serve", "--host", "0.0.0.0", "--port", "8765"]
+# Default workload: the synthetic flights table. Override CMD (or append
+# flags) to serve your own catalog.
+CMD ["--flights"]

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI smoke for the query service: boot, canned queries, clean shutdown.
+
+Runs the full serving path end to end on an ephemeral port:
+
+1. boot ``repro.serve`` with the synthetic flights table + a never-
+   converging "hard" table;
+2. POST /query twice - the repeat must be a cache hit with byte-identical
+   result JSON;
+3. POST /stream - the SSE frames must be monotonically numbered updates
+   ending in a single ``done`` event;
+4. start a never-converging query and DELETE it - the submitter must get
+   the structured 499 ``cancelled`` error;
+5. shut down and assert the shared-memory registry is empty (the shm-leak
+   oracle: an abandoned worker segment fails CI here).
+
+Usage: python scripts/serve_smoke.py [--rows N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import connect  # noqa: E402
+from repro.engines.shm import REGISTRY  # noqa: E402
+from repro.serve import QueryService, serve_in_thread  # noqa: E402
+
+FLIGHTS_SQL = "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier"
+SLOW_SPEC = {
+    "table": "slow",
+    "group_by": ["g"],
+    "aggregates": [{"func": "AVG", "column": "value"}],
+    "engine": "memory",
+}
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(method, path, body=None if body is None else json.dumps(body))
+        resp = conn.getresponse()
+        raw = resp.read()
+        return resp.status, json.loads(raw) if raw else {}
+    finally:
+        conn.close()
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=20_000,
+                        help="synthetic flights rows for the canned queries")
+    args = parser.parse_args()
+
+    session = connect(delta=0.1, seed=0)
+    session.register_flights("flights", rows=args.rows, seed=0)
+    session.register_synthetic("slow", "hard", k=4, gamma=0.01, group_size=5_000_000)
+    service = QueryService(session, sessions=2, default_seed=0)
+    handle = serve_in_thread(service)
+    print(f"serving on {handle.url}")
+    try:
+        status, body = request(handle.port, "GET", "/healthz")
+        check(status == 200 and body["status"] == "ok", "healthz answers")
+
+        status, first = request(handle.port, "POST", "/query", {"sql": FLIGHTS_SQL})
+        check(status == 200 and first["cache"] == "miss", "first query executes")
+        status, second = request(handle.port, "POST", "/query", {"sql": FLIGHTS_SQL})
+        check(status == 200 and second["cache"] == "hit", "repeat query is a cache hit")
+        check(
+            json.dumps(first["result"], sort_keys=True)
+            == json.dumps(second["result"], sort_keys=True),
+            "cached result is byte-identical",
+        )
+
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=120)
+        conn.request(
+            "POST", "/stream", body=json.dumps({"sql": FLIGHTS_SQL, "seed": 1})
+        )
+        resp = conn.getresponse()
+        frames = [f for f in resp.read().decode().split("\n\n") if f.strip()]
+        conn.close()
+        check(resp.status == 200 and len(frames) >= 2, "SSE stream answers")
+        ids = [int(f.splitlines()[0].split(":")[1]) for f in frames]
+        check(ids == list(range(1, len(frames) + 1)), "SSE ids are monotonic from 1")
+        check("event: done" in frames[-1], "SSE stream ends with done")
+        check(
+            all("event: update" in f for f in frames[:-1]),
+            "all non-final SSE frames are updates",
+        )
+
+        outcome = {}
+
+        def run_slow():
+            outcome["status"], outcome["body"] = request(
+                handle.port,
+                "POST",
+                "/query",
+                {"spec": SLOW_SPEC, "query_id": "smoke-slow"},
+            )
+
+        thread = threading.Thread(target=run_slow)
+        thread.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _s, stats = request(handle.port, "GET", "/stats")
+            if stats["inflight"] >= 1:
+                break
+            time.sleep(0.05)
+        status, body = request(handle.port, "DELETE", "/query/smoke-slow")
+        check(status == 200 and body["cancelled"], "DELETE cancels the slow query")
+        thread.join(timeout=120)
+        check(
+            outcome.get("status") == 499
+            and outcome["body"]["error"]["code"] == "cancelled",
+            "cancelled submitter gets the structured 499",
+        )
+    finally:
+        handle.stop()
+
+    check(REGISTRY.active_count() == 0, "shutdown leaves the shm registry empty")
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

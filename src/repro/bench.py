@@ -26,6 +26,7 @@ MICRO_BENCH_FILES = (
     "benchmarks/bench_micro_bitmap.py",
     "benchmarks/bench_micro_sharded.py",
     "benchmarks/bench_micro_procpool.py",
+    "benchmarks/bench_serve.py",
 )
 
 

@@ -136,6 +136,12 @@ class Catalog:
         self._tables: dict[DataSource, Table] = {}
         self._populations: "OrderedDict[tuple, Population]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Callbacks fired (outside the lock) whenever a name's builds are
+        #: dropped - explicit invalidate() or a rebinding register().  Shared
+        #: by snapshots, like the build caches: the serving layer's result
+        #: cache subscribes here so a stale table can never serve cached
+        #: results, no matter which catalog view triggered the drop.
+        self._invalidation_listeners: list = []
 
     @classmethod
     def from_tables(cls, tables: Mapping[str, Table]) -> "Catalog":
@@ -166,6 +172,8 @@ class Catalog:
                 s is old for s in self._sources.values()
             ):
                 self._drop_builds(old)
+        if old is not None and old is not source:
+            self._notify_invalidation(name)
         return self
 
     def _drop_builds(self, source: DataSource) -> None:
@@ -187,7 +195,25 @@ class Catalog:
         with self._lock:
             self._drop_builds(source)
         source.refresh()
+        self._notify_invalidation(name)
         return self
+
+    def subscribe_invalidation(self, listener) -> "Catalog":
+        """Register ``listener(name)`` to fire when a name's builds drop.
+
+        Fired by :meth:`invalidate` and by :meth:`register` re-binding a
+        name to a different source - the two ways previously-served data can
+        go stale.  Listeners are shared with :meth:`snapshot` views (like
+        the build caches), run outside the catalog lock, and must not raise.
+        Derived caches outside the catalog (e.g. the server result cache in
+        :mod:`repro.serve.cache`) subscribe here.
+        """
+        self._invalidation_listeners.append(listener)
+        return self
+
+    def _notify_invalidation(self, name: str) -> None:
+        for listener in list(self._invalidation_listeners):
+            listener(name)
 
     @property
     def names(self) -> list[str]:
@@ -321,6 +347,7 @@ class Catalog:
             clone._tables = self._tables
             clone._populations = self._populations
             clone._lock = self._lock
+            clone._invalidation_listeners = self._invalidation_listeners
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -13,6 +13,8 @@ Usage::
         [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
         [--engine needletail|memory|noindex] [--shards 4] [--workers 4] \
         [--executor thread|process] [--deadline-ms 500] [--max-retries 2] [--stream]
+    python -m repro serve [--host 127.0.0.1] [--port 8765] [--sessions 2] \
+        [--csv PATH]... [--flights] [--tenant NAME=MAX[:QUEUE[:DEADLINE_MS]]]...
 
 ``query`` goes through the Session API.  By default it runs against a freshly
 synthesized flights table (the offline stand-in for the paper's dataset); with
@@ -302,6 +304,57 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serve -------------------------------------------------------------------
+
+
+def _parse_tenant_flag(arg: str):
+    """Parse ``NAME=MAX[:QUEUE[:DEADLINE_MS]]`` into (name, TenantConfig)."""
+    from repro.serve import TenantConfig
+
+    name, _, rest = arg.partition("=")
+    name = name.strip()
+    if not name or not rest:
+        raise ValueError(f"--tenant needs NAME=MAX[:QUEUE[:DEADLINE_MS]], got {arg!r}")
+    parts = rest.split(":")
+    if len(parts) > 3:
+        raise ValueError(f"--tenant takes at most MAX:QUEUE:DEADLINE_MS, got {arg!r}")
+    config = TenantConfig(
+        max_concurrent=int(parts[0]),
+        queue_limit=int(parts[1]) if len(parts) > 1 else 16,
+        deadline_ms=float(parts[2]) if len(parts) > 2 else None,
+    )
+    return name, config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryService, TenantConfig, TenantRegistry, run_server
+
+    session = _catalog_session(args)
+    tenants = TenantRegistry(
+        TenantConfig(
+            max_concurrent=args.max_concurrent,
+            queue_limit=args.queue_limit,
+            deadline_ms=args.deadline_ms,
+        )
+    )
+    for arg in args.tenant or []:
+        try:
+            name, config = _parse_tenant_flag(arg)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        tenants.configure(name, config)
+    service = QueryService(
+        session,
+        sessions=args.sessions,
+        tenants=tenants,
+        cache_entries=args.cache_entries,
+        default_seed=args.seed,
+    )
+    run_server(service, host=args.host, port=args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -406,6 +459,36 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--stream", action="store_true",
                      help="print partial results as groups finalize")
     qry.set_defaults(fn=_cmd_query)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the always-on multi-tenant HTTP query service (see repro.serve)",
+    )
+    add_catalog_flags(srv)
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default loopback; put a reverse proxy "
+                     "in front for anything else)")
+    srv.add_argument("--port", type=int, default=8765,
+                     help="listen port (0 picks a free ephemeral port)")
+    srv.add_argument("--sessions", type=int, default=2,
+                     help="session pool size; all sessions share one catalog")
+    srv.add_argument("--max-concurrent", type=int, default=4,
+                     help="default per-tenant concurrent-execution quota")
+    srv.add_argument("--queue-limit", type=int, default=16,
+                     help="default per-tenant admission-queue depth; beyond "
+                     "this, requests are shed with a structured 429")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="default per-tenant query deadline (anytime stop)")
+    srv.add_argument("--cache-entries", type=int, default=256,
+                     help="result-cache capacity (LRU; 0 disables caching)")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="default seed for requests that omit one (a fixed "
+                     "default keeps identical requests cache-identical)")
+    srv.add_argument("--tenant", action="append",
+                     metavar="NAME=MAX[:QUEUE[:DEADLINE_MS]]",
+                     help="provision one tenant explicitly (repeatable), e.g. "
+                     "--tenant dashboards=8:32:2000")
+    srv.set_defaults(fn=_cmd_serve)
     return parser
 
 

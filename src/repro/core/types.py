@@ -17,7 +17,30 @@ __all__ = [
     "RoundSnapshot",
     "Trace",
     "OrderingResult",
+    "jsonify_value",
 ]
+
+
+def jsonify_value(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (recursively) into JSON-native values.
+
+    Algorithm ``params`` dicts accumulate whatever the runner recorded -
+    numpy floats, int64 counters, label arrays - so the wire layer normalizes
+    them once here instead of every serializer special-casing numpy.
+    """
+    if isinstance(value, np.ndarray):
+        return [jsonify_value(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): jsonify_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify_value(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -43,6 +66,29 @@ class GroupOutcome:
     half_width: float
     exhausted: bool
     finalized_round: int
+
+    def to_dict(self) -> dict:
+        return {
+            "index": int(self.index),
+            "name": self.name,
+            "estimate": float(self.estimate),
+            "samples": int(self.samples),
+            "half_width": float(self.half_width),
+            "exhausted": bool(self.exhausted),
+            "finalized_round": int(self.finalized_round),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroupOutcome":
+        return cls(
+            index=int(data["index"]),
+            name=data["name"],
+            estimate=float(data["estimate"]),
+            samples=int(data["samples"]),
+            half_width=float(data["half_width"]),
+            exhausted=bool(data["exhausted"]),
+            finalized_round=int(data["finalized_round"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -146,4 +192,56 @@ class OrderingResult:
         return (
             f"{self.algorithm}: k={self.k} rounds={self.rounds} "
             f"samples={self.total_samples}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (the server wire format).
+
+        Per-round traces are deliberately not serialized (they are debugging
+        artifacts, unbounded in size); everything else - estimates, per-group
+        outcomes, finalization order, params, engine accounting - round-trips
+        through :meth:`from_dict`.
+        """
+        stats = None
+        if self.stats is not None:
+            stats = {
+                "samples_per_group": [int(v) for v in self.stats.samples_per_group],
+                "io_seconds": float(self.stats.io_seconds),
+                "cpu_seconds": float(self.stats.cpu_seconds),
+                "scanned_rows": int(self.stats.scanned_rows),
+            }
+        return {
+            "algorithm": self.algorithm,
+            "estimates": [float(v) for v in self.estimates],
+            "samples_per_group": [int(v) for v in self.samples_per_group],
+            "rounds": int(self.rounds),
+            "groups": [g.to_dict() for g in self.groups],
+            "inactive_order": [int(i) for i in self.inactive_order],
+            "params": jsonify_value(self.params),
+            "stats": stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OrderingResult":
+        stats = None
+        if data.get("stats") is not None:
+            from repro.engines.base import RunStats
+
+            s = data["stats"]
+            stats = RunStats(
+                samples_per_group=np.asarray(s["samples_per_group"], dtype=np.int64),
+                io_seconds=float(s["io_seconds"]),
+                cpu_seconds=float(s["cpu_seconds"]),
+                scanned_rows=int(s["scanned_rows"]),
+            )
+        return cls(
+            algorithm=data["algorithm"],
+            estimates=np.asarray(data["estimates"], dtype=np.float64),
+            samples_per_group=np.asarray(data["samples_per_group"], dtype=np.int64),
+            rounds=int(data["rounds"]),
+            groups=[GroupOutcome.from_dict(g) for g in data["groups"]],
+            inactive_order=[int(i) for i in data["inactive_order"]],
+            trace=None,
+            params=dict(data.get("params", {})),
+            stats=stats,
         )

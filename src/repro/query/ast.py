@@ -28,6 +28,8 @@ __all__ = [
     "Aggregate",
     "Query",
     "COMPARISON_OPS",
+    "predicate_to_dict",
+    "predicate_from_dict",
 ]
 
 COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
@@ -93,6 +95,45 @@ class Or:
 
 
 Predicate = Union[Comparison, Between, InList, Not, And, Or]
+
+
+def predicate_to_dict(pred: Predicate) -> dict:
+    """A JSON-safe dict form of a predicate tree (the server wire format).
+
+    Every node carries an ``"op"`` discriminator; ``predicate_from_dict``
+    round-trips it back to the identical (frozen, hashable) AST value.
+    """
+    if isinstance(pred, Comparison):
+        return {"op": "compare", "column": pred.column, "cmp": pred.op, "value": pred.value}
+    if isinstance(pred, Between):
+        return {"op": "between", "column": pred.column, "lo": pred.lo, "hi": pred.hi}
+    if isinstance(pred, InList):
+        return {"op": "in", "column": pred.column, "values": list(pred.values)}
+    if isinstance(pred, Not):
+        return {"op": "not", "operand": predicate_to_dict(pred.operand)}
+    if isinstance(pred, (And, Or)):
+        return {
+            "op": "and" if isinstance(pred, And) else "or",
+            "operands": [predicate_to_dict(p) for p in pred.operands],
+        }
+    raise TypeError(f"not a predicate: {type(pred).__name__}")
+
+
+def predicate_from_dict(data: dict) -> Predicate:
+    """Rebuild a predicate tree from its :func:`predicate_to_dict` form."""
+    op = data.get("op")
+    if op == "compare":
+        return Comparison(data["column"], data["cmp"], data["value"])
+    if op == "between":
+        return Between(data["column"], data["lo"], data["hi"])
+    if op == "in":
+        return InList(data["column"], tuple(data["values"]))
+    if op == "not":
+        return Not(predicate_from_dict(data["operand"]))
+    if op in ("and", "or"):
+        operands = tuple(predicate_from_dict(d) for d in data["operands"])
+        return And(operands) if op == "and" else Or(operands)
+    raise ValueError(f"unknown predicate op {op!r}")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,55 @@
+"""``repro.serve`` - the always-on multi-tenant query service.
+
+One set of registered tables, served over HTTP/JSON to many consumers:
+per-tenant admission control (quotas, bounded queueing, load shedding), a
+shared result cache with single-flight collapse of concurrent identical
+queries, SSE streaming of :class:`~repro.session.result.PartialUpdate`
+convergence, and DELETE-to-cancel wired to the cooperative cancel tokens.
+Start it with ``repro serve`` or embed :class:`QueryService` +
+:func:`serve_in_thread` directly (how the tests and benchmarks run it).
+
+Stdlib only: the HTTP layer is ~150 lines over ``asyncio.start_server``.
+"""
+
+from repro.serve.admission import Admission, AdmissionController, QueryShed
+from repro.serve.app import (
+    QueryService,
+    ReproServer,
+    ServerHandle,
+    SessionPool,
+    run_server,
+    serve_in_thread,
+)
+from repro.serve.cache import CacheStats, Flight, ResultCache
+from repro.serve.sse import SSE_HEADERS, sse_event
+from repro.serve.tenants import (
+    DEFAULT_TENANT,
+    TenantConfig,
+    TenantCounters,
+    TenantRegistry,
+)
+from repro.serve.wire import WireError, canonical_json, error_payload
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "QueryShed",
+    "QueryService",
+    "ReproServer",
+    "ServerHandle",
+    "SessionPool",
+    "run_server",
+    "serve_in_thread",
+    "CacheStats",
+    "Flight",
+    "ResultCache",
+    "SSE_HEADERS",
+    "sse_event",
+    "DEFAULT_TENANT",
+    "TenantConfig",
+    "TenantCounters",
+    "TenantRegistry",
+    "WireError",
+    "canonical_json",
+    "error_payload",
+]

@@ -1,0 +1,176 @@
+"""Admission control: per-tenant quotas, a bounded queue, load shedding.
+
+The policy, in order, for every incoming execution (cache hits and
+single-flight followers never get here - they consume no execution slot):
+
+1. **Admit** - the tenant has fewer than ``max_concurrent`` queries
+   sampling: the request takes a slot and runs immediately.
+2. **Queue** - the tenant is at quota but its bounded queue has room: the
+   request waits (FIFO).  A finishing query hands its slot to the oldest
+   waiter directly, so the running count never dips below quota while
+   there is demand.  A queued request can be *cancelled* (``DELETE
+   /query/{id}``): it leaves the queue without ever running.
+3. **Shed** - the queue is full: the request is rejected *now* with a
+   structured :class:`QueryShed` error carrying a ``retry_after_ms`` hint
+   (HTTP 429 on the wire).  Nothing is ever queued unboundedly; a client
+   storm degrades into fast, explicit rejections instead of latency
+   collapse.
+
+Tenants are isolated by construction: each tenant's running count and
+queue are its own, so one tenant saturating its quota never delays
+another's admission (the shared substrate below - session submit pools -
+is sized by the service to at least the sum of provisioned quotas).
+
+Everything here runs on the service event loop; no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import QueryCancelled, ReproError
+from repro.serve.tenants import TenantRegistry, _TenantState
+
+__all__ = ["QueryShed", "Admission", "AdmissionController"]
+
+
+class QueryShed(ReproError):
+    """The tenant's admission queue is full; the request was rejected.
+
+    Attributes:
+        tenant: the tenant that was shed.
+        retry_after_ms: hint for when retrying is likely to be admitted
+            (also sent as the HTTP ``Retry-After`` header, in seconds).
+    """
+
+    def __init__(self, tenant: str, retry_after_ms: int) -> None:
+        self.tenant = tenant
+        self.retry_after_ms = int(retry_after_ms)
+        super().__init__(
+            f"tenant {tenant!r} is at quota with a full admission queue; "
+            f"retry in ~{retry_after_ms}ms"
+        )
+
+
+class Admission:
+    """One granted-or-queued admission; a context manager around the slot.
+
+    ``await wait()`` blocks until the slot is granted (instant when
+    admitted directly).  ``release()`` returns the slot (idempotent) -
+    always call it from a ``finally``.  ``cancel()`` abandons a *queued*
+    admission: the entry leaves the queue without running and ``wait()``
+    raises :class:`~repro.errors.QueryCancelled` in the waiting handler.
+    """
+
+    def __init__(
+        self,
+        controller: "AdmissionController",
+        state: _TenantState,
+        waiter: "asyncio.Future | None",
+    ) -> None:
+        self._controller = controller
+        self._state = state
+        self._waiter = waiter
+        self._granted = waiter is None
+        self._released = False
+
+    @property
+    def queued(self) -> bool:
+        """True while the admission is still waiting in the queue."""
+        return self._waiter is not None and not self._waiter.done()
+
+    async def wait(self) -> None:
+        if self._granted:
+            return
+        waiter = self._waiter
+        assert waiter is not None
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.cancelled():
+                # cancel() fired: the entry already left the queue.
+                raise QueryCancelled("cancelled while queued for admission") from None
+            # The *handler task* was cancelled (client gone) while queued:
+            # withdraw from the queue so the slot is never granted to a
+            # request nobody is waiting on.
+            if waiter in self._state.waiters:
+                self._state.waiters.remove(waiter)
+            raise
+        self._granted = True
+        self._state.counters.admitted += 1
+
+    def cancel(self) -> bool:
+        """Remove a still-queued admission; True if there was one to remove."""
+        waiter = self._waiter
+        if waiter is None or waiter.done():
+            return False
+        self._state.waiters.remove(waiter)
+        waiter.cancel()
+        return True
+
+    def release(self) -> None:
+        """Return the execution slot (idempotent).
+
+        If another request is queued, the slot transfers to it directly -
+        the tenant's running count stays at quota, the waiter's ``wait()``
+        resumes.  Otherwise the running count drops.
+        """
+        if self._released:
+            return
+        self._released = True
+        if not self._granted:
+            # Never held a slot (shed/cancelled before grant): nothing to return.
+            return
+        state = self._state
+        while state.waiters:
+            waiter = state.waiters.pop(0)
+            if not waiter.done():  # pragma: no branch - done waiters were cancelled
+                waiter.set_result(None)
+                return
+        state.running -= 1
+
+
+class AdmissionController:
+    """Applies the admit/queue/shed policy against a :class:`TenantRegistry`."""
+
+    #: Base unit of the retry-after estimate (see :meth:`retry_after_ms`).
+    BASE_RETRY_MS = 250
+
+    def __init__(self, tenants: TenantRegistry) -> None:
+        self.tenants = tenants
+
+    def submit(self, tenant: str) -> Admission:
+        """Apply the policy for one execution; raises :class:`QueryShed`.
+
+        Returns an :class:`Admission` that is either already granted
+        (``await wait()`` is a no-op) or queued.  The caller owns the slot
+        until ``release()``.
+        """
+        state = self.tenants.state(tenant)
+        config = state.config
+        if state.running < config.max_concurrent:
+            state.running += 1
+            state.counters.admitted += 1
+            return Admission(self, state, None)
+        if len(state.waiters) >= config.queue_limit:
+            state.counters.shed += 1
+            raise QueryShed(tenant, self.retry_after_ms(state))
+        waiter = asyncio.get_running_loop().create_future()
+        state.waiters.append(waiter)
+        state.counters.queued += 1
+        return Admission(self, state, waiter)
+
+    def retry_after_ms(self, state: _TenantState) -> int:
+        """A load-proportional retry hint for shed requests.
+
+        The estimate assumes each outstanding query costs roughly
+        :data:`BASE_RETRY_MS` of service time, spread over the tenant's
+        ``max_concurrent`` lanes:  ``base * outstanding / quota``.  It is a
+        *hint* - well-behaved clients back off at least this long; the
+        server re-sheds early arrivals anyway, so a wrong estimate costs
+        one cheap round trip, never correctness.
+        """
+        outstanding = state.running + len(state.waiters) + 1
+        return int(
+            self.BASE_RETRY_MS * outstanding / max(1, state.config.max_concurrent)
+        )

@@ -1,0 +1,807 @@
+"""The query service: session pool, routes, and the asyncio HTTP server.
+
+``repro.serve`` turns one set of registered tables into an always-on,
+multi-tenant endpoint (``repro serve`` on the command line).  The shape:
+
+* a :class:`SessionPool` - N :class:`~repro.session.Session` objects
+  sharing ONE catalog (sources *and* build caches), so every session
+  serves the same tables and a table scanned by one is warm for all;
+* an :class:`~repro.serve.admission.AdmissionController` metering
+  *executions* per tenant (admit / queue / shed);
+* a :class:`~repro.serve.cache.ResultCache` shared across tenants:
+  completed Results by canonical spec + seed, with single-flight collapse
+  of concurrent identical queries and catalog-invalidation hooks;
+* a deliberately small HTTP/1.1 layer on ``asyncio.start_server`` -
+  stdlib only, JSON bodies, SSE for streams.
+
+Routes::
+
+    GET    /healthz        liveness + table count
+    GET    /tables         registered sources (schema, kind, cache state)
+    GET    /stats          per-tenant counters + cache stats
+    POST   /query          execute; JSON Result envelope
+    POST   /stream         execute; SSE PartialUpdates, then `done`
+    DELETE /query/{id}     cancel a queued or running query by query_id
+
+Every execution route reads the tenant from the ``X-Repro-Tenant`` header
+(or a ``tenant`` body field) and applies that tenant's quotas and default
+query knobs.  Cache hits and single-flight followers bypass admission
+entirely: quotas meter *work*, not answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import queue as queue_mod
+import threading
+from dataclasses import dataclass
+from typing import AsyncIterator
+
+from repro.errors import QueryCancelled
+from repro.resilience.deadline import Deadline
+from repro.serve.admission import Admission, AdmissionController, QueryShed
+from repro.serve.cache import ResultCache
+from repro.serve.sse import SSE_HEADERS, sse_event
+from repro.serve.tenants import DEFAULT_TENANT, TenantConfig, TenantRegistry
+from repro.serve.wire import (
+    WireError,
+    apply_tenant_defaults,
+    build_query_request,
+    canonical_json,
+    error_payload,
+    parse_json_body,
+)
+from repro.session.planner import _replay_updates, stream_spec
+from repro.session.result import PartialUpdate, Result
+from repro.session.session import QueryFuture, Session, connect
+
+__all__ = [
+    "SessionPool",
+    "QueryService",
+    "ReproServer",
+    "ServerHandle",
+    "serve_in_thread",
+    "run_server",
+]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    429: "Too Many Requests",
+    499: "Client Closed Request",
+    500: "Internal Server Error",
+}
+
+
+class SessionPool:
+    """N sessions, one catalog: shared sources and build caches.
+
+    The primary session is the one whose knobs (delta, algorithm, engine,
+    shards, ...) and catalog define the service; the extras are clones
+    sharing its catalog, so any of them can run any registered query and
+    the first materialization of a table warms all of them.  Queries are
+    handed out round-robin, giving each its own submit pool.
+    """
+
+    def __init__(self, primary: Session, size: int = 2) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.primary = primary
+        self._sessions = [primary] + [
+            connect(
+                delta=primary.delta,
+                resolution=primary.resolution,
+                algorithm=primary.algorithm,
+                engine=primary.engine,
+                seed=primary.seed,
+                shards=primary.shards,
+                max_workers=primary.max_workers,
+                executor=primary.executor,
+                submit_workers=primary.submit_workers,
+                deadline_ms=primary.deadline_ms,
+                max_retries=primary.max_retries,
+                catalog=primary.catalog,
+            )
+            for _ in range(size - 1)
+        ]
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def next(self) -> Session:
+        session = self._sessions[self._next % len(self._sessions)]
+        self._next += 1
+        return session
+
+    def close(self) -> None:
+        """Close every session (including the primary); in-flight work drains."""
+        for session in self._sessions:
+            session.close()
+
+
+@dataclass
+class _Ticket:
+    """One in-flight query's cancellation handles (DELETE /query/{id})."""
+
+    query_id: str
+    tenant: str
+    admission: Admission | None = None
+    qfuture: QueryFuture | None = None
+    deadline: Deadline | None = None
+
+    def cancel(self) -> bool:
+        """Cancel wherever the query currently is: queue, pool, or mid-run."""
+        hit = False
+        if self.admission is not None and self.admission.cancel():
+            hit = True
+        if self.qfuture is not None and self.qfuture.cancel():
+            hit = True
+        elif self.deadline is not None:
+            self.deadline.cancel()
+            hit = True
+        return hit
+
+
+@dataclass
+class _Response:
+    """One HTTP response: JSON bytes or an async byte-chunk stream (SSE)."""
+
+    status: int
+    body: "bytes | AsyncIterator[bytes]"
+    headers: tuple = ()
+    content_type: str = "application/json"
+
+
+def _json_response(status: int, obj, headers: tuple = ()) -> _Response:
+    return _Response(status, canonical_json(obj), headers=headers)
+
+
+class QueryService:
+    """Routing + the admission/cache/execute flow, independent of transport.
+
+    All handler methods run on one event loop; blocking execution happens
+    in session submit pools (``/query``) or a dedicated producer thread
+    (``/stream``), bridged back with futures and bounded queues.
+    """
+
+    #: Bound on SSE updates buffered ahead of a slow client.  The producer
+    #: thread blocks on a full queue, which stalls sampling emission (not
+    #: sampling itself - the run keeps converging) until the client drains.
+    SSE_QUEUE_DEPTH = 64
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        *,
+        sessions: int = 2,
+        tenants: TenantRegistry | None = None,
+        default_tenant_config: TenantConfig | None = None,
+        cache_entries: int = 256,
+        default_seed: int | None = 0,
+    ) -> None:
+        self.pool = SessionPool(session if session is not None else connect(), sessions)
+        if tenants is not None and default_tenant_config is not None:
+            raise ValueError("pass tenants or default_tenant_config, not both")
+        self.tenants = tenants if tenants is not None else TenantRegistry(
+            default_tenant_config
+        )
+        self.admission = AdmissionController(self.tenants)
+        # default_seed=0 (not None) on purpose: identical requests must be
+        # deterministic, or the shared cache could never serve two clients
+        # the same bytes.  Clients wanting fresh randomness pass "seed".
+        self.default_seed = default_seed
+        self.cache = ResultCache(cache_entries).attach(self.pool.primary.catalog)
+        self._tickets: dict[str, _Ticket] = {}
+        self._auto_id = itertools.count(1)
+        self._closed = False
+
+    # -- routing -------------------------------------------------------------
+
+    async def handle(self, method: str, target: str, headers: dict, body: bytes) -> _Response:
+        path = target.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/tables" and method == "GET":
+            return self._tables()
+        if path == "/stats" and method == "GET":
+            return self._stats()
+        if path in ("/query", "/stream") and method == "POST":
+            parsed = parse_json_body(body)
+            tenant = self._tenant_of(headers, parsed)
+            if path == "/query":
+                return await self._query(parsed, tenant)
+            return await self._stream(parsed, tenant)
+        if path.startswith("/query/") and method == "DELETE":
+            return self._cancel(path[len("/query/"):])
+        if path in ("/healthz", "/tables", "/stats", "/query", "/stream"):
+            return _json_response(
+                405, error_payload("method_not_allowed", f"{method} {path}")
+            )
+        return _json_response(404, error_payload("not_found", f"no route for {path}"))
+
+    def _tenant_of(self, headers: dict, body: dict) -> str:
+        tenant = headers.get("x-repro-tenant") or body.get("tenant") or DEFAULT_TENANT
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 200:
+            raise WireError(400, "bad_request", "'tenant' must be a short string")
+        return tenant
+
+    # -- ops surface ---------------------------------------------------------
+
+    def _healthz(self) -> _Response:
+        return _json_response(
+            200,
+            {
+                "status": "ok",
+                "tables": len(self.pool.primary.tables),
+                "sessions": len(self.pool),
+                "inflight": len(self._tickets),
+            },
+        )
+
+    def _tables(self) -> _Response:
+        catalog = self.pool.primary.catalog
+        tables = []
+        for name in sorted(catalog.names):
+            info = catalog.describe(name)
+            tables.append(
+                {
+                    "name": info.name,
+                    "kind": info.kind,
+                    "description": info.description,
+                    "columns": {c.name: c.kind for c in info.schema},
+                    "rows": info.row_count_hint,
+                    "table_cached": info.table_cached,
+                    "cached_populations": len(info.cached_populations),
+                }
+            )
+        return _json_response(200, {"tables": tables})
+
+    def _stats(self) -> _Response:
+        cache = self.cache.stats.to_dict()
+        cache["entries"] = len(self.cache)
+        return _json_response(
+            200,
+            {
+                "tenants": self.tenants.snapshot(),
+                "cache": cache,
+                "inflight": len(self._tickets),
+            },
+        )
+
+    # -- cancel --------------------------------------------------------------
+
+    def _cancel(self, query_id: str) -> _Response:
+        ticket = self._tickets.get(query_id)
+        if ticket is None:
+            return _json_response(
+                404,
+                error_payload(
+                    "unknown_query", f"no in-flight query with id {query_id!r}"
+                ),
+            )
+        cancelled = ticket.cancel()
+        return _json_response(
+            200,
+            {"query_id": query_id, "tenant": ticket.tenant, "cancelled": cancelled},
+        )
+
+    # -- execution helpers ---------------------------------------------------
+
+    def _prepare(self, body: dict, tenant: str):
+        """Parse + tenant-default a request; returns (spec, seed, key, state)."""
+        state = self.tenants.state(tenant)
+        request = build_query_request(
+            body, self.pool.primary, default_seed=self.default_seed
+        )
+        spec = apply_tenant_defaults(request, state.config)
+        key = (spec.canonical_key(), repr(request.seed))
+        return request, spec, key, state
+
+    def _register_ticket(self, requested_id: str | None, tenant: str) -> _Ticket:
+        query_id = requested_id if requested_id is not None else f"q-{next(self._auto_id)}"
+        if query_id in self._tickets:
+            raise WireError(
+                409, "duplicate_query_id", f"query id {query_id!r} is already in flight"
+            )
+        ticket = _Ticket(query_id=query_id, tenant=tenant)
+        self._tickets[query_id] = ticket
+        return ticket
+
+    def _envelope(self, query_id: str, tenant: str, mode: str, result: Result) -> dict:
+        # The embedded dict re-encodes byte-identically under canonical_json
+        # (sorted keys, fixed separators), so every reader of one cached
+        # entry - hit, shared, or the leader itself - gets the same bytes.
+        return {
+            "query_id": query_id,
+            "tenant": tenant,
+            "cache": mode,
+            "result": result.to_dict(),
+        }
+
+    # -- POST /query ---------------------------------------------------------
+
+    async def _query(self, body: dict, tenant: str) -> _Response:
+        request, spec, key, state = self._prepare(body, tenant)
+        counters = state.counters
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            counters.cache_hits += 1
+            result, _payload = cached
+            return _json_response(
+                200, self._envelope(f"q-{next(self._auto_id)}", tenant, "hit", result)
+            )
+
+        flight = self.cache.flight(key)
+        if flight is not None:
+            counters.singleflight_shared += 1
+            result, _payload = await self.cache.follow(flight)
+            return _json_response(
+                200,
+                self._envelope(f"q-{next(self._auto_id)}", tenant, "shared", result),
+            )
+
+        # Leader path.  No awaits between begin_flight and admission.submit,
+        # so a shed leader fails its flight before any follower can attach.
+        ticket = self._register_ticket(request.query_id, tenant)
+        flight = self.cache.begin_flight(key, spec.table)
+        admission: Admission | None = None
+        try:
+            admission = self.admission.submit(tenant)
+            ticket.admission = admission
+            await admission.wait()
+            session = self.pool.next()
+            qfuture = session.submit(spec, seed=request.seed)
+            ticket.qfuture = qfuture
+            counters.executed += 1
+            try:
+                result = await asyncio.wrap_future(qfuture.inner)
+            except asyncio.CancelledError:
+                if qfuture.cancelled() or qfuture.done():
+                    raise QueryCancelled("query cancelled while running") from None
+                qfuture.cancel()  # handler task itself was cancelled
+                raise
+            payload = canonical_json(result.to_dict())
+            self.cache.complete_flight(flight, result, payload)
+            counters.completed += 1
+            if result.deadline_exceeded:
+                counters.deadline_expired += 1
+            return _json_response(
+                200, self._envelope(ticket.query_id, tenant, "miss", result)
+            )
+        except QueryShed as exc:
+            self.cache.fail_flight(flight, exc)
+            raise
+        except QueryCancelled as exc:
+            counters.cancelled += 1
+            self.cache.fail_flight(flight, exc)
+            raise
+        except BaseException as exc:
+            if not isinstance(exc, asyncio.CancelledError):
+                counters.errors += 1
+            self.cache.fail_flight(flight, exc)
+            raise
+        finally:
+            if admission is not None:
+                admission.release()
+            self._tickets.pop(ticket.query_id, None)
+
+    # -- POST /stream --------------------------------------------------------
+
+    async def _stream(self, body: dict, tenant: str) -> _Response:
+        request, spec, key, state = self._prepare(body, tenant)
+        counters = state.counters
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            counters.cache_hits += 1
+            result, _payload = cached
+            qid = f"q-{next(self._auto_id)}"
+            return _Response(
+                200, self._replay_events(qid, tenant, "hit", result), headers=SSE_HEADERS
+            )
+
+        flight = self.cache.flight(key)
+        if flight is not None:
+            counters.singleflight_shared += 1
+            result, _payload = await self.cache.follow(flight)
+            qid = f"q-{next(self._auto_id)}"
+            return _Response(
+                200,
+                self._replay_events(qid, tenant, "shared", result),
+                headers=SSE_HEADERS,
+            )
+
+        ticket = self._register_ticket(request.query_id, tenant)
+        flight = self.cache.begin_flight(key, spec.table)
+        admission: Admission | None = None
+        try:
+            admission = self.admission.submit(tenant)
+            ticket.admission = admission
+            # Wait for the slot *before* streaming starts: shed and
+            # queue-cancel surface as proper HTTP statuses, not mid-stream
+            # error events.
+            await admission.wait()
+        except QueryShed as exc:
+            self.cache.fail_flight(flight, exc)
+            self._tickets.pop(ticket.query_id, None)
+            if admission is not None:
+                admission.release()
+            raise
+        except BaseException as exc:
+            counters.cancelled += isinstance(exc, QueryCancelled)
+            self.cache.fail_flight(flight, exc)
+            self._tickets.pop(ticket.query_id, None)
+            if admission is not None:
+                admission.release()
+            raise
+        return _Response(
+            200,
+            self._live_events(ticket, admission, flight, spec, request.seed, state),
+            headers=SSE_HEADERS,
+        )
+
+    async def _replay_events(
+        self, query_id: str, tenant: str, mode: str, result: Result
+    ) -> AsyncIterator[bytes]:
+        """SSE frames for an already-completed Result (cache hit / follower)."""
+        n = 0
+        for update in _replay_updates(result):
+            n += 1
+            yield sse_event(update.to_dict(), event="update", event_id=n)
+        yield sse_event(
+            self._envelope(query_id, tenant, mode, result), event="done", event_id=n + 1
+        )
+
+    async def _live_events(
+        self, ticket, admission, flight, spec, seed, state
+    ) -> AsyncIterator[bytes]:
+        """SSE frames from a live run on a producer thread.
+
+        Backpressure: the producer publishes into a bounded queue and blocks
+        when the client cannot keep up; the consumer awaits ``q.get`` in the
+        default executor and the transport awaits ``drain()`` per frame.  On
+        client disconnect the generator is closed, the run's cancel token
+        fires, and the queue is drained until the producer exits.
+        """
+        counters = state.counters
+        loop = asyncio.get_running_loop()
+        q: "queue_mod.Queue[object]" = queue_mod.Queue(maxsize=self.SSE_QUEUE_DEPTH)
+        deadline = Deadline.after_ms(spec.deadline_ms)
+        ticket.deadline = deadline
+        catalog = self.pool.primary.catalog.snapshot()
+        counters.executed += 1
+
+        def produce() -> None:
+            try:
+                stream = stream_spec(spec, catalog, seed=seed, deadline=deadline)
+                for update in stream:
+                    q.put(update)
+                q.put(("result", stream.result))
+            except BaseException as exc:  # delivered to the consumer
+                q.put(("error", exc))
+
+        thread = threading.Thread(target=produce, daemon=True, name="repro-serve-sse")
+        thread.start()
+        n = 0
+        try:
+            while True:
+                item = await loop.run_in_executor(None, q.get)
+                if isinstance(item, PartialUpdate):
+                    n += 1
+                    yield sse_event(item.to_dict(), event="update", event_id=n)
+                    continue
+                kind, obj = item
+                if kind == "result":
+                    result = obj
+                    payload = canonical_json(result.to_dict())
+                    self.cache.complete_flight(flight, result, payload)
+                    counters.completed += 1
+                    if result.deadline_exceeded:
+                        counters.deadline_expired += 1
+                    yield sse_event(
+                        self._envelope(ticket.query_id, ticket.tenant, "miss", result),
+                        event="done",
+                        event_id=n + 1,
+                    )
+                else:
+                    exc = obj
+                    self.cache.fail_flight(flight, exc)
+                    if isinstance(exc, QueryCancelled):
+                        counters.cancelled += 1
+                        code = "cancelled"
+                    else:
+                        counters.errors += 1
+                        code = "internal"
+                    yield sse_event(
+                        error_payload(code, str(exc)), event="error", event_id=n + 1
+                    )
+                return
+        finally:
+            deadline.cancel()
+            admission.release()
+            self._tickets.pop(ticket.query_id, None)
+            if self.cache.flight(flight.key) is flight:
+                # Abandoned mid-stream (client disconnect): fail the flight
+                # so followers are not left awaiting a dead leader.
+                self.cache.fail_flight(
+                    flight, QueryCancelled("stream client disconnected")
+                )
+                counters.cancelled += 1
+            await loop.run_in_executor(None, _drain_queue, q, thread)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel in-flight queries and close every session.
+
+        After this returns the submit pools are drained, every engine
+        fan-out pool is released, and (asserted by the CI smoke) the
+        shared-memory registry is empty.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for ticket in list(self._tickets.values()):
+            ticket.cancel()
+        self.pool.close()
+
+
+def _drain_queue(q: "queue_mod.Queue", thread: threading.Thread) -> None:
+    """Unblock and join an SSE producer after its consumer went away."""
+    while thread.is_alive():
+        try:
+            q.get(timeout=0.05)
+        except queue_mod.Empty:
+            pass
+        thread.join(timeout=0.0)
+    try:
+        while True:
+            q.get_nowait()
+    except queue_mod.Empty:
+        pass
+
+
+# --------------------------------------------------------------------------
+# HTTP layer
+# --------------------------------------------------------------------------
+
+
+class ReproServer:
+    """A minimal HTTP/1.1 front end over one :class:`QueryService`.
+
+    Deliberately not a web framework: request line + headers +
+    Content-Length body in, status + JSON (or an SSE stream) out,
+    keep-alive except on streams.  Anything fancier (TLS, chunked bodies,
+    HTTP/2) belongs in a reverse proxy in front.
+    """
+
+    MAX_BODY = 8 * 1024 * 1024
+
+    def __init__(
+        self, service: QueryService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "ReproServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, version, headers, body = request
+                response = await self._dispatch(method, target, headers, body)
+                streaming = not isinstance(response.body, (bytes, bytearray))
+                self._write_head(writer, response, streaming)
+                if streaming:
+                    agen = response.body
+                    try:
+                        async for chunk in agen:
+                            writer.write(chunk)
+                            await writer.drain()
+                    finally:
+                        await agen.aclose()
+                    break  # SSE responses are Connection: close
+                writer.write(response.body)
+                await writer.drain()
+                if version != "HTTP/1.1" or headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; per-query cleanup already ran
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, version = line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"", b"\r\n", b"\n"):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length < 0 or length > self.MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, version, headers, body
+
+    async def _dispatch(
+        self, method: str, target: str, headers: dict, body: bytes
+    ) -> _Response:
+        try:
+            return await self.service.handle(method, target, headers, body)
+        except WireError as exc:
+            return _json_response(exc.status, exc.payload())
+        except QueryShed as exc:
+            return _json_response(
+                429,
+                error_payload(
+                    "shed",
+                    str(exc),
+                    tenant=exc.tenant,
+                    retry_after_ms=exc.retry_after_ms,
+                ),
+                headers=(("Retry-After", str(max(1, -(-exc.retry_after_ms // 1000)))),),
+            )
+        except QueryCancelled as exc:
+            return _json_response(499, error_payload("cancelled", str(exc)))
+        except Exception as exc:
+            return _json_response(
+                500, error_payload("internal", f"{type(exc).__name__}: {exc}")
+            )
+
+    def _write_head(
+        self, writer: asyncio.StreamWriter, response: _Response, streaming: bool
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        lines = [f"HTTP/1.1 {response.status} {reason}"]
+        header_names = {name.lower() for name, _ in response.headers}
+        if "content-type" not in header_names:
+            lines.append(f"Content-Type: {response.content_type}")
+        for name, value in response.headers:
+            lines.append(f"{name}: {value}")
+        if not streaming:
+            lines.append(f"Content-Length: {len(response.body)}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A running server on a background thread (tests, benchmarks)."""
+
+    def __init__(self) -> None:
+        self.port: int | None = None
+        self.thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Future | None = None
+        self.error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        loop, self._loop = self._loop, None
+        if loop is not None and self._stop is not None:
+            loop.call_soon_threadsafe(
+                lambda: self._stop.done() or self._stop.set_result(None)
+            )
+        if self.thread is not None:
+            self.thread.join(timeout=60)
+
+
+def serve_in_thread(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start a server on a daemon thread; returns once it is accepting."""
+    handle = ServerHandle()
+    started = threading.Event()
+
+    def main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = ReproServer(service, host=host, port=port)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:
+            handle.error = exc
+            started.set()
+            loop.close()
+            return
+        handle.port = server.port
+        handle._loop = loop
+        handle._stop = loop.create_future()
+        started.set()
+        try:
+            loop.run_until_complete(handle._stop)
+        finally:
+            loop.run_until_complete(server.aclose())
+            loop.close()
+
+    handle.thread = threading.Thread(target=main, daemon=True, name="repro-serve")
+    handle.thread.start()
+    started.wait(timeout=60)
+    if handle.error is not None:
+        raise handle.error
+    return handle
+
+
+def run_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    announce=print,
+) -> None:
+    """Run the server in the foreground until SIGINT/SIGTERM (the CLI path)."""
+
+    async def main() -> None:
+        server = await ReproServer(service, host=host, port=port).start()
+        announce(f"repro serve listening on http://{host}:{server.port}")
+        loop = asyncio.get_running_loop()
+        stop = loop.create_future()
+        try:
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(
+                    sig, lambda: stop.done() or stop.set_result(None)
+                )
+        except (ImportError, NotImplementedError, RuntimeError):
+            pass  # platforms without loop signal handlers: Ctrl-C still raises
+        try:
+            await stop
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+            announce("repro serve stopped")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,205 @@
+"""The shared result cache: canonical spec -> completed Result, single-flight.
+
+The service's whole economic argument (and the paper's: many dashboards,
+one dataset) is that identical queries should cost one execution.  Two
+mechanisms deliver that:
+
+* **Result cache** - completed queries are stored under
+  ``(QuerySpec.canonical_key(), seed)``.  The key is the canonicalized
+  spec JSON, so the SQL door, the builder door, and raw wire specs all hit
+  the same entry; the seed is part of the key because results are
+  bit-functions of it.  Entries are LRU-bounded and shared across
+  *tenants* - quotas meter execution, not answers.
+* **Single-flight** - concurrent identical queries collapse onto one
+  execution: the first becomes the *leader* (admitted, executed, cached),
+  the rest become *followers* awaiting the leader's future.  Followers
+  consume no admission slot and no execution; they receive the leader's
+  outcome - including its error, if it fails or is cancelled - because the
+  execution genuinely was shared.
+
+Freshness is tied into the catalog: the cache subscribes to
+:meth:`repro.catalog.Catalog.subscribe_invalidation`, so
+``Session.invalidate(name)`` or re-registering a source under ``name``
+both (a) drop every cached entry for that table and (b) bump the table's
+*generation*, which vetoes caching of any in-flight execution that started
+against the old data.  A re-registered CSV can therefore never serve a
+stale cached Result, even across the invalidate/complete race.
+
+Results that expired their deadline are returned to their requesters but
+never cached: they are valid *anytime* answers for the caller that ran out
+of budget, not the query's answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.session.result import Result
+
+__all__ = ["CacheStats", "ResultCache", "Flight"]
+
+#: A cache key: (QuerySpec.canonical_key(), seed-as-string).
+CacheKey = tuple[str, str]
+
+
+@dataclass
+class CacheStats:
+    """Service-wide cache accounting (per-tenant counts live on tenants)."""
+
+    hits: int = 0
+    misses: int = 0
+    shared: int = 0
+    stored: int = 0
+    evicted: int = 0
+    invalidated: int = 0
+    uncacheable: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "shared": self.shared,
+            "stored": self.stored,
+            "evicted": self.evicted,
+            "invalidated": self.invalidated,
+            "uncacheable": self.uncacheable,
+        }
+
+
+@dataclass
+class _Entry:
+    table: str
+    result: Result
+    payload: bytes  # the encoded "result" JSON, byte-identical for every reader
+
+
+@dataclass
+class Flight:
+    """One in-flight leader execution identical queries collapse onto."""
+
+    key: CacheKey
+    table: str
+    generation: int
+    future: "asyncio.Future[tuple[Result, bytes]]"
+    followers: int = field(default=0)
+
+
+class ResultCache:
+    """LRU result cache + single-flight registry, invalidation-aware.
+
+    Entry/generation state is guarded by a lock because catalog
+    invalidation listeners may fire from any thread (``Session.invalidate``
+    is plain sync code); the single-flight registry is touched only on the
+    service event loop.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._generations: dict[str, int] = {}
+        self._inflight: dict[CacheKey, Flight] = {}
+        self._lock = threading.Lock()
+
+    # -- catalog hookup ------------------------------------------------------
+
+    def attach(self, catalog) -> "ResultCache":
+        """Subscribe to a catalog's invalidation events (see module doc)."""
+        catalog.subscribe_invalidation(self.invalidate_table)
+        return self
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every entry for ``table``; veto in-flight caching. Returns drops."""
+        with self._lock:
+            self._generations[table] = self._generations.get(table, 0) + 1
+            stale = [k for k, e in self._entries.items() if e.table == table]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidated += len(stale)
+        return len(stale)
+
+    def generation(self, table: str) -> int:
+        with self._lock:
+            return self._generations.get(table, 0)
+
+    # -- lookup / store ------------------------------------------------------
+
+    def get(self, key: CacheKey) -> "tuple[Result, bytes] | None":
+        """A cached (Result, payload) pair, LRU-refreshed; None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.result, entry.payload
+
+    def flight(self, key: CacheKey) -> Flight | None:
+        """The in-flight leader for ``key``, if any (event loop only)."""
+        return self._inflight.get(key)
+
+    def begin_flight(self, key: CacheKey, table: str) -> Flight:
+        """Register this execution as the key's leader (event loop only)."""
+        if key in self._inflight:
+            raise RuntimeError(f"flight already in progress for {key!r}")
+        flight = Flight(
+            key=key,
+            table=table,
+            generation=self.generation(table),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._inflight[key] = flight
+        return flight
+
+    def complete_flight(
+        self, flight: Flight, result: Result, payload: bytes
+    ) -> bool:
+        """Store the leader's result (unless vetoed) and wake followers.
+
+        Returns True when the result entered the cache; False when it was
+        uncacheable: a deadline-expired anytime answer, or the table was
+        invalidated after the flight began (the generation check closes the
+        invalidate-during-execution race).
+        """
+        self._inflight.pop(flight.key, None)
+        if not flight.future.done():
+            flight.future.set_result((result, payload))
+        cacheable = not result.deadline_exceeded and self.max_entries > 0
+        with self._lock:
+            if cacheable and self._generations.get(flight.table, 0) == flight.generation:
+                self._entries[flight.key] = _Entry(flight.table, result, payload)
+                self._entries.move_to_end(flight.key)
+                self.stats.stored += 1
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evicted += 1
+                return True
+            self.stats.uncacheable += 1
+        return False
+
+    def fail_flight(self, flight: Flight, exc: BaseException) -> None:
+        """Propagate the leader's failure to any followers; cache nothing."""
+        self._inflight.pop(flight.key, None)
+        if not flight.future.done():
+            flight.future.set_exception(exc)
+            if flight.followers == 0:
+                # With no followers the exception is never awaited; mark it
+                # retrieved so the loop does not log it at GC time.
+                flight.future.exception()
+
+    async def follow(self, flight: Flight) -> "tuple[Result, bytes]":
+        """Await the leader's outcome (single-flight follower path)."""
+        flight.followers += 1
+        self.stats.shared += 1
+        # shield: a follower's disconnect must not cancel the shared future.
+        return await asyncio.shield(flight.future)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,51 @@
+"""Server-sent-events encoding for the streaming endpoint.
+
+``POST /stream`` answers with ``Content-Type: text/event-stream`` and one
+event per finalized group, exactly the shape ``.stream()`` yields locally:
+
+* ``event: update`` / ``id: <n>`` - one :class:`PartialUpdate` as JSON;
+  ``id`` is the update's 1-based sequence number, so an SSE client (or the
+  ``Last-Event-ID`` convention) sees a monotonically increasing counter and
+  ``data.emitted_so_far == id`` always.
+* ``event: done`` - the final Result envelope, once, after the last update.
+* ``event: error`` - a structured error payload if the run fails or is
+  cancelled mid-stream; always terminal.
+
+The encoder is deliberately tiny and dependency-free: SSE is just framed
+lines over a long-lived response (data lines per chunk, blank-line
+terminator), which is why it beats websockets for one-way bar-chart
+convergence - every HTTP client, proxy, and ``curl`` already speaks it.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["sse_event", "SSE_HEADERS"]
+
+#: Response headers for an event-stream reply.  ``no-cache`` keeps proxies
+#: from buffering the stream into one giant flush at the end.
+SSE_HEADERS = (
+    ("Content-Type", "text/event-stream; charset=utf-8"),
+    ("Cache-Control", "no-cache"),
+    ("Connection", "close"),
+)
+
+
+def sse_event(
+    data, *, event: str | None = None, event_id: int | str | None = None
+) -> bytes:
+    """Encode one server-sent event frame.
+
+    ``data`` may be a pre-encoded string or any JSON-serializable object.
+    Multi-line data is framed as multiple ``data:`` lines per the SSE spec.
+    """
+    if not isinstance(data, str):
+        data = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    lines: list[str] = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    lines.extend(f"data: {chunk}" for chunk in data.split("\n"))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")

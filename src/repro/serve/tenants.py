@@ -1,0 +1,149 @@
+"""Tenant model for the query service: quotas, defaults, and counters.
+
+A *tenant* is one logical consumer of the service - a dashboard deployment,
+a team, an API key.  Each tenant carries:
+
+* an execution quota (``max_concurrent``) - how many of its queries may
+  sample at once;
+* a bounded admission queue (``queue_limit``) - how many more may wait for
+  a slot before the service sheds load (:class:`~repro.serve.admission.QueryShed`);
+* default query knobs (``deadline_ms``, ``max_retries``) applied to any
+  submitted :class:`~repro.session.spec.QuerySpec` that did not pin its own;
+* live :class:`TenantCounters` exported by ``GET /stats``.
+
+Requests name their tenant with the ``X-Repro-Tenant`` header (or the
+``tenant`` body field); unnamed requests run as :data:`DEFAULT_TENANT`.
+Unknown tenants inherit the registry's default config, so the service is
+usable without pre-provisioning while still isolating the tenants that are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["DEFAULT_TENANT", "TenantConfig", "TenantCounters", "TenantRegistry"]
+
+#: The tenant unnamed requests run as.
+DEFAULT_TENANT = "public"
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's quotas and per-query defaults.
+
+    Attributes:
+        max_concurrent: executions this tenant may have sampling at once.
+        queue_limit: admission-queue depth beyond the quota; a submit
+            arriving with the queue full is *shed* (structured 429 + a
+            retry-after hint), never queued unboundedly.
+        deadline_ms: default ``QuerySpec.deadline_ms`` for this tenant's
+            queries (anytime stop; ``None`` = unlimited).  A spec that set
+            its own deadline keeps it.
+        max_retries: default transient-scan retry budget; ``None`` keeps
+            each spec's own value.
+    """
+
+    max_concurrent: int = 4
+    queue_limit: int = 16
+    deadline_ms: float | None = None
+    max_retries: int | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.max_concurrent) < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        if int(self.queue_limit) < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {self.queue_limit}")
+        if self.deadline_ms is not None and float(self.deadline_ms) <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.max_retries is not None and int(self.max_retries) < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass
+class TenantCounters:
+    """Monotonic per-tenant accounting, exported by ``GET /stats``.
+
+    ``admitted`` counts queries granted an execution slot (immediately or
+    after queueing); ``executed`` counts runs actually started (cache
+    followers are admitted-free *and* execution-free).  The end-to-end
+    single-flight proof in the test suite is ``executed == 1`` with
+    ``cache_hits + singleflight_shared == N - 1``.
+    """
+
+    admitted: int = 0
+    queued: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    executed: int = 0
+    completed: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    singleflight_shared: int = 0
+    deadline_expired: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class _TenantState:
+    """Config + counters + live admission state for one tenant."""
+
+    name: str
+    config: TenantConfig
+    counters: TenantCounters = field(default_factory=TenantCounters)
+    running: int = 0
+    # Waiters are asyncio futures appended in arrival order; admission
+    # transfers slots FIFO.  Stored here (not in the controller) so /stats
+    # can report live queue depth per tenant.
+    waiters: list = field(default_factory=list)
+
+    def snapshot(self) -> dict:
+        return {
+            "config": {
+                "max_concurrent": self.config.max_concurrent,
+                "queue_limit": self.config.queue_limit,
+                "deadline_ms": self.config.deadline_ms,
+                "max_retries": self.config.max_retries,
+            },
+            "running": self.running,
+            "queued_now": len(self.waiters),
+            "counters": self.counters.to_dict(),
+        }
+
+
+class TenantRegistry:
+    """Named tenant configs plus live state, lazily instantiated.
+
+    ``configure(name, config)`` provisions a tenant explicitly; any other
+    name materializes on first use with ``default_config``.  All access
+    happens on the service event loop, so no locking is needed.
+    """
+
+    def __init__(self, default_config: TenantConfig | None = None) -> None:
+        self.default_config = default_config or TenantConfig()
+        self._tenants: dict[str, _TenantState] = {}
+
+    def configure(self, name: str, config: TenantConfig) -> "TenantRegistry":
+        state = self._tenants.get(name)
+        if state is not None:
+            state.config = config
+        else:
+            self._tenants[name] = _TenantState(name=name, config=config)
+        return self
+
+    def state(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(name=name, config=self.default_config)
+            self._tenants[name] = state
+        return state
+
+    def counters(self, name: str) -> TenantCounters:
+        return self.state(name).counters
+
+    def snapshot(self) -> dict:
+        """``{tenant: state}`` for ``GET /stats`` (sorted for stable JSON)."""
+        return {
+            name: self._tenants[name].snapshot() for name in sorted(self._tenants)
+        }

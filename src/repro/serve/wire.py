@@ -1,0 +1,169 @@
+"""HTTP/JSON wire helpers: request parsing, spec building, error shapes.
+
+The service speaks one request shape on both execution endpoints
+(``POST /query`` and ``POST /stream``)::
+
+    {
+      "sql":  "SELECT carrier, AVG(delay) FROM flights GROUP BY carrier",
+      // ... or a full spec (QuerySpec.to_dict() form):
+      "spec": {"table": "flights", "group_by": ["carrier"], ...},
+      "seed": 0,                  // optional; default service seed
+      "query_id": "dash-17"       // optional client token for DELETE-to-cancel
+    }
+
+Exactly one of ``sql``/``spec`` must be present.  SQL text is lowered by
+the session front door (inheriting the service session's default engine,
+algorithm, and delta, with schema validation); a ``spec`` object is
+revalidated by :meth:`QuerySpec.from_dict`.  Tenant-scoped defaults
+(``deadline_ms``, ``max_retries``) fill any knob the request left unset.
+
+Errors are always structured::
+
+    {"error": {"code": "shed", "message": "...", "retry_after_ms": 750}}
+
+with the HTTP status carrying the class (400 bad request, 404 unknown,
+409 duplicate query id, 429 shed, 499 cancelled, 500 internal).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.serve.tenants import TenantConfig
+from repro.session.spec import QuerySpec
+
+__all__ = [
+    "WireError",
+    "QueryRequest",
+    "parse_json_body",
+    "build_query_request",
+    "apply_tenant_defaults",
+    "error_payload",
+    "canonical_json",
+]
+
+
+class WireError(ReproError):
+    """A structured client-facing error with an HTTP status and code."""
+
+    def __init__(
+        self, status: int, code: str, message: str, **extra
+    ) -> None:
+        self.status = int(status)
+        self.code = code
+        self.extra = extra
+        super().__init__(message)
+
+    def payload(self) -> dict:
+        return error_payload(self.code, str(self), **self.extra)
+
+
+def error_payload(code: str, message: str, **extra) -> dict:
+    """The one error envelope every failure path uses."""
+    body = {"code": code, "message": message}
+    body.update(extra)
+    return {"error": body}
+
+
+def canonical_json(obj) -> bytes:
+    """Deterministic JSON bytes (sorted keys, tight separators).
+
+    Canonical encoding is what makes "bit-identical results" a testable
+    contract: every reader of one cached entry receives the same bytes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One parsed execution request, ready for admission."""
+
+    spec: QuerySpec
+    seed: int | None
+    query_id: str | None
+    #: Keys the client set explicitly; tenant defaults skip these.
+    explicit: frozenset
+
+
+def parse_json_body(raw: bytes) -> dict:
+    if not raw:
+        raise WireError(400, "bad_request", "request body must be a JSON object")
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(400, "bad_json", f"request body is not valid JSON: {exc}")
+    if not isinstance(body, dict):
+        raise WireError(400, "bad_request", "request body must be a JSON object")
+    return body
+
+
+def build_query_request(body: dict, session, *, default_seed: int | None) -> QueryRequest:
+    """Lower a request body to a validated :class:`QueryRequest`.
+
+    ``session`` provides the SQL front door (schema-checked lowering with
+    the service's default knobs) and the catalog used to reject unknown
+    tables before admission.
+    """
+    sql = body.get("sql")
+    spec_dict = body.get("spec")
+    if (sql is None) == (spec_dict is None):
+        raise WireError(
+            400, "bad_request", "provide exactly one of 'sql' or 'spec'"
+        )
+    explicit: set = set()
+    try:
+        if sql is not None:
+            if not isinstance(sql, str):
+                raise WireError(400, "bad_request", "'sql' must be a string")
+            spec = session.sql(sql).spec()
+        else:
+            if not isinstance(spec_dict, dict):
+                raise WireError(400, "bad_request", "'spec' must be an object")
+            explicit = set(spec_dict)
+            spec = QuerySpec.from_dict(spec_dict)
+    except WireError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WireError(400, "bad_query", f"cannot build query: {exc}")
+    if spec.table not in session.catalog:
+        raise WireError(
+            404,
+            "unknown_table",
+            f"unknown table {spec.table!r}; registered: {session.tables}",
+        )
+    seed = body.get("seed", default_seed)
+    if seed is not None and not isinstance(seed, int):
+        raise WireError(400, "bad_request", "'seed' must be an integer")
+    query_id = body.get("query_id")
+    if query_id is not None and (
+        not isinstance(query_id, str) or not query_id or len(query_id) > 200
+    ):
+        raise WireError(
+            400, "bad_request", "'query_id' must be a non-empty string (<= 200 chars)"
+        )
+    return QueryRequest(
+        spec=spec, seed=seed, query_id=query_id, explicit=frozenset(explicit)
+    )
+
+
+def apply_tenant_defaults(request: QueryRequest, config: TenantConfig) -> QuerySpec:
+    """Fill tenant-scoped defaults into knobs the request left unset.
+
+    A spec that pinned its own ``deadline_ms`` (including an explicit JSON
+    ``null`` for "really unlimited") keeps it; SQL-door queries never pin,
+    so tenant defaults always apply there.
+    """
+    spec = request.spec
+    changes: dict = {}
+    if (
+        config.deadline_ms is not None
+        and spec.deadline_ms is None
+        and "deadline_ms" not in request.explicit
+    ):
+        changes["deadline_ms"] = config.deadline_ms
+    if config.max_retries is not None and "max_retries" not in request.explicit:
+        changes["max_retries"] = config.max_retries
+    return dataclasses.replace(spec, **changes) if changes else spec

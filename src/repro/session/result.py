@@ -73,6 +73,27 @@ class GroupEstimate:
             finalized_round=int(outcome.finalized_round),
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "estimate": self.estimate,
+            "half_width": self.half_width,
+            "samples": self.samples,
+            "exhausted": self.exhausted,
+            "finalized_round": self.finalized_round,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroupEstimate":
+        return cls(
+            label=data["label"],
+            estimate=float(data["estimate"]),
+            half_width=float(data["half_width"]),
+            samples=int(data["samples"]),
+            exhausted=bool(data["exhausted"]),
+            finalized_round=int(data["finalized_round"]),
+        )
+
 
 @dataclass
 class AggregateResult:
@@ -126,6 +147,30 @@ class AggregateResult:
     def finalization_order(self) -> list[str]:
         """Labels in the order the algorithm finalized them (Problem 7)."""
         return [self.labels[int(i)] for i in self.raw.inactive_order]
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (the server wire format)."""
+        from repro.core.types import jsonify_value
+
+        return {
+            "key": self.key,
+            "algorithm": self.algorithm,
+            "labels": list(self.labels),
+            "groups": [g.to_dict() for g in self.groups],
+            "raw": self.raw.to_dict(),
+            "meta": jsonify_value(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AggregateResult":
+        return cls(
+            key=data["key"],
+            algorithm=data["algorithm"],
+            labels=list(data["labels"]),
+            groups=[GroupEstimate.from_dict(g) for g in data["groups"]],
+            raw=OrderingResult.from_dict(data["raw"]),
+            meta=dict(data.get("meta", {})),
+        )
 
 
 @dataclass
@@ -220,6 +265,45 @@ class Result:
         ]
         return f"Result({'; '.join(parts)}; {self.guarantee.describe()})"
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict form: the ``repro.serve`` wire format.
+
+        Everything a dashboard needs crosses the wire: per-group estimates
+        with intervals and accounting, guarantee metadata, caveats
+        (``resilience:``/``deadline_exceeded:`` events included), HAVING
+        drops, and the full spec.  The live engine object does not (it is
+        process-local); ``from_dict`` results carry ``engine=None`` and the
+        spec's ``engine`` name identifies the substrate.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "labels": list(self.labels),
+            "aggregates": {k: a.to_dict() for k, a in self.aggregates.items()},
+            "guarantee": self.guarantee.to_dict(),
+            "caveats": list(self.caveats),
+            "dropped_by_having": list(self.dropped_by_having),
+            "total_samples": int(self.total_samples),
+            "deadline_exceeded": self.deadline_exceeded,
+            "io_seconds": self.io_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Result":
+        return cls(
+            spec=QuerySpec.from_dict(data["spec"]),
+            labels=list(data["labels"]),
+            aggregates={
+                k: AggregateResult.from_dict(a)
+                for k, a in data["aggregates"].items()
+            },
+            guarantee=GuaranteeSpec.from_dict(data["guarantee"]),
+            caveats=list(data.get("caveats", [])),
+            dropped_by_having=list(data.get("dropped_by_having", [])),
+            engine=None,
+            total_samples=int(data.get("total_samples", 0)),
+        )
+
 
 @dataclass(frozen=True)
 class PartialUpdate:
@@ -239,6 +323,25 @@ class PartialUpdate:
     @property
     def done(self) -> bool:
         return self.emitted_so_far == self.total_groups
+
+    def to_dict(self) -> dict:
+        return {
+            "aggregate": self.aggregate,
+            "group": self.group.to_dict(),
+            "emitted_so_far": self.emitted_so_far,
+            "total_groups": self.total_groups,
+            "live": self.live,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartialUpdate":
+        return cls(
+            aggregate=data["aggregate"],
+            group=GroupEstimate.from_dict(data["group"]),
+            emitted_so_far=int(data["emitted_so_far"]),
+            total_groups=int(data["total_groups"]),
+            live=bool(data.get("live", True)),
+        )
 
 
 class ResultStream:

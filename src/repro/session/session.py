@@ -111,6 +111,16 @@ class QueryFuture:
     def add_done_callback(self, fn) -> None:
         self._inner.add_done_callback(lambda _inner: fn(self))
 
+    @property
+    def inner(self) -> "Future[Result]":
+        """The wrapped ``concurrent.futures.Future``.
+
+        Exposed so async front ends (``repro.serve``) can bridge with
+        ``asyncio.wrap_future`` while still cancelling through
+        :meth:`cancel` (which additionally fires the cooperative token).
+        """
+        return self._inner
+
 
 def load_csv_table(
     path: str | os.PathLike,
@@ -174,10 +184,14 @@ class Session:
         submit_workers: int | None = None,
         deadline_ms: float | None = None,
         max_retries: int = 2,
+        catalog: Catalog | None = None,
     ) -> None:
         if submit_workers is not None and int(submit_workers) < 1:
             raise ValueError(f"submit_workers must be >= 1, got {submit_workers}")
-        self._catalog = Catalog()
+        # An injected catalog lets several sessions share one set of sources
+        # and build caches (the repro.serve session pool); default sessions
+        # stay fully isolated.
+        self._catalog = catalog if catalog is not None else Catalog()
         self.delta = delta
         self.resolution = resolution
         self.algorithm = algorithm
@@ -490,6 +504,7 @@ def connect(
     submit_workers: int | None = None,
     deadline_ms: float | None = None,
     max_retries: int = 2,
+    catalog: Catalog | None = None,
 ) -> Session:
     """Open a session - the Session API's entrypoint.
 
@@ -518,6 +533,10 @@ def connect(
         max_retries: default retry budget for transient source-scan IO
             failures (each retried with exponential backoff; surfaced as a
             caveat when it happens).
+        catalog: share an existing :class:`~repro.catalog.Catalog` (sources
+            *and* build caches) instead of creating a fresh one - how the
+            ``repro.serve`` session pool makes N sessions serve one set of
+            registered tables.
     """
     return Session(
         delta=delta,
@@ -531,4 +550,5 @@ def connect(
         submit_workers=submit_workers,
         deadline_ms=deadline_ms,
         max_retries=max_retries,
+        catalog=catalog,
     )

@@ -14,10 +14,18 @@ relies on this).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 
 from repro._util import check_nonnegative, check_probability
-from repro.query.ast import COMPARISON_OPS, Aggregate, Predicate, Query
+from repro.query.ast import (
+    COMPARISON_OPS,
+    Aggregate,
+    Predicate,
+    Query,
+    predicate_from_dict,
+    predicate_to_dict,
+)
 
 __all__ = [
     "Aggregate",
@@ -51,6 +59,21 @@ class HavingSpec:
         if self.op not in COMPARISON_OPS:
             raise ValueError(f"unknown HAVING operator {self.op!r}")
         object.__setattr__(self, "value", float(self.value))
+
+    def to_dict(self) -> dict:
+        return {
+            "agg": {"func": self.agg.func, "column": self.agg.column},
+            "op": self.op,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HavingSpec":
+        return cls(
+            agg=Aggregate(data["agg"]["func"], data["agg"]["column"]),
+            op=data["op"],
+            value=float(data["value"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -119,6 +142,41 @@ class GuaranteeSpec:
         return (
             f"at least {self.min_correct_fraction:.0%} of pairwise orderings "
             f"are correct {p}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (the server wire format)."""
+        return {
+            "delta": self.delta,
+            "resolution": self.resolution,
+            "mode": self.mode,
+            "top_t": self.top_t,
+            "top_largest": self.top_largest,
+            "neighbors": (
+                [list(adj) for adj in self.neighbors]
+                if self.neighbors is not None
+                else None
+            ),
+            "value_tolerance": self.value_tolerance,
+            "min_correct_fraction": self.min_correct_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GuaranteeSpec":
+        neighbors = data.get("neighbors")
+        return cls(
+            delta=float(data.get("delta", 0.05)),
+            resolution=float(data.get("resolution", 0.0)),
+            mode=data.get("mode", "ordering"),
+            top_t=data.get("top_t"),
+            top_largest=bool(data.get("top_largest", True)),
+            neighbors=(
+                tuple(tuple(int(i) for i in adj) for adj in neighbors)
+                if neighbors is not None
+                else None
+            ),
+            value_tolerance=data.get("value_tolerance"),
+            min_correct_fraction=data.get("min_correct_fraction"),
         )
 
 
@@ -239,6 +297,71 @@ class QuerySpec:
     def with_guarantee(self, **changes) -> "QuerySpec":
         """A copy of the spec with guarantee fields replaced."""
         return replace(self, guarantee=replace(self.guarantee, **changes))
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form - the server wire format for specs.
+
+        ``from_dict(to_dict())`` equals the original spec (frozen dataclass
+        equality), so a spec can cross the HTTP boundary losslessly.
+        """
+        return {
+            "table": self.table,
+            "group_by": list(self.group_by),
+            "aggregates": [
+                {"func": a.func, "column": a.column} for a in self.aggregates
+            ],
+            "where": predicate_to_dict(self.where) if self.where is not None else None,
+            "having": self.having.to_dict() if self.having is not None else None,
+            "guarantee": self.guarantee.to_dict(),
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "value_bound": self.value_bound,
+            "shards": self.shards,
+            "max_workers": self.max_workers,
+            "executor": self.executor,
+            "deadline_ms": self.deadline_ms,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuerySpec":
+        """Rebuild (and re-validate) a spec from its :meth:`to_dict` form."""
+        where = data.get("where")
+        having = data.get("having")
+        guarantee = data.get("guarantee")
+        return cls(
+            table=data["table"],
+            group_by=tuple(data["group_by"]),
+            aggregates=tuple(
+                Aggregate(a["func"], a["column"]) for a in data["aggregates"]
+            ),
+            where=predicate_from_dict(where) if where is not None else None,
+            having=HavingSpec.from_dict(having) if having is not None else None,
+            guarantee=(
+                GuaranteeSpec.from_dict(guarantee)
+                if guarantee is not None
+                else GuaranteeSpec()
+            ),
+            algorithm=data.get("algorithm", "ifocus"),
+            engine=data.get("engine", "needletail"),
+            value_bound=data.get("value_bound"),
+            shards=int(data.get("shards", 1)),
+            max_workers=data.get("max_workers"),
+            executor=data.get("executor", "thread"),
+            deadline_ms=data.get("deadline_ms"),
+            max_retries=int(data.get("max_retries", 2)),
+        )
+
+    def canonical_key(self) -> str:
+        """A stable string identifying this exact query.
+
+        Two specs compare equal iff their canonical keys match: the key is
+        the sorted, separator-normalized JSON of :meth:`to_dict`, so it is
+        independent of which front door (SQL text, builder, wire JSON)
+        produced the spec.  The serving layer's result cache keys on
+        ``(canonical_key, seed)``.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
 
 def lower_query(

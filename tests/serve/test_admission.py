@@ -1,0 +1,201 @@
+"""Admission-control policy tests: quotas, queueing, shedding, isolation.
+
+Satellite coverage for the serve subsystem: quota exhaustion and
+full-queue shedding must produce structured errors with retry-after, a
+tenant at quota must not starve other tenants, and cancelling a queued
+request must remove it without it ever running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueryCancelled
+from repro.serve.admission import AdmissionController, QueryShed
+from repro.serve.tenants import TenantConfig, TenantRegistry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def controller(**config) -> AdmissionController:
+    return AdmissionController(TenantRegistry(TenantConfig(**config)))
+
+
+class TestAdmit:
+    def test_under_quota_is_granted_immediately(self):
+        async def main():
+            ctl = controller(max_concurrent=2)
+            a = ctl.submit("t")
+            b = ctl.submit("t")
+            await asyncio.wait_for(a.wait(), 1)
+            await asyncio.wait_for(b.wait(), 1)
+            state = ctl.tenants.state("t")
+            assert state.running == 2
+            assert state.counters.admitted == 2
+            a.release()
+            b.release()
+            assert state.running == 0
+
+        run(main())
+
+    def test_release_is_idempotent(self):
+        async def main():
+            ctl = controller(max_concurrent=1)
+            a = ctl.submit("t")
+            a.release()
+            a.release()
+            assert ctl.tenants.state("t").running == 0
+
+        run(main())
+
+
+class TestQueue:
+    def test_at_quota_queues_fifo_and_slot_transfers(self):
+        async def main():
+            ctl = controller(max_concurrent=1, queue_limit=4)
+            state = ctl.tenants.state("t")
+            first = ctl.submit("t")
+            await first.wait()
+            order: list[str] = []
+
+            async def waiter(name):
+                adm = ctl.submit("t")
+                await adm.wait()
+                order.append(name)
+                return adm
+
+            t_a = asyncio.ensure_future(waiter("a"))
+            await asyncio.sleep(0)  # let a enqueue before b
+            t_b = asyncio.ensure_future(waiter("b"))
+            await asyncio.sleep(0)
+            assert len(state.waiters) == 2
+            assert state.counters.queued == 2
+
+            first.release()  # slot hands to a; running never dips
+            adm_a = await asyncio.wait_for(t_a, 1)
+            assert order == ["a"]
+            assert state.running == 1
+            adm_a.release()
+            adm_b = await asyncio.wait_for(t_b, 1)
+            assert order == ["a", "b"]
+            adm_b.release()
+            assert state.running == 0
+
+        run(main())
+
+    def test_cancel_during_queue_removes_entry_without_running(self):
+        async def main():
+            ctl = controller(max_concurrent=1, queue_limit=4)
+            state = ctl.tenants.state("t")
+            first = ctl.submit("t")
+            await first.wait()
+            queued = ctl.submit("t")
+            waiting = asyncio.ensure_future(queued.wait())
+            await asyncio.sleep(0)
+            assert queued.queued
+            assert queued.cancel() is True
+            with pytest.raises(QueryCancelled):
+                await asyncio.wait_for(waiting, 1)
+            assert state.waiters == []
+            assert queued.cancel() is False  # second cancel is a no-op
+            # the slot was never granted, so releasing the cancelled
+            # admission must not touch the running count
+            queued.release()
+            assert state.running == 1
+            first.release()
+            assert state.running == 0
+            # admitted counts only granted slots
+            assert state.counters.admitted == 1
+
+        run(main())
+
+
+class TestShed:
+    def test_full_queue_sheds_with_retry_after(self):
+        async def main():
+            ctl = controller(max_concurrent=1, queue_limit=1)
+            running = ctl.submit("t")
+            await running.wait()
+            queued = ctl.submit("t")
+            with pytest.raises(QueryShed) as err:
+                ctl.submit("t")
+            assert err.value.tenant == "t"
+            assert err.value.retry_after_ms > 0
+            state = ctl.tenants.state("t")
+            assert state.counters.shed == 1
+            # shedding left running/queue state untouched
+            assert state.running == 1
+            assert len(state.waiters) == 1
+            queued.cancel()
+            running.release()
+
+        run(main())
+
+    def test_zero_queue_limit_sheds_at_quota(self):
+        async def main():
+            ctl = controller(max_concurrent=1, queue_limit=0)
+            running = ctl.submit("t")
+            await running.wait()
+            with pytest.raises(QueryShed):
+                ctl.submit("t")
+            running.release()
+            # once the slot frees, submits are admitted again
+            again = ctl.submit("t")
+            await asyncio.wait_for(again.wait(), 1)
+            again.release()
+
+        run(main())
+
+    def test_retry_after_scales_with_load(self):
+        async def main():
+            ctl = controller(max_concurrent=1, queue_limit=8)
+            held = [ctl.submit("t")]
+            await held[0].wait()
+            light = ctl.retry_after_ms(ctl.tenants.state("t"))
+            for _ in range(4):
+                held.append(ctl.submit("t"))
+            heavy = ctl.retry_after_ms(ctl.tenants.state("t"))
+            assert heavy > light
+            for adm in held[1:]:
+                adm.cancel()
+            held[0].release()
+
+        run(main())
+
+
+class TestIsolation:
+    def test_tenant_at_quota_does_not_starve_others(self):
+        async def main():
+            registry = TenantRegistry(TenantConfig(max_concurrent=1, queue_limit=0))
+            ctl = AdmissionController(registry)
+            hog = ctl.submit("hog")
+            await hog.wait()
+            with pytest.raises(QueryShed):
+                ctl.submit("hog")
+            # a different tenant is admitted instantly despite hog's storm
+            other = ctl.submit("other")
+            await asyncio.wait_for(other.wait(), 1)
+            assert registry.state("other").counters.shed == 0
+            other.release()
+            hog.release()
+
+        run(main())
+
+    def test_explicitly_provisioned_tenant_gets_own_config(self):
+        async def main():
+            registry = TenantRegistry(TenantConfig(max_concurrent=1, queue_limit=0))
+            registry.configure("big", TenantConfig(max_concurrent=3, queue_limit=0))
+            ctl = AdmissionController(registry)
+            grants = [ctl.submit("big") for _ in range(3)]
+            for g in grants:
+                await g.wait()
+            with pytest.raises(QueryShed):
+                ctl.submit("big")
+            for g in grants:
+                g.release()
+
+        run(main())

@@ -23,6 +23,7 @@ ALLOWED_RUN_PREFIXES = (
     "scripts/ci.sh",  # the local CI gate
     "python scripts/bench_export.py",  # bench smoke
     "python scripts/check_bench.py",  # bench regression guard
+    "python scripts/serve_smoke.py",  # query-service boot/stream/cancel smoke
 )
 
 
@@ -42,7 +43,13 @@ def _steps(workflow: dict):
 
 def test_workflow_parses_and_has_jobs(workflow):
     assert workflow.get("name") == "CI"
-    assert set(workflow["jobs"]) == {"tests", "bench-smoke", "procpool", "chaos"}
+    assert set(workflow["jobs"]) == {
+        "tests",
+        "bench-smoke",
+        "procpool",
+        "chaos",
+        "serve-smoke",
+    }
     # "on" parses as the YAML boolean True when unquoted - accept either key.
     triggers = workflow.get("on", workflow.get(True))
     assert "push" in triggers and "pull_request" in triggers
@@ -127,6 +134,21 @@ def test_procpool_job_runs_lifecycle_tests_and_smoke_bench(workflow):
     for step in job["steps"]:
         line = step.get("run", "").strip()
         if line and "test_procpool" in line:
+            assert line.startswith("scripts/ci.sh")
+
+
+def test_serve_smoke_job_boots_the_server_through_the_script(workflow):
+    """The serving leg runs the serve test suites through the repo CI gate,
+    then boots a real server via scripts/serve_smoke.py - canned queries,
+    an SSE stream, a cancel, and the shm-leak oracle on shutdown."""
+    job = workflow["jobs"]["serve-smoke"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "tests/serve/" in commands
+    assert "tests/session/test_wire_roundtrip.py" in commands
+    assert "python scripts/serve_smoke.py" in commands
+    for step in job["steps"]:
+        line = step.get("run", "").strip()
+        if line and "tests/serve" in line:
             assert line.startswith("scripts/ci.sh")
 
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI smoke for the durable storage tier: build, restart, warm-open gate.
+
+Runs the persistence path end to end in a throwaway store directory:
+
+1. cold: attach a synthetic relation under ``connect(store=...)``, run one
+   grouped query (building + persisting the NEEDLETAIL index and the
+   materialized population), and time the build;
+2. restart: re-open the same store in a **fresh python process** - the
+   warm open must construct a mapped engine without a single index rebuild
+   (``BUILD_COUNTS["needletail"] == 0`` in the child is the oracle) and
+   serve results identical to the cold run;
+3. gate: the warm open must be at least 10x faster than the cold build
+   (mapping segments is O(1) in the data; rebuilding is O(rows));
+4. verify: every segment checksum must match its catalog row.
+
+Usage: python scripts/storage_smoke.py [--rows N] [--min-speedup X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+import repro  # noqa: E402
+from repro.storage import Store  # noqa: E402
+
+WARM_CHILD = """
+import json, sys, time
+import repro
+from repro.needletail.engine import BUILD_COUNTS
+from repro.storage.mapped import MappedNeedletailEngine
+
+# On the clock: open the store and map the persisted index - no query, so
+# the parent's speedup gate compares build cost against open cost alone.
+t0 = time.perf_counter()
+session = repro.connect(store=sys.argv[1], seed=1)
+engine = session._catalog.indexed_engine(
+    "t", "g", "v", group_spec=["g"], builder=lambda: None
+)
+elapsed = time.perf_counter() - t0
+assert isinstance(engine, MappedNeedletailEngine), type(engine).__name__
+
+result = session.table("t").group_by("g").agg(repro.avg("v")).run(seed=5)
+session.close()
+print(json.dumps({
+    "warm_s": elapsed,
+    "build_counts": dict(BUILD_COUNTS),
+    "order": result.first.order(),
+    "samples": result.total_samples,
+    "estimates": sorted((g.label, g.estimate, g.samples) for g in result.first),
+}))
+"""
+
+
+def _dataset(rows: int):
+    groups = 32
+    rng = np.random.default_rng(7)
+    per = rows // groups
+    return {
+        "g": np.repeat([f"g{i:02d}" for i in range(groups)], per),
+        "v": rng.normal(50.0, 12.0, per * groups).clip(0, 100),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=640_000)
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required cold-build / warm-open ratio")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-storage-smoke-") as tmp:
+        store = Path(tmp) / "store"
+
+        # On the clock: attach + prime, i.e. scan the rows, build the
+        # NEEDLETAIL index + population, persist every segment.  The query
+        # runs off the clock - both sides pay it equally.
+        t0 = time.perf_counter()
+        session = repro.connect(store=store, seed=1)
+        session.attach("t", _dataset(args.rows))
+        session._catalog.prime("t", "g", "v")
+        cold_s = time.perf_counter() - t0
+        cold_result = (
+            session.table("t").group_by("g").agg(repro.avg("v")).run(seed=5)
+        )
+        session.close()
+        print(f"cold attach + index build: {cold_s:.3f}s ({args.rows:,} rows)")
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", WARM_CHILD, str(store)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        if out.returncode != 0:
+            print(out.stdout, file=sys.stderr)
+            print(out.stderr, file=sys.stderr)
+            print("FAIL: warm re-open process crashed", file=sys.stderr)
+            return 1
+        report = json.loads(out.stdout.strip().splitlines()[-1])
+        warm_s = report["warm_s"]
+        speedup = cold_s / warm_s if warm_s else float("inf")
+        print(f"warm re-open, mapped engine (fresh process): {warm_s:.3f}s "
+              f"-> {speedup:.1f}x")
+
+        failures = []
+        if report["build_counts"]["needletail"] != 0:
+            failures.append(
+                f"warm open rebuilt the index: BUILD_COUNTS="
+                f"{report['build_counts']}"
+            )
+        if report["order"] != cold_result.first.order():
+            failures.append(
+                f"ordering drifted: {report['order']} != "
+                f"{cold_result.first.order()}"
+            )
+        if report["samples"] != cold_result.total_samples:
+            failures.append("total_samples drifted across the restart")
+        cold_estimates = sorted(
+            [g.label, g.estimate, g.samples] for g in cold_result.first
+        )
+        if report["estimates"] != cold_estimates:
+            failures.append("per-group estimates drifted across the restart")
+        if speedup < args.min_speedup:
+            failures.append(
+                f"warm open only {speedup:.1f}x faster than the cold build "
+                f"(need >= {args.min_speedup:.0f}x)"
+            )
+
+        with Store(store) as raw:
+            checked = raw.verify()
+        print(f"verified {checked} segments")
+
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("storage smoke OK")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

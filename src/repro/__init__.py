@@ -96,9 +96,11 @@ from repro.catalog import (
     IteratorSource,
     ParquetSource,
     Schema,
+    SourceSpec,
     SyntheticSource,
     TableSource,
 )
+from repro.storage import DurableCatalog, Store
 from repro.data import Population
 from repro.engines import InMemoryEngine, ShardedEngine
 from repro.errors import (
@@ -153,8 +155,11 @@ __all__ = [
     "FatalError",
     "WorkerCrashed",
     "QueryCancelled",
-    # data layer (repro.catalog)
+    # data layer (repro.catalog) + durable storage (repro.storage)
     "Catalog",
+    "SourceSpec",
+    "DurableCatalog",
+    "Store",
     "DataSource",
     "Schema",
     "TableSource",

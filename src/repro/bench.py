@@ -27,6 +27,7 @@ MICRO_BENCH_FILES = (
     "benchmarks/bench_micro_sharded.py",
     "benchmarks/bench_micro_procpool.py",
     "benchmarks/bench_serve.py",
+    "benchmarks/bench_storage.py",
 )
 
 

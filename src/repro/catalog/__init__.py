@@ -15,6 +15,7 @@ consume.  See the module docstrings for the contract details:
   population builds.
 """
 
+from repro.catalog.attach import SourceSpec
 from repro.catalog.catalog import (
     Catalog,
     PopulationBuild,
@@ -34,6 +35,7 @@ from repro.catalog.synthetic import SyntheticSource
 
 __all__ = [
     "Catalog",
+    "SourceSpec",
     "SourceInfo",
     "PopulationBuild",
     "population_from_chunks",

@@ -176,6 +176,20 @@ class Catalog:
             self._notify_invalidation(name)
         return self
 
+    def attach(self, name: str, target, **opts) -> "Catalog":
+        """Bind ``name`` to *any* attachable target - the polymorphic door.
+
+        Dispatches on what ``target`` is (see :mod:`repro.catalog.attach`):
+        a ready :class:`DataSource`, a :class:`Table` or ``{column: array}``
+        mapping, a DataFrame-like, a ``.csv``/``.tsv``/``.parquet`` path, or
+        a declarative :class:`~repro.catalog.attach.SourceSpec`.  ``opts``
+        go to the resolved source's constructor (e.g. ``delimiter=`` for
+        CSV paths, ``chunk_rows=`` for tables).
+        """
+        from repro.catalog.attach import resolve_target
+
+        return self.register(name, resolve_target(name, target, opts))
+
     def _drop_builds(self, source: DataSource) -> None:
         """Drop cached builds for one source (caller holds the lock)."""
         self._tables.pop(source, None)
@@ -312,6 +326,30 @@ class Catalog:
             while len(self._populations) > self.MAX_CACHED_POPULATIONS:
                 self._populations.popitem(last=False)
             return population
+
+    def indexed_engine(
+        self,
+        name: str,
+        group_col: str,
+        value_column: str,
+        *,
+        value_bound: float | None = None,
+        predicate: "Predicate | None" = None,
+        group_spec=None,
+        builder=None,
+    ):
+        """Resolve a bitmap-index engine for one build coordinate.
+
+        The in-memory catalog has no engine persistence: it simply invokes
+        ``builder`` (the planner's cold NEEDLETAIL construction) - exactly
+        the pre-storage behaviour.  :class:`~repro.storage.DurableCatalog`
+        overrides this to answer from memory-mapped on-disk index builds
+        (and to persist cold builds), keyed by the same coordinates the
+        population cache hashes: ``group_spec`` (the full GROUP BY list -
+        ``group_col`` alone is ambiguous for composite keys), value column,
+        predicate, and value bound.
+        """
+        return builder() if builder is not None else None
 
     # -- introspection -------------------------------------------------------
 

@@ -6,7 +6,7 @@ The paper's synthetic workloads (:mod:`repro.data.synthetic`) build
 :class:`SyntheticSource` wraps one generator spec so those workloads sit in
 the same catalog as CSV and Parquet relations::
 
-    session.register_source("bench", SyntheticSource("mixture", k=10, seed=0))
+    session.attach("bench", SyntheticSource("mixture", k=10, seed=0))
     session.table("bench").group_by("g").agg(avg("value")).on_engine("memory").run()
 
 Population-based engines (``memory``) consume the generated population

@@ -15,6 +15,9 @@ Usage::
         [--executor thread|process] [--deadline-ms 500] [--max-retries 2] [--stream]
     python -m repro serve [--host 127.0.0.1] [--port 8765] [--sessions 2] \
         [--csv PATH]... [--flights] [--tenant NAME=MAX[:QUEUE[:DEADLINE_MS]]]...
+    python -m repro store build STORE [--csv PATH]... [--flights] \
+        [--table NAME] [--group-by COL] [--value COL]
+    python -m repro store ls|verify|gc STORE
 
 ``query`` goes through the Session API.  By default it runs against a freshly
 synthesized flights table (the offline stand-in for the paper's dataset); with
@@ -24,9 +27,16 @@ string/numeric typing when auto-detection is not enough.
 
 ``tables`` and ``describe`` inspect the session catalog without running a
 query: source kinds, schemas, row counts, and cached-build status.  Each
-``--csv``/``--parquet`` flag registers one file under its stem name (or
+``--csv``/``--parquet`` flag attaches one file under its stem name (or
 ``NAME=PATH`` to pick the name); with no flags the synthetic flights table
-is registered so there is always something to show.
+is attached so there is always something to show.
+
+``--store DIR`` (on ``tables``/``describe``/``query``/``serve``) opens a
+durable store: attached sources and their cached index builds persist, and
+later invocations - including a restarted ``serve`` - re-open them warm from
+memory-mapped segments.  ``store build`` primes those builds offline,
+``store ls`` summarizes what a store holds, ``store verify`` checksums every
+segment (exit 1 on corruption), and ``store gc`` sweeps orphaned files.
 """
 
 from __future__ import annotations
@@ -145,6 +155,7 @@ def _cmd_bench_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.catalog import SourceSpec
     from repro.query import parse_query
     from repro.session import connect
 
@@ -160,16 +171,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         executor=args.executor,
         deadline_ms=args.deadline_ms,
         max_retries=args.max_retries,
+        store=args.store,
     )
     if args.csv:
-        session.register_csv(
+        session.attach(
             query.table,
-            args.csv,
-            group_columns=_split_columns(args.group_columns),
-            value_columns=_split_columns(args.value_columns),
+            SourceSpec(
+                "csv",
+                path=args.csv,
+                group_columns=_split_columns(args.group_columns),
+                value_columns=_split_columns(args.value_columns),
+            ),
         )
-    else:
-        session.register_flights(query.table, rows=args.rows, seed=args.seed)
+    elif query.table not in session.tables:
+        # A warm store may already hold the table; otherwise synthesize it.
+        session.attach(
+            query.table, SourceSpec("flights", rows=args.rows, seed=args.seed)
+        )
 
     run_kwargs = {}
     if args.engine == "noindex" and args.max_samples:
@@ -232,23 +250,33 @@ def _name_and_path(arg: str) -> tuple[str, str]:
 
 
 def _catalog_session(args: argparse.Namespace):
-    """Build a session holding the sources named on the command line."""
+    """Build a session holding the sources named on the command line.
+
+    With ``--store DIR`` (or the store subcommands' positional STORE) the
+    session opens durably: previously attached sources come back from the
+    store first, so a bare ``repro serve --store DIR`` boots warm with no
+    flags at all.
+    """
+    from repro.catalog import SourceSpec
     from repro.session import connect
 
-    session = connect()
+    session = connect(store=getattr(args, "store", None))
     for arg in args.csv or []:
         name, path = _name_and_path(arg)
-        session.register_csv(
+        session.attach(
             name,
-            path,
-            group_columns=_split_columns(getattr(args, "group_columns", None)),
-            value_columns=_split_columns(getattr(args, "value_columns", None)),
+            SourceSpec(
+                "csv",
+                path=path,
+                group_columns=_split_columns(getattr(args, "group_columns", None)),
+                value_columns=_split_columns(getattr(args, "value_columns", None)),
+            ),
         )
     for arg in args.parquet or []:
         name, path = _name_and_path(arg)
-        session.register_parquet(name, path)
+        session.attach(name, SourceSpec("parquet", path=path))
     if args.flights or not session.tables:
-        session.register_flights("flights", rows=args.rows, seed=0)
+        session.attach("flights", SourceSpec("flights", rows=args.rows, seed=0))
     return session
 
 
@@ -301,6 +329,81 @@ def _cmd_describe(args: argparse.Namespace) -> int:
             print(f"  group by {group_col}, value {value_col}{suffix}")
     else:
         print("cached populations: none (first query triggers the build)")
+    return 0
+
+
+# -- store maintenance -------------------------------------------------------
+
+
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    session = _catalog_session(args)
+    catalog = session._catalog  # DurableCatalog: _catalog_session saw args.store
+    names = [args.table] if args.table else list(session.tables)
+    for name in names:
+        if name not in session.tables:
+            print(f"unknown table {name!r}; attached: {session.tables}", file=sys.stderr)
+            return 2
+        schema = session._catalog.schema(name)
+        group_col = args.group_by or next(
+            (c.name for c in schema if not c.is_numeric), None
+        )
+        value_col = args.value or next((c.name for c in schema if c.is_numeric), None)
+        if group_col is None or value_col is None:
+            print(
+                f"{name}: cannot pick build columns (need one string and one "
+                "numeric column; use --group-by/--value)",
+                file=sys.stderr,
+            )
+            return 2
+        primed = catalog.prime(name, group_col, value_col, value_bound=args.bound)
+        what = ", ".join(primed) if primed else "nothing (already warm)"
+        print(f"{name}: group by {group_col}, value {value_col} -> built {what}")
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.storage import Store
+
+    with Store(args.store) as store:
+        rows = store.ls()
+    if not rows:
+        print("store is empty (attach sources with --store, or `repro store build`)")
+        return 0
+    name_w = max(len("table"), *(len(r["name"]) for r in rows))
+    kind_w = max(len("kind"), *(len(r["kind"]) for r in rows))
+    print(f"{'table':<{name_w}}  {'kind':<{kind_w}}  {'rows':>12}  "
+          f"{'builds':>6}  {'segments':>8}  {'bytes':>12}")
+    for r in rows:
+        print(
+            f"{r['name']:<{name_w}}  {r['kind']:<{kind_w}}  "
+            f"{_format_rows(r['row_count']):>12}  {r['builds']:>6}  "
+            f"{r['segments']:>8}  {r['bytes']:>12,}"
+        )
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.errors import StorageError
+    from repro.storage import Store
+
+    with Store(args.store) as store:
+        try:
+            checked = store.verify()
+        except StorageError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+    print(f"verified {checked} segments: all checksums match their catalog rows")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro.storage import Store
+
+    with Store(args.store) as store:
+        removed = store.gc()
+    for entry in removed:
+        print(f"removed {entry}")
+    print(f"gc: removed {len(removed)} orphaned files")
     return 0
 
 
@@ -384,14 +487,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="light sanity run: fast micro ops only, seconds not minutes")
     bench.set_defaults(fn=_cmd_bench_export)
 
-    def add_catalog_flags(p: argparse.ArgumentParser) -> None:
+    def add_catalog_flags(p: argparse.ArgumentParser, *, store_flag: bool = True) -> None:
+        if store_flag:
+            p.add_argument("--store", default=None, metavar="DIR",
+                           help="open (or create) a durable store: attached "
+                           "sources and cached builds persist and re-open warm")
         p.add_argument("--csv", action="append", metavar="[NAME=]PATH",
-                       help="register a CSV file (repeatable); name defaults "
+                       help="attach a CSV file (repeatable); name defaults "
                        "to the file stem")
         p.add_argument("--parquet", action="append", metavar="[NAME=]PATH",
-                       help="register a Parquet file (needs the pyarrow extra)")
+                       help="attach a Parquet file (needs the pyarrow extra)")
         p.add_argument("--flights", action="store_true",
-                       help="also register the synthetic flights table")
+                       help="also attach the synthetic flights table")
         p.add_argument("--rows", type=int, default=100_000,
                        help="rows of the synthetic flights table")
         p.add_argument("--group-columns", default=None, metavar="A,B",
@@ -425,6 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--delta", type=float, default=0.05)
     qry.add_argument("--resolution", type=float, default=0.0)
     qry.add_argument("--seed", type=int, default=0)
+    qry.add_argument("--store", default=None, metavar="DIR",
+                     help="run against a durable store: the table's cached "
+                     "index maps from disk if present, and cold builds persist")
     qry.add_argument("--csv", default=None, metavar="PATH",
                      help="bind the table named in the SQL to this CSV file")
     qry.add_argument("--group-columns", default=None, metavar="A,B",
@@ -459,6 +569,53 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--stream", action="store_true",
                      help="print partial results as groups finalize")
     qry.set_defaults(fn=_cmd_query)
+
+    sto = sub.add_parser(
+        "store",
+        help="maintain a durable store: build (prime) caches, ls, verify, gc",
+    )
+    sto_sub = sto.add_subparsers(dest="store_command", required=True)
+
+    sto_build = sto_sub.add_parser(
+        "build",
+        help="attach sources and persist their index/population builds "
+        "so later sessions (and `serve --store`) boot warm",
+    )
+    sto_build.add_argument("store", metavar="STORE", help="store directory")
+    add_catalog_flags(sto_build, store_flag=False)
+    sto_build.add_argument("--table", default=None,
+                           help="build only this table (default: every "
+                           "attached table)")
+    sto_build.add_argument("--group-by", default=None, metavar="COL",
+                           help="index group column (default: the table's "
+                           "first string column)")
+    sto_build.add_argument("--value", default=None, metavar="COL",
+                           help="index value column (default: the table's "
+                           "first numeric column)")
+    sto_build.add_argument("--bound", type=float, default=None,
+                           help="value bound c for the build (default: "
+                           "derived from the data)")
+    sto_build.set_defaults(fn=_cmd_store_build)
+
+    sto_ls = sto_sub.add_parser(
+        "ls", help="summarize the store: tables, builds, segments, bytes"
+    )
+    sto_ls.add_argument("store", metavar="STORE", help="store directory")
+    sto_ls.set_defaults(fn=_cmd_store_ls)
+
+    sto_verify = sto_sub.add_parser(
+        "verify",
+        help="checksum every segment against its header and catalog row "
+        "(exit 1 naming each corrupt file)",
+    )
+    sto_verify.add_argument("store", metavar="STORE", help="store directory")
+    sto_verify.set_defaults(fn=_cmd_store_verify)
+
+    sto_gc = sto_sub.add_parser(
+        "gc", help="remove segment files the catalog doesn't own"
+    )
+    sto_gc.add_argument("store", metavar="STORE", help="store directory")
+    sto_gc.set_defaults(fn=_cmd_store_gc)
 
     srv = sub.add_parser(
         "serve",

@@ -22,6 +22,10 @@ Two layers:
   bitmap-words buffer, one shared row-store value column).  Workers rebuild
   the sub-:class:`~repro.data.population.Population` as *views* into the
   mapped segments (:meth:`ShardPayload.build_population`) - no copies.
+  Buffers that already live in durable-store segment files (engines
+  re-opened from a :class:`~repro.storage.DurableCatalog`) skip shared
+  memory entirely: they ship as :class:`FileArrayRef` windows and workers
+  ``np.memmap`` the same on-disk bytes read-only.
 
 Not every population can cross the process boundary this way:
 :func:`shareable` returns the reason a population must stay on the thread
@@ -47,10 +51,12 @@ from repro.data.population import Group, MaterializedGroup, Population, VirtualG
 
 __all__ = [
     "SharedArrayRef",
+    "FileArrayRef",
     "ShmRegistry",
     "REGISTRY",
     "ShardPayload",
     "shareable",
+    "file_backed_ref",
     "build_shard_payloads",
 ]
 
@@ -67,6 +73,63 @@ class SharedArrayRef:
     def nbytes(self) -> int:
         n = int(np.prod(self.shape)) if self.shape else 1
         return n * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class FileArrayRef:
+    """A picklable handle to one ndarray living in an on-disk segment file.
+
+    The durable-store counterpart of :class:`SharedArrayRef`: when a
+    population's buffers are already windows of read-only ``np.memmap``
+    arrays over :mod:`repro.storage` segment files, workers re-map the same
+    bytes straight from disk instead of receiving a shared-memory copy.
+    ``offset`` is the absolute byte position of the window in the file, so
+    no segment-header parsing happens worker-side.
+    """
+
+    path: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    def map(self) -> np.ndarray:
+        """Map the window read-only; the page cache dedups across workers."""
+        return np.memmap(
+            self.path,
+            dtype=np.dtype(self.dtype),
+            mode="r",
+            offset=int(self.offset),
+            shape=tuple(self.shape),
+        )
+
+
+def file_backed_ref(array: np.ndarray) -> FileArrayRef | None:
+    """A :class:`FileArrayRef` for ``array``, or None if it isn't mappable.
+
+    ``array`` qualifies when its base chain bottoms out in a *read-only*
+    ``np.memmap`` over a named file and the array is a C-contiguous window
+    of those mapped bytes.  Writable mappings are rejected: a worker's view
+    must be bit-stable for the lifetime of the run, which only the durable
+    store's immutable (write-once, atomic-rename) segments guarantee.
+    """
+    if not isinstance(array, np.ndarray) or not array.flags.c_contiguous:
+        return None
+    root = array
+    while isinstance(root.base, np.ndarray):
+        root = root.base
+    if not isinstance(root, np.memmap) or not root.flags.c_contiguous:
+        return None
+    if getattr(root, "filename", None) is None or getattr(root, "mode", None) != "r":
+        return None
+    span = array.__array_interface__["data"][0] - root.__array_interface__["data"][0]
+    if span < 0 or span + array.nbytes > root.nbytes:
+        return None
+    return FileArrayRef(
+        path=str(root.filename),
+        dtype=array.dtype.str,
+        shape=tuple(array.shape),
+        offset=int(root.offset) + int(span),
+    )
 
 
 class ShmRegistry:
@@ -225,20 +288,28 @@ class _VirtualSpec:
 
 @dataclass(frozen=True)
 class ShardPayload:
-    """Everything a worker needs to rebuild one shard's sub-population."""
+    """Everything a worker needs to rebuild one shard's sub-population.
+
+    Each buffer handle is either a :class:`SharedArrayRef` (parent copied
+    the bytes into shared memory) or a :class:`FileArrayRef` (the bytes
+    already live in a durable-store segment file and workers map them from
+    disk).  Only shared-memory refs participate in registry refcounting -
+    file mappings are closed by the garbage collector and unlink nothing.
+    """
 
     population_name: str
     c: float
     groups: tuple
-    values_flat: SharedArrayRef | None = None
-    bitmap_words: SharedArrayRef | None = None
-    value_column: SharedArrayRef | None = None
+    values_flat: SharedArrayRef | FileArrayRef | None = None
+    bitmap_words: SharedArrayRef | FileArrayRef | None = None
+    value_column: SharedArrayRef | FileArrayRef | None = None
 
     def segment_refs(self) -> list[SharedArrayRef]:
+        """The payload's *shared-memory* refs (file refs need no cleanup)."""
         return [
             ref
             for ref in (self.values_flat, self.bitmap_words, self.value_column)
-            if ref is not None
+            if isinstance(ref, SharedArrayRef)
         ]
 
     def build_population(self, registry: ShmRegistry) -> Population:
@@ -246,15 +317,16 @@ class ShardPayload:
         from repro.needletail.bitvector import BitVector
         from repro.needletail.engine import IndexedGroup
 
-        values_flat = (
-            registry.attach(self.values_flat) if self.values_flat is not None else None
-        )
-        words_flat = (
-            registry.attach(self.bitmap_words) if self.bitmap_words is not None else None
-        )
-        value_column = (
-            registry.attach(self.value_column) if self.value_column is not None else None
-        )
+        def attach(ref: SharedArrayRef | FileArrayRef | None) -> np.ndarray | None:
+            if ref is None:
+                return None
+            if isinstance(ref, FileArrayRef):
+                return ref.map()
+            return registry.attach(ref)
+
+        values_flat = attach(self.values_flat)
+        words_flat = attach(self.bitmap_words)
+        value_column = attach(self.value_column)
         groups: list[Group] = []
         for spec in self.groups:
             if isinstance(spec, _MaterializedSpec):
@@ -306,12 +378,51 @@ def shareable(population: Population) -> str | None:
     return None
 
 
+def _file_windows(
+    chunks: list[np.ndarray],
+) -> tuple[FileArrayRef, list[int]] | None:
+    """One whole-file :class:`FileArrayRef` + per-chunk element offsets.
+
+    Succeeds only when *every* chunk is a read-only mapped window of the
+    same segment file (see :func:`file_backed_ref`) - then one flat mapping
+    spanning all windows replaces the concatenate-into-shm copy, and the
+    returned offsets index each chunk inside it.  Returns None (caller
+    falls back to the shared-memory copy path) otherwise.
+    """
+    refs = []
+    for chunk in chunks:
+        ref = file_backed_ref(chunk)
+        if ref is None or len(ref.shape) != 1:
+            return None
+        refs.append(ref)
+    if len({ref.path for ref in refs}) != 1 or len({ref.dtype for ref in refs}) != 1:
+        return None
+    itemsize = np.dtype(refs[0].dtype).itemsize
+    base = min(ref.offset for ref in refs)
+    end = max(ref.offset + ref.shape[0] * itemsize for ref in refs)
+    if any((ref.offset - base) % itemsize for ref in refs):
+        return None
+    whole = FileArrayRef(
+        path=refs[0].path,
+        dtype=refs[0].dtype,
+        shape=((end - base) // itemsize,),
+        offset=base,
+    )
+    return whole, [(ref.offset - base) // itemsize for ref in refs]
+
+
 def build_shard_payloads(
     population: Population,
     shard_gids: list[np.ndarray],
     registry: ShmRegistry = REGISTRY,
 ) -> tuple[list[ShardPayload], list[str]]:
-    """Place a population's buffers in shared memory, one payload per shard.
+    """Describe a population's buffers for workers, one payload per shard.
+
+    Buffers already backed by read-only mapped segment files (populations
+    and indexes re-opened from a :class:`~repro.storage.DurableCatalog`)
+    travel as :class:`FileArrayRef` windows - workers map the store's bytes
+    directly, no copy, no shared-memory segment.  Everything else is placed
+    in shared memory exactly as before.
 
     Returns ``(payloads, owned_segment_names)``; the caller (the process
     pool) releases each owned name exactly once on shutdown.  Raises
@@ -326,46 +437,38 @@ def build_shard_payloads(
     owned: list[str] = []
     # The NEEDLETAIL row-store value column is shared by every group of an
     # engine; ship each distinct array once, across all shards.
-    column_refs: dict[int, SharedArrayRef] = {}
+    column_refs: dict[int, SharedArrayRef | FileArrayRef] = {}
 
     def share(array: np.ndarray) -> SharedArrayRef:
         ref = registry.share_array(array)
         owned.append(ref.name)
         return ref
 
+    def column_ref(column: np.ndarray) -> SharedArrayRef | FileArrayRef:
+        if id(column) not in column_refs:
+            values = np.asarray(column, dtype=np.float64)
+            column_refs[id(column)] = file_backed_ref(values) or share(values)
+        return column_refs[id(column)]
+
     try:
         payloads = []
         for gids in shard_gids:
             groups = [population.groups[int(g)] for g in gids]
             specs: list = []
-            mat_chunks: list[np.ndarray] = []
-            word_chunks: list[np.ndarray] = []
-            value_ref: SharedArrayRef | None = None
-            mat_off = word_off = 0
+            mat_entries: list[tuple[int, np.ndarray]] = []  # (spec index, values)
+            word_entries: list[tuple[int, np.ndarray]] = []  # (spec index, words)
+            value_ref: SharedArrayRef | FileArrayRef | None = None
             for group in groups:
                 if isinstance(group, MaterializedGroup):
                     values = np.asarray(group.values, dtype=np.float64)
-                    specs.append(
-                        _MaterializedSpec(group.name, mat_off, mat_off + values.size)
-                    )
-                    mat_chunks.append(values)
-                    mat_off += values.size
+                    mat_entries.append((len(specs), values))
+                    specs.append(_MaterializedSpec(group.name, 0, values.size))
                 elif isinstance(group, IndexedGroup):
                     base = base_bitvector(group._selector)
                     words = np.asarray(base.words)
-                    specs.append(
-                        _IndexedSpec(
-                            group.name, word_off, word_off + words.size, len(base)
-                        )
-                    )
-                    word_chunks.append(words)
-                    word_off += words.size
-                    column = group._values
-                    if id(column) not in column_refs:
-                        column_refs[id(column)] = share(
-                            np.asarray(column, dtype=np.float64)
-                        )
-                    ref = column_refs[id(column)]
+                    word_entries.append((len(specs), words))
+                    specs.append(_IndexedSpec(group.name, 0, words.size, len(base)))
+                    ref = column_ref(group._values)
                     if value_ref is not None and ref != value_ref:
                         raise ValueError(
                             "groups of one shard span distinct value columns; "
@@ -374,17 +477,36 @@ def build_shard_payloads(
                     value_ref = ref
                 else:  # fusable VirtualGroup (shareable() vetted the rest)
                     specs.append(_VirtualSpec(group.name, group.dist, group.size))
+
+            def place(
+                entries: list[tuple[int, np.ndarray]],
+            ) -> tuple[SharedArrayRef | FileArrayRef | None, list[int]]:
+                if not entries:
+                    return None, []
+                mapped = _file_windows([chunk for _, chunk in entries])
+                if mapped is not None:
+                    return mapped
+                sizes = [chunk.size for _, chunk in entries]
+                offsets = np.concatenate([[0], np.cumsum(sizes[:-1])]).astype(int)
+                return share(np.concatenate([c for _, c in entries])), list(offsets)
+
+            values_flat, mat_offs = place(mat_entries)
+            bitmap_words, word_offs = place(word_entries)
+            for (i, values), off in zip(mat_entries, mat_offs):
+                spec = specs[i]
+                specs[i] = _MaterializedSpec(spec.name, int(off), int(off) + values.size)
+            for (i, words), off in zip(word_entries, word_offs):
+                spec = specs[i]
+                specs[i] = _IndexedSpec(
+                    spec.name, int(off), int(off) + words.size, spec.length
+                )
             payloads.append(
                 ShardPayload(
                     population_name=population.name,
                     c=population.c,
                     groups=tuple(specs),
-                    values_flat=share(np.concatenate(mat_chunks))
-                    if mat_chunks
-                    else None,
-                    bitmap_words=share(np.concatenate(word_chunks))
-                    if word_chunks
-                    else None,
+                    values_flat=values_flat,
+                    bitmap_words=bitmap_words,
                     value_column=value_ref,
                 )
             )

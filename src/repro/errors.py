@@ -27,6 +27,7 @@ __all__ = [
     "ReproError",
     "TransientError",
     "FatalError",
+    "StorageError",
     "WorkerCrashed",
     "QueryCancelled",
 ]
@@ -42,6 +43,17 @@ class TransientError(ReproError):
 
 class FatalError(ReproError):
     """A failure retrying cannot fix; it must surface to the caller."""
+
+
+class StorageError(FatalError):
+    """A durable-storage segment or catalog is unreadable or corrupt.
+
+    Raised by :mod:`repro.storage` when an on-disk segment fails its
+    structural checks (bad magic, unsupported version, truncated payload)
+    or its checksum verification - never silently served as garbage reads.
+    Fatal: re-reading the same bytes cannot help; the store needs a
+    ``repro store verify``/``gc`` pass or a rebuild.
+    """
 
 
 class WorkerCrashed(TransientError, RuntimeError):

@@ -78,13 +78,42 @@ class BitVector:
         bits[np.asarray(indices, dtype=np.int64)] = True
         return cls.from_bools(bits)
 
+    @classmethod
+    def from_mapped(
+        cls, words: np.ndarray, length: int, cumulative: np.ndarray | None = None
+    ) -> "BitVector":
+        """Construct over already-masked words mapped read-only from disk.
+
+        The words array (typically a slice of an ``np.memmap``) is used
+        as-is - no copy, no tail write (the segment writer stored it with
+        the tail masked, which the constructor re-checks read-only).  An
+        optional persisted ``cumulative`` popcount array (the rank/select
+        acceleration table) seeds the ``_cum`` cache so the first
+        rank/select never scans the mapped words to popcount them.
+        """
+        bv = cls(words, length)
+        if cumulative is not None:
+            cumulative = np.asarray(cumulative, dtype=np.int64)
+            if cumulative.shape != bv._words.shape:
+                raise ValueError(
+                    f"need {bv._words.shape[0]} cumulative popcounts, "
+                    f"got {cumulative.shape}"
+                )
+            bv._cum = cumulative
+        return bv
+
     # -- internals ---------------------------------------------------------
     def _mask_tail(self) -> None:
         extra = self._words.shape[0] * _WORD_BITS - self._length
         if extra and self._words.shape[0]:
             keep = _WORD_BITS - extra
             mask = np.uint64((1 << keep) - 1) if keep < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
-            self._words[-1] &= mask
+            # Write only when a tail bit is actually set: words mapped
+            # read-only from a storage segment are stored pre-masked, and an
+            # unconditional in-place AND would fault on the read-only page.
+            last = self._words[-1]
+            if last & ~mask:
+                self._words[-1] = last & mask
 
     def _cumulative(self) -> np.ndarray:
         if self._cum is None:

@@ -35,7 +35,15 @@ from repro.needletail.cost import NeedletailCostModel
 from repro.needletail.index import BitmapIndex
 from repro.needletail.table import Table
 
-__all__ = ["IndexedGroup", "NeedletailEngine", "base_bitvector"]
+__all__ = ["IndexedGroup", "NeedletailEngine", "base_bitvector", "BUILD_COUNTS"]
+
+#: Process-wide instrumentation: how many bitmap-index engines were built
+#: from scratch ("needletail": a full BitmapIndex construction over the row
+#: store) versus opened from memory-mapped storage segments ("mapped", see
+#: :mod:`repro.storage`).  The durable-storage tests assert a warm re-open
+#: serves queries with *zero* new "needletail" builds - O(1) across
+#: restarts, no index rebuild.
+BUILD_COUNTS = {"needletail": 0, "mapped": 0}
 
 
 def base_bitvector(selector) -> BitVector | None:
@@ -280,6 +288,7 @@ class NeedletailEngine(SamplingEngine):
                 NEEDLETAIL constant-per-tuple model.
             fanout: hierarchical bitmap fanout.
         """
+        BUILD_COUNTS["needletail"] += 1
         values = np.asarray(table.column(value_column), dtype=np.float64)
         if c is None:
             c = float(values.max()) if values.size else 1.0

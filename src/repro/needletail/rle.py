@@ -66,6 +66,19 @@ class RunLengthBitmap:
         return cls.from_bools(bv.to_bools())
 
     @classmethod
+    def from_mapped(
+        cls, boundaries: np.ndarray, first_value: bool, length: int
+    ) -> "RunLengthBitmap":
+        """Construct over run boundaries mapped read-only from disk.
+
+        The boundaries array (e.g. a storage-segment ``np.memmap``) is
+        validated with reads only and used as-is - the run representation
+        is immutable, so a read-only mapping is a full-function bitmap
+        (rank/select/logical ops all work; they allocate fresh arrays).
+        """
+        return cls(boundaries, first_value, length)
+
+    @classmethod
     def zeros(cls, length: int) -> "RunLengthBitmap":
         return cls(np.zeros(0, dtype=np.int64), False, length)
 

@@ -24,6 +24,12 @@ Sites (kind -> site is fixed; see ``_SITE_OF``):
   chunk index.  Kind ``fail_scan_chunk`` raises a
   :class:`~repro.errors.TransientError` (``times`` times), closing the loop
   for the retry-with-backoff tests.
+* ``storage.write_segment`` - fired per segment written by
+  :func:`repro.storage.segment.write_segment` with a per-store write index.
+  Kind ``fail_segment_write`` raises a
+  :class:`~repro.errors.TransientError` before any byte reaches the final
+  path, so an interrupted durable-build leaves no partial build behind
+  (the temp-file + atomic-rename discipline the crash tests assert).
 
 Activation: :func:`inject` (a context manager) installs a plan in-process
 *and* in ``os.environ[REPRO_FAULT_PLAN]`` as JSON, so spawn-context worker
@@ -65,6 +71,7 @@ _SITE_OF = {
     "delay_shard": "procpool.command",
     "corrupt_handshake": "procpool.handshake",
     "fail_scan_chunk": "catalog.scan_chunk",
+    "fail_segment_write": "storage.write_segment",
 }
 
 FAULT_KINDS = tuple(_SITE_OF)
@@ -229,6 +236,10 @@ def fault_at(
     if fault is not None and fault.kind == "fail_scan_chunk":
         raise TransientError(
             f"injected fault: scan chunk {index} failed (site {site})"
+        )
+    if fault is not None and fault.kind == "fail_segment_write":
+        raise TransientError(
+            f"injected fault: segment write {index} failed (site {site})"
         )
     return fault
 

@@ -322,12 +322,26 @@ def engine_names() -> list[str]:
 
 
 def _needletail_factory(ctx: _PlanContext, value_column: str) -> SamplingEngine:
-    return NeedletailEngine(
-        ctx.table,
+    def build() -> SamplingEngine:
+        return NeedletailEngine(
+            ctx.table,
+            ctx.group_col,
+            value_column,
+            c=ctx.spec.value_bound,
+            predicate=ctx.bitvector(),
+        )
+
+    # The catalog owns index persistence: a DurableCatalog answers this from
+    # memory-mapped segments (bit-identical, no BitmapIndex rebuild) and
+    # falls back to `build`; the in-memory Catalog just calls `build`.
+    return ctx.catalog.indexed_engine(
+        ctx.spec.table,
         ctx.group_col,
         value_column,
-        c=ctx.spec.value_bound,
-        predicate=ctx.bitvector(),
+        value_bound=ctx.spec.value_bound,
+        predicate=ctx.spec.where,
+        group_spec=list(ctx.spec.group_by),
+        builder=build,
     )
 
 

@@ -8,7 +8,7 @@ door::
     import repro
 
     session = repro.connect(delta=0.05)
-    session.register_flights("flights", rows=100_000, seed=0)
+    session.attach("flights", repro.SourceSpec("flights", rows=100_000, seed=0))
 
     # programmatic front door
     result = (
@@ -23,14 +23,19 @@ door::
         "SELECT carrier, AVG(arrival_delay) FROM flights GROUP BY carrier"
     ).run(seed=42)
 
-Data enters through :meth:`Session.register_source` - any
-:class:`~repro.catalog.source.DataSource` plugs in: in-memory tables/dicts,
-chunked CSV files, Parquet (optional ``pyarrow`` extra), synthetic generator
-specs, streaming chunk iterators.  ``register``/``register_csv``/
-``register_flights`` are thin conveniences over the same call.  Sources are
-*lazy*: registering records metadata, the first query triggers the (cached)
+Data enters through :meth:`Session.attach` - one polymorphic call that
+dispatches on the target: in-memory tables/dicts/DataFrame-likes, paths to
+CSV/Parquet files, declarative :class:`~repro.catalog.SourceSpec` targets
+(synthetic generator families, the flights workload), or any
+already-constructed :class:`~repro.catalog.source.DataSource`.  Sources are
+*lazy*: attaching records metadata, the first query triggers the (cached)
 scan or population build, and WHERE predicates are pushed into the source
 scan so non-qualifying rows are filtered before they are materialized.
+``connect(store=DIR)`` makes the catalog durable: attached sources and
+their cached builds persist and re-open warm (see :mod:`repro.storage`).
+The legacy ``register_csv``/``register_parquet``/``register_flights``/
+``register_synthetic``/``register_source`` doors still work throughout 1.x,
+each emitting a :class:`DeprecationWarning` pointing at its ``attach`` form.
 """
 
 from __future__ import annotations
@@ -43,12 +48,14 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro._compat import deprecated_entrypoint
 from repro.catalog import (
     Catalog,
     CSVSource,
     DataSource,
     ParquetSource,
     SourceInfo,
+    SourceSpec,
     SyntheticSource,
     TableSource,
 )
@@ -161,9 +168,9 @@ def load_csv_table(
 class Session:
     """A data-source catalog plus default query knobs.
 
-    All registration methods return the session, so setup chains::
+    All attachment methods return the session, so setup chains::
 
-        session = connect().register("t", table).register_csv("u", "u.csv")
+        session = connect().register("t", table).attach("u", "u.csv")
     """
 
     #: Submit-pool width when ``max_workers`` is left unset: enough to keep a
@@ -219,11 +226,48 @@ class Session:
         """The live :class:`~repro.catalog.Catalog` (shared, not a copy)."""
         return self._catalog
 
-    def register_source(self, name: str, source: DataSource) -> "Session":
-        """Register any :class:`DataSource` under ``name`` - the one real door.
+    def attach(self, name: str, target, **opts) -> "Session":
+        """Bind ``name`` to *any* attachable target - the one front door.
 
-        Every other ``register_*`` method is a convenience shim over this.
+        Dispatches on what ``target`` is (see :mod:`repro.catalog.attach`):
+
+        * a ready :class:`DataSource` - attached as-is;
+        * a :class:`Table` or ``{column: array}`` mapping - an in-memory
+          source (durable under ``connect(store=...)``: the columns persist
+          as segments);
+        * a DataFrame-like object (``.columns`` + ``__getitem__``);
+        * a ``.csv``/``.tsv``/``.parquet``/``.pq`` path - the lazy chunked
+          file source for that suffix;
+        * a :class:`~repro.catalog.SourceSpec` - a declarative kind + opts
+          (``SourceSpec("synthetic", family="mixture", k=10)``,
+          ``SourceSpec("flights", rows=50_000)``).
+
+        ``opts`` go to the resolved source's constructor (``delimiter=``,
+        ``group_columns=``, ``chunk_rows=``, ``batch_rows=``, ...).  This
+        replaces the five ``register_*`` doors, which remain as deprecated
+        shims throughout 1.x::
+
+            session.attach("flights", SourceSpec("flights", rows=100_000))
+            session.attach("trips", "data/trips.csv", group_columns=("city",))
         """
+        self._catalog.attach(name, target, **opts)
+        return self
+
+    def register(
+        self, name: str, data: DataSource | Table | Mapping[str, np.ndarray]
+    ) -> "Session":
+        """Register a table (Table, {column: array} dict, or any DataSource)."""
+        if not isinstance(data, (DataSource, Table, Mapping)):
+            raise TypeError(
+                f"register needs a DataSource, Table, or mapping; got "
+                f"{type(data).__name__} - use attach() for paths and specs"
+            )
+        self._catalog.register(name, data)
+        return self
+
+    # -- deprecated registration doors (1.x compat; use attach()) ------------
+
+    def _register_source(self, name: str, source: DataSource) -> "Session":
         if not isinstance(source, DataSource):
             raise TypeError(
                 f"register_source needs a DataSource, got {type(source).__name__}; "
@@ -232,15 +276,7 @@ class Session:
         self._catalog.register(name, source)
         return self
 
-    def register(
-        self, name: str, data: DataSource | Table | Mapping[str, np.ndarray]
-    ) -> "Session":
-        """Register a table (Table, {column: array} dict, or any DataSource)."""
-        if isinstance(data, DataSource):
-            return self.register_source(name, data)
-        return self.register_source(name, TableSource(data, name=name))
-
-    def register_csv(
+    def _register_csv(
         self,
         name: str,
         path: str | os.PathLike,
@@ -250,15 +286,6 @@ class Session:
         delimiter: str = ",",
         chunk_rows: int | None = None,
     ) -> "Session":
-        """Register a CSV file as a lazy chunked source.
-
-        Compat shim over ``register_source(name, CSVSource(...))``.  The
-        file is *not* materialized here: registration runs only the bounded
-        schema-inference pass (so malformed files - duplicate headers,
-        ragged rows, non-numeric value columns - fail fast, exactly like the
-        old eager loader), and queries stream it chunk-by-chunk with WHERE
-        pushed into the scan.
-        """
         kwargs = {} if chunk_rows is None else {"chunk_rows": chunk_rows}
         source = CSVSource(
             path,
@@ -268,28 +295,22 @@ class Session:
             **kwargs,
         )
         source.schema()  # surface file/typing errors at registration time
-        return self.register_source(name, source)
+        return self._register_source(name, source)
 
-    def register_parquet(
+    def _register_parquet(
         self, name: str, path: str | os.PathLike, *, batch_rows: int | None = None
     ) -> "Session":
-        """Register a Parquet file (needs the optional ``pyarrow`` extra)."""
         kwargs = {} if batch_rows is None else {"batch_rows": batch_rows}
-        return self.register_source(name, ParquetSource(path, **kwargs))
+        return self._register_source(name, ParquetSource(path, **kwargs))
 
-    def register_flights(
+    def _register_flights(
         self, name: str = "flights", *, rows: int = 100_000, seed: int | None = 0
     ) -> "Session":
-        """Register the synthetic flights table (the paper's workload).
-
-        Compat shim over ``register_source`` with an in-memory source built
-        from :func:`repro.data.flights.make_flights_table`.
-        """
         from repro.data.flights import make_flights_table
 
         return self.register(name, make_flights_table(num_rows=rows, seed=seed))
 
-    def register_synthetic(
+    def _register_synthetic(
         self,
         name: str,
         family: str,
@@ -298,14 +319,38 @@ class Session:
         value_column: str = "value",
         **params,
     ) -> "Session":
-        """Register a synthetic generator spec (see
-        :data:`repro.data.synthetic.SYNTHETIC_FAMILIES`) as a relation."""
-        return self.register_source(
+        return self._register_source(
             name,
             SyntheticSource(
                 family, group_column=group_column, value_column=value_column, **params
             ),
         )
+
+    register_source = deprecated_entrypoint(
+        _register_source,
+        "Session.register_source",
+        "session.attach(name, source)",
+    )
+    register_csv = deprecated_entrypoint(
+        _register_csv,
+        "Session.register_csv",
+        'session.attach(name, "file.csv", group_columns=..., value_columns=...)',
+    )
+    register_parquet = deprecated_entrypoint(
+        _register_parquet,
+        "Session.register_parquet",
+        'session.attach(name, "file.parquet")',
+    )
+    register_flights = deprecated_entrypoint(
+        _register_flights,
+        "Session.register_flights",
+        'session.attach(name, SourceSpec("flights", rows=..., seed=...))',
+    )
+    register_synthetic = deprecated_entrypoint(
+        _register_synthetic,
+        "Session.register_synthetic",
+        'session.attach(name, SourceSpec("synthetic", family=..., **params))',
+    )
 
     def describe_table(self, name: str) -> SourceInfo:
         """Schema, source kind, and cached-build status for one table."""
@@ -505,6 +550,7 @@ def connect(
     deadline_ms: float | None = None,
     max_retries: int = 2,
     catalog: Catalog | None = None,
+    store: "str | os.PathLike | None" = None,
 ) -> Session:
     """Open a session - the Session API's entrypoint.
 
@@ -537,7 +583,22 @@ def connect(
             *and* build caches) instead of creating a fresh one - how the
             ``repro.serve`` session pool makes N sessions serve one set of
             registered tables.
+        store: open (or create) a durable store at this directory and back
+            the session with a :class:`~repro.storage.DurableCatalog`:
+            attached sources and their index/population builds persist, and
+            a later ``connect(store=...)`` in a fresh process re-opens them
+            in O(1) - no rebuild, bit-identical results.  Mutually
+            exclusive with ``catalog``.
     """
+    if store is not None:
+        if catalog is not None:
+            raise ValueError(
+                "connect() takes either store= (opens a DurableCatalog) or "
+                "catalog= (an existing catalog), not both"
+            )
+        from repro.storage import DurableCatalog
+
+        catalog = DurableCatalog(store)
     return Session(
         delta=delta,
         resolution=resolution,

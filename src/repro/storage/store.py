@@ -1,0 +1,395 @@
+"""The persistent catalog: SQLite rows over a directory of segment files.
+
+A store is a directory::
+
+    <store>/catalog.sqlite     the catalog database (WAL mode)
+    <store>/segments/*.seg     one segment file per persisted array
+
+The database holds three kinds of rows, keyed the same way the in-memory
+:class:`~repro.catalog.catalog.Catalog` keys its caches:
+
+* ``tables`` - one row per bound name: source kind, schema, row count, a
+  JSON *binding* sufficient to rebuild the source on re-open (path +
+  options for file sources, family + params for synthetic ones), and the
+  source *fingerprint* that stale-cache checks compare against.
+* ``builds`` - one row per cached build, ``UNIQUE(table_name, kind,
+  build_key)`` where ``build_key`` serializes the same coordinates the
+  in-memory caches hash (group column, value column, predicate, value
+  bound).  Dropping a table cascades to its builds and their segments.
+* ``segments`` - one row per segment file a build owns (role, filename,
+  dtype/shape/nbytes/crc32 duplicated from the file header so a swapped
+  or truncated file is caught against the catalog, not just against
+  itself).
+
+Durability discipline: segment files land first (each atomically, via the
+temp-file + rename in :mod:`repro.storage.segment`) under fresh random
+names, then one transaction replaces the build row; files the transaction
+orphaned are unlinked afterwards (best effort - ``gc()`` sweeps what a
+crash leaves behind).  A crash at *any* point therefore leaves the store
+openable with the partial build simply absent.
+
+Connection settings follow the usual server recipe: WAL journal (readers
+don't block the writer), ``synchronous=NORMAL`` (safe with WAL),
+``busy_timeout`` for cross-process politeness, foreign keys on so cascades
+actually cascade.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.segment import read_segment, verify_segment, write_segment
+
+__all__ = ["Store", "STORE_FORMAT_VERSION"]
+
+STORE_FORMAT_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tables (
+    name        TEXT PRIMARY KEY,
+    kind        TEXT NOT NULL,
+    schema_json TEXT NOT NULL,
+    row_count   INTEGER,
+    source_json TEXT NOT NULL,
+    fingerprint TEXT,
+    created     REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS builds (
+    id          INTEGER PRIMARY KEY,
+    table_name  TEXT NOT NULL REFERENCES tables(name) ON DELETE CASCADE,
+    kind        TEXT NOT NULL,
+    build_key   TEXT NOT NULL,
+    fingerprint TEXT,
+    meta_json   TEXT NOT NULL,
+    created     REAL NOT NULL,
+    UNIQUE (table_name, kind, build_key)
+);
+CREATE TABLE IF NOT EXISTS segments (
+    id       INTEGER PRIMARY KEY,
+    build_id INTEGER NOT NULL REFERENCES builds(id) ON DELETE CASCADE,
+    role     TEXT NOT NULL,
+    filename TEXT NOT NULL UNIQUE,
+    dtype    TEXT NOT NULL,
+    shape_json TEXT NOT NULL,
+    nbytes   INTEGER NOT NULL,
+    crc32    INTEGER NOT NULL
+);
+"""
+
+
+class Store:
+    """An on-disk segment store plus its SQLite catalog (thread-safe)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self.segments_dir = os.path.join(self.path, "segments")
+        os.makedirs(self.segments_dir, exist_ok=True)
+        db_path = os.path.join(self.path, "catalog.sqlite")
+        try:
+            self._db = sqlite3.connect(db_path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{db_path}: cannot open store catalog ({exc})") from exc
+        self._db.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        self._write_index = 0  # storage.write_segment fault-site coordinate
+        with self._lock:
+            cur = self._db
+            cur.execute("PRAGMA journal_mode=WAL")
+            cur.execute("PRAGMA synchronous=NORMAL")
+            cur.execute("PRAGMA foreign_keys=ON")
+            cur.execute("PRAGMA busy_timeout=30000")
+            cur.executescript(_SCHEMA)
+            row = cur.execute(
+                "SELECT value FROM meta WHERE key = 'format_version'"
+            ).fetchone()
+            if row is None:
+                cur.execute(
+                    "INSERT INTO meta (key, value) VALUES ('format_version', ?)",
+                    (str(STORE_FORMAT_VERSION),),
+                )
+                cur.commit()
+            elif int(row["value"]) != STORE_FORMAT_VERSION:
+                raise StorageError(
+                    f"{self.path}: store format version {row['value']} is not "
+                    f"readable by this build (version {STORE_FORMAT_VERSION})"
+                )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.close()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _segment_path(self, filename: str) -> str:
+        return os.path.join(self.segments_dir, filename)
+
+    # -- table bindings -----------------------------------------------------
+
+    def bind_table(
+        self,
+        name: str,
+        *,
+        kind: str,
+        schema_json: str,
+        row_count: int | None,
+        source_json: str,
+        fingerprint: str | None,
+    ) -> None:
+        """Record (or replace) the binding row for ``name``."""
+        with self._lock:
+            self._db.execute(
+                "INSERT INTO tables (name, kind, schema_json, row_count, "
+                "source_json, fingerprint, created) VALUES (?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET kind=excluded.kind, "
+                "schema_json=excluded.schema_json, row_count=excluded.row_count, "
+                "source_json=excluded.source_json, "
+                "fingerprint=excluded.fingerprint, created=excluded.created",
+                (name, kind, schema_json, row_count, source_json, fingerprint,
+                 time.time()),
+            )
+            self._db.commit()
+
+    def binding(self, name: str) -> dict | None:
+        with self._lock:
+            row = self._db.execute(
+                "SELECT * FROM tables WHERE name = ?", (name,)
+            ).fetchone()
+        return dict(row) if row is not None else None
+
+    def bindings(self) -> list[dict]:
+        with self._lock:
+            rows = self._db.execute("SELECT * FROM tables ORDER BY name").fetchall()
+        return [dict(r) for r in rows]
+
+    def unbind_table(self, name: str) -> None:
+        """Drop the binding and every build under it (files included)."""
+        with self._lock:
+            orphans = self._build_files("table_name = ?", (name,))
+            self._db.execute("DELETE FROM tables WHERE name = ?", (name,))
+            self._db.commit()
+        self._unlink(orphans)
+
+    # -- builds -------------------------------------------------------------
+
+    def save_build(
+        self,
+        table: str,
+        kind: str,
+        build_key: str,
+        *,
+        fingerprint: str | None,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+    ) -> None:
+        """Persist one cached build, replacing any previous one at its key.
+
+        Segment files are written first (atomically each); the catalog sees
+        the new build in a single transaction at the end.  On any failure
+        the already-written new files are unlinked and the old build stays
+        intact - an interrupted save never leaves a partial build visible.
+        """
+        written: list[tuple[str, str, object]] = []  # (role, filename, info)
+        try:
+            for role, array in arrays.items():
+                filename = f"{uuid.uuid4().hex}.seg"
+                with self._lock:
+                    index = self._write_index
+                    self._write_index += 1
+                info = write_segment(self._segment_path(filename), array, index=index)
+                written.append((role, filename, info))
+        except BaseException:
+            self._unlink([f for _, f, _ in written])
+            raise
+        with self._lock:
+            orphans = self._build_files(
+                "table_name = ? AND kind = ? AND build_key = ?",
+                (table, kind, build_key),
+            )
+            self._db.execute(
+                "DELETE FROM builds WHERE table_name = ? AND kind = ? AND build_key = ?",
+                (table, kind, build_key),
+            )
+            cur = self._db.execute(
+                "INSERT INTO builds (table_name, kind, build_key, fingerprint, "
+                "meta_json, created) VALUES (?, ?, ?, ?, ?, ?)",
+                (table, kind, build_key, fingerprint, json.dumps(meta), time.time()),
+            )
+            build_id = cur.lastrowid
+            for role, filename, info in written:
+                self._db.execute(
+                    "INSERT INTO segments (build_id, role, filename, dtype, "
+                    "shape_json, nbytes, crc32) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (build_id, role, filename, info.dtype,
+                     json.dumps(list(info.shape)), info.nbytes, info.crc32),
+                )
+            self._db.commit()
+        self._unlink(orphans)
+
+    def load_build(
+        self,
+        table: str,
+        kind: str,
+        build_key: str,
+        *,
+        fingerprint: str | None = None,
+    ) -> tuple[dict, dict[str, np.ndarray]] | None:
+        """Map a cached build back, or None on miss / fingerprint drift.
+
+        Segment arrays come back as read-only ``np.memmap`` views; each is
+        cross-checked (dtype, shape) against its catalog row so a swapped
+        file raises :class:`StorageError` instead of feeding garbage to a
+        query.
+        """
+        with self._lock:
+            build = self._db.execute(
+                "SELECT * FROM builds WHERE table_name = ? AND kind = ? AND build_key = ?",
+                (table, kind, build_key),
+            ).fetchone()
+            if build is None:
+                return None
+            if fingerprint is not None and build["fingerprint"] != fingerprint:
+                return None
+            seg_rows = self._db.execute(
+                "SELECT * FROM segments WHERE build_id = ?", (build["id"],)
+            ).fetchall()
+        arrays: dict[str, np.ndarray] = {}
+        for row in seg_rows:
+            path = self._segment_path(row["filename"])
+            array = read_segment(path)
+            if array.dtype.str != row["dtype"] or list(array.shape) != json.loads(
+                row["shape_json"]
+            ):
+                raise StorageError(
+                    f"{path}: segment header disagrees with the catalog "
+                    f"(file {array.dtype.str}{list(array.shape)}, catalog "
+                    f"{row['dtype']}{json.loads(row['shape_json'])})"
+                )
+            arrays[row["role"]] = array
+        return json.loads(build["meta_json"]), arrays
+
+    def drop_builds(self, table: str, kind: str | None = None) -> int:
+        """Delete cached builds (and their files) for one bound name."""
+        with self._lock:
+            if kind is None:
+                where, params = "table_name = ?", (table,)
+            else:
+                where, params = "table_name = ? AND kind = ?", (table, kind)
+            orphans = self._build_files(where, params)
+            cur = self._db.execute(f"DELETE FROM builds WHERE {where}", params)
+            self._db.commit()
+        self._unlink(orphans)
+        return cur.rowcount
+
+    def builds(self, table: str | None = None) -> list[dict]:
+        with self._lock:
+            if table is None:
+                rows = self._db.execute(
+                    "SELECT * FROM builds ORDER BY table_name, kind, build_key"
+                ).fetchall()
+            else:
+                rows = self._db.execute(
+                    "SELECT * FROM builds WHERE table_name = ? "
+                    "ORDER BY kind, build_key",
+                    (table,),
+                ).fetchall()
+        return [dict(r) for r in rows]
+
+    # -- maintenance --------------------------------------------------------
+
+    def ls(self) -> list[dict]:
+        """One summary row per bound table: builds, segments, bytes."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT t.name, t.kind, t.row_count, t.fingerprint, "
+                "COUNT(DISTINCT b.id) AS builds, COUNT(s.id) AS segments, "
+                "COALESCE(SUM(s.nbytes), 0) AS bytes "
+                "FROM tables t "
+                "LEFT JOIN builds b ON b.table_name = t.name "
+                "LEFT JOIN segments s ON s.build_id = b.id "
+                "GROUP BY t.name ORDER BY t.name"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def verify(self) -> int:
+        """Checksum every catalogued segment; raise on the first failures.
+
+        Returns the number of segments checked when all pass.  Failures
+        collect into one :class:`StorageError` naming every corrupt file,
+        so an operator sees the full damage in one pass.
+        """
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT filename, dtype, shape_json FROM segments ORDER BY filename"
+            ).fetchall()
+        problems: list[str] = []
+        for row in rows:
+            path = self._segment_path(row["filename"])
+            try:
+                info = verify_segment(path)
+            except StorageError as exc:
+                problems.append(str(exc))
+                continue
+            if info.dtype != row["dtype"] or list(info.shape) != json.loads(
+                row["shape_json"]
+            ):
+                problems.append(f"{path}: segment header disagrees with the catalog")
+        if problems:
+            raise StorageError(
+                f"store verification failed ({len(problems)} of {len(rows)} "
+                "segments):\n  " + "\n  ".join(problems)
+            )
+        return len(rows)
+
+    def gc(self) -> list[str]:
+        """Remove segment files the catalog doesn't own (incl. temp orphans)."""
+        with self._lock:
+            rows = self._db.execute("SELECT filename FROM segments").fetchall()
+            known = {row["filename"] for row in rows}
+            removed = []
+            for entry in sorted(os.listdir(self.segments_dir)):
+                if entry in known:
+                    continue
+                try:
+                    os.unlink(os.path.join(self.segments_dir, entry))
+                    removed.append(entry)
+                except OSError:
+                    pass
+        return removed
+
+    # -- internals ----------------------------------------------------------
+
+    def _build_files(self, where: str, params: tuple) -> list[str]:
+        rows = self._db.execute(
+            "SELECT s.filename FROM segments s JOIN builds b ON s.build_id = b.id "
+            f"WHERE {where}",
+            params,
+        ).fetchall()
+        return [row["filename"] for row in rows]
+
+    def _unlink(self, filenames: list[str]) -> None:
+        for filename in filenames:
+            try:
+                os.unlink(self._segment_path(filename))
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Store({self.path!r})"

@@ -1,0 +1,144 @@
+"""``resolve_target`` dispatch: every attachable shape lands on one source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import Catalog
+from repro.catalog.attach import SUFFIX_SOURCES, SourceSpec, resolve_target
+from repro.catalog.csv import CSVSource
+from repro.catalog.parquet import ParquetSource
+from repro.catalog.source import TableSource
+from repro.catalog.synthetic import SyntheticSource
+from repro.needletail.table import Table
+
+
+def _csv(tmp_path, name="t.csv", delimiter=","):
+    path = tmp_path / name
+    path.write_text(
+        "g{d}v\na{d}1.0\nb{d}2.0\n".replace("{d}", delimiter)
+    )
+    return path
+
+
+class TestDataSourcePassthrough:
+    def test_returns_the_source_itself(self, tmp_path):
+        source = CSVSource(_csv(tmp_path))
+        assert resolve_target("t", source, {}) is source
+
+    def test_opts_on_a_built_source_are_an_error(self, tmp_path):
+        source = CSVSource(_csv(tmp_path))
+        with pytest.raises(TypeError, match="already-constructed DataSource"):
+            resolve_target("t", source, {"delimiter": "|"})
+
+
+class TestInMemoryTargets:
+    def test_table(self):
+        table = Table.from_dict("t", {"g": np.array(["a", "b"]), "v": np.arange(2.0)})
+        source = resolve_target("t", table, {})
+        assert isinstance(source, TableSource) and source.table is table
+
+    def test_mapping(self):
+        source = resolve_target(
+            "t", {"g": np.array(["a", "b"]), "v": np.arange(2.0)}, {}
+        )
+        assert isinstance(source, TableSource)
+        assert source.table.column_names == ["g", "v"]
+
+    def test_dataframe_like_duck_type(self):
+        class Frame:  # pandas/polars shape without either dependency
+            columns = ("g", "v")
+
+            def __getitem__(self, name):
+                return {"g": ["a", "b", "b"], "v": [1.0, 2.0, 3.0]}[name]
+
+        source = resolve_target("t", Frame(), {})
+        assert isinstance(source, TableSource)
+        assert source.table.num_rows == 3
+        assert np.array_equal(source.table.column("v"), [1.0, 2.0, 3.0])
+
+    def test_unattachable_object(self):
+        with pytest.raises(TypeError, match="cannot attach a int"):
+            resolve_target("t", 42, {})
+
+
+class TestPathSuffixes:
+    def test_csv_path(self, tmp_path):
+        source = resolve_target("t", _csv(tmp_path), {})
+        assert isinstance(source, CSVSource)
+        assert source.schema().names == ["g", "v"]
+
+    def test_tsv_path_defaults_to_tab_delimiter(self, tmp_path):
+        path = _csv(tmp_path, name="t.tsv", delimiter="\t")
+        source = resolve_target("t", path, {})
+        assert isinstance(source, CSVSource)
+        assert source._delimiter == "\t"
+
+    def test_suffix_defaults_yield_to_explicit_opts(self, tmp_path):
+        path = _csv(tmp_path, name="t.tsv", delimiter="|")
+        source = resolve_target("t", path, {"delimiter": "|"})
+        assert source._delimiter == "|"
+
+    def test_parquet_suffixes_map_to_parquet(self):
+        assert SUFFIX_SOURCES[".parquet"][0] == "parquet"
+        assert SUFFIX_SOURCES[".pq"][0] == "parquet"
+
+    def test_unknown_suffix(self):
+        with pytest.raises(ValueError, match="cannot infer a source kind"):
+            resolve_target("t", "data.xlsx", {})
+
+    def test_missing_csv_fails_at_attach_time(self, tmp_path):
+        with pytest.raises(Exception):
+            resolve_target("t", str(tmp_path / "absent.csv"), {})
+
+
+class TestSourceSpec:
+    def test_csv_spec_merges_call_opts_over_spec_opts(self, tmp_path):
+        path = _csv(tmp_path, delimiter="|")
+        spec = SourceSpec("csv", path=str(path), delimiter=",")
+        source = resolve_target("t", spec, {"delimiter": "|"})
+        assert isinstance(source, CSVSource) and source._delimiter == "|"
+
+    def test_parquet_spec(self, tmp_path):
+        pytest.importorskip("pyarrow")
+        spec = SourceSpec("parquet", path=str(tmp_path / "t.parquet"))
+        assert isinstance(resolve_target("t", spec, {}), ParquetSource)
+
+    def test_synthetic_spec(self):
+        spec = SourceSpec("synthetic", family="mixture", k=3, total_size=1000, seed=0)
+        source = resolve_target("bench", spec, {})
+        assert isinstance(source, SyntheticSource)
+        assert source.describe() == "synthetic 'mixture'"
+
+    def test_flights_spec(self):
+        source = resolve_target("f", SourceSpec("flights", rows=500, seed=1), {})
+        assert isinstance(source, TableSource)
+        assert source.table.num_rows == 500
+        assert "carrier" in source.table.column_names
+
+    def test_flights_spec_rejects_unknown_options(self):
+        with pytest.raises(TypeError, match="unknown options"):
+            resolve_target("f", SourceSpec("flights", num_rows=500), {})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown SourceSpec kind 'orc'"):
+            resolve_target("t", SourceSpec("orc", path="x"), {})
+
+
+class TestCatalogAttach:
+    def test_attach_then_query_shapes(self, tmp_path):
+        catalog = Catalog()
+        catalog.attach("csv", _csv(tmp_path)).attach(
+            "mem", {"g": np.array(["a"]), "v": np.array([1.0])}
+        )
+        assert set(catalog.names) == {"csv", "mem"}
+        assert catalog.table("csv").num_rows == 2
+
+    def test_attach_rebinding_evicts_builds(self, tmp_path):
+        catalog = Catalog()
+        catalog.attach("t", {"g": np.array(["a", "b"]), "v": np.arange(2.0)})
+        first = catalog.table("t")
+        catalog.attach("t", {"g": np.array(["c", "d"]), "v": np.arange(2.0) + 9})
+        assert catalog.table("t") is not first
+        assert list(catalog.table("t").column("g")) == ["c", "d"]

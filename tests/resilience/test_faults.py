@@ -126,4 +126,5 @@ class TestActivation:
             "delay_shard",
             "corrupt_handshake",
             "fail_scan_chunk",
+            "fail_segment_write",
         }

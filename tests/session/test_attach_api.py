@@ -1,0 +1,139 @@
+"""The attach() front door and the five deprecated register_* shims.
+
+Each legacy door must (a) emit a DeprecationWarning naming its attach()
+replacement and (b) leave the session in a state identical to the attach()
+equivalent - same source kind, same schema, same query results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.catalog.csv import CSVSource
+from repro.catalog.source import TableSource
+from repro.catalog.synthetic import SyntheticSource
+from repro.catalog import SourceSpec
+from repro.session import connect
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "t.csv"
+    rng = np.random.default_rng(2)
+    with open(path, "w") as fh:
+        fh.write("g,v\n")
+        for g, loc in (("a", 20.0), ("b", 60.0)):
+            for v in rng.normal(loc, 5.0, 300).clip(0, 100):
+                fh.write(f"{g},{v}\n")
+    return path
+
+
+def _result_sig(session, table="t", group="g", value="v"):
+    result = (
+        session.table(table).group_by(group).agg(repro.avg(value)).run(seed=5)
+    )
+    return (
+        result.first.order(),
+        result.total_samples,
+        sorted((g.label, g.estimate, g.samples) for g in result.first),
+    )
+
+
+def _source(session, name):
+    return session.catalog.source(name)
+
+
+class TestShimsWarnAndMatchAttach:
+    def test_register_source(self, csv_path):
+        source = CSVSource(csv_path, group_columns=("g",), value_columns=("v",))
+        via_attach = connect(seed=1).attach("t", source)
+        legacy = connect(seed=1)
+        with pytest.warns(DeprecationWarning, match="session.attach"):
+            legacy.register_source("t", source)
+        assert _source(legacy, "t") is source is _source(via_attach, "t")
+        assert _result_sig(legacy) == _result_sig(via_attach)
+
+    def test_register_source_rejects_non_sources(self):
+        session = connect()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="needs a DataSource"):
+                session.register_source("t", {"g": np.array(["a"])})
+
+    def test_register_csv(self, csv_path):
+        via_attach = connect(seed=1).attach(
+            "t", csv_path, group_columns=("g",), value_columns=("v",)
+        )
+        legacy = connect(seed=1)
+        with pytest.warns(DeprecationWarning, match="register_csv"):
+            legacy.register_csv(
+                "t", csv_path, group_columns=("g",), value_columns=("v",)
+            )
+        for session in (legacy, via_attach):
+            assert isinstance(_source(session, "t"), CSVSource)
+        assert _result_sig(legacy) == _result_sig(via_attach)
+
+    def test_register_parquet(self, tmp_path):
+        pytest.importorskip("pyarrow")
+        from repro.catalog.parquet import ParquetSource
+
+        path = tmp_path / "t.parquet"
+        legacy = connect()
+        with pytest.warns(DeprecationWarning, match="register_parquet"):
+            legacy.register_parquet("t", path, batch_rows=64)
+        source = _source(legacy, "t")
+        assert isinstance(source, ParquetSource)
+        assert source._batch_rows == 64
+
+    def test_register_flights(self):
+        via_attach = connect(seed=1).attach(
+            "flights", SourceSpec("flights", rows=2_000, seed=3)
+        )
+        legacy = connect(seed=1)
+        with pytest.warns(DeprecationWarning, match="register_flights"):
+            legacy.register_flights(rows=2_000, seed=3)
+        sig = lambda s: _result_sig(
+            s, table="flights", group="carrier", value="arrival_delay"
+        )
+        assert sig(legacy) == sig(via_attach)
+
+    def test_register_synthetic(self):
+        spec = dict(family="mixture", k=3, total_size=2_000, seed=4,
+                    materialize=True)
+        via_attach = connect(seed=1).attach("bench", SourceSpec("synthetic", **spec))
+        legacy = connect(seed=1)
+        with pytest.warns(DeprecationWarning, match="register_synthetic"):
+            legacy.register_synthetic("bench", **spec)
+        for session in (legacy, via_attach):
+            assert isinstance(_source(session, "bench"), SyntheticSource)
+        sig = lambda s: _result_sig(s, table="bench", group="g", value="value")
+        assert sig(legacy) == sig(via_attach)
+
+    def test_every_shim_names_its_replacement(self):
+        from repro.session.session import Session
+
+        for name in ("register_source", "register_csv", "register_parquet",
+                     "register_flights", "register_synthetic"):
+            shim = getattr(Session, name)
+            assert "attach" in shim.__deprecated__
+            assert shim.__name__ == f"Session.{name}"
+
+
+class TestAttachFrontDoor:
+    def test_attach_chains_and_lists(self, csv_path):
+        session = connect().attach("t", csv_path).attach(
+            "mem", {"g": np.array(["a", "b"]), "v": np.arange(2.0)}
+        )
+        assert set(session.tables) == {"t", "mem"}
+        assert isinstance(_source(session, "mem"), TableSource)
+
+    def test_register_still_takes_tables_not_paths(self, csv_path):
+        with pytest.raises(TypeError, match="use attach"):
+            connect().register("t", str(csv_path))
+
+    def test_connect_rejects_store_plus_catalog(self, tmp_path):
+        from repro.catalog import Catalog
+
+        with pytest.raises(ValueError, match="not both"):
+            connect(store=tmp_path / "s", catalog=Catalog())

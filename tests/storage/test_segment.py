@@ -1,0 +1,107 @@
+"""The on-disk segment format: roundtrip, structure checks, atomicity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import read_segment, verify_segment, write_segment
+
+
+def _roundtrip(tmp_path, array, name="a.seg"):
+    path = os.path.join(tmp_path, name)
+    write_segment(path, array)
+    return path, read_segment(path)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(100, dtype=np.uint64),
+            np.linspace(-1.0, 1.0, 33),
+            np.zeros((4, 7), dtype=np.int32),
+            np.array([3], dtype=np.int8),
+        ],
+        ids=["uint64", "float64", "2d-int32", "single-int8"],
+    )
+    def test_bytes_survive(self, tmp_path, array):
+        _, back = _roundtrip(tmp_path, array)
+        assert back.dtype == array.dtype and back.shape == array.shape
+        assert np.array_equal(back, array)
+
+    def test_mapped_read_is_read_only(self, tmp_path):
+        _, back = _roundtrip(tmp_path, np.arange(8.0))
+        assert isinstance(back, np.memmap)
+        with pytest.raises(ValueError):
+            back[0] = 1.0
+
+    def test_unmapped_read_matches_mapped(self, tmp_path):
+        path, mapped = _roundtrip(tmp_path, np.arange(64, dtype=np.uint64))
+        loaded = read_segment(path, mmap=False)
+        assert np.array_equal(mapped, loaded)
+        assert not loaded.flags.writeable
+
+    def test_payload_is_aligned(self, tmp_path):
+        path, _ = _roundtrip(tmp_path, np.arange(5.0))
+        info = verify_segment(path)
+        assert info.data_offset % 64 == 0
+
+    def test_object_dtype_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="object-dtype"):
+            write_segment(os.path.join(tmp_path, "o.seg"), np.array([object()]))
+
+
+class TestStructureChecks:
+    def test_corrupt_payload_byte_fails_verify(self, tmp_path):
+        path, _ = _roundtrip(tmp_path, np.arange(100, dtype=np.uint64))
+        with open(path, "r+b") as fh:
+            fh.seek(-3, os.SEEK_END)
+            byte = fh.read(1)
+            fh.seek(-3, os.SEEK_END)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        read_segment(path)  # structural checks alone cannot see a bit flip
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            verify_segment(path)
+
+    def test_truncated_payload_fails_structurally(self, tmp_path):
+        path, _ = _roundtrip(tmp_path, np.arange(100, dtype=np.uint64))
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 8)
+        with pytest.raises(StorageError, match="truncated segment payload"):
+            read_segment(path)
+
+    def test_bad_magic(self, tmp_path):
+        path, _ = _roundtrip(tmp_path, np.arange(4.0))
+        with open(path, "r+b") as fh:
+            fh.write(b"NOPE")
+        with pytest.raises(StorageError, match="bad magic"):
+            read_segment(path)
+
+    def test_future_version_is_refused(self, tmp_path):
+        path, _ = _roundtrip(tmp_path, np.arange(4.0))
+        with open(path, "r+b") as fh:
+            fh.seek(4)
+            fh.write((99).to_bytes(2, "little"))
+        with pytest.raises(StorageError, match="version 99"):
+            read_segment(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_segment(os.path.join(tmp_path, "absent.seg"))
+
+
+class TestAtomicity:
+    def test_write_leaves_no_temp_on_success(self, tmp_path):
+        path, _ = _roundtrip(tmp_path, np.arange(4.0))
+        assert not os.path.exists(path + ".tmp")
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = os.path.join(tmp_path, "a.seg")
+        write_segment(path, np.arange(10.0))
+        write_segment(path, np.arange(20, dtype=np.int64))
+        back = read_segment(path)
+        assert back.dtype == np.int64 and back.shape == (20,)

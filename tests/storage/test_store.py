@@ -1,0 +1,184 @@
+"""The Store: bindings, build persistence, fingerprints, maintenance."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.resilience.faults import Fault, FaultPlan, inject
+from repro.storage import STORE_FORMAT_VERSION, Store
+
+
+@pytest.fixture
+def store(tmp_path):
+    with Store(tmp_path / "store") as s:
+        yield s
+
+
+def _bind(store, name="t", fingerprint="fp1"):
+    store.bind_table(
+        name,
+        kind="memory",
+        schema_json='{"columns": [["g", "string"], ["v", "numeric"]]}',
+        row_count=10,
+        source_json="{}",
+        fingerprint=fingerprint,
+    )
+
+
+def _arrays():
+    return {
+        "words": np.arange(16, dtype=np.uint64),
+        "values": np.linspace(0, 1, 10),
+    }
+
+
+class TestBindings:
+    def test_bind_and_read_back(self, store):
+        _bind(store)
+        row = store.binding("t")
+        assert row["kind"] == "memory" and row["fingerprint"] == "fp1"
+        assert store.binding("absent") is None
+
+    def test_rebind_replaces(self, store):
+        _bind(store, fingerprint="fp1")
+        _bind(store, fingerprint="fp2")
+        assert store.binding("t")["fingerprint"] == "fp2"
+        assert len(store.bindings()) == 1
+
+    def test_unbind_drops_builds_and_files(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={"x": 1}, arrays=_arrays())
+        assert len(os.listdir(store.segments_dir)) == 2
+        store.unbind_table("t")
+        assert store.binding("t") is None
+        assert store.builds("t") == []
+        assert os.listdir(store.segments_dir) == []
+
+
+class TestBuilds:
+    def test_save_load_roundtrip(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={"groups": [["a", 0, 16, 1000]]}, arrays=_arrays())
+        meta, arrays = store.load_build("t", "needletail", "k1")
+        assert meta["groups"] == [["a", 0, 16, 1000]]
+        assert np.array_equal(arrays["words"], np.arange(16, dtype=np.uint64))
+        assert isinstance(arrays["words"], np.memmap)
+
+    def test_miss_on_unknown_key(self, store):
+        _bind(store)
+        assert store.load_build("t", "needletail", "k1") is None
+
+    def test_fingerprint_drift_is_a_miss(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays=_arrays())
+        assert store.load_build("t", "needletail", "k1", fingerprint="fp1") is not None
+        assert store.load_build("t", "needletail", "k1", fingerprint="fp2") is None
+
+    def test_replace_at_same_key_unlinks_old_files(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays=_arrays())
+        old_files = set(os.listdir(store.segments_dir))
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays={"words": np.zeros(4, dtype=np.uint64)})
+        now = set(os.listdir(store.segments_dir))
+        assert now.isdisjoint(old_files) and len(now) == 1
+
+    def test_drop_builds(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays=_arrays())
+        store.save_build("t", "population", "k1", fingerprint="fp1",
+                        meta={}, arrays={"values": np.arange(3.0)})
+        assert store.drop_builds("t", "population") == 1
+        assert [b["kind"] for b in store.builds("t")] == ["needletail"]
+        assert store.drop_builds("t") == 1
+        assert os.listdir(store.segments_dir) == []
+
+    def test_swapped_segment_file_is_caught_against_catalog(self, store, tmp_path):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays={"words": np.arange(8, dtype=np.uint64)})
+        from repro.storage import write_segment
+
+        filename = os.listdir(store.segments_dir)[0]
+        write_segment(os.path.join(store.segments_dir, filename), np.arange(3.0))
+        with pytest.raises(StorageError, match="disagrees with the catalog"):
+            store.load_build("t", "needletail", "k1")
+
+    def test_injected_write_failure_leaves_no_partial_build(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={"old": True}, arrays=_arrays())
+        plan = FaultPlan([Fault(kind="fail_segment_write", at=None, times=1)])
+        with inject(plan):
+            with pytest.raises(Exception):
+                store.save_build("t", "needletail", "k2", fingerprint="fp1",
+                                meta={"new": True}, arrays=_arrays())
+        assert plan.fired()
+        # the old build is intact, the interrupted one absent, no stray files
+        meta, _ = store.load_build("t", "needletail", "k1")
+        assert meta == {"old": True}
+        assert store.load_build("t", "needletail", "k2") is None
+        assert len(os.listdir(store.segments_dir)) == 2
+
+
+class TestMaintenance:
+    def test_ls_summarizes(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays=_arrays())
+        (row,) = store.ls()
+        assert row["name"] == "t" and row["builds"] == 1 and row["segments"] == 2
+        assert row["bytes"] == 16 * 8 + 10 * 8
+
+    def test_verify_ok_and_corrupt(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays=_arrays())
+        assert store.verify() == 2
+        victim = os.path.join(store.segments_dir, os.listdir(store.segments_dir)[0])
+        with open(victim, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([byte[0] ^ 0x01]))
+        with pytest.raises(StorageError, match="verification failed"):
+            store.verify()
+
+    def test_gc_sweeps_orphans_only(self, store):
+        _bind(store)
+        store.save_build("t", "needletail", "k1", fingerprint="fp1",
+                        meta={}, arrays=_arrays())
+        owned = set(os.listdir(store.segments_dir))
+        for orphan in ("stray.seg", "half-written.seg.tmp"):
+            with open(os.path.join(store.segments_dir, orphan), "wb") as fh:
+                fh.write(b"junk")
+        assert sorted(store.gc()) == ["half-written.seg.tmp", "stray.seg"]
+        assert set(os.listdir(store.segments_dir)) == owned
+        assert store.verify() == 2
+
+
+class TestFormat:
+    def test_reopen_same_version(self, tmp_path):
+        with Store(tmp_path / "s") as s:
+            _bind(s)
+        with Store(tmp_path / "s") as s:
+            assert s.binding("t") is not None
+
+    def test_future_format_version_is_refused(self, tmp_path):
+        with Store(tmp_path / "s") as s:
+            s._db.execute(
+                "UPDATE meta SET value = ? WHERE key = 'format_version'",
+                (str(STORE_FORMAT_VERSION + 1),),
+            )
+            s._db.commit()
+        with pytest.raises(StorageError, match="format version"):
+            Store(tmp_path / "s")

@@ -24,6 +24,7 @@ ALLOWED_RUN_PREFIXES = (
     "python scripts/bench_export.py",  # bench smoke
     "python scripts/check_bench.py",  # bench regression guard
     "python scripts/serve_smoke.py",  # query-service boot/stream/cancel smoke
+    "python scripts/storage_smoke.py",  # durable-store restart + warm-open gate
 )
 
 
@@ -49,6 +50,7 @@ def test_workflow_parses_and_has_jobs(workflow):
         "procpool",
         "chaos",
         "serve-smoke",
+        "storage",
     }
     # "on" parses as the YAML boolean True when unquoted - accept either key.
     triggers = workflow.get("on", workflow.get(True))
@@ -150,6 +152,29 @@ def test_serve_smoke_job_boots_the_server_through_the_script(workflow):
         line = step.get("run", "").strip()
         if line and "tests/serve" in line:
             assert line.startswith("scripts/ci.sh")
+
+
+def test_storage_job_builds_restarts_and_gates_warm_open(workflow):
+    """The durable-storage leg runs the segment/store/catalog suites through
+    the repo CI gate, then scripts/storage_smoke.py: build a store, re-open
+    it in a fresh process, and gate warm-open >= 10x faster than the cold
+    build with zero index rebuilds and identical results."""
+    job = workflow["jobs"]["storage"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "tests/storage/" in commands
+    assert "python scripts/storage_smoke.py" in commands
+    for step in job["steps"]:
+        line = step.get("run", "").strip()
+        if line and "tests/storage" in line:
+            assert line.startswith("scripts/ci.sh")
+
+
+def test_chaos_job_covers_the_storage_fault_site(workflow):
+    """fail_segment_write (mid-save atomicity) must run under the seeded
+    chaos leg, not only in the storage leg's deterministic tests."""
+    job = workflow["jobs"]["chaos"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "tests/storage/" in commands
 
 
 def test_chaos_job_runs_the_resilience_suite_with_a_seed(workflow):

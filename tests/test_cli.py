@@ -184,3 +184,96 @@ class TestCommands:
             "table3", "headline",
         ):
             assert expected in EXPERIMENTS
+
+
+class TestStoreCLI:
+    """`repro store build|ls|verify|gc` and the --store session flags."""
+
+    @staticmethod
+    def _write_csv(path):
+        lines = ["g,v"]
+        for i in range(400):
+            lines.append(f"{'ab'[i % 2]},{(i % 2) * 40 + (i % 7)}.0")
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_parser_store_subcommands(self):
+        args = build_parser().parse_args(
+            ["store", "build", "st", "--csv", "t.csv", "--table", "t",
+             "--group-by", "g", "--value", "v"]
+        )
+        assert args.command == "store" and args.store_command == "build"
+        assert args.store == "st" and args.table == "t"
+        for sub in ("ls", "verify", "gc"):
+            args = build_parser().parse_args(["store", sub, "st"])
+            assert args.store_command == sub and args.store == "st"
+
+    def test_parser_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_parser_query_store_flag(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT g, AVG(v) FROM t GROUP BY g", "--store", "st"]
+        )
+        assert args.store == "st"
+        default = build_parser().parse_args(
+            ["query", "SELECT g, AVG(v) FROM t GROUP BY g"]
+        )
+        assert default.store is None
+
+    def test_build_ls_verify_gc_roundtrip(self, capsys, tmp_path):
+        csv, store = tmp_path / "t.csv", tmp_path / "store"
+        self._write_csv(csv)
+
+        assert main(["store", "build", str(store), "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "t: group by g, value v" in out and "needletail" in out
+
+        assert main(["store", "ls", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "t" in out and "csv" in out
+
+        assert main(["store", "verify", str(store)]) == 0
+        assert "all checksums match" in capsys.readouterr().out
+
+        (store / "segments" / "stray.seg.tmp").write_bytes(b"junk")
+        assert main(["store", "gc", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "stray.seg.tmp" in out and "removed 1 orphaned" in out
+
+    def test_verify_reports_corruption(self, capsys, tmp_path):
+        import os
+
+        csv, store = tmp_path / "t.csv", tmp_path / "store"
+        self._write_csv(csv)
+        assert main(["store", "build", str(store), "--csv", str(csv)]) == 0
+        capsys.readouterr()
+
+        segments = store / "segments"
+        victim = segments / sorted(os.listdir(segments))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(blob)
+        assert main(["store", "verify", str(store)]) == 1
+        assert "checksum" in capsys.readouterr().err
+
+    def test_build_unknown_table(self, capsys, tmp_path):
+        csv, store = tmp_path / "t.csv", tmp_path / "store"
+        self._write_csv(csv)
+        code = main(["store", "build", str(store), "--csv", str(csv),
+                     "--table", "nope"])
+        assert code == 2
+        assert "unknown table" in capsys.readouterr().err
+
+    def test_query_store_boots_warm(self, capsys, tmp_path):
+        csv, store = tmp_path / "t.csv", tmp_path / "store"
+        self._write_csv(csv)
+        assert main(["store", "build", str(store), "--csv", str(csv)]) == 0
+        capsys.readouterr()
+
+        # no --csv: the table comes back from the store, not the filesystem
+        code = main(["query", "SELECT g, AVG(v) FROM t GROUP BY g",
+                     "--store", str(store), "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVG(v)" in out and "guarantee:" in out

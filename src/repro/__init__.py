@@ -128,6 +128,7 @@ from repro.session import (
     sum_,
     total,
 )
+from repro.streaming import ContinuousQuery, WindowResult, WindowSpec
 
 __version__ = "1.2.0"
 
@@ -149,6 +150,10 @@ __all__ = [
     "register_engine",
     "load_csv_table",
     "QueryFuture",
+    # continuous windowed queries (repro.streaming)
+    "WindowSpec",
+    "WindowResult",
+    "ContinuousQuery",
     # error taxonomy / resilience
     "ReproError",
     "TransientError",

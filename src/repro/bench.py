@@ -28,6 +28,7 @@ MICRO_BENCH_FILES = (
     "benchmarks/bench_micro_procpool.py",
     "benchmarks/bench_serve.py",
     "benchmarks/bench_storage.py",
+    "benchmarks/bench_streaming.py",
 )
 
 

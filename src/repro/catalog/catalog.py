@@ -327,6 +327,42 @@ class Catalog:
                 self._populations.popitem(last=False)
             return population
 
+    def seed_population(
+        self,
+        name: str,
+        group_col: str,
+        value_col: str,
+        population: Population,
+        *,
+        predicate: Predicate | None = None,
+        value_bound: float | None = None,
+    ) -> "Catalog":
+        """Pre-seed the population cache for one build coordinate.
+
+        The planner's population-engine path consults the cache under the
+        same key :meth:`population` uses, so a seeded entry short-circuits
+        the source scan and regroup entirely.  The caller owns correctness:
+        the population must be exactly what a cold
+        :func:`population_from_chunks` build over the source would produce
+        (the streaming warm-start path assembles one from cached panes and
+        is bit-identical by construction).  Only cacheable sources can be
+        seeded - a non-cacheable source rebuilds every query and would
+        silently ignore the entry.
+        """
+        source = self.source(name)
+        if not source.cacheable:
+            raise ValueError(
+                f"source {name!r} is not cacheable; a seeded population "
+                "would never be consulted"
+            )
+        key = (source, group_col, value_col, predicate, value_bound)
+        with self._lock:
+            self._populations[key] = population
+            self._populations.move_to_end(key)
+            while len(self._populations) > self.MAX_CACHED_POPULATIONS:
+                self._populations.popitem(last=False)
+        return self
+
     def indexed_engine(
         self,
         name: str,

@@ -252,6 +252,14 @@ class IteratorSource(DataSource):
     rather than freezing the first query's snapshot forever.  Pass
     ``cache=True`` when the factory replays fixed data and builds should be
     reused across queries.
+
+    Replay vs tail: the factory contract *is* the replay seam - every scan
+    re-invokes it, so one-shot queries, multi-window re-scans and repeated
+    subscriptions all observe the stream from its start.  For a genuinely
+    non-replayable feed (a socket, a log tail) use
+    :meth:`IteratorSource.single_use`, which admits exactly one scan and
+    rejects the second loudly instead of tripping the factory-reuse guard
+    with a confusing "same iterator twice" error.
     """
 
     kind = "iterator"
@@ -281,6 +289,50 @@ class IteratorSource(DataSource):
         """Forget the inferred schema (a supplied one is kept)."""
         if not self._schema_supplied:
             self._schema = None
+
+    @classmethod
+    def single_use(
+        cls,
+        chunks: Iterable[Chunk],
+        *,
+        schema: Schema,
+        row_count_hint: int | None = None,
+    ) -> "IteratorSource":
+        """A one-shot *tail* over a live, non-replayable chunk stream.
+
+        This is the documented seam for feeding a continuous query from a
+        feed that cannot be rewound (a socket reader, a log tail, a queue
+        drain): the returned source supports **exactly one** :meth:`scan` -
+        which is all a streaming subscription
+        (:class:`~repro.streaming.runner.WindowRunner`) performs - and a
+        second scan raises a ``RuntimeError`` naming the problem, instead
+        of the factory-reuse guard's "same iterator twice" ``TypeError``
+        (aimed at a different mistake) or, worse, a silent resume that
+        drops already-consumed chunks.
+
+        ``schema`` is required: inferring it would consume the stream's
+        first chunk before the scan ever runs.
+        """
+        if not isinstance(schema, Schema):
+            raise TypeError(
+                f"single_use needs an explicit Schema (inference would "
+                f"consume the stream), got {schema!r}"
+            )
+        stream = iter(chunks)
+        consumed: list[bool] = []
+
+        def tail() -> Iterator[Chunk]:
+            if consumed:
+                raise RuntimeError(
+                    "this IteratorSource.single_use stream was already "
+                    "scanned once and cannot be replayed; wrap replayable "
+                    "data in a fresh-iterator factory (IteratorSource("
+                    "lambda: ...)) if you need repeated scans"
+                )
+            consumed.append(True)
+            return stream
+
+        return cls(tail, schema=schema, row_count_hint=row_count_hint, cache=False)
 
     def _fresh_iter(self):
         """A new iterator from the factory, refusing half-consumed reuse.

@@ -12,7 +12,11 @@ Usage::
         [--rows 100000] [--algorithm ifocus] [--delta 0.05] [--resolution 0] [--seed 0] \
         [--csv data.csv] [--group-columns carrier] [--value-columns arrival_delay] \
         [--engine needletail|memory|noindex] [--shards 4] [--workers 4] \
-        [--executor thread|process] [--deadline-ms 500] [--max-retries 2] [--stream]
+        [--executor thread|process] [--deadline-ms 500] [--max-retries 2] [--stream] \
+        [--window SIZE [--window-every STRIDE] [--window-on COL] [--late drop] \
+         [--allowed-lateness 0] [--max-windows N]]
+    python -m repro stream "SELECT ... GROUP BY ..." --window SIZE \
+        [--window-every STRIDE] [--window-on COL] [--updates] [--max-windows N]
     python -m repro serve [--host 127.0.0.1] [--port 8765] [--sessions 2] \
         [--csv PATH]... [--flights] [--tenant NAME=MAX[:QUEUE[:DEADLINE_MS]]]...
     python -m repro store build STORE [--csv PATH]... [--flights] \
@@ -154,12 +158,11 @@ def _cmd_bench_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _query_session(args: argparse.Namespace, table: str):
+    """The session `query`/`stream` run against: CLI knobs + bound table."""
     from repro.catalog import SourceSpec
-    from repro.query import parse_query
     from repro.session import connect
 
-    query = parse_query(args.sql)
     session = connect(
         delta=args.delta,
         resolution=args.resolution,
@@ -175,7 +178,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     if args.csv:
         session.attach(
-            query.table,
+            table,
             SourceSpec(
                 "csv",
                 path=args.csv,
@@ -183,11 +186,95 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 value_columns=_split_columns(args.value_columns),
             ),
         )
-    elif query.table not in session.tables:
+    elif table not in session.tables:
         # A warm store may already hold the table; otherwise synthesize it.
-        session.attach(
-            query.table, SourceSpec("flights", rows=args.rows, seed=args.seed)
+        session.attach(table, SourceSpec("flights", rows=args.rows, seed=args.seed))
+    return session
+
+
+def _windowed_builder(builder, args: argparse.Namespace):
+    return builder.window(
+        args.window,
+        every=args.window_every,
+        on=args.window_on,
+        late=args.late,
+        allowed_lateness=args.allowed_lateness,
+    )
+
+
+def _print_windows(cq, *, updates: bool) -> int:
+    """Consume a ContinuousQuery, printing each window as it closes."""
+    from repro.streaming import WindowResult
+
+    windows = 0
+    try:
+        for event in cq:
+            if not isinstance(event, WindowResult):
+                if updates:
+                    g = event.update.group
+                    print(
+                        f"  window[{event.window.index}] {event.update.aggregate} "
+                        f"{g.label} = {g.estimate:.3f} (+/- {g.half_width:.3f})"
+                    )
+                continue
+            windows += 1
+            b = event.window
+            tag = f"window[{b.index}] [{b.start:g}, {b.end:g})"
+            if event.empty:
+                print(f"{tag}: empty (closed by {event.closed_by})")
+                continue
+            notes = [f"{event.rows:,} rows", f"seed {event.seed}",
+                     f"closed by {event.closed_by}"]
+            if event.revision:
+                notes.append(f"revision {event.revision} (+{event.late_rows} late)")
+            if event.warm_start:
+                notes.append("warm start")
+            print(f"{tag}: {', '.join(notes)}")
+            for agg_key, agg in event.result.aggregates.items():
+                pairs = sorted(agg.estimates().items(), key=lambda p: -p[1])
+                for label, value in pairs:
+                    est = agg[label]
+                    suffix = "" if est.exact else f"  (+/- {est.half_width:.3f})"
+                    print(f"  {agg_key}  {label:>12}  {value:12.3f}{suffix}")
+    except KeyboardInterrupt:
+        cq.cancel()
+        print("\ncancelled")
+    print(f"{windows} windows emitted")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.query import parse_query
+
+    query = parse_query(args.sql)
+    session = _query_session(args, query.table)
+    builder = _windowed_builder(session.sql(query), args)
+    cq = builder.subscribe(
+        seed=args.seed, max_windows=args.max_windows, emit_updates=args.updates
+    )
+    return _print_windows(cq, updates=args.updates)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.query import parse_query
+
+    query = parse_query(args.sql)
+    session = _query_session(args, query.table)
+
+    if args.window is not None:
+        # --window makes the query continuous: same printing as `stream`.
+        if args.stream:
+            print(
+                "--stream prints one-shot partials; a windowed query is "
+                "already continuous (drop --stream, or use `repro stream`)",
+                file=sys.stderr,
+            )
+            return 2
+        builder = _windowed_builder(session.sql(query), args)
+        cq = builder.subscribe(
+            seed=args.seed, max_windows=args.max_windows, emit_updates=False
         )
+        return _print_windows(cq, updates=False)
 
     run_kwargs = {}
     if args.engine == "noindex" and args.max_samples:
@@ -521,54 +608,87 @@ def build_parser() -> argparse.ArgumentParser:
     add_catalog_flags(desc)
     desc.set_defaults(fn=_cmd_describe)
 
+    def add_query_flags(p: argparse.ArgumentParser, *, window_required: bool) -> None:
+        p.add_argument("sql")
+        p.add_argument("--rows", type=int, default=100_000,
+                       help="rows of the synthetic flights table (ignored with --csv)")
+        p.add_argument("--algorithm", default="ifocus")
+        p.add_argument("--delta", type=float, default=0.05)
+        p.add_argument("--resolution", type=float, default=0.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="run against a durable store: the table's cached "
+                       "index maps from disk if present, and cold builds persist")
+        p.add_argument("--csv", default=None, metavar="PATH",
+                       help="bind the table named in the SQL to this CSV file")
+        p.add_argument("--group-columns", default=None, metavar="A,B",
+                       help="CSV columns to keep as strings (group-by keys)")
+        p.add_argument("--value-columns", default=None, metavar="X,Y",
+                       help="CSV columns that must parse as numbers")
+        p.add_argument("--engine", default="needletail",
+                       help="execution substrate: needletail, memory, or noindex")
+        p.add_argument("--shards", type=int, default=1,
+                       help="partition the engine into N parallel shards "
+                       "(1 = unsharded; sharded runs merge deterministically)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="thread-pool width for the shard fan-out "
+                       "(default: one worker per shard)")
+        p.add_argument("--executor", choices=("thread", "process"), default="thread",
+                       help="shard fan-out executor: 'thread' (in-process) or "
+                       "'process' (one worker process per shard over shared "
+                       "memory; falls back to threads, with a caveat, when the "
+                       "data cannot cross the process boundary)")
+        p.add_argument("--max-samples", type=int, default=None,
+                       help="cap total tuples for --engine noindex (skewed tables "
+                       "with conflicting groups may otherwise sample unboundedly; "
+                       "hitting the cap voids the guarantee and prints a caveat)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="time budget in milliseconds; on expiry a one-shot "
+                       "run finalizes remaining groups at their current "
+                       "estimates (wider intervals, exit code 3); per-window "
+                       "budget for windowed queries")
+        p.add_argument("--max-retries", type=int, default=2,
+                       help="retry budget for transient source-scan IO failures "
+                       "(exponential backoff; retries are surfaced as caveats)")
+        p.add_argument("--window", type=float, default=None, metavar="SIZE",
+                       required=window_required,
+                       help="make the query continuous: evaluate once per "
+                       "window of SIZE rows (or SIZE units of --window-on)")
+        p.add_argument("--window-every", type=float, default=None, metavar="STRIDE",
+                       help="window stride; omit to tumble, < SIZE to slide")
+        p.add_argument("--window-on", default=None, metavar="COL",
+                       help="numeric event-time column (default: row-count "
+                       "windows in arrival order)")
+        p.add_argument("--late", choices=("drop", "recompute", "error"),
+                       default="drop",
+                       help="policy for rows arriving after their time window "
+                       "closed (time windows only)")
+        p.add_argument("--allowed-lateness", type=float, default=0.0,
+                       help="watermark slack: hold windows open this many time "
+                       "units past their end before closing")
+        p.add_argument("--max-windows", type=int, default=None,
+                       help="stop after this many closed windows (bounds "
+                       "subscriptions over unbounded sources)")
+
     qry = sub.add_parser(
         "query",
         help="run a SQL query over a synthetic flights table or your own CSV",
     )
-    qry.add_argument("sql")
-    qry.add_argument("--rows", type=int, default=100_000,
-                     help="rows of the synthetic flights table (ignored with --csv)")
-    qry.add_argument("--algorithm", default="ifocus")
-    qry.add_argument("--delta", type=float, default=0.05)
-    qry.add_argument("--resolution", type=float, default=0.0)
-    qry.add_argument("--seed", type=int, default=0)
-    qry.add_argument("--store", default=None, metavar="DIR",
-                     help="run against a durable store: the table's cached "
-                     "index maps from disk if present, and cold builds persist")
-    qry.add_argument("--csv", default=None, metavar="PATH",
-                     help="bind the table named in the SQL to this CSV file")
-    qry.add_argument("--group-columns", default=None, metavar="A,B",
-                     help="CSV columns to keep as strings (group-by keys)")
-    qry.add_argument("--value-columns", default=None, metavar="X,Y",
-                     help="CSV columns that must parse as numbers")
-    qry.add_argument("--engine", default="needletail",
-                     help="execution substrate: needletail, memory, or noindex")
-    qry.add_argument("--shards", type=int, default=1,
-                     help="partition the engine into N parallel shards "
-                     "(1 = unsharded; sharded runs merge deterministically)")
-    qry.add_argument("--workers", type=int, default=None,
-                     help="thread-pool width for the shard fan-out "
-                     "(default: one worker per shard)")
-    qry.add_argument("--executor", choices=("thread", "process"), default="thread",
-                     help="shard fan-out executor: 'thread' (in-process) or "
-                     "'process' (one worker process per shard over shared "
-                     "memory; falls back to threads, with a caveat, when the "
-                     "data cannot cross the process boundary)")
-    qry.add_argument("--max-samples", type=int, default=None,
-                     help="cap total tuples for --engine noindex (skewed tables "
-                     "with conflicting groups may otherwise sample unboundedly; "
-                     "hitting the cap voids the guarantee and prints a caveat)")
-    qry.add_argument("--deadline-ms", type=float, default=None,
-                     help="time budget in milliseconds; on expiry the run "
-                     "finalizes remaining groups at their current estimates "
-                     "(wider intervals), prints the partial answer with a "
-                     "deadline_exceeded caveat, and exits with code 3")
-    qry.add_argument("--max-retries", type=int, default=2,
-                     help="retry budget for transient source-scan IO failures "
-                     "(exponential backoff; retries are surfaced as caveats)")
+    add_query_flags(qry, window_required=False)
     qry.add_argument("--stream", action="store_true",
                      help="print partial results as groups finalize")
     qry.set_defaults(fn=_cmd_query)
+
+    stm = sub.add_parser(
+        "stream",
+        help="run a windowed SQL query continuously, printing each window "
+        "as it closes (repro.streaming)",
+    )
+    add_query_flags(stm, window_required=True)
+    stm.add_argument("--updates", action="store_true",
+                     help="also print per-group partial updates while each "
+                     "window evaluates")
+    stm.set_defaults(fn=_cmd_stream)
 
     sto = sub.add_parser(
         "store",

@@ -21,21 +21,33 @@ Routes::
     GET    /stats          per-tenant counters + cache stats
     POST   /query          execute; JSON Result envelope
     POST   /stream         execute; SSE PartialUpdates, then `done`
-    DELETE /query/{id}     cancel a queued or running query by query_id
+    GET    /subscribe      continuous windowed query; SSE window events
+    POST   /subscribe      same, with the window described in the JSON body
+    DELETE /query/{id}     cancel a queued/running query OR a subscription
 
 Every execution route reads the tenant from the ``X-Repro-Tenant`` header
 (or a ``tenant`` body field) and applies that tenant's quotas and default
 query knobs.  Cache hits and single-flight followers bypass admission
 entirely: quotas meter *work*, not answers.
+
+Subscriptions (``/subscribe``) are long-lived: one request holds an SSE
+stream open for the lifetime of a :class:`~repro.streaming.ContinuousQuery`.
+They are admitted against the tenant's ``max_subscriptions`` slots rather
+than the execution queue (parking a many-window stream in an execution
+slot would starve the tenant's one-shot queries), never cached (each
+window is fresh work), and cancellable mid-stream via ``DELETE
+/query/{id}`` with the subscription's query id.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import json
 import queue as queue_mod
 import threading
+import urllib.parse
 from dataclasses import dataclass
 from typing import AsyncIterator
 
@@ -56,6 +68,9 @@ from repro.serve.wire import (
 from repro.session.planner import _replay_updates, stream_spec
 from repro.session.result import PartialUpdate, Result
 from repro.session.session import QueryFuture, Session, connect
+from repro.streaming import WindowSpec
+from repro.streaming.continuous import ContinuousQuery
+from repro.streaming.runner import WindowResult
 
 __all__ = [
     "SessionPool",
@@ -65,6 +80,9 @@ __all__ = [
     "serve_in_thread",
     "run_server",
 ]
+
+#: Sentinel marking normal end of a subscription's event iterator.
+_SUB_DONE = object()
 
 _REASONS = {
     200: "OK",
@@ -135,6 +153,7 @@ class _Ticket:
     admission: Admission | None = None
     qfuture: QueryFuture | None = None
     deadline: Deadline | None = None
+    subscription: ContinuousQuery | None = None
 
     def cancel(self) -> bool:
         """Cancel wherever the query currently is: queue, pool, or mid-run."""
@@ -145,6 +164,9 @@ class _Ticket:
             hit = True
         elif self.deadline is not None:
             self.deadline.cancel()
+            hit = True
+        if self.subscription is not None:
+            self.subscription.cancel()
             hit = True
         return hit
 
@@ -161,6 +183,58 @@ class _Response:
 
 def _json_response(status: int, obj, headers: tuple = ()) -> _Response:
     return _Response(status, canonical_json(obj), headers=headers)
+
+
+#: GET /subscribe query parameters -> JSON body keys (+ parser).  The GET
+#: form exists so ``EventSource``-style clients (no request body) can open
+#: subscriptions; it is sugar for the POST body and shares its validation.
+_SUBSCRIBE_PARAMS = {
+    "sql": ("sql", str),
+    "tenant": ("tenant", str),
+    "query_id": ("query_id", str),
+    "seed": ("seed", int),
+    "max_windows": ("max_windows", int),
+    "window_size": ("size", float),
+    "window_every": ("every", float),
+    "window_on": ("on", str),
+    "window_late": ("late", str),
+    "window_lateness": ("allowed_lateness", float),
+    "window_origin": ("origin", float),
+}
+
+_WINDOW_KEYS = {"size", "every", "on", "late", "allowed_lateness", "origin"}
+
+
+def _subscribe_params(target: str) -> dict:
+    """Lower ``GET /subscribe?...`` query parameters to a request body."""
+    query = urllib.parse.urlsplit(target).query
+    body: dict = {}
+    window: dict = {}
+    for name, values in urllib.parse.parse_qs(query).items():
+        mapping = _SUBSCRIBE_PARAMS.get(name)
+        if mapping is None:
+            if name == "updates":
+                body["emit_updates"] = values[-1].lower() not in ("0", "false", "no")
+                continue
+            raise WireError(
+                400, "bad_request", f"unknown /subscribe parameter {name!r}"
+            )
+        key, convert = mapping
+        try:
+            value = convert(values[-1])
+        except ValueError:
+            raise WireError(
+                400,
+                "bad_request",
+                f"parameter {name!r} must be {convert.__name__}, got {values[-1]!r}",
+            )
+        if key in _WINDOW_KEYS:
+            window[key] = value
+        else:
+            body[key] = value
+    if window:
+        body["window"] = window
+    return body
 
 
 class QueryService:
@@ -218,9 +292,15 @@ class QueryService:
             if path == "/query":
                 return await self._query(parsed, tenant)
             return await self._stream(parsed, tenant)
+        if path == "/subscribe" and method in ("GET", "POST"):
+            parsed = (
+                _subscribe_params(target) if method == "GET" else parse_json_body(body)
+            )
+            tenant = self._tenant_of(headers, parsed)
+            return await self._subscribe(parsed, tenant)
         if path.startswith("/query/") and method == "DELETE":
             return self._cancel(path[len("/query/"):])
-        if path in ("/healthz", "/tables", "/stats", "/query", "/stream"):
+        if path in ("/healthz", "/tables", "/stats", "/query", "/stream", "/subscribe"):
             return _json_response(
                 405, error_payload("method_not_allowed", f"{method} {path}")
             )
@@ -536,6 +616,132 @@ class QueryService:
                 )
                 counters.cancelled += 1
             await loop.run_in_executor(None, _drain_queue, q, thread)
+
+    # -- GET/POST /subscribe -------------------------------------------------
+
+    #: Retry-after hint when a tenant is out of subscription slots.  Slots
+    #: free on cancel/disconnect, not on a queue cadence, so the hint is a
+    #: polling suggestion rather than an admission estimate.
+    SUBSCRIPTION_RETRY_MS = 1000
+
+    def _subscribe_request(self, body: dict, state):
+        """Parse a subscription request: windowed spec + runner knobs."""
+        request = build_query_request(
+            body, self.pool.primary, default_seed=self.default_seed
+        )
+        spec = apply_tenant_defaults(request, state.config)
+        window = body.get("window")
+        if window is not None:
+            if spec.window is not None:
+                raise WireError(
+                    400,
+                    "bad_request",
+                    "window given both in the spec and the 'window' field",
+                )
+            try:
+                spec = dataclasses.replace(spec, window=WindowSpec.from_dict(window))
+            except (TypeError, ValueError) as exc:
+                raise WireError(400, "bad_window", f"cannot build window: {exc}")
+        if spec.window is None:
+            raise WireError(
+                400,
+                "bad_request",
+                "/subscribe needs a windowed query: pass a 'window' object "
+                "(window_size=... on GET) or a spec that carries one",
+            )
+        max_windows = body.get("max_windows")
+        if max_windows is not None and (
+            not isinstance(max_windows, int)
+            or isinstance(max_windows, bool)
+            or max_windows < 1
+        ):
+            raise WireError(400, "bad_request", "'max_windows' must be an integer >= 1")
+        emit_updates = body.get("emit_updates", True)
+        if not isinstance(emit_updates, bool):
+            raise WireError(400, "bad_request", "'emit_updates' must be a boolean")
+        return request, spec, max_windows, emit_updates
+
+    async def _subscribe(self, body: dict, tenant: str) -> _Response:
+        state = self.tenants.state(tenant)
+        request, spec, max_windows, emit_updates = self._subscribe_request(body, state)
+        # Subscription slots, not the execution queue: a subscription lives
+        # for many windows and is shed (never queued) when the tenant is at
+        # max_subscriptions.  Results are never cached - every window is
+        # fresh work over rows the cache has not seen.
+        if state.subscriptions >= state.config.max_subscriptions:
+            state.counters.shed += 1
+            raise QueryShed(tenant, retry_after_ms=self.SUBSCRIPTION_RETRY_MS)
+        ticket = self._register_ticket(request.query_id, tenant)
+        try:
+            cq = self.pool.next().subscribe(
+                spec,
+                seed=request.seed,
+                max_windows=max_windows,
+                emit_updates=emit_updates,
+            )
+        except BaseException:
+            self._tickets.pop(ticket.query_id, None)
+            raise
+        ticket.subscription = cq
+        state.subscriptions += 1
+        state.counters.subscriptions_started += 1
+        return _Response(
+            200, self._subscription_events(ticket, cq, state), headers=SSE_HEADERS
+        )
+
+    async def _subscription_events(
+        self, ticket: _Ticket, cq: ContinuousQuery, state
+    ) -> AsyncIterator[bytes]:
+        """SSE frames for one live subscription.
+
+        The :class:`ContinuousQuery` produces on its own daemon thread into
+        an unbounded queue; this generator consumes one event per executor
+        hop, so a slow client buffers window events without stalling the
+        stream scan.  ``DELETE /query/{id}`` (or client disconnect) cancels
+        the runner; cancellation ends the stream with a clean ``done``
+        event (``cancelled: true``), while runner failures become a
+        terminal ``error`` event.
+        """
+        counters = state.counters
+        loop = asyncio.get_running_loop()
+        events = cq.updates()
+        windows = 0
+        n = 0
+        try:
+            while True:
+                item = await loop.run_in_executor(None, next, events, _SUB_DONE)
+                if item is _SUB_DONE:
+                    yield sse_event(
+                        {
+                            "query_id": ticket.query_id,
+                            "tenant": ticket.tenant,
+                            "windows": windows,
+                            "cancelled": cq.cancelled,
+                            "stats": cq.stats(),
+                        },
+                        event="done",
+                        event_id=n + 1,
+                    )
+                    return
+                n += 1
+                if isinstance(item, WindowResult):
+                    windows += 1
+                    counters.windows_emitted += 1
+                    yield sse_event(item.to_dict(), event="window", event_id=n)
+                else:
+                    yield sse_event(item.to_dict(), event="update", event_id=n)
+        except Exception as exc:  # runner failure -> terminal error event
+            counters.errors += 1
+            yield sse_event(
+                error_payload("internal", f"{type(exc).__name__}: {exc}"),
+                event="error",
+                event_id=n + 1,
+            )
+        finally:
+            cq.cancel()
+            state.subscriptions -= 1
+            self._tickets.pop(ticket.query_id, None)
+            await loop.run_in_executor(None, cq.join, 30)
 
     # -- lifecycle -----------------------------------------------------------
 

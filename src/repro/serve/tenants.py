@@ -41,12 +41,19 @@ class TenantConfig:
             its own deadline keeps it.
         max_retries: default transient-scan retry budget; ``None`` keeps
             each spec's own value.
+        max_subscriptions: concurrent long-lived ``/subscribe`` streams
+            this tenant may hold open.  Subscriptions are gated here rather
+            than through the execution admission queue - a subscription
+            lives for many windows, and parking it in an execution slot
+            would starve the tenant's one-shot queries for its entire
+            lifetime.  Excess subscriptions are shed (429), never queued.
     """
 
     max_concurrent: int = 4
     queue_limit: int = 16
     deadline_ms: float | None = None
     max_retries: int | None = None
+    max_subscriptions: int = 4
 
     def __post_init__(self) -> None:
         if int(self.max_concurrent) < 1:
@@ -57,6 +64,10 @@ class TenantConfig:
             raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
         if self.max_retries is not None and int(self.max_retries) < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if int(self.max_subscriptions) < 0:
+            raise ValueError(
+                f"max_subscriptions must be >= 0, got {self.max_subscriptions}"
+            )
 
 
 @dataclass
@@ -80,6 +91,8 @@ class TenantCounters:
     cache_hits: int = 0
     singleflight_shared: int = 0
     deadline_expired: int = 0
+    subscriptions_started: int = 0
+    windows_emitted: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -97,6 +110,9 @@ class _TenantState:
     # transfers slots FIFO.  Stored here (not in the controller) so /stats
     # can report live queue depth per tenant.
     waiters: list = field(default_factory=list)
+    # Live gauge of open /subscribe streams (the monotonic starts/windows
+    # counts live in TenantCounters).
+    subscriptions: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -105,9 +121,11 @@ class _TenantState:
                 "queue_limit": self.config.queue_limit,
                 "deadline_ms": self.config.deadline_ms,
                 "max_retries": self.config.max_retries,
+                "max_subscriptions": self.config.max_subscriptions,
             },
             "running": self.running,
             "queued_now": len(self.waiters),
+            "subscriptions": self.subscriptions,
             "counters": self.counters.to_dict(),
         }
 

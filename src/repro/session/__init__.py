@@ -55,6 +55,7 @@ from repro.session.spec import (
     QuerySpec,
     lower_query,
 )
+from repro.streaming import WindowSpec
 
 __all__ = [
     "connect",
@@ -70,6 +71,7 @@ __all__ = [
     "HavingSpec",
     "Aggregate",
     "lower_query",
+    "WindowSpec",
     "Result",
     "AggregateResult",
     "GroupEstimate",

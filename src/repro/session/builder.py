@@ -25,9 +25,11 @@ from repro.query.ast import Aggregate, And, Predicate
 from repro.query.parser import parse_aggregate, parse_having, parse_predicate
 from repro.session.result import Result, ResultStream
 from repro.session.spec import GuaranteeSpec, HavingSpec, QuerySpec
+from repro.streaming.window import WindowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.session.session import Session
+    from repro.streaming.continuous import ContinuousQuery
 
 __all__ = ["QueryBuilder", "avg", "total", "sum_", "count"]
 
@@ -85,6 +87,7 @@ class QueryBuilder:
     _executor: str = "thread"
     _deadline_ms: float | None = None
     _max_retries: int = 2
+    _window: WindowSpec | None = None
     _schema: Schema | None = None
 
     def _clone(self, **changes) -> "QueryBuilder":
@@ -252,6 +255,40 @@ class QueryBuilder:
         """Retry budget for transient source-scan failures (default 2)."""
         return self._clone(_max_retries=int(max_retries))
 
+    def window(
+        self,
+        size: float,
+        *,
+        every: float | None = None,
+        on: str | None = None,
+        late: str = "drop",
+        allowed_lateness: float = 0.0,
+        origin: float = 0.0,
+    ) -> "QueryBuilder":
+        """Make the query continuous: evaluate once per window of the stream.
+
+        ``size``/``every`` count rows (default) or units of the numeric
+        ``on`` column; ``every=None`` tumbles, ``every < size`` slides.
+        Time windows track completeness with a watermark (``max(t seen) -
+        allowed_lateness``) and apply ``late`` (``"drop"`` / ``"recompute"``
+        / ``"error"``) to rows arriving after their windows closed.  Run a
+        windowed query with :meth:`subscribe` / ``Session.subscribe`` - the
+        one-shot ``run()``/``stream()`` paths reject it.  ``window(None)``
+        is not a thing; to un-window, build a fresh query.
+        """
+        if on is not None and self._schema is not None:
+            self._schema.check_columns((on,), "WINDOW ON", self._table)
+        return self._clone(
+            _window=WindowSpec(
+                size=size,
+                every=every,
+                on=on,
+                late=late,
+                allowed_lateness=allowed_lateness,
+                origin=origin,
+            )
+        )
+
     # -- lowering and execution ---------------------------------------------
 
     def spec(self) -> QuerySpec:
@@ -277,6 +314,7 @@ class QueryBuilder:
             executor=self._executor,
             deadline_ms=self._deadline_ms,
             max_retries=self._max_retries,
+            window=self._window,
         )
 
     def explain(self) -> str:
@@ -292,3 +330,12 @@ class QueryBuilder:
     def stream(self, seed=None, **runner_kwargs) -> ResultStream:
         """Execute incrementally: PartialUpdates as groups finalize."""
         return self._session.stream(self.spec(), seed=seed, **runner_kwargs)
+
+    def subscribe(self, seed=None, **kwargs) -> "ContinuousQuery":
+        """Run the windowed query continuously (requires :meth:`window`).
+
+        Sugar for ``session.subscribe(builder, ...)``; see
+        :meth:`Session.subscribe` for ``max_windows`` / ``warm_start`` /
+        ``emit_updates``.
+        """
+        return self._session.subscribe(self.spec(), seed=seed, **kwargs)

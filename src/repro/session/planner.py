@@ -407,6 +407,13 @@ def _plan(spec: QuerySpec, catalog: Catalog) -> _PlanContext:
     columns, a non-numeric AVG/SUM target, a numeric-vs-string predicate
     literal - surfaces here, before a single row is scanned.
     """
+    if spec.window is not None:
+        raise ValueError(
+            "spec carries a window - windowed queries run continuously, one "
+            "result per window, and do not fit the one-shot execute/submit "
+            "paths.  Use Session.subscribe(...) (or repro.streaming."
+            "WindowRunner directly) instead."
+        )
     if spec.table not in catalog:
         raise KeyError(
             f"unknown table {spec.table!r}; catalog has {sorted(catalog.names)}"
@@ -846,6 +853,14 @@ def stream_spec(
 def describe_spec(spec: QuerySpec) -> str:
     """A short textual plan: how the planner will dispatch this spec."""
     lines = [f"table: {spec.table}  group by: {', '.join(spec.group_by)}"]
+    if spec.window is not None:
+        w = spec.window
+        shape = "sliding" if w.sliding else "tumbling"
+        domain = f"on {w.on}" if w.by_time else "by row count"
+        lines.append(
+            f"window: {shape} size={w.size:g} every={w.stride:g} {domain} "
+            f"(late={w.late}); continuous - run via Session.subscribe(...)"
+        )
     lines.append(f"scan columns: {', '.join(spec.scan_columns())}")
     if spec.where is not None:
         form = _ENGINES.get(spec.engine)

@@ -497,6 +497,63 @@ class Session:
         )
         return QueryFuture(inner, deadline)
 
+    def subscribe(
+        self,
+        what: str | Query | QuerySpec | QueryBuilder,
+        *,
+        seed=None,
+        max_windows: int | None = None,
+        warm_start: bool = True,
+        emit_updates: bool = True,
+        **runner_kwargs,
+    ):
+        """Run a *windowed* query continuously; returns a
+        :class:`~repro.streaming.ContinuousQuery`.
+
+        The spec must carry a window (``QueryBuilder.window(...)`` or
+        ``QuerySpec(window=...)``).  The source is scanned once on a
+        background thread; each closed window re-runs the full guarantee
+        machinery over exactly its rows with seed ``seed + window index``,
+        so a tumbling window's result is bit-identical to the one-shot
+        query over the same rows.  Iterate ``.updates()`` (or the handle
+        itself) for live per-group :class:`WindowUpdate` events and
+        :class:`WindowResult` closes; ``.cancel()`` stops it.
+
+        Catalog isolation matches :meth:`submit`: the catalog is
+        snapshotted, so re-registering a name never swaps the stream out
+        from under a live subscription.
+
+        Args:
+            seed: base seed (session default when None).
+            max_windows: stop after this many closed windows (bounds
+                subscriptions over unbounded sources).
+            warm_start: let sliding windows reuse cached pane groupings
+                from overlapping predecessors (bit-identical; population
+                engines only).
+            emit_updates: False skips per-group updates (results only,
+                and each window runs the ``execute`` code path).
+        """
+        from repro.streaming.continuous import ContinuousQuery
+
+        spec = self._lower(what)
+        if spec.window is None:
+            raise ValueError(
+                "subscribe() needs a windowed query - add "
+                ".window(size=..., every=...) to the builder or set "
+                "QuerySpec.window; for one-shot queries use execute()/submit()"
+            )
+        if spec.table not in self._catalog:
+            raise KeyError(f"unknown table {spec.table!r}; registered: {self.tables}")
+        return ContinuousQuery.start(
+            spec,
+            self._catalog.snapshot(),
+            seed=seed if seed is not None else self.seed,
+            warm_start=warm_start,
+            max_windows=max_windows,
+            emit_updates=emit_updates,
+            runner_kwargs=runner_kwargs,
+        )
+
     def _submit_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._closed:

@@ -26,6 +26,7 @@ from repro.query.ast import (
     predicate_from_dict,
     predicate_to_dict,
 )
+from repro.streaming.window import WindowSpec
 
 __all__ = [
     "Aggregate",
@@ -214,6 +215,11 @@ class QuerySpec:
         max_retries: transient-failure retry budget for source-scan
             population builds (exponential backoff; see
             :mod:`repro.resilience.retry`).
+        window: optional :class:`~repro.streaming.window.WindowSpec` turning
+            the query continuous - the stream is carved into windows and
+            every other field is evaluated once per window.  Windowed specs
+            run through ``Session.subscribe(...)`` / the streaming runner;
+            the one-shot ``execute``/``submit`` paths reject them loudly.
     """
 
     table: str
@@ -230,8 +236,13 @@ class QuerySpec:
     executor: str = "thread"
     deadline_ms: float | None = None
     max_retries: int = 2
+    window: WindowSpec | None = None
 
     def __post_init__(self) -> None:
+        if self.window is not None and not isinstance(self.window, WindowSpec):
+            raise TypeError(
+                f"window must be a WindowSpec (or None), got {self.window!r}"
+            )
         if not self.table:
             raise ValueError("a query needs a table name")
         if int(self.shards) < 1:
@@ -321,6 +332,7 @@ class QuerySpec:
             "executor": self.executor,
             "deadline_ms": self.deadline_ms,
             "max_retries": self.max_retries,
+            "window": self.window.to_dict() if self.window is not None else None,
         }
 
     @classmethod
@@ -329,6 +341,7 @@ class QuerySpec:
         where = data.get("where")
         having = data.get("having")
         guarantee = data.get("guarantee")
+        window = data.get("window")
         return cls(
             table=data["table"],
             group_by=tuple(data["group_by"]),
@@ -350,6 +363,7 @@ class QuerySpec:
             executor=data.get("executor", "thread"),
             deadline_ms=data.get("deadline_ms"),
             max_retries=int(data.get("max_retries", 2)),
+            window=WindowSpec.from_dict(window) if window is not None else None,
         )
 
     def canonical_key(self) -> str:
@@ -376,6 +390,7 @@ def lower_query(
     executor: str = "thread",
     deadline_ms: float | None = None,
     max_retries: int = 2,
+    window: WindowSpec | None = None,
 ) -> QuerySpec:
     """Lower a parsed SQL :class:`~repro.query.ast.Query` to a :class:`QuerySpec`.
 
@@ -401,4 +416,5 @@ def lower_query(
         executor=executor,
         deadline_ms=deadline_ms,
         max_retries=max_retries,
+        window=window,
     )

@@ -1,0 +1,51 @@
+"""Continuous windowed queries with per-window ordering guarantees.
+
+The streaming layer carves an unbounded chunk stream into windows
+(:mod:`repro.streaming.window`), re-runs the full guarantee machinery per
+window (:mod:`repro.streaming.runner`) and hands consumers a live
+subscription handle (:mod:`repro.streaming.continuous`).  Front doors:
+``QueryBuilder.window(...)`` + ``Session.subscribe(...)``, the
+``GET /subscribe`` SSE endpoint in :mod:`repro.serve`, and
+``repro stream`` in the CLI.
+
+Import note: :class:`WindowSpec` is imported eagerly because
+:mod:`repro.session.spec` embeds it in the query IR; the runner and the
+continuous handle import the planner, so they load lazily (module
+``__getattr__``) to keep ``repro.session`` <-> ``repro.streaming``
+acyclic.
+"""
+
+from repro.streaming.window import LATE_POLICIES, WindowSpec
+
+__all__ = [
+    "LATE_POLICIES",
+    "WindowSpec",
+    "WindowBounds",
+    "WindowUpdate",
+    "WindowResult",
+    "WindowRunner",
+    "ContinuousQuery",
+    "LateDataError",
+]
+
+_LAZY = {
+    "WindowBounds": "repro.streaming.runner",
+    "WindowUpdate": "repro.streaming.runner",
+    "WindowResult": "repro.streaming.runner",
+    "WindowRunner": "repro.streaming.runner",
+    "LateDataError": "repro.streaming.runner",
+    "ContinuousQuery": "repro.streaming.continuous",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,139 @@
+"""The live handle a subscription returns: a query that keeps answering.
+
+:class:`ContinuousQuery` runs a :class:`~repro.streaming.runner.WindowRunner`
+on a daemon thread and hands the caller an iterator of window events -
+the same producer-thread + queue shape :func:`~repro.session.planner`
+uses for live one-shot streams, so a consumer can fall behind (events
+buffer) or walk away (``cancel()`` stops the producer at its next
+boundary and interrupts in-flight sampling through the active window's
+deadline token).
+
+Cancellation is cooperative and clean: after :meth:`cancel` the event
+iterator simply ends (no exception - the consumer asked for it); any
+*other* failure inside the runner re-raises from :meth:`updates` so
+errors are never swallowed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator
+
+from repro.catalog import Catalog
+from repro.errors import QueryCancelled
+from repro.session.spec import QuerySpec
+from repro.streaming.runner import WindowResult, WindowRunner, WindowUpdate
+
+__all__ = ["ContinuousQuery"]
+
+_DONE = object()
+
+
+class ContinuousQuery:
+    """A running subscription over a windowed spec.
+
+    Obtained from ``Session.subscribe(...)`` (or :meth:`start`).  Iterate
+    :meth:`updates` for the full event stream (``WindowUpdate`` while a
+    window evaluates, ``WindowResult`` when it closes) or :meth:`results`
+    for closed windows only.  The stream is single-consumer.
+    """
+
+    def __init__(self, runner: WindowRunner) -> None:
+        self._runner = runner
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._error: BaseException | None = None
+        self._was_cancelled = False
+        self._finished = threading.Event()
+        self._consuming = False
+        self._thread = threading.Thread(
+            target=self._work, daemon=True, name="continuous-query"
+        )
+        self._thread.start()
+
+    @classmethod
+    def start(
+        cls,
+        spec: QuerySpec,
+        catalog: Catalog,
+        *,
+        seed: int | None = None,
+        warm_start: bool = True,
+        max_windows: int | None = None,
+        emit_updates: bool = True,
+        runner_kwargs: dict | None = None,
+    ) -> "ContinuousQuery":
+        """Build the runner and start it; see :class:`WindowRunner` for args."""
+        return cls(
+            WindowRunner(
+                spec,
+                catalog,
+                seed=seed,
+                warm_start=warm_start,
+                max_windows=max_windows,
+                emit_updates=emit_updates,
+                runner_kwargs=runner_kwargs,
+            )
+        )
+
+    # -- producer ---------------------------------------------------------
+
+    def _work(self) -> None:
+        try:
+            for event in self._runner.run():
+                self._queue.put(event)
+        except QueryCancelled:
+            self._was_cancelled = True
+        except BaseException as exc:  # surfaced from updates(), never lost
+            self._error = exc
+        finally:
+            self._finished.set()
+            self._queue.put(_DONE)
+
+    # -- consumer surface -------------------------------------------------
+
+    def updates(self) -> Iterator[WindowUpdate | WindowResult]:
+        """The event stream; ends on source exhaustion, ``max_windows`` or
+        :meth:`cancel`, re-raises any runner failure."""
+        if self._consuming:
+            raise RuntimeError(
+                "ContinuousQuery is single-consumer; updates() already claimed"
+            )
+        self._consuming = True
+        while True:
+            item = self._queue.get()
+            if item is _DONE:
+                if self._error is not None:
+                    raise self._error
+                return
+            yield item
+
+    def results(self) -> Iterator[WindowResult]:
+        """Closed windows only (per-group updates filtered out)."""
+        for event in self.updates():
+            if isinstance(event, WindowResult):
+                yield event
+
+    def __iter__(self) -> Iterator[WindowUpdate | WindowResult]:
+        return self.updates()
+
+    def cancel(self) -> None:
+        """Stop the subscription; idempotent, takes effect at the runner's
+        next chunk/window boundary (in-flight sampling is interrupted)."""
+        self._runner.cancel()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the producer to finish; True once it has."""
+        return self._finished.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._was_cancelled
+
+    def stats(self) -> dict:
+        """Live runner accounting (rows, windows, late counters)."""
+        return self._runner.stats()

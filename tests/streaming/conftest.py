@@ -1,0 +1,14 @@
+"""Fixtures for the streaming test suite (helpers live in streamutil)."""
+
+from __future__ import annotations
+
+import pytest
+
+from streamutil import make_session
+
+
+@pytest.fixture
+def stream_session():
+    session = make_session()
+    yield session
+    session.close()

@@ -1,0 +1,158 @@
+"""WindowSpec geometry: validation, assignment math, serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.streaming import LATE_POLICIES, WindowSpec
+
+
+class TestValidation:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="size must be > 0"):
+            WindowSpec(size=0)
+        with pytest.raises(ValueError, match="size must be > 0"):
+            WindowSpec(size=-5)
+
+    def test_size_must_be_a_number(self):
+        with pytest.raises(TypeError):
+            WindowSpec(size="100")
+        with pytest.raises(TypeError):
+            WindowSpec(size=True)
+
+    def test_every_bounds(self):
+        with pytest.raises(ValueError, match="every must be > 0"):
+            WindowSpec(size=10, every=0)
+        # every > size would leave gaps between windows - rejected loudly.
+        with pytest.raises(ValueError, match="gaps"):
+            WindowSpec(size=10, every=11)
+        assert WindowSpec(size=10, every=10).stride == 10
+
+    def test_late_policy_names(self):
+        assert LATE_POLICIES == ("drop", "recompute", "error")
+        with pytest.raises(ValueError, match="late policy"):
+            WindowSpec(size=10, on="ts", late="ignore")
+
+    def test_negative_lateness(self):
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            WindowSpec(size=10, on="ts", allowed_lateness=-1.0)
+
+    def test_row_windows_need_integer_geometry(self):
+        with pytest.raises(ValueError, match="integer size"):
+            WindowSpec(size=10.5)
+        with pytest.raises(ValueError, match="integer every"):
+            WindowSpec(size=10, every=2.5)
+        # Float-typed but integral is fine (wire formats carry floats).
+        assert WindowSpec(size=10.0, every=5.0).stride == 5.0
+
+    def test_row_windows_reject_time_only_knobs(self):
+        with pytest.raises(ValueError, match="time windows"):
+            WindowSpec(size=10, allowed_lateness=5.0)
+        with pytest.raises(ValueError, match="time windows"):
+            WindowSpec(size=10, late="recompute")
+        with pytest.raises(ValueError, match="origin"):
+            WindowSpec(size=10, origin=100.0)
+
+
+class TestGeometry:
+    def test_tumbling_assignment_is_half_open(self):
+        w = WindowSpec(size=10.0, on="ts")
+        lo, hi = w.assign(np.array([0.0, 9.999, 10.0, 25.0]))
+        assert hi.tolist() == [0, 0, 1, 2]
+        assert lo.tolist() == hi.tolist()  # tumbling: one window per row
+
+    def test_sliding_assignment_spans_overlapping_windows(self):
+        w = WindowSpec(size=10.0, every=5.0, on="ts")
+        lo, hi = w.assign(np.array([7.0]))
+        # t=7 lands in [0,10) and [5,15): window indices 0 and 1.
+        assert (lo[0], hi[0]) == (0, 1)
+
+    def test_lo_clamped_at_zero(self):
+        w = WindowSpec(size=10.0, every=5.0, on="ts")
+        lo, hi = w.assign(np.array([2.0]))
+        assert (lo[0], hi[0]) == (0, 0)
+
+    def test_origin_shifts_the_grid(self):
+        w = WindowSpec(size=10.0, on="ts", origin=100.0)
+        _, hi = w.assign(np.array([100.0, 109.0, 110.0]))
+        assert hi.tolist() == [0, 0, 1]
+
+    def test_values_before_origin_rejected(self):
+        w = WindowSpec(size=10.0, on="ts", origin=100.0)
+        with pytest.raises(ValueError, match="origin"):
+            w.assign(np.array([99.0]))
+
+    def test_bounds(self):
+        w = WindowSpec(size=10.0, every=5.0, on="ts")
+        assert w.bounds(0) == (0.0, 10.0)
+        assert w.bounds(3) == (15.0, 25.0)
+
+    def test_panes_per_window(self):
+        assert WindowSpec(size=10.0, on="ts").panes_per_window == 1
+        assert WindowSpec(size=10.0, every=5.0, on="ts").panes_per_window == 2
+        # Non-integral size/stride ratio: no pane decomposition.
+        assert WindowSpec(size=10.0, every=3.0, on="ts").panes_per_window is None
+
+    def test_properties(self):
+        w = WindowSpec(size=10.0, every=5.0, on="ts")
+        assert w.sliding and w.by_time
+        r = WindowSpec(size=10)
+        assert not r.sliding and not r.by_time
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        w = WindowSpec(
+            size=60.0, every=30.0, on="ts", late="recompute",
+            allowed_lateness=5.0, origin=10.0,
+        )
+        assert WindowSpec.from_dict(w.to_dict()) == w
+        json.dumps(w.to_dict())  # wire-safe
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown window keys"):
+            WindowSpec.from_dict({"size": 10, "stride": 5})
+
+    def test_from_dict_requires_size(self):
+        with pytest.raises(ValueError, match="size"):
+            WindowSpec.from_dict({"every": 5})
+
+
+class TestSpecIntegration:
+    def test_canonical_key_includes_window(self, stream_session):
+        base = stream_session.table("events").group_by("g").agg("AVG(v)")
+        plain = base.spec()
+        windowed = base.window(100.0, on="ts").spec()
+        assert plain.canonical_key() != windowed.canonical_key()
+        assert (
+            base.window(100.0, every=50.0, on="ts").spec().canonical_key()
+            != windowed.canonical_key()
+        )
+
+    def test_spec_dict_roundtrip_carries_window(self, stream_session):
+        from repro.session import QuerySpec
+
+        spec = (
+            stream_session.table("events").group_by("g").agg("AVG(v)")
+            .window(100.0, on="ts", late="recompute", allowed_lateness=3.0)
+            .spec()
+        )
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+    def test_one_shot_paths_reject_windowed_specs(self, stream_session):
+        windowed = (
+            stream_session.table("events").group_by("g").agg("AVG(v)")
+            .window(100.0, on="ts")
+        )
+        with pytest.raises(ValueError, match="subscribe"):
+            windowed.run()
+        with pytest.raises(ValueError, match="subscribe"):
+            list(windowed.stream())
+
+    def test_builder_window_checks_on_column(self, stream_session):
+        base = stream_session.table("events").group_by("g").agg("AVG(v)")
+        with pytest.raises(KeyError):
+            base.window(100.0, on="nope")

@@ -25,6 +25,7 @@ ALLOWED_RUN_PREFIXES = (
     "python scripts/check_bench.py",  # bench regression guard
     "python scripts/serve_smoke.py",  # query-service boot/stream/cancel smoke
     "python scripts/storage_smoke.py",  # durable-store restart + warm-open gate
+    "python scripts/streaming_smoke.py",  # continuous-query SSE + cancel smoke
 )
 
 
@@ -51,6 +52,7 @@ def test_workflow_parses_and_has_jobs(workflow):
         "chaos",
         "serve-smoke",
         "storage",
+        "streaming",
     }
     # "on" parses as the YAML boolean True when unquoted - accept either key.
     triggers = workflow.get("on", workflow.get(True))
@@ -166,6 +168,23 @@ def test_storage_job_builds_restarts_and_gates_warm_open(workflow):
     for step in job["steps"]:
         line = step.get("run", "").strip()
         if line and "tests/storage" in line:
+            assert line.startswith("scripts/ci.sh")
+
+
+def test_streaming_job_runs_window_suites_and_sse_smoke(workflow):
+    """The streaming leg runs the continuous-query suites (window geometry,
+    bit-identity vs one-shot, lateness, the /subscribe surface) through the
+    repo CI gate, then scripts/streaming_smoke.py: a live SSE subscription
+    with monotone window ids that survives a late chunk, a DELETE-cancel,
+    and the shm-leak oracle on shutdown."""
+    job = workflow["jobs"]["streaming"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "tests/streaming/" in commands
+    assert "tests/serve/test_subscribe.py" in commands
+    assert "python scripts/streaming_smoke.py" in commands
+    for step in job["steps"]:
+        line = step.get("run", "").strip()
+        if line and "tests/streaming" in line:
             assert line.startswith("scripts/ci.sh")
 
 

@@ -11,8 +11,12 @@ Runs the full serving path end to end on an ephemeral port:
    ending in a single ``done`` event;
 4. start a never-converging query and DELETE it - the submitter must get
    the structured 499 ``cancelled`` error;
-5. shut down and assert the shared-memory registry is empty (the shm-leak
-   oracle: an abandoned worker segment fails CI here).
+5. drain: flip the service into drain mode - ``/readyz`` goes 503 while
+   ``/healthz`` stays 200, and new work is shed with 503 + ``Retry-After``;
+6. shut down and assert the shared-memory registry is empty (the shm-leak
+   oracle: an abandoned worker segment fails CI here);
+7. SIGTERM a real ``repro serve`` subprocess - it must announce the drain
+   and exit 0 (the path a rolling restart takes in production).
 
 Usage: python scripts/serve_smoke.py [--rows N]
 """
@@ -22,6 +26,9 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import os
+import signal
+import subprocess
 import sys
 import threading
 import time
@@ -58,6 +65,36 @@ def check(condition, message):
         print(f"FAIL: {message}", file=sys.stderr)
         raise SystemExit(1)
     print(f"ok: {message}")
+
+
+def sigterm_drains_cleanly() -> bool:
+    """SIGTERM a foreground ``repro serve`` and watch it drain to exit 0."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--flights",
+         "--rows", "2000", "--port", "0", "--drain-timeout", "5"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        if "listening" not in line:
+            print(f"unexpected first line: {line!r}", file=sys.stderr)
+            return False
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+    if proc.returncode != 0:
+        print(out, file=sys.stderr)
+        return False
+    return "draining" in out and "stopped" in out
 
 
 def main() -> int:
@@ -128,10 +165,27 @@ def main() -> int:
             and outcome["body"]["error"]["code"] == "cancelled",
             "cancelled submitter gets the structured 499",
         )
+
+        status, body = request(handle.port, "GET", "/readyz")
+        check(status == 200 and body["ready"], "readyz is 200 before the drain")
+        service.begin_drain()
+        status, body = request(handle.port, "GET", "/readyz")
+        check(
+            status == 503 and body["draining"],
+            "readyz flips to 503 while draining",
+        )
+        status, _body = request(handle.port, "GET", "/healthz")
+        check(status == 200, "healthz stays 200 while draining (liveness)")
+        status, body = request(handle.port, "POST", "/query", {"sql": FLIGHTS_SQL})
+        check(
+            status == 503 and body["error"]["code"] == "draining",
+            "draining server sheds new work with 503",
+        )
     finally:
         handle.stop()
 
     check(REGISTRY.active_count() == 0, "shutdown leaves the shm registry empty")
+    check(sigterm_drains_cleanly(), "SIGTERM drains a real serve process to exit 0")
     print("serve smoke passed")
     return 0
 

@@ -12,7 +12,11 @@ Runs the persistence path end to end in a throwaway store directory:
    serve results identical to the cold run;
 3. gate: the warm open must be at least 10x faster than the cold build
    (mapping segments is O(1) in the data; rebuilding is O(rows));
-4. verify: every segment checksum must match its catalog row.
+4. verify: every segment checksum must match its catalog row;
+5. self-heal: flip one bit of a committed index segment on disk, re-open,
+   and re-run the query - the corrupt build must be quarantined and
+   rebuilt transparently, the answer bit-identical to the cold run with a
+   ``resilience:`` caveat, and the store clean again afterwards.
 
 Usage: python scripts/storage_smoke.py [--rows N] [--min-speedup X]
 """
@@ -143,6 +147,45 @@ def main(argv: list[str] | None = None) -> int:
         with Store(store) as raw:
             checked = raw.verify()
         print(f"verified {checked} segments")
+
+        # Self-heal: corrupt one committed index segment, then query again.
+        with Store(store) as raw:
+            row = raw._db.execute(
+                "SELECT s.filename FROM segments s "
+                "JOIN builds b ON s.build_id = b.id "
+                "WHERE b.kind = 'needletail' ORDER BY s.id LIMIT 1"
+            ).fetchone()
+            victim = Path(raw.segments_dir) / row["filename"]
+        with open(victim, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([byte[0] ^ 0x01]))
+        print(f"flipped one bit of {row['filename']}")
+
+        healed_session = repro.connect(store=store, seed=1)
+        healed = (
+            healed_session.table("t").group_by("g").agg(repro.avg("v")).run(seed=5)
+        )
+        healed_session.close()
+        if sorted(
+            [g.label, g.estimate, g.samples] for g in healed.first
+        ) != cold_estimates:
+            failures.append("healed estimates drifted from the cold run")
+        if not any(
+            c.startswith("resilience:") and "quarantined" in c
+            for c in healed.caveats
+        ):
+            failures.append(
+                f"healed result carries no quarantine caveat: {healed.caveats}"
+            )
+        with Store(store) as raw:
+            tombstones = {t["filename"] for t in raw.quarantined()}
+            if row["filename"] not in tombstones:
+                failures.append("corrupt segment was not tombstoned")
+            raw.verify()  # the re-persisted build must be clean on disk
+        if not failures:
+            print("self-heal: quarantined, rebuilt, bit-identical with caveat")
 
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

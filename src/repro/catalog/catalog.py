@@ -387,6 +387,16 @@ class Catalog:
         """
         return builder() if builder is not None else None
 
+    def drain_resilience_events(self) -> list[str]:
+        """Self-healing events since the last drain.
+
+        The in-memory catalog has nothing that can rot, so this is always
+        empty; :class:`~repro.storage.DurableCatalog` overrides it with the
+        quarantine/degradation notes the planner surfaces as ``resilience:``
+        caveats.
+        """
+        return []
+
     # -- introspection -------------------------------------------------------
 
     def describe(self, name: str) -> SourceInfo:

@@ -16,12 +16,15 @@ Usage::
         [--window SIZE [--window-every STRIDE] [--window-on COL] [--late drop] \
          [--allowed-lateness 0] [--max-windows N]]
     python -m repro stream "SELECT ... GROUP BY ..." --window SIZE \
-        [--window-every STRIDE] [--window-on COL] [--updates] [--max-windows N]
+        [--window-every STRIDE] [--window-on COL] [--updates] [--max-windows N] \
+        [--store DIR [--resume]]
     python -m repro serve [--host 127.0.0.1] [--port 8765] [--sessions 2] \
-        [--csv PATH]... [--flights] [--tenant NAME=MAX[:QUEUE[:DEADLINE_MS]]]...
+        [--csv PATH]... [--flights] [--tenant NAME=MAX[:QUEUE[:DEADLINE_MS]]]... \
+        [--drain-timeout 30]
     python -m repro store build STORE [--csv PATH]... [--flights] \
         [--table NAME] [--group-by COL] [--value COL]
-    python -m repro store ls|verify|gc STORE
+    python -m repro store ls|gc STORE
+    python -m repro store verify STORE [--repair]
 
 ``query`` goes through the Session API.  By default it runs against a freshly
 synthesized flights table (the offline stand-in for the paper's dataset); with
@@ -249,10 +252,39 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     query = parse_query(args.sql)
     session = _query_session(args, query.table)
     builder = _windowed_builder(session.sql(query), args)
-    cq = builder.subscribe(
-        seed=args.seed, max_windows=args.max_windows, emit_updates=args.updates
-    )
-    return _print_windows(cq, updates=args.updates)
+    checkpoint = None
+    if args.store:
+        # The checkpoint is named by the query itself (canonical spec +
+        # seed), so an interrupted `repro stream --store DIR` continues
+        # with `--resume` - no id bookkeeping for the operator.
+        import hashlib
+
+        key = f"{builder.spec().canonical_key()}|{args.seed}"
+        checkpoint = "stream-" + hashlib.sha256(key.encode()).hexdigest()[:16]
+    elif args.resume:
+        print("--resume needs --store (the checkpoint lives in the store)",
+              file=sys.stderr)
+        return 2
+    try:
+        cq = builder.subscribe(
+            seed=args.seed,
+            max_windows=args.max_windows,
+            emit_updates=args.updates,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    code = _print_windows(cq, updates=args.updates)
+    if checkpoint is not None:
+        cq.join(5)
+        if cq.cancelled:
+            print(f"checkpoint retained; rerun with --resume to continue "
+                  f"from window cursor {cq.stats().get('emissions', 0)}")
+        else:
+            session.catalog.delete_checkpoint(checkpoint)
+    return code
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -474,10 +506,31 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
     from repro.storage import Store
 
     with Store(args.store) as store:
+        if args.repair:
+            report = store.repair()
+            for name in report["quarantined_files"]:
+                print(f"quarantined {name}")
+            for name in report["removed_orphans"]:
+                print(f"removed orphan {name}")
+            print(
+                f"repair: checked {report['checked']} segments, quarantined "
+                f"{report['quarantined_builds']} corrupt build(s) "
+                f"({len(report['quarantined_files'])} file(s)), removed "
+                f"{len(report['removed_orphans'])} orphan(s); the next query "
+                "rebuilds quarantined builds from source"
+            )
+            try:
+                store.verify()
+            except StorageError as exc:  # pragma: no cover - repair failed
+                print(f"store is still corrupt after repair: {exc}", file=sys.stderr)
+                return 1
+            return 0
         try:
             checked = store.verify()
         except StorageError as exc:
             print(str(exc), file=sys.stderr)
+            print("hint: `repro store verify --repair` quarantines corrupt "
+                  "builds and sweeps orphans", file=sys.stderr)
             return 1
     print(f"verified {checked} segments: all checksums match their catalog rows")
     return 0
@@ -541,7 +594,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         default_seed=args.seed,
     )
-    run_server(service, host=args.host, port=args.port)
+    run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
     return 0
 
 
@@ -688,6 +746,10 @@ def build_parser() -> argparse.ArgumentParser:
     stm.add_argument("--updates", action="store_true",
                      help="also print per-group partial updates while each "
                      "window evaluates")
+    stm.add_argument("--resume", action="store_true",
+                     help="with --store: continue an interrupted stream from "
+                     "its durable checkpoint; already-delivered windows are "
+                     "skipped and the rest replay bit-identically")
     stm.set_defaults(fn=_cmd_stream)
 
     sto = sub.add_parser(
@@ -729,6 +791,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 1 naming each corrupt file)",
     )
     sto_verify.add_argument("store", metavar="STORE", help="store directory")
+    sto_verify.add_argument("--repair", action="store_true",
+                            help="quarantine corrupt builds (they rebuild from "
+                            "source on next use) and sweep orphaned files, "
+                            "instead of exiting 1")
     sto_verify.set_defaults(fn=_cmd_store_verify)
 
     sto_gc = sto_sub.add_parser(
@@ -765,6 +831,10 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NAME=MAX[:QUEUE[:DEADLINE_MS]]",
                      help="provision one tenant explicitly (repeatable), e.g. "
                      "--tenant dashboards=8:32:2000")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     help="seconds SIGTERM lets in-flight queries finish "
+                     "before cooperative cancellation (SIGINT stops "
+                     "immediately; /readyz turns 503 while draining)")
     srv.set_defaults(fn=_cmd_serve)
     return parser
 

@@ -30,6 +30,15 @@ Sites (kind -> site is fixed; see ``_SITE_OF``):
   :class:`~repro.errors.TransientError` before any byte reaches the final
   path, so an interrupted durable-build leaves no partial build behind
   (the temp-file + atomic-rename discipline the crash tests assert).
+* ``storage.segment_write`` - fired at the same spot with the same write
+  index.  Kind ``enospc_segment_write`` raises ``OSError(ENOSPC)`` - the
+  disk-full shape - which the durable catalog's write breaker absorbs by
+  degrading to memory-only write-through instead of failing the query.
+* ``storage.segment_read`` - fired per segment opened by
+  :func:`repro.storage.segment.read_segment` with a per-store read index.
+  Kind ``flip_segment_bit`` flips one payload byte *on disk* before the
+  map, so the corruption persists exactly like real store rot until the
+  self-healing load path quarantines and re-persists the build.
 
 Activation: :func:`inject` (a context manager) installs a plan in-process
 *and* in ``os.environ[REPRO_FAULT_PLAN]`` as JSON, so spawn-context worker
@@ -43,6 +52,7 @@ seed the chaos tests feed to :meth:`FaultPlan.seeded`.
 from __future__ import annotations
 
 import contextlib
+import errno
 import json
 import os
 import random
@@ -72,6 +82,8 @@ _SITE_OF = {
     "corrupt_handshake": "procpool.handshake",
     "fail_scan_chunk": "catalog.scan_chunk",
     "fail_segment_write": "storage.write_segment",
+    "enospc_segment_write": "storage.segment_write",
+    "flip_segment_bit": "storage.segment_read",
 }
 
 FAULT_KINDS = tuple(_SITE_OF)
@@ -240,6 +252,12 @@ def fault_at(
     if fault is not None and fault.kind == "fail_segment_write":
         raise TransientError(
             f"injected fault: segment write {index} failed (site {site})"
+        )
+    if fault is not None and fault.kind == "enospc_segment_write":
+        raise OSError(
+            errno.ENOSPC,
+            f"injected fault: no space left on device (segment write {index}, "
+            f"site {site})",
         )
     return fault
 

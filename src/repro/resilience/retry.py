@@ -1,4 +1,4 @@
-"""Bounded retry with exponential backoff for transient failures.
+"""Bounded retry with exponential backoff + decorrelated jitter.
 
 Only :class:`~repro.errors.TransientError` (and subclasses, e.g.
 ``WorkerCrashed``) is ever retried - everything else propagates on the
@@ -6,10 +6,20 @@ first raise.  The planner uses this to re-run whole source-scan population
 builds (``QuerySpec.max_retries``): a scan that failed mid-stream cannot be
 resumed chunk-exactly, but restarting it is idempotent because population
 builds are pure functions of the source.
+
+Backoff is jittered by default.  Pure exponential backoff synchronizes
+retry storms: when one shared dependency blips (the single-flight result
+cache, a store write), every waiter sleeps the *same* schedule and re-hits
+the dependency in lockstep.  The jittered schedule blends the exponential
+curve toward a decorrelated walk (``base + U[0,1) * (prev * multiplier -
+base)``, capped) seeded by ``RetryPolicy.seed`` - deterministic under a
+fixed seed for tests, spread-out in production.  ``jitter=0.0`` opts back
+into the exact legacy schedule.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
@@ -24,22 +34,55 @@ T = TypeVar("T")
 @dataclass(frozen=True)
 class RetryPolicy:
     """Exponential backoff schedule: ``base_delay * multiplier**attempt``,
-    capped at ``max_delay``, for at most ``max_retries`` retries."""
+    capped at ``max_delay``, for at most ``max_retries`` retries.
+
+    ``jitter`` in [0, 1] blends each sleep from the pure exponential value
+    (0.0) toward a fully decorrelated one (1.0, the default); ``seed``
+    makes the jitter stream deterministic (None draws fresh entropy).
+    """
 
     max_retries: int = 2
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 2.0
+    jitter: float = 1.0
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if int(self.max_retries) < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.base_delay < 0 or self.max_delay < 0:
             raise ValueError("retry delays must be >= 0")
+        if not 0.0 <= float(self.jitter) <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
+        """The un-jittered backoff before retry number ``attempt`` (0-based)."""
         return min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+
+    def delays(self):
+        """The jittered backoff stream: an infinite iterator of sleeps.
+
+        With ``jitter=0.0`` this yields exactly ``delay(0), delay(1), ...``;
+        otherwise each value interpolates between that curve and a seeded
+        decorrelated walk, never exceeding ``max_delay``.
+        """
+        rng = random.Random(self.seed)
+        prev = self.base_delay
+        attempt = 0
+        while True:
+            pure = self.delay(attempt)
+            if self.jitter <= 0.0:
+                yield pure
+            else:
+                decor = min(
+                    self.max_delay,
+                    self.base_delay
+                    + rng.random() * max(0.0, prev * self.multiplier - self.base_delay),
+                )
+                prev = decor
+                yield (1.0 - self.jitter) * pure + self.jitter * decor
+            attempt += 1
 
 
 def call_with_retry(
@@ -60,6 +103,7 @@ def call_with_retry(
         sleep: injectable for tests.
     """
     policy = policy if policy is not None else RetryPolicy()
+    delays = policy.delays()
     attempt = 0
     while True:
         try:
@@ -69,5 +113,5 @@ def call_with_retry(
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(policy.delay(attempt))
+            sleep(next(delays))
             attempt += 1

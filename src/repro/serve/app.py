@@ -17,6 +17,7 @@ multi-tenant endpoint (``repro serve`` on the command line).  The shape:
 Routes::
 
     GET    /healthz        liveness + table count
+    GET    /readyz         readiness; 503 once the server is draining
     GET    /tables         registered sources (schema, kind, cache state)
     GET    /stats          per-tenant counters + cache stats
     POST   /query          execute; JSON Result envelope
@@ -24,6 +25,17 @@ Routes::
     GET    /subscribe      continuous windowed query; SSE window events
     POST   /subscribe      same, with the window described in the JSON body
     DELETE /query/{id}     cancel a queued/running query OR a subscription
+
+SSE responses are resumable: every live stream runs through a bounded
+replay relay, so a client that loses the connection re-sends the same
+request with a ``Last-Event-ID`` header and (while the relay still holds
+the next frame) receives the missed frames byte-identically and then the
+live tail.  A reconnect past the buffer gets a structured 409
+(``replay_gap``) telling it to restart the query.
+
+On SIGTERM the server *drains*: ``/readyz`` flips to 503, new work is
+shed with ``Retry-After``, in-flight queries run to completion (or are
+cooperatively cancelled at ``--drain-timeout``), and the process exits 0.
 
 Every execution route reads the tenant from the ``X-Repro-Tenant`` header
 (or a ``tenant`` body field) and applies that tenant's quotas and default
@@ -42,7 +54,9 @@ window is fresh work), and cancellable mid-stream via ``DELETE
 from __future__ import annotations
 
 import asyncio
+import collections
 import dataclasses
+import functools
 import itertools
 import json
 import queue as queue_mod
@@ -94,7 +108,89 @@ _REASONS = {
     429: "Too Many Requests",
     499: "Client Closed Request",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+
+class _RelayClosed(Exception):
+    """The replay relay was torn down (janitor expiry or service close)."""
+
+
+class _Relay:
+    """A bounded, replayable frame buffer between one SSE pump and at most
+    one attached consumer.
+
+    The pump (an asyncio task) appends finished SSE frames; the consumer
+    (the HTTP response generator) walks them by id.  Frames stay in the
+    deque after delivery, so a client that reconnects with
+    ``Last-Event-ID: n`` replays from ``n + 1`` byte-identically - the
+    relay is the reconnect window.  Backpressure: ``append`` blocks once
+    ``depth`` frames are undelivered (terminal frames always land, so a
+    finished query can always say so).  Delivered frames are evicted only
+    when the deque outgrows ``depth``; ``gap`` reports whether a resume
+    point has been evicted.
+    """
+
+    def __init__(self, depth: int) -> None:
+        self._depth = depth
+        self._frames: "collections.deque[tuple[int, bytes, bool]]" = collections.deque()
+        self._last_id = 0
+        self._first_id = 1
+        self._delivered = 0
+        self._finished = False
+        self._closed = False
+        self._cond = threading.Condition()
+        #: True while an HTTP response generator is walking this relay.
+        self.attached = False
+
+    def append(self, frame: bytes, *, terminal: bool = False) -> int:
+        with self._cond:
+            while (
+                not self._closed
+                and not terminal
+                and self._last_id - self._delivered >= self._depth
+            ):
+                self._cond.wait(0.5)
+            if self._closed:
+                raise _RelayClosed()
+            self._last_id += 1
+            self._frames.append((self._last_id, frame, terminal))
+            while (
+                len(self._frames) > self._depth
+                and self._frames[0][0] <= self._delivered
+            ):
+                self._frames.popleft()
+                self._first_id += 1
+            if terminal:
+                self._finished = True
+            self._cond.notify_all()
+            return self._last_id
+
+    def next_after(self, pos: int):
+        """Block for the first frame with id > pos; None on close/exhaustion."""
+        with self._cond:
+            if pos > self._delivered:
+                self._delivered = pos
+                self._cond.notify_all()
+            while True:
+                if self._closed:
+                    return None
+                for fid, frame, terminal in self._frames:
+                    if fid > pos:
+                        return (fid, frame, terminal)
+                if self._finished:
+                    return None
+                self._cond.wait(0.5)
+
+    def gap(self, last_id: int) -> bool:
+        """True when resuming after ``last_id`` would skip evicted frames."""
+        with self._cond:
+            return last_id + 1 < self._first_id or last_id > self._last_id
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
 
 class SessionPool:
@@ -154,6 +250,13 @@ class _Ticket:
     qfuture: QueryFuture | None = None
     deadline: Deadline | None = None
     subscription: ContinuousQuery | None = None
+    relay: _Relay | None = None
+    pump: "asyncio.Task | None" = None
+    #: Durable-subscription checkpoint name (None for everything else).
+    checkpoint_id: str | None = None
+    #: Set by an explicit DELETE so the checkpoint dies with the query;
+    #: janitor/shutdown cancels retain it for a later resume.
+    drop_checkpoint: bool = False
 
     def cancel(self) -> bool:
         """Cancel wherever the query currently is: queue, pool, or mid-run."""
@@ -213,8 +316,9 @@ def _subscribe_params(target: str) -> dict:
     for name, values in urllib.parse.parse_qs(query).items():
         mapping = _SUBSCRIBE_PARAMS.get(name)
         if mapping is None:
-            if name == "updates":
-                body["emit_updates"] = values[-1].lower() not in ("0", "false", "no")
+            if name in ("updates", "durable"):
+                key = "emit_updates" if name == "updates" else "durable"
+                body[key] = values[-1].lower() not in ("0", "false", "no")
                 continue
             raise WireError(
                 400, "bad_request", f"unknown /subscribe parameter {name!r}"
@@ -250,6 +354,13 @@ class QueryService:
     #: sampling itself - the run keeps converging) until the client drains.
     SSE_QUEUE_DEPTH = 64
 
+    #: Frames each live SSE stream keeps for ``Last-Event-ID`` reconnects.
+    RELAY_DEPTH = 256
+
+    #: How long a disconnected stream waits for its client to come back
+    #: before the run is cancelled and its ticket retired.
+    RELAY_LINGER_S = 30.0
+
     def __init__(
         self,
         session: Session | None = None,
@@ -272,8 +383,14 @@ class QueryService:
         # the same bytes.  Clients wanting fresh randomness pass "seed".
         self.default_seed = default_seed
         self.cache = ResultCache(cache_entries).attach(self.pool.primary.catalog)
+        # Durable subscriptions checkpoint through the catalog when it is
+        # store-backed; a memory-only service simply rejects `durable`.
+        catalog = self.pool.primary.catalog
+        self._checkpoints = catalog if hasattr(catalog, "save_checkpoint") else None
         self._tickets: dict[str, _Ticket] = {}
+        self._pumps: "set[asyncio.Task]" = set()
         self._auto_id = itertools.count(1)
+        self._draining = False
         self._closed = False
 
     # -- routing -------------------------------------------------------------
@@ -282,25 +399,44 @@ class QueryService:
         path = target.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return self._healthz()
+        if path == "/readyz" and method == "GET":
+            return self._readyz()
         if path == "/tables" and method == "GET":
             return self._tables()
         if path == "/stats" and method == "GET":
             return self._stats()
+        # A draining server sheds new work but still serves reconnects
+        # (Last-Event-ID) so in-flight streams can finish delivering.
+        if (
+            self._draining
+            and (
+                (path in ("/query", "/stream") and method == "POST")
+                or (path == "/subscribe" and method in ("GET", "POST"))
+            )
+            and "last-event-id" not in headers
+        ):
+            return _json_response(
+                503,
+                error_payload("draining", "server is draining; no new work admitted"),
+                headers=(("Retry-After", "2"),),
+            )
+        last_event = headers.get("last-event-id")
         if path in ("/query", "/stream") and method == "POST":
             parsed = parse_json_body(body)
             tenant = self._tenant_of(headers, parsed)
             if path == "/query":
                 return await self._query(parsed, tenant)
-            return await self._stream(parsed, tenant)
+            return await self._stream(parsed, tenant, last_event)
         if path == "/subscribe" and method in ("GET", "POST"):
             parsed = (
                 _subscribe_params(target) if method == "GET" else parse_json_body(body)
             )
             tenant = self._tenant_of(headers, parsed)
-            return await self._subscribe(parsed, tenant)
+            return await self._subscribe(parsed, tenant, last_event)
         if path.startswith("/query/") and method == "DELETE":
             return self._cancel(path[len("/query/"):])
-        if path in ("/healthz", "/tables", "/stats", "/query", "/stream", "/subscribe"):
+        if path in ("/healthz", "/readyz", "/tables", "/stats", "/query", "/stream",
+                    "/subscribe"):
             return _json_response(
                 405, error_payload("method_not_allowed", f"{method} {path}")
             )
@@ -324,6 +460,29 @@ class QueryService:
                 "inflight": len(self._tickets),
             },
         )
+
+    def _readyz(self) -> _Response:
+        """Readiness, distinct from liveness: a draining server is still
+        alive (/healthz 200) but must be rotated out of load balancing."""
+        if self._draining or self._closed:
+            return _json_response(
+                503,
+                {"ready": False, "draining": True, "inflight": len(self._tickets)},
+                headers=(("Retry-After", "2"),),
+            )
+        return _json_response(200, {"ready": True, "inflight": len(self._tickets)})
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return len(self._tickets)
+
+    def begin_drain(self) -> None:
+        """Stop admitting new work; in-flight work keeps running."""
+        self._draining = True
 
     def _tables(self) -> _Response:
         catalog = self.pool.primary.catalog
@@ -366,6 +525,11 @@ class QueryService:
                     "unknown_query", f"no in-flight query with id {query_id!r}"
                 ),
             )
+        # An explicit cancel is the user abandoning the subscription, so
+        # its checkpoint goes too (set before cancel(): the pump reads the
+        # flag after the runner joins).
+        if ticket.checkpoint_id is not None:
+            ticket.drop_checkpoint = True
         cancelled = ticket.cancel()
         return _json_response(
             200,
@@ -404,6 +568,102 @@ class QueryService:
             "cache": mode,
             "result": result.to_dict(),
         }
+
+    # -- SSE relay plumbing ---------------------------------------------------
+
+    def _spawn_pump(self, coro) -> asyncio.Task:
+        """Run an SSE producer as a loop task that outlives its consumer."""
+        task = asyncio.get_running_loop().create_task(coro)
+        self._pumps.add(task)
+        task.add_done_callback(self._pumps.discard)
+        return task
+
+    async def _relay_consume(
+        self, ticket: _Ticket, relay: _Relay, last_id: int
+    ) -> AsyncIterator[bytes]:
+        """The HTTP side of a relayed stream: frames after ``last_id``.
+
+        On a terminal frame the query is over and the ticket retires.  On
+        disconnect (generator close) the pump keeps running and a janitor
+        gives the client ``RELAY_LINGER_S`` to reconnect before the run is
+        cancelled.
+        """
+        loop = asyncio.get_running_loop()
+        relay.attached = True
+        pos = last_id
+        delivered_terminal = False
+        try:
+            while True:
+                frame = await loop.run_in_executor(None, relay.next_after, pos)
+                if frame is None:
+                    return
+                fid, data, terminal = frame
+                pos = fid
+                yield data
+                if terminal:
+                    delivered_terminal = True
+                    return
+        finally:
+            relay.attached = False
+            if delivered_terminal:
+                self._tickets.pop(ticket.query_id, None)
+            else:
+                self._schedule_relay_janitor(ticket, relay)
+
+    def _schedule_relay_janitor(self, ticket: _Ticket, relay: _Relay) -> None:
+        def expire() -> None:
+            if relay.attached or self._tickets.get(ticket.query_id) is not ticket:
+                return  # reconnected, or already retired
+            ticket.cancel()
+            relay.close()
+            self._tickets.pop(ticket.query_id, None)
+
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            expire()  # loop already gone (shutdown): tear down now
+            return
+        loop.call_later(self.RELAY_LINGER_S, expire)
+
+    def _resume_sse(self, query_id, last_event: str) -> _Response:
+        """Re-attach a reconnecting client to its in-flight stream."""
+        try:
+            last_id = int(last_event)
+        except (TypeError, ValueError):
+            raise WireError(
+                400,
+                "bad_request",
+                f"Last-Event-ID must be an integer event id, got {last_event!r}",
+            )
+        if not isinstance(query_id, str) or not query_id:
+            raise WireError(
+                400,
+                "bad_request",
+                "reconnecting with Last-Event-ID needs the original 'query_id'",
+            )
+        ticket = self._tickets.get(query_id)
+        relay = ticket.relay if ticket is not None else None
+        if relay is None or relay.gap(last_id):
+            return _json_response(
+                409,
+                error_payload(
+                    "replay_gap",
+                    f"cannot resume {query_id!r} after event {last_id}: the "
+                    "replay buffer no longer holds the next frame; restart "
+                    "the query",
+                ),
+            )
+        if relay.attached:
+            return _json_response(
+                409,
+                error_payload(
+                    "already_attached",
+                    f"{query_id!r} already has a live consumer",
+                ),
+            )
+        return _Response(
+            200, self._relay_consume(ticket, relay, last_id), headers=SSE_HEADERS
+        )
 
     # -- POST /query ---------------------------------------------------------
 
@@ -475,7 +735,11 @@ class QueryService:
 
     # -- POST /stream --------------------------------------------------------
 
-    async def _stream(self, body: dict, tenant: str) -> _Response:
+    async def _stream(
+        self, body: dict, tenant: str, last_event: str | None = None
+    ) -> _Response:
+        if last_event is not None:
+            return self._resume_sse(body.get("query_id"), last_event)
         request, spec, key, state = self._prepare(body, tenant)
         counters = state.counters
 
@@ -522,10 +786,13 @@ class QueryService:
             if admission is not None:
                 admission.release()
             raise
+        relay = _Relay(self.RELAY_DEPTH)
+        ticket.relay = relay
+        ticket.pump = self._spawn_pump(
+            self._pump_stream(ticket, admission, flight, spec, request.seed, state, relay)
+        )
         return _Response(
-            200,
-            self._live_events(ticket, admission, flight, spec, request.seed, state),
-            headers=SSE_HEADERS,
+            200, self._relay_consume(ticket, relay, 0), headers=SSE_HEADERS
         )
 
     async def _replay_events(
@@ -540,16 +807,18 @@ class QueryService:
             self._envelope(query_id, tenant, mode, result), event="done", event_id=n + 1
         )
 
-    async def _live_events(
-        self, ticket, admission, flight, spec, seed, state
-    ) -> AsyncIterator[bytes]:
-        """SSE frames from a live run on a producer thread.
+    async def _pump_stream(
+        self, ticket, admission, flight, spec, seed, state, relay: _Relay
+    ) -> None:
+        """Produce SSE frames from a live run into the reconnect relay.
 
-        Backpressure: the producer publishes into a bounded queue and blocks
-        when the client cannot keep up; the consumer awaits ``q.get`` in the
-        default executor and the transport awaits ``drain()`` per frame.  On
-        client disconnect the generator is closed, the run's cancel token
-        fires, and the queue is drained until the producer exits.
+        Backpressure: the producer thread publishes into a bounded queue
+        and blocks when the relay is full (client not keeping up); frame
+        delivery happens in :meth:`_relay_consume`, which may detach and
+        re-attach across reconnects while this pump keeps running.  When
+        the relay is torn down (janitor expiry: the client never came
+        back) the run's cancel token fires and the queue is drained until
+        the producer exits.
         """
         counters = state.counters
         loop = asyncio.get_running_loop()
@@ -576,7 +845,8 @@ class QueryService:
                 item = await loop.run_in_executor(None, q.get)
                 if isinstance(item, PartialUpdate):
                     n += 1
-                    yield sse_event(item.to_dict(), event="update", event_id=n)
+                    frame = sse_event(item.to_dict(), event="update", event_id=n)
+                    await loop.run_in_executor(None, relay.append, frame)
                     continue
                 kind, obj = item
                 if kind == "result":
@@ -586,7 +856,7 @@ class QueryService:
                     counters.completed += 1
                     if result.deadline_exceeded:
                         counters.deadline_expired += 1
-                    yield sse_event(
+                    frame = sse_event(
                         self._envelope(ticket.query_id, ticket.tenant, "miss", result),
                         event="done",
                         event_id=n + 1,
@@ -600,22 +870,27 @@ class QueryService:
                     else:
                         counters.errors += 1
                         code = "internal"
-                    yield sse_event(
+                    frame = sse_event(
                         error_payload(code, str(exc)), event="error", event_id=n + 1
                     )
+                try:
+                    await loop.run_in_executor(
+                        None, functools.partial(relay.append, frame, terminal=True)
+                    )
+                except _RelayClosed:
+                    pass  # query finished, but nobody is left to tell
                 return
-        finally:
-            deadline.cancel()
-            admission.release()
-            self._tickets.pop(ticket.query_id, None)
+        except _RelayClosed:
+            # The janitor gave up waiting for a reconnect mid-stream.
             if self.cache.flight(flight.key) is flight:
-                # Abandoned mid-stream (client disconnect): fail the flight
-                # so followers are not left awaiting a dead leader.
                 self.cache.fail_flight(
                     flight, QueryCancelled("stream client disconnected")
                 )
                 counters.cancelled += 1
             await loop.run_in_executor(None, _drain_queue, q, thread)
+        finally:
+            deadline.cancel()
+            admission.release()
 
     # -- GET/POST /subscribe -------------------------------------------------
 
@@ -659,11 +934,39 @@ class QueryService:
         emit_updates = body.get("emit_updates", True)
         if not isinstance(emit_updates, bool):
             raise WireError(400, "bad_request", "'emit_updates' must be a boolean")
-        return request, spec, max_windows, emit_updates
+        durable = body.get("durable", False)
+        if not isinstance(durable, bool):
+            raise WireError(400, "bad_request", "'durable' must be a boolean")
+        return request, spec, max_windows, emit_updates, durable
 
-    async def _subscribe(self, body: dict, tenant: str) -> _Response:
+    async def _subscribe(
+        self, body: dict, tenant: str, last_event: str | None = None
+    ) -> _Response:
+        if last_event is not None:
+            return self._resume_sse(body.get("query_id"), last_event)
         state = self.tenants.state(tenant)
-        request, spec, max_windows, emit_updates = self._subscribe_request(body, state)
+        request, spec, max_windows, emit_updates, durable = self._subscribe_request(
+            body, state
+        )
+        checkpoint_id = None
+        if durable:
+            # A durable subscription checkpoints each emitted window; after
+            # a server restart the client re-subscribes with the same
+            # query_id (+ identical query) and continues where it left off.
+            if self._checkpoints is None:
+                raise WireError(
+                    400,
+                    "bad_request",
+                    "'durable' needs a store-backed service (repro serve --store)",
+                )
+            if request.query_id is None:
+                raise WireError(
+                    400,
+                    "bad_request",
+                    "'durable' subscriptions need an explicit 'query_id' "
+                    "(it names the checkpoint to resume)",
+                )
+            checkpoint_id = f"sub-{tenant}-{request.query_id}"
         # Subscription slots, not the execution queue: a subscription lives
         # for many windows and is shed (never queued) when the tenant is at
         # max_subscriptions.  Results are never cached - every window is
@@ -672,35 +975,48 @@ class QueryService:
             state.counters.shed += 1
             raise QueryShed(tenant, retry_after_ms=self.SUBSCRIPTION_RETRY_MS)
         ticket = self._register_ticket(request.query_id, tenant)
+        ticket.checkpoint_id = checkpoint_id
         try:
             cq = self.pool.next().subscribe(
                 spec,
                 seed=request.seed,
                 max_windows=max_windows,
                 emit_updates=emit_updates,
+                checkpoint=checkpoint_id,
+                resume=checkpoint_id is not None,
             )
-        except BaseException:
+        except BaseException as exc:
             self._tickets.pop(ticket.query_id, None)
+            if checkpoint_id is not None and isinstance(exc, ValueError):
+                raise WireError(409, "checkpoint_mismatch", str(exc))
             raise
         ticket.subscription = cq
         state.subscriptions += 1
         state.counters.subscriptions_started += 1
+        relay = _Relay(self.RELAY_DEPTH)
+        ticket.relay = relay
+        ticket.pump = self._spawn_pump(
+            self._pump_subscription(ticket, cq, state, relay)
+        )
         return _Response(
-            200, self._subscription_events(ticket, cq, state), headers=SSE_HEADERS
+            200, self._relay_consume(ticket, relay, 0), headers=SSE_HEADERS
         )
 
-    async def _subscription_events(
-        self, ticket: _Ticket, cq: ContinuousQuery, state
-    ) -> AsyncIterator[bytes]:
-        """SSE frames for one live subscription.
+    async def _pump_subscription(
+        self, ticket: _Ticket, cq: ContinuousQuery, state, relay: _Relay
+    ) -> None:
+        """Produce SSE frames for one live subscription into its relay.
 
         The :class:`ContinuousQuery` produces on its own daemon thread into
-        an unbounded queue; this generator consumes one event per executor
-        hop, so a slow client buffers window events without stalling the
-        stream scan.  ``DELETE /query/{id}`` (or client disconnect) cancels
-        the runner; cancellation ends the stream with a clean ``done``
-        event (``cancelled: true``), while runner failures become a
-        terminal ``error`` event.
+        an unbounded queue; this pump consumes one event per executor hop,
+        so a slow client buffers window events without stalling the stream
+        scan.  ``DELETE /query/{id}`` (or janitor expiry after a client
+        never reconnects) cancels the runner; cancellation ends the stream
+        with a clean ``done`` event (``cancelled: true``), while runner
+        failures become a terminal ``error`` event.  A durable
+        subscription's checkpoint is deleted on natural completion or
+        explicit cancel, and retained on failure/abandonment so a later
+        resume can continue.
         """
         counters = state.counters
         loop = asyncio.get_running_loop()
@@ -711,7 +1027,7 @@ class QueryService:
             while True:
                 item = await loop.run_in_executor(None, next, events, _SUB_DONE)
                 if item is _SUB_DONE:
-                    yield sse_event(
+                    frame = sse_event(
                         {
                             "query_id": ticket.query_id,
                             "tenant": ticket.tenant,
@@ -722,26 +1038,55 @@ class QueryService:
                         event="done",
                         event_id=n + 1,
                     )
+                    try:
+                        await loop.run_in_executor(
+                            None, functools.partial(relay.append, frame, terminal=True)
+                        )
+                    except _RelayClosed:
+                        pass
                     return
                 n += 1
                 if isinstance(item, WindowResult):
                     windows += 1
                     counters.windows_emitted += 1
-                    yield sse_event(item.to_dict(), event="window", event_id=n)
+                    frame = sse_event(item.to_dict(), event="window", event_id=n)
                 else:
-                    yield sse_event(item.to_dict(), event="update", event_id=n)
+                    frame = sse_event(item.to_dict(), event="update", event_id=n)
+                await loop.run_in_executor(None, relay.append, frame)
+        except _RelayClosed:
+            pass  # janitor expired the relay; the finally cancels the runner
         except Exception as exc:  # runner failure -> terminal error event
             counters.errors += 1
-            yield sse_event(
+            frame = sse_event(
                 error_payload("internal", f"{type(exc).__name__}: {exc}"),
                 event="error",
                 event_id=n + 1,
             )
+            try:
+                await loop.run_in_executor(
+                    None, functools.partial(relay.append, frame, terminal=True)
+                )
+            except _RelayClosed:
+                pass
         finally:
             cq.cancel()
             state.subscriptions -= 1
-            self._tickets.pop(ticket.query_id, None)
             await loop.run_in_executor(None, cq.join, 30)
+            # Checkpoint retirement happens after join, once `cancelled`
+            # has settled: completion and user-cancel drop it; failure,
+            # abandonment, and shutdown keep it for a later resume.
+            if (
+                ticket.checkpoint_id is not None
+                and self._checkpoints is not None
+                and (
+                    ticket.drop_checkpoint
+                    or (not cq.cancelled and cq.error is None)
+                )
+            ):
+                try:
+                    self._checkpoints.delete_checkpoint(ticket.checkpoint_id)
+                except Exception:
+                    pass  # a live checkpoint is merely a resume offer
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -757,6 +1102,10 @@ class QueryService:
         self._closed = True
         for ticket in list(self._tickets.values()):
             ticket.cancel()
+            if ticket.relay is not None:
+                # Unblock any pump parked in relay.append so its executor
+                # thread cannot hang process exit.
+                ticket.relay.close()
         self.pool.close()
 
 
@@ -812,6 +1161,9 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
         self.service.close()
+        pumps = {t for t in getattr(self.service, "_pumps", ()) if not t.done()}
+        if pumps:
+            await asyncio.wait(pumps, timeout=10)
 
     # -- connection handling -------------------------------------------------
 
@@ -981,31 +1333,64 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8765,
     *,
+    drain_timeout: float | None = 30.0,
     announce=print,
 ) -> None:
-    """Run the server in the foreground until SIGINT/SIGTERM (the CLI path)."""
+    """Run the server in the foreground until SIGINT/SIGTERM (the CLI path).
+
+    SIGINT stops immediately.  SIGTERM *drains*: ``/readyz`` flips to 503
+    (rotate this instance out of load balancing), new work is shed with
+    ``Retry-After``, and in-flight queries get up to ``drain_timeout``
+    seconds to finish before cooperative cancellation - queries are
+    anytime, so a drain-cancelled query still finalizes a valid partial
+    answer.  Either way the process exits 0.
+    """
 
     async def main() -> None:
         server = await ReproServer(service, host=host, port=port).start()
-        announce(f"repro serve listening on http://{host}:{server.port}")
         loop = asyncio.get_running_loop()
-        stop = loop.create_future()
+        stop: asyncio.Future = loop.create_future()
+
+        def request_stop(mode: str) -> None:
+            if not stop.done():
+                stop.set_result(mode)
+
         try:
             import signal
 
-            for sig in (signal.SIGINT, signal.SIGTERM):
-                loop.add_signal_handler(
-                    sig, lambda: stop.done() or stop.set_result(None)
-                )
+            loop.add_signal_handler(signal.SIGINT, request_stop, "stop")
+            loop.add_signal_handler(signal.SIGTERM, request_stop, "drain")
         except (ImportError, NotImplementedError, RuntimeError):
             pass  # platforms without loop signal handlers: Ctrl-C still raises
+        # Announce only after the handlers are live: "listening" is the
+        # operator's cue that SIGTERM now drains instead of killing.
+        announce(f"repro serve listening on http://{host}:{server.port}")
         try:
-            await stop
+            mode = await stop
         except asyncio.CancelledError:
-            pass
-        finally:
-            await server.aclose()
-            announce("repro serve stopped")
+            mode = "stop"
+        if mode == "drain" and drain_timeout is not None:
+            service.begin_drain()
+            announce(
+                f"repro serve draining ({service.inflight} in flight; /readyz now 503)"
+            )
+            drain_until = loop.time() + drain_timeout
+            while service.inflight and loop.time() < drain_until:
+                await asyncio.sleep(0.05)
+            if service.inflight:
+                announce(
+                    f"repro serve drain timed out; cancelling {service.inflight} in flight"
+                )
+                # Cancel but do NOT close relays: connected clients still
+                # get their terminal frame (queries are anytime); aclose()
+                # force-closes whatever remains.
+                for ticket in list(service._tickets.values()):
+                    ticket.cancel()
+                grace_until = loop.time() + 5.0
+                while service.inflight and loop.time() < grace_until:
+                    await asyncio.sleep(0.05)
+        await server.aclose()
+        announce("repro serve stopped")
 
     try:
         asyncio.run(main())

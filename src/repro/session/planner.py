@@ -194,7 +194,9 @@ class _PlanContext:
             )
 
         # A scan that failed mid-stream cannot resume chunk-exactly, but the
-        # whole build is a pure function of the source - restart it.
+        # whole build is a pure function of the source - restart it.  The
+        # default decorrelated jitter keeps concurrent rebuilds of one
+        # shared source from re-hitting it in lockstep.
         return call_with_retry(
             build,
             policy=RetryPolicy(max_retries=spec.max_retries),
@@ -661,6 +663,9 @@ def _assemble_result(
     for built in ctx._built_engines:
         if isinstance(built, ShardedEngine):
             events.extend(built.resilience_events())
+    # Catalog-level self-healing (storage quarantines, write degradation)
+    # rides the same caveat surface as worker recovery.
+    events.extend(ctx.catalog.drain_resilience_events())
     for event in dict.fromkeys(events):
         caveats.append(_RESILIENCE_CAVEAT.format(event=event))
 

@@ -505,6 +505,8 @@ class Session:
         max_windows: int | None = None,
         warm_start: bool = True,
         emit_updates: bool = True,
+        checkpoint: str | None = None,
+        resume: bool = False,
         **runner_kwargs,
     ):
         """Run a *windowed* query continuously; returns a
@@ -532,6 +534,16 @@ class Session:
                 engines only).
             emit_updates: False skips per-group updates (results only,
                 and each window runs the ``execute`` code path).
+            checkpoint: id of a durable checkpoint for this subscription
+                (needs a store-backed session, ``connect(store=...)``).
+                The window cursor persists at every emission, so a later
+                session can pick up where this one stopped.
+            resume: with ``checkpoint``, continue from the persisted
+                cursor: the source replays deterministically and the
+                already-delivered emissions are suppressed, so the
+                remaining window results are bit-identical to an
+                uninterrupted run.  Without an existing checkpoint the
+                subscription simply starts fresh.
         """
         from repro.streaming.continuous import ContinuousQuery
 
@@ -544,14 +556,56 @@ class Session:
             )
         if spec.table not in self._catalog:
             raise KeyError(f"unknown table {spec.table!r}; registered: {self.tables}")
+        resolved_seed = seed if seed is not None else self.seed
+        sink = None
+        resume_emissions = 0
+        if checkpoint is not None:
+            catalog = self._catalog
+            if not hasattr(catalog, "save_checkpoint"):
+                raise ValueError(
+                    "checkpoint= needs a durable session - open one with "
+                    "connect(store=...)"
+                )
+            payload = {
+                "spec": spec.canonical_key(),
+                "seed": resolved_seed,
+                "max_windows": max_windows,
+                "emit_updates": emit_updates,
+            }
+            if resume:
+                loaded = catalog.load_checkpoint(checkpoint)
+                if loaded is not None:
+                    saved_payload, state = loaded
+                    if saved_payload != payload:
+                        raise ValueError(
+                            f"checkpoint {checkpoint!r} belongs to a different "
+                            "subscription (spec, seed, or knobs differ); "
+                            "resume must replay the identical query, or start "
+                            "fresh without resume"
+                        )
+                    resume_emissions = int(state.get("emissions", 0))
+            else:
+                # A fresh run resets the cursor so a stale checkpoint from a
+                # previous life cannot leak into a later --resume.
+                catalog.save_checkpoint(
+                    checkpoint,
+                    kind="subscription",
+                    payload=payload,
+                    state={"emissions": 0},
+                )
+            sink = lambda state: catalog.save_checkpoint(  # noqa: E731
+                checkpoint, kind="subscription", payload=payload, state=state
+            )
         return ContinuousQuery.start(
             spec,
             self._catalog.snapshot(),
-            seed=seed if seed is not None else self.seed,
+            seed=resolved_seed,
             warm_start=warm_start,
             max_windows=max_windows,
             emit_updates=emit_updates,
             runner_kwargs=runner_kwargs,
+            checkpoint=sink,
+            resume_emissions=resume_emissions,
         )
 
     def _submit_pool(self) -> ThreadPoolExecutor:

@@ -23,12 +23,29 @@ lookup whose fingerprint drifted is a miss; :meth:`invalidate` and a
 rebinding :meth:`register` additionally *delete* the on-disk builds, so a
 rewritten CSV can never serve the old segment - not even to a process that
 skipped the invalidate.
+
+Self-healing discipline (PR 10): queries never fail on store rot, and never
+fail on a store that stopped accepting writes.
+
+* A corrupt build detected at load time (checksum/shape mismatch, missing
+  file) is **quarantined** - catalog row tombstoned, files moved to
+  ``quarantine/`` - and the lookup becomes a clean miss, so the normal cold
+  path rebuilds from source and re-persists.  The event is noted and
+  surfaced as a ``resilience:`` caveat on the next result.
+* An OS-level write failure (ENOSPC is the canonical shape) trips a sticky
+  :class:`~repro.resilience.breaker.CircuitBreaker`: from then on every
+  persist is skipped and the catalog runs memory-only write-through -
+  the query path is never blocked on a disk that cannot take bytes.
+  Injected ``fail_segment_write`` transients are *not* absorbed: the crash
+  -atomicity contract (a failed save leaves no partial build and surfaces)
+  is unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import zlib
 
 from repro.catalog.catalog import Catalog
@@ -40,6 +57,7 @@ from repro.catalog.synthetic import SyntheticSource
 from repro.data.population import Population
 from repro.errors import StorageError
 from repro.query.ast import Predicate, predicate_to_dict
+from repro.resilience.breaker import CircuitBreaker
 from repro.storage.mapped import (
     pack_index,
     pack_population,
@@ -78,6 +96,13 @@ class DurableCatalog(Catalog):
         #: Content fingerprints for memory tables (immutable once attached);
         #: file fingerprints are re-stat'ed on every lookup instead.
         self._fps: dict[DataSource, str] = {}
+        #: Sticky store-write breaker: one OS-level write failure (ENOSPC
+        #: et al.) degrades the catalog to memory-only write-through for the
+        #: rest of its life - a full disk never blocks the query path.
+        self._breaker = CircuitBreaker(threshold=1)
+        #: Self-healing notes (quarantines, write degradation) awaiting
+        #: :meth:`drain_resilience_events`; shared with snapshots.
+        self._events: list[str] = []
         self._reload()
 
     @property
@@ -94,6 +119,71 @@ class DurableCatalog(Catalog):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- self-healing --------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once the write breaker opened (memory-only write-through)."""
+        return self._breaker.open
+
+    def _note(self, event: str) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def drain_resilience_events(self) -> list[str]:
+        """Quarantine/degradation notes since the last drain (then cleared).
+
+        The planner drains these into ``resilience:`` result caveats, the
+        same surface worker-recovery events use - so a query that healed the
+        store on its way to an answer says so.
+        """
+        with self._lock:
+            events, self._events[:] = list(self._events), []
+        return events
+
+    def _healing_load(
+        self, name: str, kind: str, key: str, *, fingerprint: str | None
+    ):
+        """``Store.load_build`` that quarantines corruption instead of raising.
+
+        A :class:`StorageError` here means rot (checksum/shape mismatch,
+        missing or swapped file): the build is pulled from service and the
+        lookup reported as a miss, so the caller's cold path rebuilds from
+        source and re-persists - the query never fails.
+        """
+        try:
+            return self._store.load_build(name, kind, key, fingerprint=fingerprint)
+        except StorageError as exc:
+            moved = self._store.quarantine_build(name, kind, key, reason=str(exc))
+            self._note(
+                f"storage: quarantined corrupt {kind} build for table "
+                f"{name!r} ({len(moved)} segment(s)) and rebuilt from source"
+            )
+            return None
+
+    def _best_effort_persist(self, what: str, op) -> bool:
+        """Run one persist step unless (until) the write breaker is open.
+
+        OS-level failures (ENOSPC, EIO, a read-only filesystem - and the
+        sqlite errors they surface as) trip the sticky breaker and are
+        swallowed: the build stays served from memory and the caller
+        continues.  Everything else -- notably the injected
+        ``fail_segment_write`` :class:`~repro.errors.TransientError` the
+        crash-atomicity tests drive -- propagates unchanged.
+        """
+        if self._breaker.open:
+            return False
+        try:
+            op()
+            return True
+        except (OSError, sqlite3.Error) as exc:
+            self._breaker.record_failure(f"store write failed: {exc}")
+            self._note(
+                f"storage: {what} could not be persisted ({exc}); the store "
+                "is write-degraded, running memory-only until restart"
+            )
+            return False
 
     # -- binding persistence -------------------------------------------------
 
@@ -125,7 +215,11 @@ class DurableCatalog(Catalog):
             family = options.pop("family")
             return SyntheticSource(family, **options)
         if kind == "memory":
-            hit = self._store.load_build(
+            # A rotten table build quarantines like any other - but a memory
+            # table's only source *was* the build, so the name simply stays
+            # unbound (re-attach to restore it); queries elsewhere are
+            # unaffected and the caveat says what happened.
+            hit = self._healing_load(
                 row["name"], "table", "table", fingerprint=row["fingerprint"]
             )
             if hit is None:
@@ -210,7 +304,10 @@ class DurableCatalog(Catalog):
     def register(self, name: str, source) -> "DurableCatalog":
         super().register(name, source)
         bound = self._sources[name]
-        self._persist_binding(name, bound)
+        self._best_effort_persist(
+            f"binding for table {name!r}",
+            lambda: self._persist_binding(name, bound),
+        )
         return self
 
     def _persist_binding(self, name: str, source: DataSource) -> None:
@@ -244,7 +341,7 @@ class DurableCatalog(Catalog):
 
     def _persist_table(self, name: str, source: TableSource, fingerprint) -> None:
         """Persist a memory table's columns so re-open can rebuild the source."""
-        if self._store.load_build(name, "table", "table", fingerprint=fingerprint):
+        if self._healing_load(name, "table", "table", fingerprint=fingerprint):
             return  # identical content already stored
         packed = pack_table(source.table)
         if packed is None:
@@ -260,11 +357,19 @@ class DurableCatalog(Catalog):
     def invalidate(self, name: str) -> "DurableCatalog":
         """Drop the name's cached builds - in memory AND on disk."""
         super().invalidate(name)
-        self._store.drop_builds(name)
         source = self._sources.get(name)
+
+        def refresh():
+            self._store.drop_builds(name)
+            if source is not None:
+                self._persist_binding(name, source)  # refresh the fingerprint
+
         if source is not None:
             self._fps.pop(source, None)
-            self._persist_binding(name, source)  # refresh the fingerprint
+        # Best-effort on a degraded store: the in-memory drop above already
+        # guarantees no stale build is served from *this* process, and the
+        # fingerprint check protects any other.
+        self._best_effort_persist(f"invalidation of table {name!r}", refresh)
         return self
 
     def _drop_builds(self, source: DataSource) -> None:
@@ -323,7 +428,7 @@ class DurableCatalog(Catalog):
         if engine is not None:
             return engine
         fingerprint = self._fingerprint(source)
-        hit = self._store.load_build(name, "needletail", key, fingerprint=fingerprint)
+        hit = self._healing_load(name, "needletail", key, fingerprint=fingerprint)
         if hit is not None:
             meta, arrays = hit
             engine = unpack_index(
@@ -336,8 +441,12 @@ class DurableCatalog(Catalog):
         packed = pack_index(engine)
         if packed is not None:
             meta, arrays = packed
-            self._store.save_build(
-                name, "needletail", key, fingerprint=fingerprint, meta=meta, arrays=arrays
+            self._best_effort_persist(
+                f"needletail build for table {name!r}",
+                lambda: self._store.save_build(
+                    name, "needletail", key, fingerprint=fingerprint,
+                    meta=meta, arrays=arrays,
+                ),
             )
         return engine
 
@@ -365,7 +474,7 @@ class DurableCatalog(Catalog):
             )
         key = self._build_key(None, group_col, value_col, predicate, value_bound)
         fingerprint = self._fingerprint(source)
-        hit = self._store.load_build(name, "population", key, fingerprint=fingerprint)
+        hit = self._healing_load(name, "population", key, fingerprint=fingerprint)
         if hit is not None:
             meta, arrays = hit
             population = unpack_population(meta, arrays)
@@ -381,8 +490,12 @@ class DurableCatalog(Catalog):
         packed = pack_population(population)
         if packed is not None:
             meta, arrays = packed
-            self._store.save_build(
-                name, "population", key, fingerprint=fingerprint, meta=meta, arrays=arrays
+            self._best_effort_persist(
+                f"population build for table {name!r}",
+                lambda: self._store.save_build(
+                    name, "population", key, fingerprint=fingerprint,
+                    meta=meta, arrays=arrays,
+                ),
             )
         return population
 
@@ -432,6 +545,35 @@ class DurableCatalog(Catalog):
             primed.append("population")
         return primed
 
+    # -- checkpoints ---------------------------------------------------------
+
+    def save_checkpoint(
+        self, checkpoint_id: str, *, kind: str, payload: dict, state: dict
+    ) -> bool:
+        """Best-effort checkpoint write (skipped once the store degraded)."""
+        return self._best_effort_persist(
+            f"checkpoint {checkpoint_id!r}",
+            lambda: self._store.save_checkpoint(
+                checkpoint_id, kind=kind, payload=payload, state=state
+            ),
+        )
+
+    def load_checkpoint(self, checkpoint_id: str) -> tuple[dict, dict] | None:
+        return self._store.load_checkpoint(checkpoint_id)
+
+    def checkpoints(self, kind: str | None = None) -> list[dict]:
+        return self._store.checkpoints(kind)
+
+    def delete_checkpoint(self, checkpoint_id: str) -> bool:
+        ok = False
+
+        def drop():
+            nonlocal ok
+            ok = self._store.delete_checkpoint(checkpoint_id)
+
+        self._best_effort_persist(f"checkpoint {checkpoint_id!r} deletion", drop)
+        return ok
+
     def snapshot(self) -> "DurableCatalog":
         """A name-isolated view sharing the store and every build cache.
 
@@ -450,4 +592,6 @@ class DurableCatalog(Catalog):
             clone._store = self._store
             clone._engines = self._engines
             clone._fps = self._fps
+            clone._breaker = self._breaker
+            clone._events = self._events
         return clone

@@ -100,6 +100,7 @@ def write_segment(path: str | os.PathLike, array: np.ndarray, *, index: int = 0)
     point leaves either the old segment or no segment - never a torn one.
     """
     fault_at("storage.write_segment", shard=None, index=index)
+    fault_at("storage.segment_write", shard=None, index=index)  # ENOSPC shape
     path = os.fspath(path)
     array = np.ascontiguousarray(array)
     if array.dtype.hasobject:
@@ -161,16 +162,42 @@ def _read_header(path: str) -> SegmentInfo:
     return info
 
 
-def read_segment(path: str | os.PathLike, *, mmap: bool = True) -> np.ndarray:
+def _flip_payload_byte(path: str, data_offset: int) -> None:
+    """XOR the first payload byte on disk - the ``flip_segment_bit`` fault.
+
+    The flip is persistent (real rot, not a transient read error): every
+    later read of the same file sees the corruption until a self-healing
+    load quarantines the build and re-persists it from source.
+    """
+    with open(path, "r+b") as fh:
+        fh.seek(data_offset)
+        byte = fh.read(1)
+        if not byte:
+            return
+        fh.seek(data_offset)
+        fh.write(bytes([byte[0] ^ 0x01]))
+
+
+def read_segment(
+    path: str | os.PathLike, *, mmap: bool = True, index: int = 0
+) -> np.ndarray:
     """Map (or load) a segment's array; structural checks always run.
 
     With ``mmap=True`` (the default) the returned array is a *read-only*
     ``np.memmap`` view - zero-copy, paged in on demand.  ``mmap=False``
     reads the payload into a fresh in-memory array (still returned
     read-only, so both modes behave identically downstream).
+
+    ``index`` is the store's monotonically increasing segment-read counter,
+    the trigger coordinate of the ``storage.segment_read`` fault site: an
+    injected ``flip_segment_bit`` corrupts one payload byte on disk here,
+    before the map, so checksum verification deterministically fails.
     """
     path = os.fspath(path)
+    fault = fault_at("storage.segment_read", shard=None, index=index)
     info = _read_header(path)
+    if fault is not None and fault.kind == "flip_segment_bit":
+        _flip_payload_byte(path, info.data_offset)
     if mmap:
         return np.memmap(path, dtype=np.dtype(info.dtype), mode="r",
                          offset=info.data_offset, shape=info.shape)

@@ -4,6 +4,7 @@ A store is a directory::
 
     <store>/catalog.sqlite     the catalog database (WAL mode)
     <store>/segments/*.seg     one segment file per persisted array
+    <store>/quarantine/*.seg   segments pulled from corrupt builds (forensics)
 
 The database holds three kinds of rows, keyed the same way the in-memory
 :class:`~repro.catalog.catalog.Catalog` keys its caches:
@@ -20,6 +21,13 @@ The database holds three kinds of rows, keyed the same way the in-memory
   dtype/shape/nbytes/crc32 duplicated from the file header so a swapped
   or truncated file is caught against the catalog, not just against
   itself).
+* ``quarantined`` - tombstones for builds pulled by
+  :meth:`Store.quarantine_build`: which build rotted, why, and where its
+  files went.  Quarantined files move to ``quarantine/`` (never served,
+  never swept by ``gc()``) so an operator can inspect the damage.
+* ``checkpoints`` - small JSON state rows for resumable consumers
+  (streaming subscriptions persist their window cursor here), keyed by a
+  caller-chosen id.
 
 Durability discipline: segment files land first (each atomically, via the
 temp-file + rename in :mod:`repro.storage.segment`) under fresh random
@@ -42,6 +50,7 @@ import sqlite3
 import threading
 import time
 import uuid
+import zlib
 
 import numpy as np
 
@@ -86,6 +95,22 @@ CREATE TABLE IF NOT EXISTS segments (
     nbytes   INTEGER NOT NULL,
     crc32    INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS quarantined (
+    id         INTEGER PRIMARY KEY,
+    table_name TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    build_key  TEXT NOT NULL,
+    filename   TEXT NOT NULL,
+    reason     TEXT NOT NULL,
+    created    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    id           TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    payload_json TEXT NOT NULL,
+    state_json   TEXT NOT NULL,
+    updated      REAL NOT NULL
+);
 """
 
 
@@ -95,6 +120,7 @@ class Store:
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
         self.segments_dir = os.path.join(self.path, "segments")
+        self.quarantine_dir = os.path.join(self.path, "quarantine")
         os.makedirs(self.segments_dir, exist_ok=True)
         db_path = os.path.join(self.path, "catalog.sqlite")
         try:
@@ -104,6 +130,7 @@ class Store:
         self._db.row_factory = sqlite3.Row
         self._lock = threading.RLock()
         self._write_index = 0  # storage.write_segment fault-site coordinate
+        self._read_index = 0  # storage.segment_read fault-site coordinate
         with self._lock:
             cur = self._db
             cur.execute("PRAGMA journal_mode=WAL")
@@ -256,7 +283,10 @@ class Store:
         Segment arrays come back as read-only ``np.memmap`` views; each is
         cross-checked (dtype, shape) against its catalog row so a swapped
         file raises :class:`StorageError` instead of feeding garbage to a
-        query.
+        query, and each payload's crc32 is verified against the catalog row
+        so a flipped bit is detected *at open time* (the self-healing
+        catalog's quarantine trigger).  The crc pass reads every payload
+        byte once - it doubles as page-cache warming for the map.
         """
         with self._lock:
             build = self._db.execute(
@@ -273,7 +303,13 @@ class Store:
         arrays: dict[str, np.ndarray] = {}
         for row in seg_rows:
             path = self._segment_path(row["filename"])
-            array = read_segment(path)
+            with self._lock:
+                index = self._read_index
+                self._read_index += 1
+            try:
+                array = read_segment(path, index=index)
+            except OSError as exc:
+                raise StorageError(f"{path}: cannot read segment ({exc})") from exc
             if array.dtype.str != row["dtype"] or list(array.shape) != json.loads(
                 row["shape_json"]
             ):
@@ -281,6 +317,11 @@ class Store:
                     f"{path}: segment header disagrees with the catalog "
                     f"(file {array.dtype.str}{list(array.shape)}, catalog "
                     f"{row['dtype']}{json.loads(row['shape_json'])})"
+                )
+            if zlib.crc32(array) != row["crc32"]:
+                raise StorageError(
+                    f"{path}: payload checksum disagrees with the catalog "
+                    f"(stored {row['crc32']:#010x}) - the segment is corrupt"
                 )
             arrays[row["role"]] = array
         return json.loads(build["meta_json"]), arrays
@@ -359,7 +400,11 @@ class Store:
         return len(rows)
 
     def gc(self) -> list[str]:
-        """Remove segment files the catalog doesn't own (incl. temp orphans)."""
+        """Remove segment files the catalog doesn't own (incl. temp orphans).
+
+        Only ``segments/`` is swept; files in ``quarantine/`` are operator
+        forensics and are never touched.
+        """
         with self._lock:
             rows = self._db.execute("SELECT filename FROM segments").fetchall()
             known = {row["filename"] for row in rows}
@@ -373,6 +418,160 @@ class Store:
                 except OSError:
                     pass
         return removed
+
+    # -- quarantine ---------------------------------------------------------
+
+    def quarantine_build(
+        self, table: str, kind: str, build_key: str, *, reason: str
+    ) -> list[str]:
+        """Pull one corrupt build out of service; returns its filenames.
+
+        The build row is deleted (so the next lookup is a clean miss that
+        triggers a cold rebuild), each of its segment files moves to
+        ``quarantine/`` for forensics, and a tombstone row per file records
+        what rotted and why.  A file that is already gone still gets its
+        tombstone - a missing segment is just another corruption shape.
+        Idempotent: quarantining an absent build is a no-op.
+        """
+        with self._lock:
+            build = self._db.execute(
+                "SELECT * FROM builds WHERE table_name = ? AND kind = ? "
+                "AND build_key = ?",
+                (table, kind, build_key),
+            ).fetchone()
+            if build is None:
+                return []
+            filenames = self._build_files("b.id = ?", (build["id"],))
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            for filename in filenames:
+                try:
+                    os.replace(
+                        self._segment_path(filename),
+                        os.path.join(self.quarantine_dir, filename),
+                    )
+                except OSError:
+                    pass  # already missing: that *is* the corruption
+                self._db.execute(
+                    "INSERT INTO quarantined (table_name, kind, build_key, "
+                    "filename, reason, created) VALUES (?, ?, ?, ?, ?, ?)",
+                    (table, kind, build_key, filename, reason, time.time()),
+                )
+            self._db.execute("DELETE FROM builds WHERE id = ?", (build["id"],))
+            self._db.commit()
+        return filenames
+
+    def quarantined(self) -> list[dict]:
+        """Every quarantine tombstone, oldest first."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT * FROM quarantined ORDER BY id"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def repair(self) -> dict:
+        """Quarantine every corrupt build, then sweep orphans - in one pass.
+
+        This automates the advice ``verify_segment``'s error message gives a
+        human: any build with a failing segment (bad checksum, structural
+        damage, header/catalog drift, missing file) is quarantined whole,
+        then ``gc()`` removes unowned files (including ``.tmp`` crash
+        leftovers).  Unlike :meth:`verify` this never raises on corruption -
+        it acts on it; only an unreadable catalog propagates.
+
+        Returns ``{"checked", "quarantined_builds", "quarantined_files",
+        "removed_orphans"}``.
+        """
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT s.filename, s.dtype, s.shape_json, b.table_name, "
+                "b.kind, b.build_key FROM segments s "
+                "JOIN builds b ON s.build_id = b.id ORDER BY s.filename"
+            ).fetchall()
+        checked = len(rows)
+        corrupt: dict[tuple[str, str, str], str] = {}
+        for row in rows:
+            coord = (row["table_name"], row["kind"], row["build_key"])
+            if coord in corrupt:
+                continue  # the whole build goes; no need to scan its peers
+            path = self._segment_path(row["filename"])
+            try:
+                info = verify_segment(path)
+            except StorageError as exc:
+                corrupt[coord] = str(exc)
+                continue
+            if info.dtype != row["dtype"] or list(info.shape) != json.loads(
+                row["shape_json"]
+            ):
+                corrupt[coord] = (
+                    f"{path}: segment header disagrees with the catalog"
+                )
+        quarantined_files: list[str] = []
+        for (table, kind, build_key), reason in corrupt.items():
+            quarantined_files.extend(
+                self.quarantine_build(table, kind, build_key, reason=reason)
+            )
+        return {
+            "checked": checked,
+            "quarantined_builds": len(corrupt),
+            "quarantined_files": quarantined_files,
+            "removed_orphans": self.gc(),
+        }
+
+    # -- checkpoints --------------------------------------------------------
+
+    def save_checkpoint(
+        self, checkpoint_id: str, *, kind: str, payload: dict, state: dict
+    ) -> None:
+        """Upsert one resumable-consumer checkpoint row.
+
+        ``payload`` is the static description (what to restart - spec, seed,
+        tenant); ``state`` is the moving cursor (what was already emitted).
+        Rows are tiny JSON - one SQLite upsert per window close is the whole
+        write cost of durable subscriptions.
+        """
+        with self._lock:
+            self._db.execute(
+                "INSERT INTO checkpoints (id, kind, payload_json, state_json, "
+                "updated) VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(id) DO UPDATE SET kind=excluded.kind, "
+                "payload_json=excluded.payload_json, "
+                "state_json=excluded.state_json, updated=excluded.updated",
+                (checkpoint_id, kind, json.dumps(payload, sort_keys=True),
+                 json.dumps(state, sort_keys=True), time.time()),
+            )
+            self._db.commit()
+
+    def load_checkpoint(self, checkpoint_id: str) -> tuple[dict, dict] | None:
+        """``(payload, state)`` for one checkpoint id, or None."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT * FROM checkpoints WHERE id = ?", (checkpoint_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row["payload_json"]), json.loads(row["state_json"])
+
+    def checkpoints(self, kind: str | None = None) -> list[dict]:
+        """Checkpoint rows (payload/state still JSON text), oldest first."""
+        with self._lock:
+            if kind is None:
+                rows = self._db.execute(
+                    "SELECT * FROM checkpoints ORDER BY updated"
+                ).fetchall()
+            else:
+                rows = self._db.execute(
+                    "SELECT * FROM checkpoints WHERE kind = ? ORDER BY updated",
+                    (kind,),
+                ).fetchall()
+        return [dict(r) for r in rows]
+
+    def delete_checkpoint(self, checkpoint_id: str) -> bool:
+        with self._lock:
+            cur = self._db.execute(
+                "DELETE FROM checkpoints WHERE id = ?", (checkpoint_id,)
+            )
+            self._db.commit()
+        return cur.rowcount > 0
 
     # -- internals ----------------------------------------------------------
 

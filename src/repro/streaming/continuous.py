@@ -62,6 +62,8 @@ class ContinuousQuery:
         max_windows: int | None = None,
         emit_updates: bool = True,
         runner_kwargs: dict | None = None,
+        checkpoint=None,
+        resume_emissions: int = 0,
     ) -> "ContinuousQuery":
         """Build the runner and start it; see :class:`WindowRunner` for args."""
         return cls(
@@ -73,6 +75,8 @@ class ContinuousQuery:
                 max_windows=max_windows,
                 emit_updates=emit_updates,
                 runner_kwargs=runner_kwargs,
+                checkpoint=checkpoint,
+                resume_emissions=resume_emissions,
             )
         )
 
@@ -133,6 +137,11 @@ class ContinuousQuery:
     @property
     def cancelled(self) -> bool:
         return self._was_cancelled
+
+    @property
+    def error(self) -> BaseException | None:
+        """The runner failure delivered (or about to be) by :meth:`updates`."""
+        return self._error
 
     def stats(self) -> dict:
         """Live runner accounting (rows, windows, late counters)."""

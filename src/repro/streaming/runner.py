@@ -192,6 +192,19 @@ class WindowRunner:
         emit_updates: emit per-group :class:`WindowUpdate` events while a
             window evaluates; False skips them (results only).
         runner_kwargs: forwarded to the planner (``trace_every``, ...).
+        checkpoint: best-effort durability sink - called with a small state
+            dict (``emissions``, watermark, counters) at every emission, so
+            a restarted run can resume where this one stopped.  Exceptions
+            from the sink are swallowed: checkpointing must never fail the
+            stream.
+        resume_emissions: resume support - suppress the first N emission
+            events (they were already delivered by a previous process).
+            The source is replayed from the start and every piece of
+            bookkeeping still runs (watermarks, late counters, pane
+            release, ``max_windows`` math), but suppressed windows skip
+            planner evaluation and are not yielded, so the remaining
+            emissions come out bit-identical to an uninterrupted run
+            (per-window seed stays ``seed + index``).
     """
 
     def __init__(
@@ -204,6 +217,8 @@ class WindowRunner:
         max_windows: int | None = None,
         emit_updates: bool = True,
         runner_kwargs: dict | None = None,
+        checkpoint=None,
+        resume_emissions: int = 0,
     ) -> None:
         if spec.window is None:
             raise ValueError(
@@ -212,6 +227,13 @@ class WindowRunner:
             )
         if max_windows is not None and int(max_windows) < 1:
             raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        if int(resume_emissions) < 0:
+            raise ValueError(
+                f"resume_emissions must be >= 0, got {resume_emissions}"
+            )
+        self._checkpoint = checkpoint
+        self._skip = int(resume_emissions)
+        self._emissions = 0
         self._spec = spec
         self._window: WindowSpec = spec.window
         self._inner = replace(spec, window=None)
@@ -295,6 +317,7 @@ class WindowRunner:
             "late_dropped": self._late_dropped,
             "late_recomputed": self._late_recomputed,
             "watermark": self._watermark,
+            "emissions": self._emissions,
         }
 
     def run(self) -> Iterator[WindowUpdate | WindowResult]:
@@ -554,6 +577,15 @@ class WindowRunner:
         elif w.late == "recompute":
             self._closed_info[idx] = {"revision": 0, "late_rows": 0}
 
+        if self._skip > 0:
+            # Resuming from a checkpoint: this emission was already
+            # delivered by a previous process.  Count it (so max_windows
+            # and the next checkpoint line up) but skip evaluation and the
+            # yield entirely.
+            self._skip -= 1
+            self._count_emission(revision)
+            return
+
         began = time.perf_counter()
         rows = self._window_rows(idx)
         if rows is None:
@@ -644,6 +676,12 @@ class WindowRunner:
         )
 
     def _emit(self, result: WindowResult, revision: int) -> WindowResult:
+        self._count_emission(revision)
+        self._write_checkpoint()
+        return result
+
+    def _count_emission(self, revision: int) -> None:
+        self._emissions += 1
         if revision == 0:
             self._windows_emitted += 1
             if (
@@ -651,7 +689,27 @@ class WindowRunner:
                 and self._windows_emitted >= self._max_windows
             ):
                 self._done = True
-        return result
+
+    def _write_checkpoint(self) -> None:
+        if self._checkpoint is None:
+            return
+        try:
+            self._checkpoint(
+                {
+                    "emissions": self._emissions,
+                    "closed_below": self._closed_below,
+                    "rows_seen": self._rows_seen,
+                    "watermark": self._watermark,
+                    "windows_emitted": self._windows_emitted,
+                    "revisions": self._revisions,
+                    "late_dropped": self._late_dropped,
+                    "late_recomputed": self._late_recomputed,
+                }
+            )
+        except Exception:
+            # Checkpointing is a durability aid, never a correctness
+            # dependency: a failing sink must not kill a healthy stream.
+            pass
 
     def _window_seed(self, idx: int) -> int | None:
         return None if self._seed is None else int(self._seed) + idx

@@ -127,4 +127,25 @@ class TestActivation:
             "corrupt_handshake",
             "fail_scan_chunk",
             "fail_segment_write",
+            "enospc_segment_write",
+            "flip_segment_bit",
         }
+
+    def test_enospc_segment_write_raises_disk_full(self, monkeypatch):
+        import errno
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plan = FaultPlan([Fault("enospc_segment_write", at=1)])
+        with inject(plan):
+            assert fault_at("storage.segment_write", shard=None, index=0) is None
+            with pytest.raises(OSError) as exc:
+                fault_at("storage.segment_write", shard=None, index=1)
+            assert exc.value.errno == errno.ENOSPC
+
+    def test_flip_segment_bit_returns_the_fault_for_the_reader(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plan = FaultPlan([Fault("flip_segment_bit", at=3)])
+        with inject(plan):
+            assert fault_at("storage.segment_read", shard=None, index=2) is None
+            fault = fault_at("storage.segment_read", shard=None, index=3)
+            assert fault is not None and fault.kind == "flip_segment_bit"

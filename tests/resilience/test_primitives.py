@@ -124,7 +124,8 @@ class TestRetry:
                 raise TransientError(f"blip {len(attempts)}")
             return 42
 
-        policy = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0, max_delay=0.3)
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.3, jitter=0.0)
         out = call_with_retry(
             flaky,
             policy=policy,
@@ -133,14 +134,48 @@ class TestRetry:
         )
         assert out == 42
         assert [a for a, _ in seen] == [0, 1, 2]
-        # base * multiplier**attempt, capped at max_delay.
+        # jitter=0.0 opts out: base * multiplier**attempt, capped at max_delay.
         assert slept == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_seeded_jitter_is_deterministic_and_bounded(self):
+        import itertools
+
+        policy = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.8, seed=42)
+        first = list(itertools.islice(policy.delays(), 6))
+        again = list(itertools.islice(policy.delays(), 6))
+        assert first == again, "same seed must give the same schedule"
+        assert all(0.0 <= d <= 0.8 for d in first)
+        other = list(itertools.islice(
+            RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                        max_delay=0.8, seed=43).delays(), 6))
+        assert first != other, "different seeds must decorrelate"
+
+    def test_jitter_is_on_by_default_and_sleeps_through_it(self):
+        import itertools
+
+        slept = []
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("blip")
+            return "ok"
+
+        policy = RetryPolicy(max_retries=2, base_delay=0.1, max_delay=0.5, seed=7)
+        assert policy.jitter == 1.0
+        assert call_with_retry(flaky, policy=policy, sleep=slept.append) == "ok"
+        expected = list(itertools.islice(policy.delays(), 2))
+        assert slept == pytest.approx(expected)
 
     def test_policy_validation(self):
         with pytest.raises(ValueError, match="max_retries"):
             RetryPolicy(max_retries=-1)
         with pytest.raises(ValueError, match="delays"):
             RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
 
 
 class TestCircuitBreaker:

@@ -1,0 +1,192 @@
+"""Durable streaming checkpoints: suppress-and-replay resume semantics.
+
+Resume is a deterministic replay of the source with the first N emission
+events suppressed (N = the checkpointed ``emissions`` count).  Suppressed
+windows keep every piece of bookkeeping - watermarks, late counters,
+``max_windows`` math - but skip evaluation and the yield, so the windows
+that *do* come out are bit-identical to the tail of an uninterrupted run
+(per-window seed stays ``seed + index``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.query import parse_query
+from repro.streaming.runner import WindowResult, WindowRunner
+
+SQL = "SELECT g, AVG(v) FROM t GROUP BY g"
+
+
+def _dataset(rows=500):
+    rng = np.random.default_rng(11)
+    return {
+        "g": np.tile(np.array(["a", "b"]), rows // 2),
+        "v": rng.random(rows) * 10.0,
+        "ts": np.arange(rows, dtype=np.float64),
+    }
+
+
+def _windowed_spec(session, size=100.0):
+    return session.sql(parse_query(SQL)).window(size, on="ts").spec()
+
+
+def _payload_of(result: WindowResult) -> dict:
+    d = result.to_dict()
+    d.pop("elapsed_seconds")  # wall clock differs between runs by design
+    return d
+
+
+class TestRunnerResume:
+    def _results(self, catalog, spec, **kwargs):
+        runner = WindowRunner(spec, catalog, seed=3, emit_updates=False, **kwargs)
+        return [e for e in runner.run() if isinstance(e, WindowResult)]
+
+    def test_resumed_tail_is_bit_identical(self, tmp_path):
+        session = repro.connect(engine="memory", seed=0)
+        session.attach("t", _dataset())
+        spec = _windowed_spec(session)
+        full = self._results(session.catalog, spec)
+        assert len(full) == 5
+        for skip in (1, 3, 5):
+            tail = self._results(session.catalog, spec, resume_emissions=skip)
+            assert [_payload_of(r) for r in tail] == [
+                _payload_of(r) for r in full[skip:]
+            ]
+
+    def test_suppressed_windows_still_count_toward_max_windows(self, tmp_path):
+        session = repro.connect(engine="memory", seed=0)
+        session.attach("t", _dataset())
+        spec = _windowed_spec(session)
+        tail = self._results(
+            session.catalog, spec, resume_emissions=2, max_windows=3
+        )
+        # 2 suppressed + 1 live = max_windows; the live one is window 2.
+        assert [r.window.index for r in tail] == [2]
+
+    def test_checkpoint_sink_sees_monotone_emissions(self):
+        session = repro.connect(engine="memory", seed=0)
+        session.attach("t", _dataset())
+        states = []
+        runner = WindowRunner(
+            _windowed_spec(session),
+            session.catalog,
+            seed=3,
+            emit_updates=False,
+            checkpoint=states.append,
+        )
+        list(runner.run())
+        assert [s["emissions"] for s in states] == [1, 2, 3, 4, 5]
+        assert states[-1]["windows_emitted"] == 5
+        assert states[-1]["rows_seen"] == 500
+
+    def test_failing_sink_never_kills_the_stream(self):
+        session = repro.connect(engine="memory", seed=0)
+        session.attach("t", _dataset())
+
+        def explode(_state):
+            raise OSError("disk full")
+
+        runner = WindowRunner(
+            _windowed_spec(session),
+            session.catalog,
+            seed=3,
+            emit_updates=False,
+            checkpoint=explode,
+        )
+        results = [e for e in runner.run() if isinstance(e, WindowResult)]
+        assert len(results) == 5
+
+    def test_negative_resume_rejected(self):
+        session = repro.connect(engine="memory", seed=0)
+        session.attach("t", _dataset())
+        with pytest.raises(ValueError, match="resume_emissions"):
+            WindowRunner(
+                _windowed_spec(session), session.catalog, resume_emissions=-1
+            )
+
+
+class TestSessionCheckpoints:
+    def test_checkpoint_needs_a_durable_session(self):
+        session = repro.connect(engine="memory", seed=0)
+        session.attach("t", _dataset())
+        builder = session.sql(parse_query(SQL)).window(100.0, on="ts")
+        with pytest.raises(ValueError, match="durable session"):
+            builder.subscribe(checkpoint="cp")
+
+    def test_full_run_then_resume_emits_nothing_more(self, tmp_path):
+        session = repro.connect(store=tmp_path / "store", engine="memory", seed=0)
+        session.attach("t", _dataset())
+        builder = session.sql(parse_query(SQL)).window(100.0, on="ts")
+        cq = builder.subscribe(seed=3, emit_updates=False, checkpoint="cp")
+        first = [e for e in cq.results()]
+        assert len(first) == 5
+        _payload, state = session.catalog.load_checkpoint("cp")
+        assert state["emissions"] == 5
+
+        resumed = builder.subscribe(
+            seed=3, emit_updates=False, checkpoint="cp", resume=True
+        )
+        assert [e for e in resumed.results()] == []
+        assert resumed.stats()["windows_emitted"] == 5  # replayed, suppressed
+        session.close()
+
+    def test_resume_mid_stream_yields_the_identical_tail(self, tmp_path):
+        session = repro.connect(store=tmp_path / "store", engine="memory", seed=0)
+        session.attach("t", _dataset())
+        builder = session.sql(parse_query(SQL)).window(100.0, on="ts")
+        reference = [
+            e for e in builder.subscribe(
+                seed=3, emit_updates=False, checkpoint="ref"
+            ).results()
+        ]
+
+        # Simulate a process that died after delivering two windows.
+        spec = _windowed_spec(session)
+        session.catalog.save_checkpoint(
+            "cp",
+            kind="subscription",
+            payload={
+                "spec": spec.canonical_key(),
+                "seed": 3,
+                "max_windows": None,
+                "emit_updates": False,
+            },
+            state={"emissions": 2},
+        )
+        resumed = builder.subscribe(
+            seed=3, emit_updates=False, checkpoint="cp", resume=True
+        )
+        tail = [e for e in resumed.results()]
+        assert [_payload_of(r) for r in tail] == [
+            _payload_of(r) for r in reference[2:]
+        ]
+        _payload, state = session.catalog.load_checkpoint("cp")
+        assert state["emissions"] == 5  # the cursor kept advancing
+        session.close()
+
+    def test_resume_rejects_a_mismatched_checkpoint(self, tmp_path):
+        session = repro.connect(store=tmp_path / "store", engine="memory", seed=0)
+        session.attach("t", _dataset())
+        builder = session.sql(parse_query(SQL)).window(100.0, on="ts")
+        cq = builder.subscribe(seed=3, emit_updates=False, checkpoint="cp")
+        list(cq.results())
+        with pytest.raises(ValueError, match="different"):
+            builder.subscribe(
+                seed=4, emit_updates=False, checkpoint="cp", resume=True
+            )
+        session.close()
+
+    def test_fresh_run_resets_a_stale_checkpoint(self, tmp_path):
+        session = repro.connect(store=tmp_path / "store", engine="memory", seed=0)
+        session.attach("t", _dataset())
+        builder = session.sql(parse_query(SQL)).window(100.0, on="ts")
+        list(builder.subscribe(seed=3, emit_updates=False, checkpoint="cp").results())
+        # Starting over (resume=False) rewinds the cursor to zero before
+        # the first window closes.
+        fresh = builder.subscribe(seed=3, emit_updates=False, checkpoint="cp")
+        results = [e for e in fresh.results()]
+        assert len(results) == 5
+        session.close()

@@ -255,7 +255,37 @@ class TestStoreCLI:
         blob[-1] ^= 0xFF
         victim.write_bytes(blob)
         assert main(["store", "verify", str(store)]) == 1
-        assert "checksum" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "checksum" in err and "--repair" in err
+
+    def test_verify_repair_quarantines_and_store_stays_usable(self, capsys, tmp_path):
+        import os
+
+        csv, store = tmp_path / "t.csv", tmp_path / "store"
+        self._write_csv(csv)
+        assert main(["store", "build", str(store), "--csv", str(csv)]) == 0
+        capsys.readouterr()
+
+        segments = store / "segments"
+        victim = segments / sorted(os.listdir(segments))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(blob)
+        (segments / "stray.seg.tmp").write_bytes(b"junk")
+
+        assert main(["store", "verify", str(store), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert f"quarantined {victim.name}" in out
+        assert "removed orphan stray.seg.tmp" in out
+
+        # The repaired store verifies clean and still answers queries
+        # (the quarantined build rebuilds from its persisted source).
+        assert main(["store", "verify", str(store)]) == 0
+        capsys.readouterr()
+        code = main(["query", "SELECT g, AVG(v) FROM t GROUP BY g",
+                     "--store", str(store), "--seed", "3"])
+        assert code == 0
+        assert "AVG(v)" in capsys.readouterr().out
 
     def test_build_unknown_table(self, capsys, tmp_path):
         csv, store = tmp_path / "t.csv", tmp_path / "store"
